@@ -1,0 +1,191 @@
+// Root benchmarks: one testing.B benchmark per table/figure of the paper's
+// evaluation (see DESIGN.md's experiment index). Each benchmark runs a
+// representative configuration of its experiment; the cmd/p3bench tool runs
+// the full sweeps and prints the series.
+//
+//	go test -bench=. -benchmem
+package p3_test
+
+import (
+	"testing"
+
+	"p3/internal/cluster"
+	"p3/internal/data"
+	"p3/internal/experiments"
+	"p3/internal/nn"
+	"p3/internal/opt"
+	"p3/internal/strategy"
+	"p3/internal/trace"
+	"p3/internal/train"
+	"p3/internal/zoo"
+)
+
+// runSim is one simulated configuration with test-friendly iteration counts.
+func runSim(b *testing.B, model string, s strategy.Strategy, machines int, gbps float64, rec *trace.Recorder) cluster.Result {
+	b.Helper()
+	return cluster.Run(cluster.Config{
+		Model: zoo.ByName(model), Machines: machines, Strategy: s,
+		BandwidthGbps: gbps, WarmupIters: 1, MeasureIters: 3, Seed: 1, Recorder: rec,
+	})
+}
+
+// BenchmarkFig5ModelZoo builds all four model tables (Figure 5's data).
+func BenchmarkFig5ModelZoo(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, m := range zoo.All() {
+			if m.TotalParams() == 0 {
+				b.Fatal("empty model")
+			}
+		}
+	}
+}
+
+// Figure 7: bandwidth vs throughput, one benchmark per sub-figure at the
+// bandwidth the paper quotes its headline speedup for.
+func BenchmarkFig7aResNet50Baseline4G(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runSim(b, "resnet50", strategy.Baseline(), 4, 4, nil)
+	}
+}
+
+func BenchmarkFig7aResNet50P3_4G(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runSim(b, "resnet50", strategy.P3(0), 4, 4, nil)
+	}
+}
+
+func BenchmarkFig7bInception3P3_4G(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runSim(b, "inception3", strategy.P3(0), 4, 4, nil)
+	}
+}
+
+func BenchmarkFig7cVGG19Baseline15G(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runSim(b, "vgg19", strategy.Baseline(), 4, 15, nil)
+	}
+}
+
+func BenchmarkFig7cVGG19P3_15G(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runSim(b, "vgg19", strategy.P3(0), 4, 15, nil)
+	}
+}
+
+func BenchmarkFig7cVGG19Slicing30G(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runSim(b, "vgg19", strategy.SlicingOnly(0), 4, 30, nil)
+	}
+}
+
+func BenchmarkFig7dSockeyeP3_4G(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runSim(b, "sockeye", strategy.P3(0), 4, 4, nil)
+	}
+}
+
+// Figures 8/9: network-utilization traces (recorder attached).
+func BenchmarkFig8NetworkUtilBaseline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rec := trace.NewRecorder(4, 0)
+		runSim(b, "resnet50", strategy.Baseline(), 4, 4, rec)
+	}
+}
+
+func BenchmarkFig9NetworkUtilP3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rec := trace.NewRecorder(4, 0)
+		runSim(b, "resnet50", strategy.P3(0), 4, 4, rec)
+	}
+}
+
+// Figure 10: scalability (8-machine point at 10 Gbps).
+func BenchmarkFig10aResNet50Scale8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runSim(b, "resnet50", strategy.P3(0), 8, 10, nil)
+	}
+}
+
+func BenchmarkFig10bVGG19Scale8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runSim(b, "vgg19", strategy.P3(0), 8, 10, nil)
+	}
+}
+
+func BenchmarkFig10cSockeyeScale16(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runSim(b, "sockeye", strategy.P3(0), 16, 10, nil)
+	}
+}
+
+// Figure 11: one P3-vs-DGC convergence epoch at test scale.
+func BenchmarkFig11ConvergenceP3vsDGC(b *testing.B) {
+	set := data.Generate(data.Config{Samples: 480, Features: 16, Classes: 4, Noise: 1.2, Seed: 5})
+	tr, val := set.Split(0.25)
+	cfg := train.Config{
+		Net:     nn.Config{In: 16, Width: 24, Classes: 4, Blocks: 2, Seed: 9},
+		Workers: 4, Batch: 8, Epochs: 1,
+		Schedule: opt.ConstSchedule(0.05), Momentum: 0.9, ClipNorm: 2, Seed: 31,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Mode = train.Dense
+		train.Run(cfg, tr, val)
+		cfg.Mode = train.DGC
+		cfg.DGCSparsity = 0.99
+		train.Run(cfg, tr, val)
+	}
+}
+
+// Figure 12: slice-size sweep endpoints and the paper's 50k optimum.
+func BenchmarkFig12Slice1k(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runSim(b, "resnet50", strategy.P3(1000), 4, 4, nil)
+	}
+}
+
+func BenchmarkFig12Slice50k(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runSim(b, "resnet50", strategy.P3(50_000), 4, 4, nil)
+	}
+}
+
+func BenchmarkFig12Slice1M(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runSim(b, "resnet50", strategy.P3(1_000_000), 4, 4, nil)
+	}
+}
+
+// Figure 13: TensorFlow-style synchronization.
+func BenchmarkFig13TensorFlowUtil(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rec := trace.NewRecorder(4, 0)
+		runSim(b, "resnet50", strategy.TFStyle(), 4, 4, rec)
+	}
+}
+
+// Figure 14: Poseidon-style WFBP.
+func BenchmarkFig14PoseidonUtil(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rec := trace.NewRecorder(4, 0)
+		runSim(b, "inception3", strategy.WFBP(), 4, 1, rec)
+	}
+}
+
+// Figure 15: ASGD vs P3 — the simulated iteration-time half of the figure.
+func BenchmarkFig15ASGDvsP3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runSim(b, "resnet110", strategy.P3(0), 4, 1, nil)
+		runSim(b, "resnet110", strategy.ASGDStrategy(), 4, 1, nil)
+	}
+}
+
+// BenchmarkHeadline regenerates the Section 5.3 summary table.
+func BenchmarkHeadline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Headline(experiments.Options{Fast: true, Seed: 1})
+		if len(rows) != 4 {
+			b.Fatal("headline incomplete")
+		}
+	}
+}

@@ -1,0 +1,97 @@
+// Command p3bench regenerates every table and figure of the paper's
+// evaluation section. Each experiment prints an ASCII rendering plus the
+// underlying TSV series, with the paper's reference values in the notes.
+//
+// Usage:
+//
+//	p3bench [-fast] [-seed N] [-plot] [fig5 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 headline | all]
+//
+// The throughput/utilization experiments (fig5, fig7-10, fig12-14, headline)
+// run on the discrete-event simulator and take seconds. The convergence
+// experiments (fig11, fig15) train real networks and take minutes without
+// -fast.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"p3/internal/experiments"
+)
+
+var figOrder = []string{
+	"fig5", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
+	"headline", "ablation", "allreduce", "tta", "compression", "sensitivity",
+}
+
+func main() {
+	fast := flag.Bool("fast", false, "trimmed sweeps (for smoke runs)")
+	seed := flag.Int64("seed", 0, "workload seed")
+	plot := flag.Bool("plot", true, "render ASCII plots")
+	tsv := flag.Bool("tsv", true, "print TSV series")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: p3bench [flags] [%s|all]...\n", strings.Join(figOrder, "|"))
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	targets := flag.Args()
+	if len(targets) == 0 || (len(targets) == 1 && targets[0] == "all") {
+		targets = figOrder
+	}
+
+	o := experiments.Options{Fast: *fast, Seed: *seed}
+	runners := map[string]func(experiments.Options) []*experiments.Figure{
+		"fig5":      experiments.Fig5,
+		"fig7":      experiments.Fig7,
+		"fig8":      experiments.Fig8,
+		"fig9":      experiments.Fig9,
+		"fig10":     experiments.Fig10,
+		"fig11":     experiments.Fig11,
+		"fig12":     experiments.Fig12,
+		"fig13":     experiments.Fig13,
+		"fig14":     experiments.Fig14,
+		"fig15":     experiments.Fig15,
+		"allreduce": experiments.ExtAllreduce,
+	}
+
+	for _, t := range targets {
+		switch {
+		case t == "headline":
+			fmt.Println("== Section 5.3 headline speedups (P3 vs baseline) ==")
+			fmt.Print(experiments.HeadlineTable(experiments.Headline(o)))
+			fmt.Println()
+		case t == "ablation":
+			fmt.Println("== Ablation: contribution of each P3 design decision (per-machine samples/sec) ==")
+			fmt.Print(experiments.AblationTable(experiments.Ablation(o)))
+			fmt.Println()
+		case t == "compression":
+			fmt.Println("== Extension: compression family (related work, Section 6) vs dense exchange ==")
+			fmt.Print(experiments.CompressionTable(experiments.ExtCompression(o)))
+			fmt.Println()
+		case t == "sensitivity":
+			fmt.Println("== Sensitivity: server count and batch size (VGG-19 @15Gbps, per-machine images/sec) ==")
+			fmt.Print(experiments.SensitivityTable(experiments.Sensitivity(o)))
+			fmt.Println()
+		case t == "tta":
+			fmt.Println("== Extension: time-to-accuracy (ResNet-110 profile @1Gbps iteration times x substitute-task convergence) ==")
+			fmt.Print(experiments.TimeToAccuracyTable(experiments.TimeToAccuracy(o)))
+			fmt.Println()
+		case runners[t] != nil:
+			for _, fig := range runners[t](o) {
+				if *plot {
+					fmt.Println(fig.ASCII(72, 16))
+				}
+				if *tsv {
+					fmt.Println(fig.TSV())
+				}
+			}
+		default:
+			fmt.Fprintf(os.Stderr, "p3bench: unknown target %q\n", t)
+			flag.Usage()
+			os.Exit(2)
+		}
+	}
+}

@@ -1,0 +1,22 @@
+// Command p3report runs the full experiment suite and writes the
+// paper-versus-measured record to stdout in markdown — the generator behind
+// EXPERIMENTS.md.
+//
+//	go run ./cmd/p3report > EXPERIMENTS.md        # full (a few minutes)
+//	go run ./cmd/p3report -fast                   # trimmed smoke version
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"p3/internal/experiments"
+	"p3/internal/report"
+)
+
+func main() {
+	fast := flag.Bool("fast", false, "trimmed sweeps")
+	seed := flag.Int64("seed", 0, "workload seed")
+	flag.Parse()
+	fmt.Print(report.Generate(experiments.Options{Fast: *fast, Seed: *seed}))
+}

@@ -1,0 +1,74 @@
+// Command p3server runs one real P3 parameter server over TCP — the
+// deployable counterpart of the paper's modified KVServer (Section 4.2).
+// Start one per machine, then point p3worker processes at the full server
+// list (the paper's Appendix A workflow, minus MXNet).
+//
+//	p3server -addr :9700 -workers 4 -priority
+//	p3server -addr :9701 -workers 4 -priority
+//
+// The server aggregates each key's gradient pushes, applies SGD on the Nth
+// push, and immediately broadcasts the updated values (or, with
+// -notifypull, uses stock KVStore notify-then-pull semantics for baseline
+// measurements).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"p3/internal/pstcp"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:9700", "listen address")
+	id := flag.Int("id", 0, "server id")
+	workers := flag.Int("workers", 4, "worker count (pushes per update)")
+	priority := flag.Bool("priority", true, "P3 priority queues (false = FIFO baseline)")
+	notifyPull := flag.Bool("notifypull", false, "stock KVStore notify+pull instead of immediate broadcast")
+	lr := flag.Float64("lr", 0.1, "server-side SGD learning rate")
+	stats := flag.Duration("stats", 10*time.Second, "stats print interval (0 = off)")
+	flag.Parse()
+
+	srv := pstcp.NewServer(pstcp.ServerConfig{
+		ID:         *id,
+		Workers:    *workers,
+		Priority:   *priority,
+		NotifyPull: *notifyPull,
+		Updater:    pstcp.SGDUpdater(float32(*lr)),
+	})
+	bound, err := srv.Start(*addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "p3server:", err)
+		os.Exit(1)
+	}
+	mode := "immediate broadcast"
+	if *notifyPull {
+		mode = "notify+pull"
+	}
+	fmt.Printf("p3server %d listening on %s (workers=%d, priority=%v, %s)\n",
+		*id, bound, *workers, *priority, mode)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	if *stats > 0 {
+		ticker := time.NewTicker(*stats)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				p, u := srv.Stats()
+				fmt.Printf("p3server %d: %d pushes processed, %d updates applied\n", *id, p, u)
+			case <-stop:
+				srv.Close()
+				fmt.Printf("p3server %d: shut down\n", *id)
+				return
+			}
+		}
+	}
+	<-stop
+	srv.Close()
+}

@@ -1,0 +1,87 @@
+// Command p3sim runs a single simulated training configuration and reports
+// its throughput, iteration breakdown and (optionally) the NIC utilization
+// trace of machine 0 — the simulated analogue of one cell of the paper's
+// evaluation grid.
+//
+// Example:
+//
+//	p3sim -model vgg19 -strategy p3 -bw 15 -machines 4 -slice 50000 -trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"p3/internal/cluster"
+	"p3/internal/strategy"
+	"p3/internal/trace"
+	"p3/internal/zoo"
+)
+
+func main() {
+	modelName := flag.String("model", "resnet50", "model: resnet50|inception3|vgg19|sockeye|resnet110")
+	stratName := flag.String("strategy", "p3", "strategy: baseline|tensorflow|wfbp|slicing|p3|asgd")
+	bw := flag.Float64("bw", 10, "per-direction NIC bandwidth in Gbps")
+	machines := flag.Int("machines", 4, "cluster size (workers == servers == machines)")
+	slice := flag.Int64("slice", 0, "max slice size in parameters (0 = paper default 50k; slicing/p3 only)")
+	iters := flag.Int("iters", 8, "measured iterations")
+	warmup := flag.Int("warmup", 2, "warm-up iterations")
+	seed := flag.Int64("seed", 1, "workload seed")
+	showTrace := flag.Bool("trace", false, "print machine 0's 10ms utilization trace")
+	showLayers := flag.Bool("layers", false, "print the model's per-tensor table (Figure 5 data) and exit")
+	flag.Parse()
+
+	st, err := strategy.ByName(*stratName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "p3sim:", err)
+		os.Exit(2)
+	}
+	if *slice > 0 && st.Granularity == strategy.Slices {
+		st.MaxSliceParams = *slice
+	}
+
+	m := zoo.ByName(*modelName)
+	if *showLayers {
+		fmt.Print(m.Table())
+		return
+	}
+
+	var rec *trace.Recorder
+	if *showTrace {
+		rec = trace.NewRecorder(*machines, 0)
+	}
+	r := cluster.Run(cluster.Config{
+		Model:         m,
+		Machines:      *machines,
+		Strategy:      st,
+		BandwidthGbps: *bw,
+		WarmupIters:   *warmup,
+		MeasureIters:  *iters,
+		Seed:          *seed,
+		Recorder:      rec,
+	})
+
+	fmt.Printf("model:       %s (%s)\n", m.Name, m)
+	fmt.Printf("strategy:    %s  machines: %d  bandwidth: %g Gbps\n", st.Name, r.Machines, r.BandwidthGbps)
+	fmt.Printf("throughput:  %.1f %s/s aggregate (%.1f per machine)\n",
+		r.Throughput, m.SampleUnit, r.Throughput/float64(r.Machines))
+	fmt.Printf("iteration:   %.2f ms mean (pure compute %.2f ms, comm overhead %.2f ms)\n",
+		r.MeanIterTime.Millis(), r.ComputeIterTime.Millis(),
+		(r.MeanIterTime - r.ComputeIterTime).Millis())
+	fmt.Printf("sim cost:    %d events, %d messages, %.1f MB on the wire\n",
+		r.Events, r.Msgs, float64(r.WireBytes)/1e6)
+
+	if rec != nil {
+		skip := int(r.WarmupEnd / rec.Bucket())
+		out, in := rec.Gbps(0, trace.Out), rec.Gbps(0, trace.In)
+		fmt.Println("\nbucket\toutbound_gbps\tinbound_gbps")
+		for i := skip; i < len(out) && i < skip+250; i++ {
+			iv := 0.0
+			if i < len(in) {
+				iv = in[i]
+			}
+			fmt.Printf("%d\t%.3f\t%.3f\n", i-skip, out[i], iv)
+		}
+	}
+}

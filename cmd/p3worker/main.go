@@ -1,0 +1,102 @@
+// Command p3worker drives real P3 parameter servers with a synthetic
+// training workload: it slices a zoo model's gradient set, emits the slices
+// in backpropagation order (last layer first) with forward-order priorities,
+// waits for every updated slice to return, and reports iteration times —
+// a real-network microbenchmark of the mechanism, usable on loopback or
+// across machines (the paper's Appendix A benchmark workflow).
+//
+// Start the servers first, then one p3worker per machine:
+//
+//	p3server -addr :9700 -workers 2 &   p3server -addr :9701 -workers 2 &
+//	p3worker -id 0 -servers 127.0.0.1:9700,127.0.0.1:9701 -model resnet50 &
+//	p3worker -id 1 -servers 127.0.0.1:9700,127.0.0.1:9701 -model resnet50
+//
+// Every worker must use the same -model, -slice and -servers list (they
+// define the shared key space).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"p3/internal/core"
+	"p3/internal/pstcp"
+	"p3/internal/transport"
+	"p3/internal/zoo"
+)
+
+func main() {
+	id := flag.Int("id", 0, "worker id (0-based, unique per worker)")
+	serverList := flag.String("servers", "127.0.0.1:9700", "comma-separated server addresses")
+	modelName := flag.String("model", "resnet110", "zoo model defining the gradient set")
+	slice := flag.Int64("slice", 0, "max slice size in parameters (0 = paper default 50k)")
+	iters := flag.Int("iters", 20, "iterations to run")
+	warmup := flag.Int("warmup", 3, "warm-up iterations excluded from stats")
+	priority := flag.Bool("priority", true, "P3 priority send queue (false = FIFO)")
+	batch := flag.Int("batch", 32, "nominal batch size (throughput accounting only)")
+	flag.Parse()
+
+	addrs := strings.Split(*serverList, ",")
+	m := zoo.ByName(*modelName)
+	plan := core.PartitionSlices(m, *slice, len(addrs))
+	fmt.Printf("p3worker %d: %s -> %d slices over %d servers (%.1f MB gradients/iter)\n",
+		*id, m, plan.NumChunks(), len(addrs), float64(m.TotalBytes())/1e6)
+
+	// Preallocate one gradient buffer per chunk (contents are irrelevant to
+	// the transport; sizes are the real ones).
+	grads := make([][]float32, plan.NumChunks())
+	for i, c := range plan.Chunks {
+		grads[i] = make([]float32, c.Params)
+	}
+
+	recv := make(chan struct{}, plan.NumChunks()+8)
+	worker, err := pstcp.DialWorker(*id, addrs, *priority, func(f *transport.Frame) {
+		if f.Type == transport.TypeData {
+			recv <- struct{}{}
+		}
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "p3worker:", err)
+		os.Exit(1)
+	}
+	defer worker.Close()
+
+	if *id == 0 {
+		for _, c := range plan.Chunks {
+			worker.Init(c.Server, uint64(c.ID), grads[c.ID])
+		}
+		time.Sleep(200 * time.Millisecond) // let inits land before traffic
+	}
+
+	var measured []time.Duration
+	for it := 0; it < *warmup+*iters; it++ {
+		start := time.Now()
+		// Gradient generation order: backpropagation walks the layers from
+		// last to first; priorities (forward order) are what reorder the
+		// wire under -priority.
+		for l := len(m.Layers) - 1; l >= 0; l-- {
+			for _, cid := range plan.LayerChunks(l) {
+				c := plan.Chunks[cid]
+				worker.Push(c.Server, uint64(c.ID), int32(it), int32(c.Priority), grads[c.ID])
+			}
+		}
+		for n := 0; n < plan.NumChunks(); n++ {
+			<-recv
+		}
+		if it >= *warmup {
+			measured = append(measured, time.Since(start))
+		}
+	}
+
+	var total time.Duration
+	for _, d := range measured {
+		total += d
+	}
+	mean := total / time.Duration(len(measured))
+	fmt.Printf("p3worker %d: mean sync time %v over %d iterations (%.1f %s/sec at batch %d)\n",
+		*id, mean.Round(time.Microsecond), len(measured),
+		float64(*batch)/mean.Seconds(), m.SampleUnit, *batch)
+}

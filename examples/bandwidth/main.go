@@ -1,0 +1,51 @@
+// Bandwidth: sweep network bandwidth for one model and plot throughput of
+// Baseline vs Slicing vs P3 — a single panel of the paper's Figure 7,
+// configurable from the command line.
+//
+//	go run ./examples/bandwidth -model vgg19 -from 2 -to 30
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+
+	"p3/internal/cluster"
+	"p3/internal/strategy"
+	"p3/internal/zoo"
+)
+
+func main() {
+	name := flag.String("model", "vgg19", "resnet50|inception3|vgg19|sockeye")
+	from := flag.Float64("from", 2, "lowest bandwidth (Gbps)")
+	to := flag.Float64("to", 30, "highest bandwidth (Gbps)")
+	steps := flag.Int("steps", 6, "sweep points")
+	machines := flag.Int("machines", 4, "cluster size")
+	flag.Parse()
+
+	m := zoo.ByName(*name)
+	strategies := []strategy.Strategy{strategy.Baseline(), strategy.SlicingOnly(0), strategy.P3(0)}
+
+	fmt.Printf("%s on %d machines, %s/sec per machine\n\n", m, *machines, m.SampleUnit)
+	fmt.Printf("%10s", "Gbps")
+	for _, s := range strategies {
+		fmt.Printf("%12s", s.Name)
+	}
+	fmt.Printf("%12s\n", "p3 gain")
+	fmt.Println(strings.Repeat("-", 10+12*4))
+
+	for i := 0; i < *steps; i++ {
+		bw := *from + (*to-*from)*float64(i)/float64(*steps-1)
+		var results []cluster.Result
+		for _, s := range strategies {
+			results = append(results, cluster.Run(cluster.Config{
+				Model: m, Machines: *machines, Strategy: s, BandwidthGbps: bw, Seed: 1,
+			}))
+		}
+		fmt.Printf("%10.1f", bw)
+		for _, r := range results {
+			fmt.Printf("%12.1f", r.Throughput/float64(*machines))
+		}
+		fmt.Printf("%11.1f%%\n", (results[2].Speedup(results[0])-1)*100)
+	}
+}

@@ -1,0 +1,692 @@
+// Package cluster simulates data-parallel synchronous-SGD training over a
+// parameter-server architecture on the discrete-event clock. It is the
+// substitute for the paper's physical testbed (four GPU machines with
+// tc-qdisc-throttled NICs): one machine hosts one worker and one co-located
+// parameter server (the paper's recommended deployment), workers alternate
+// forward/backward compute phases, and gradients/parameters flow through the
+// simulated network according to a strategy.Strategy.
+//
+// The protocol follows Sections 2, 4.1 and 4.2 of the paper:
+//
+//	worker: backward(l) done -> push gradient chunks of layer l
+//	server: Nth push of a chunk processed -> parameters updated ->
+//	        notify+pull (baseline), immediate broadcast (P3/slicing/WFBP),
+//	        or reply-on-deferred-pull (TensorFlow style)
+//	worker: all chunks of layer l received -> layer l usable by the next
+//	        forward pass; forward(l) blocks until then
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"p3/internal/core"
+	"p3/internal/model"
+	"p3/internal/netsim"
+	"p3/internal/pq"
+	"p3/internal/sim"
+	"p3/internal/strategy"
+	"p3/internal/trace"
+)
+
+// Message kinds on the simulated network.
+const (
+	kPush   uint8 = iota + 1 // worker -> server: gradient chunk
+	kNotify                  // server -> worker: chunk updated (baseline)
+	kPull                    // worker -> server: parameter request
+	kData                    // server -> worker: updated parameter chunk
+)
+
+// ctlBytes is the payload size of notify/pull control messages.
+const ctlBytes = 16
+
+// Config describes one simulated training run.
+type Config struct {
+	Model    *model.Model
+	Machines int // worker machines (each runs one worker)
+	// Servers is the parameter-server count; servers are co-located on the
+	// first Servers machines. 0 means one server per machine, the paper's
+	// deployment (Section 5.1). Appendix A.7 allows customizing this.
+	Servers  int
+	Strategy strategy.Strategy
+	// BandwidthGbps is the per-direction NIC rate (the paper's x axis).
+	BandwidthGbps float64
+	// Net optionally overrides the full interconnect config; if zero-valued
+	// it is derived from BandwidthGbps via netsim.DefaultConfig. The
+	// PriorityEgress field is always forced from the strategy.
+	Net *netsim.Config
+	// UpdateRateGBps is the server-side per-byte processing rate in
+	// gigabytes per second: deserializing a received gradient, accumulating
+	// it, and (on the last push) applying the SGD update. ps-lite servers
+	// do this on a single thread, so at layer granularity a 100 MB shard
+	// occupies the server for a long, unpipelined stretch — one of the
+	// effects parameter slicing removes.
+	UpdateRateGBps float64
+	// UpdateOverhead is the fixed per-message server processing cost.
+	UpdateOverhead sim.Time
+	// HostRateGBps is the worker-side per-byte cost of deserializing and
+	// installing received parameters (same single-threaded copy path).
+	HostRateGBps float64
+	// HostOverhead is the fixed per-message worker receive cost.
+	HostOverhead sim.Time
+	// ServerThreads is the number of concurrent update threads per server
+	// (ps-lite's server loop is effectively single-threaded; pushes to the
+	// same key always serialize on its accumulator regardless).
+	ServerThreads int
+	// HostThreads is the number of concurrent install threads on the worker
+	// receive path (MXNet's engine copies different keys in parallel).
+	HostThreads int
+	// WarmupIters iterations are run before measurement; MeasureIters are
+	// measured. The paper skips 1000 warm-up iterations on real hardware;
+	// the simulator reaches steady state within a couple.
+	WarmupIters  int
+	MeasureIters int
+	// Seed drives the per-worker compute jitter (Sockeye's variable
+	// sequence lengths). Runs are deterministic for a fixed seed.
+	Seed int64
+	// Recorder, if non-nil, captures per-machine NIC utilization.
+	Recorder *trace.Recorder
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.Machines == 0 {
+		out.Machines = 4
+	}
+	if out.Servers == 0 {
+		out.Servers = out.Machines
+	}
+	if out.Servers > out.Machines {
+		panic(fmt.Sprintf("cluster: %d servers on %d machines", out.Servers, out.Machines))
+	}
+	if out.UpdateRateGBps == 0 {
+		out.UpdateRateGBps = 2
+	}
+	if out.UpdateOverhead == 0 {
+		out.UpdateOverhead = 5 * sim.Microsecond
+	}
+	if out.HostRateGBps == 0 {
+		out.HostRateGBps = 3
+	}
+	if out.HostOverhead == 0 {
+		out.HostOverhead = 5 * sim.Microsecond
+	}
+	if out.ServerThreads == 0 {
+		out.ServerThreads = 1
+	}
+	if out.HostThreads == 0 {
+		out.HostThreads = 2
+	}
+	if out.WarmupIters == 0 {
+		out.WarmupIters = 2
+	}
+	if out.MeasureIters == 0 {
+		out.MeasureIters = 8
+	}
+	return out
+}
+
+// Result summarizes a run.
+type Result struct {
+	Model         string
+	Strategy      string
+	Machines      int
+	BandwidthGbps float64
+
+	// Throughput is the aggregate training throughput (samples/second
+	// summed over workers) — the paper's primary metric.
+	Throughput float64
+	// MeanIterTime is the average measured iteration makespan.
+	MeanIterTime sim.Time
+	// IterTimes holds each measured iteration's makespan.
+	IterTimes []sim.Time
+	// ComputeIterTime is the pure-compute iteration time (the upper bound on
+	// throughput); the gap to MeanIterTime is communication delay.
+	ComputeIterTime sim.Time
+	// WarmupEnd is the virtual time at which measurement began (for
+	// trimming utilization traces).
+	WarmupEnd sim.Time
+	// LayerStalls[l] is worker 0's cumulative measured-window time spent
+	// blocked at layer l waiting for its parameters — the queueing-delay
+	// mechanism Figures 1 and 4 of the paper illustrate.
+	LayerStalls []sim.Time
+
+	Events    uint64
+	Msgs      int64
+	WireBytes int64
+}
+
+// TotalStall sums the per-layer forward stalls of worker 0 over the
+// measured iterations.
+func (r Result) TotalStall() sim.Time {
+	var t sim.Time
+	for _, s := range r.LayerStalls {
+		t += s
+	}
+	return t
+}
+
+// Speedup returns r's throughput relative to base.
+func (r Result) Speedup(base Result) float64 { return r.Throughput / base.Throughput }
+
+func (r Result) String() string {
+	return fmt.Sprintf("%s/%s x%d @%gGbps: %.1f %s/s (iter %.1f ms, compute %.1f ms)",
+		r.Model, r.Strategy, r.Machines, r.BandwidthGbps, r.Throughput,
+		"samples", r.MeanIterTime.Millis(), r.ComputeIterTime.Millis())
+}
+
+type chunkAgg struct {
+	iter  int32
+	count int
+	done  bool
+}
+
+type pendingPull struct {
+	iter int32
+	src  int
+}
+
+type procItem struct {
+	chunk    int32
+	iter     int32
+	src      int32
+	priority int32
+}
+
+// procPool serializes per-byte endpoint processing. It models MXNet's engine
+// semantics: up to `threads` items process concurrently, but items for the
+// same chunk (key) always serialize because they share an accumulator. The
+// queue discipline is FIFO for baseline strategies and priority-ordered for
+// P3 — the server- and worker-side producer/consumer loops of Section 4.2.
+type procPool struct {
+	threads   int
+	inFlight  int
+	queue     *pq.Queue[procItem]
+	chunkBusy map[int32]bool
+	waiting   map[int32][]procItem
+	overhead  sim.Time
+	rate      float64 // bytes per nanosecond
+	done      func(procItem)
+}
+
+func newProcPool(threads int, overhead sim.Time, rate float64, less func(a, b procItem) bool) *procPool {
+	return &procPool{
+		threads:   threads,
+		queue:     pq.New(less),
+		chunkBusy: make(map[int32]bool),
+		waiting:   make(map[int32][]procItem),
+		overhead:  overhead,
+		rate:      rate,
+	}
+}
+
+// add enqueues an item and starts as many queued items as the thread and
+// per-key limits allow. The pool's done callback runs on the virtual clock
+// when an item finishes processing.
+func (p *procPool) add(cs *clusterSim, it procItem) {
+	p.queue.Push(it)
+	p.pump(cs)
+}
+
+func (p *procPool) pump(cs *clusterSim) {
+	for p.inFlight < p.threads && p.queue.Len() > 0 {
+		it := p.queue.Pop()
+		if p.chunkBusy[it.chunk] {
+			p.waiting[it.chunk] = append(p.waiting[it.chunk], it)
+			continue
+		}
+		p.start(cs, it)
+	}
+}
+
+func (p *procPool) start(cs *clusterSim, it procItem) {
+	p.chunkBusy[it.chunk] = true
+	p.inFlight++
+	cost := p.overhead + sim.Time(float64(cs.plan.Chunks[it.chunk].Bytes())/p.rate)
+	cs.eng.After(cost, func() {
+		p.inFlight--
+		delete(p.chunkBusy, it.chunk)
+		if w := p.waiting[it.chunk]; len(w) > 0 {
+			p.queue.Push(w[0])
+			if len(w) == 1 {
+				delete(p.waiting, it.chunk)
+			} else {
+				p.waiting[it.chunk] = w[1:]
+			}
+		}
+		p.done(it)
+		p.pump(cs)
+	})
+}
+
+type serverState struct {
+	proc *procPool
+	agg  []chunkAgg // indexed by chunk ID (only own chunks used)
+	// lastDone[c] is the newest iteration whose update completed for chunk
+	// c (-1 initially). A pull for iteration <= lastDone is answerable
+	// immediately with the current value, exactly as a real KVStore pull
+	// returns whatever the store holds; without this, a pull tagged with an
+	// older iteration could strand forever once a faster worker's next
+	// push resets the aggregation slot.
+	lastDone []int32
+	pending  map[int32][]pendingPull // chunk ID -> pulls waiting for their iteration
+}
+
+type workerState struct {
+	readyIter   []int32 // per layer: iteration whose sync delivered current params (-1 = initial)
+	recvCount   []int   // per layer: data chunks received for the in-flight sync
+	notifyCount []int   // per layer: notifications received (baseline)
+	fwdLayer    int
+	waitingFwd  bool
+	waitSince   sim.Time
+	curIter     int32
+	bwdDone     []sim.Time // per iteration
+	layerStall  []sim.Time // cumulative forward stall per layer
+
+	// Receive-side processing: deserializing and installing an arrived
+	// parameter chunk costs CPU time (the receiver-side producer/consumer
+	// of Section 4.2; priority-ordered under P3).
+	proc *procPool
+}
+
+type clusterSim struct {
+	cfg    Config
+	eng    *sim.Engine
+	net    *netsim.Network
+	plan   *core.Plan
+	timing *model.Timing
+	layers int
+	total  int32 // iterations to run
+
+	workers  []workerState
+	servers  []serverState
+	jitter   [][]float64 // [worker][iter]
+	updRate  float64     // bytes per nanosecond
+	hostRate float64     // bytes per nanosecond
+}
+
+// Run executes one simulated training run and returns its Result.
+func Run(cfg Config) Result {
+	cfg = cfg.withDefaults()
+	if err := cfg.Model.Validate(); err != nil {
+		panic(fmt.Sprintf("cluster: invalid model: %v", err))
+	}
+	cs := newClusterSim(cfg)
+	cs.start()
+	cs.eng.Run()
+	return cs.result()
+}
+
+func newClusterSim(cfg Config) *clusterSim {
+	m := cfg.Model
+	n := cfg.Machines
+	eng := &sim.Engine{}
+
+	var netCfg netsim.Config
+	if cfg.Net != nil {
+		netCfg = *cfg.Net
+	} else {
+		netCfg = netsim.DefaultConfig(cfg.BandwidthGbps)
+	}
+	if cfg.BandwidthGbps > 0 {
+		netCfg.BandwidthGbps = cfg.BandwidthGbps
+	}
+	netCfg.PriorityEgress = cfg.Strategy.PriorityEgress()
+
+	cs := &clusterSim{
+		cfg:    cfg,
+		eng:    eng,
+		plan:   cfg.Strategy.Partition(m, cfg.Servers),
+		timing: model.NewTiming(m),
+		layers: len(m.Layers),
+		total:  int32(cfg.WarmupIters + cfg.MeasureIters),
+	}
+	cs.net = netsim.New(eng, n, netCfg, cs.deliver, cfg.Recorder)
+	cs.updRate = cfg.UpdateRateGBps // GB/s == bytes/ns
+	cs.hostRate = cfg.HostRateGBps  // GB/s == bytes/ns
+
+	less := func(a, b procItem) bool { return false }
+	if cfg.Strategy.PriorityEgress() {
+		less = func(a, b procItem) bool { return a.priority < b.priority }
+	}
+	cs.servers = make([]serverState, cfg.Servers)
+	for s := range cs.servers {
+		srv := s
+		cs.servers[s] = serverState{
+			proc:     newProcPool(cfg.ServerThreads, cfg.UpdateOverhead, cfg.UpdateRateGBps, less),
+			agg:      make([]chunkAgg, cs.plan.NumChunks()),
+			lastDone: make([]int32, cs.plan.NumChunks()),
+			pending:  make(map[int32][]pendingPull),
+		}
+		for c := range cs.servers[s].agg {
+			cs.servers[s].agg[c].iter = -1
+			cs.servers[s].lastDone[c] = -1
+		}
+		cs.servers[s].proc.done = func(it procItem) { cs.pushProcessed(srv, it) }
+	}
+
+	cs.workers = make([]workerState, n)
+	for w := range cs.workers {
+		ws := &cs.workers[w]
+		ws.readyIter = make([]int32, cs.layers)
+		for l := range ws.readyIter {
+			ws.readyIter[l] = -1
+		}
+		ws.recvCount = make([]int, cs.layers)
+		ws.notifyCount = make([]int, cs.layers)
+		ws.bwdDone = make([]sim.Time, cs.total)
+		ws.layerStall = make([]sim.Time, cs.layers)
+		ws.proc = newProcPool(cfg.HostThreads, cfg.HostOverhead, cfg.HostRateGBps, less)
+		wk := w
+		ws.proc.done = func(it procItem) { cs.installChunk(wk, it.chunk, it.iter) }
+	}
+
+	// Precompute per-(worker, iteration) compute jitter so that event
+	// ordering cannot perturb the random sequence.
+	cs.jitter = make([][]float64, n)
+	rng := rand.New(rand.NewPCG(uint64(cfg.Seed), uint64(cfg.Seed)^0x9e3779b97f4a7c15))
+	sigma := m.ComputeJitter
+	for w := range cs.jitter {
+		cs.jitter[w] = make([]float64, cs.total)
+		for i := range cs.jitter[w] {
+			if sigma == 0 {
+				cs.jitter[w][i] = 1
+				continue
+			}
+			cs.jitter[w][i] = math.Exp(rng.NormFloat64()*sigma - sigma*sigma/2)
+		}
+	}
+	return cs
+}
+
+func (cs *clusterSim) start() {
+	if cs.cfg.Recorder != nil {
+		cs.cfg.Recorder.Start(0)
+	}
+	for w := 0; w < cs.cfg.Machines; w++ {
+		cs.advanceForward(w)
+	}
+}
+
+// ---- worker compute state machine ----
+
+func (cs *clusterSim) scaled(w int, iter int32, d sim.Time) sim.Time {
+	return sim.Time(float64(d) * cs.jitter[w][iter])
+}
+
+func (cs *clusterSim) advanceForward(w int) {
+	ws := &cs.workers[w]
+	if ws.fwdLayer == cs.layers {
+		cs.startBackward(w)
+		return
+	}
+	l := ws.fwdLayer
+	if ws.readyIter[l] < ws.curIter-1 {
+		if !ws.waitingFwd {
+			ws.waitingFwd = true
+			ws.waitSince = cs.eng.Now()
+		}
+		return
+	}
+	if ws.waitingFwd {
+		ws.waitingFwd = false
+		if ws.curIter >= int32(cs.cfg.WarmupIters) {
+			ws.layerStall[l] += cs.eng.Now() - ws.waitSince
+		}
+	}
+	cs.eng.After(cs.scaled(w, ws.curIter, cs.timing.Fwd[l]), func() {
+		ws.fwdLayer = l + 1
+		cs.advanceForward(w)
+	})
+}
+
+func (cs *clusterSim) startBackward(w int) {
+	cs.stepBackward(w, cs.layers-1)
+}
+
+func (cs *clusterSim) stepBackward(w, l int) {
+	ws := &cs.workers[w]
+	cs.eng.After(cs.scaled(w, ws.curIter, cs.timing.Bwd[l]), func() {
+		cs.pushLayer(w, l)
+		if l > 0 {
+			cs.stepBackward(w, l-1)
+			return
+		}
+		cs.backwardDone(w)
+	})
+}
+
+func (cs *clusterSim) pushLayer(w, l int) {
+	ws := &cs.workers[w]
+	for _, id := range cs.plan.LayerChunks(l) {
+		c := cs.plan.Chunks[id]
+		cs.net.Send(netsim.Message{
+			From: w, To: c.Server, Bytes: c.Bytes(), Priority: int32(c.Priority),
+			Kind: kPush, Chunk: int32(id), Iter: ws.curIter, Src: int32(w),
+		})
+	}
+}
+
+func (cs *clusterSim) backwardDone(w int) {
+	ws := &cs.workers[w]
+	ws.bwdDone[ws.curIter] = cs.eng.Now()
+	if cs.cfg.Strategy.Pull == strategy.DeferredPull {
+		// TensorFlow semantics: the next graph execution begins now and
+		// issues receive ops for every parameter at once.
+		for id := range cs.plan.Chunks {
+			c := cs.plan.Chunks[id]
+			cs.net.Send(netsim.Message{
+				From: w, To: c.Server, Bytes: ctlBytes, Priority: int32(c.Priority),
+				Kind: kPull, Chunk: int32(id), Iter: ws.curIter, Src: int32(w),
+			})
+		}
+	}
+	ws.curIter++
+	if ws.curIter < cs.total {
+		ws.fwdLayer = 0
+		cs.advanceForward(w)
+	}
+}
+
+// ---- message dispatch ----
+
+func (cs *clusterSim) deliver(m netsim.Message) {
+	switch m.Kind {
+	case kPush:
+		cs.onPush(m)
+	case kNotify:
+		cs.onNotify(m)
+	case kPull:
+		cs.onPull(m)
+	case kData:
+		cs.onData(m)
+	default:
+		panic(fmt.Sprintf("cluster: unknown message kind %d", m.Kind))
+	}
+}
+
+// ---- server side ----
+
+func (cs *clusterSim) onPush(m netsim.Message) {
+	cs.servers[m.To].proc.add(cs, procItem{chunk: m.Chunk, iter: m.Iter, src: m.Src, priority: m.Priority})
+}
+
+// pushProcessed runs when the server finishes aggregating one worker's push
+// of a chunk; the Nth push completes the update. In Async (ASGD) mode every
+// push is its own update, answered only to the pushing worker.
+func (cs *clusterSim) pushProcessed(srv int, it procItem) {
+	if cs.cfg.Strategy.Async {
+		cs.sendData(srv, it.chunk, it.iter, int(it.src))
+		return
+	}
+	s := &cs.servers[srv]
+	agg := &s.agg[it.chunk]
+	if agg.iter != it.iter {
+		agg.iter = it.iter
+		agg.count = 0
+		agg.done = false
+	}
+	agg.count++
+	if agg.count == cs.cfg.Machines {
+		agg.done = true
+		if it.iter > s.lastDone[it.chunk] {
+			s.lastDone[it.chunk] = it.iter
+		}
+		cs.onUpdated(srv, it.chunk, it.iter)
+	}
+}
+
+func (cs *clusterSim) onUpdated(srv int, chunk, iter int32) {
+	c := cs.plan.Chunks[chunk]
+	switch cs.cfg.Strategy.Pull {
+	case strategy.Immediate:
+		for w := 0; w < cs.cfg.Machines; w++ {
+			cs.net.Send(netsim.Message{
+				From: srv, To: w, Bytes: c.Bytes(), Priority: int32(c.Priority),
+				Kind: kData, Chunk: chunk, Iter: iter, Src: int32(srv),
+			})
+		}
+	case strategy.NotifyPull:
+		for w := 0; w < cs.cfg.Machines; w++ {
+			cs.net.Send(netsim.Message{
+				From: srv, To: w, Bytes: ctlBytes, Priority: int32(c.Priority),
+				Kind: kNotify, Chunk: chunk, Iter: iter, Src: int32(srv),
+			})
+		}
+	}
+	// Serve any pulls that were waiting for this (or an older) iteration,
+	// regardless of pull mode: the stored value now satisfies them.
+	s := &cs.servers[srv]
+	pend := s.pending[chunk]
+	if len(pend) == 0 {
+		return
+	}
+	rest := pend[:0]
+	for _, p := range pend {
+		if p.iter <= iter {
+			cs.sendData(srv, chunk, p.iter, p.src)
+		} else {
+			rest = append(rest, p)
+		}
+	}
+	if len(rest) == 0 {
+		delete(s.pending, chunk)
+	} else {
+		s.pending[chunk] = rest
+	}
+}
+
+func (cs *clusterSim) sendData(srv int, chunk, iter int32, dst int) {
+	c := cs.plan.Chunks[chunk]
+	cs.net.Send(netsim.Message{
+		From: srv, To: dst, Bytes: c.Bytes(), Priority: int32(c.Priority),
+		Kind: kData, Chunk: chunk, Iter: iter, Src: int32(srv),
+	})
+}
+
+func (cs *clusterSim) onPull(m netsim.Message) {
+	s := &cs.servers[m.To]
+	if s.lastDone[m.Chunk] >= m.Iter {
+		// The requested (or a newer) update already landed: answer with
+		// the current value, as a real key-value store does.
+		cs.sendData(m.To, m.Chunk, m.Iter, int(m.Src))
+		return
+	}
+	s.pending[m.Chunk] = append(s.pending[m.Chunk], pendingPull{iter: m.Iter, src: int(m.Src)})
+}
+
+// ---- worker receive side ----
+
+func (cs *clusterSim) onNotify(m netsim.Message) {
+	w := m.To
+	ws := &cs.workers[w]
+	l := cs.plan.Chunks[m.Chunk].Layer
+	ws.notifyCount[l]++
+	if ws.notifyCount[l] < len(cs.plan.LayerChunks(l)) {
+		return
+	}
+	// All shards of this layer updated: issue the pulls (MXNet semantics).
+	ws.notifyCount[l] = 0
+	for _, id := range cs.plan.LayerChunks(l) {
+		c := cs.plan.Chunks[id]
+		cs.net.Send(netsim.Message{
+			From: w, To: c.Server, Bytes: ctlBytes, Priority: int32(c.Priority),
+			Kind: kPull, Chunk: int32(id), Iter: m.Iter, Src: int32(w),
+		})
+	}
+}
+
+func (cs *clusterSim) onData(m netsim.Message) {
+	cs.workers[m.To].proc.add(cs, procItem{chunk: m.Chunk, iter: m.Iter, src: m.Src, priority: m.Priority})
+}
+
+// installChunk marks an updated parameter chunk as usable by the next
+// forward pass and unblocks the worker if it was stalled on this layer.
+func (cs *clusterSim) installChunk(w int, chunk, iter int32) {
+	ws := &cs.workers[w]
+	l := cs.plan.Chunks[chunk].Layer
+	ws.recvCount[l]++
+	if ws.recvCount[l] < len(cs.plan.LayerChunks(l)) {
+		return
+	}
+	ws.recvCount[l] = 0
+	ws.readyIter[l] = iter
+	if ws.waitingFwd && ws.fwdLayer == l {
+		cs.advanceForward(w)
+	}
+}
+
+// ---- results ----
+
+func (cs *clusterSim) result() Result {
+	n := cs.cfg.Machines
+	// A wedged protocol leaves some worker's final iteration timestamp at
+	// zero after the event queue drained: fail loudly instead of reporting
+	// nonsense.
+	for w := 0; w < n; w++ {
+		if cs.workers[w].bwdDone[cs.total-1] == 0 {
+			panic(fmt.Sprintf("cluster: worker %d never finished iteration %d (%s/%s, %d servers): protocol wedged",
+				w, cs.total-1, cs.cfg.Model.Name, cs.cfg.Strategy.Name, cs.cfg.Servers))
+		}
+	}
+	makespan := func(iter int) sim.Time {
+		var t sim.Time
+		for w := 0; w < n; w++ {
+			if cs.workers[w].bwdDone[iter] > t {
+				t = cs.workers[w].bwdDone[iter]
+			}
+		}
+		return t
+	}
+	warmEnd := makespan(cs.cfg.WarmupIters - 1)
+	last := makespan(int(cs.total) - 1)
+	elapsed := last - warmEnd
+	samples := float64(cs.cfg.MeasureIters * n * cs.cfg.Model.BatchSize)
+
+	iterTimes := make([]sim.Time, 0, cs.cfg.MeasureIters)
+	prev := warmEnd
+	var sum sim.Time
+	for i := cs.cfg.WarmupIters; i < int(cs.total); i++ {
+		t := makespan(i)
+		iterTimes = append(iterTimes, t-prev)
+		sum += t - prev
+		prev = t
+	}
+
+	return Result{
+		Model:           cs.cfg.Model.Name,
+		Strategy:        cs.cfg.Strategy.Name,
+		Machines:        n,
+		BandwidthGbps:   cs.cfg.BandwidthGbps,
+		Throughput:      samples / elapsed.Seconds(),
+		MeanIterTime:    sum / sim.Time(len(iterTimes)),
+		IterTimes:       iterTimes,
+		ComputeIterTime: cs.timing.IterCompute,
+		WarmupEnd:       warmEnd,
+		LayerStalls:     cs.workers[0].layerStall,
+		Events:          cs.eng.Processed(),
+		Msgs:            cs.net.MsgsDelivered,
+		WireBytes:       cs.net.BytesDelivered,
+	}
+}

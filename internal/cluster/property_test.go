@@ -1,0 +1,117 @@
+package cluster
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"p3/internal/model"
+	"p3/internal/sim"
+	"p3/internal/strategy"
+)
+
+// randomModel builds a structurally valid random model: 2-12 tensors of
+// 1k-3M parameters.
+func randomModel(rng *rand.Rand) *model.Model {
+	n := 2 + rng.IntN(11)
+	m := &model.Model{
+		Name: "random", BatchSize: 1 + rng.IntN(64), SampleUnit: "images",
+		PlateauPerWorker: 10 + rng.Float64()*200, FwdFraction: 1.0 / 3.0,
+	}
+	for i := 0; i < n; i++ {
+		params := int64(1000 + rng.IntN(3_000_000))
+		m.Layers = append(m.Layers, model.Layer{
+			Index: i, Name: string(rune('a' + i)), Kind: model.KindConv,
+			Params: params, FwdFLOPs: params * int64(1+rng.IntN(50)),
+		})
+	}
+	return m
+}
+
+// TestPropertyAllRunsFinishAndRespectComputeBound: for random models,
+// cluster sizes, bandwidths and strategies, the simulation (a) terminates,
+// (b) never beats the compute bound, (c) conserves messages.
+func TestPropertyAllRunsFinishAndRespectComputeBound(t *testing.T) {
+	strategies := []strategy.Strategy{
+		strategy.Baseline(), strategy.TFStyle(), strategy.WFBP(),
+		strategy.SlicingOnly(0), strategy.P3(0), strategy.ASGDStrategy(),
+	}
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, seed^0xc0ffee))
+		m := randomModel(rng)
+		machines := 2 + rng.IntN(6)
+		bw := 0.5 + rng.Float64()*20
+		s := strategies[rng.IntN(len(strategies))]
+		r := Run(Config{
+			Model: m, Machines: machines, Strategy: s, BandwidthGbps: bw,
+			WarmupIters: 1, MeasureIters: 2, Seed: int64(seed),
+		})
+		if r.Throughput <= 0 {
+			t.Logf("seed %d: no throughput (%+v)", seed, r)
+			return false
+		}
+		// Mean iteration cannot undercut pure compute.
+		if r.MeanIterTime < r.ComputeIterTime-2 {
+			t.Logf("seed %d: %s iter %v under compute %v", seed, s.Name, r.MeanIterTime, r.ComputeIterTime)
+			return false
+		}
+		// All sent messages were delivered (the network drains).
+		if r.Msgs <= 0 {
+			t.Logf("seed %d: no messages", seed)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyP3NeverLosesBadly: across random workloads, P3's throughput
+// stays within a whisker of (usually above) the baseline's — the paper's
+// "P3 always performs better than the baseline" resilience claim.
+func TestPropertyP3NeverLosesBadly(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, seed^0xbeef))
+		m := randomModel(rng)
+		bw := 1 + rng.Float64()*15
+		cfg := Config{Model: m, Machines: 4, BandwidthGbps: bw,
+			WarmupIters: 1, MeasureIters: 2, Seed: 7}
+		cfg.Strategy = strategy.Baseline()
+		base := Run(cfg)
+		cfg.Strategy = strategy.P3(0)
+		p3 := Run(cfg)
+		if p3.Throughput < base.Throughput*0.97 {
+			t.Logf("seed %d: p3 %v vs baseline %v at %.1f Gbps (model %d tensors, %d params)",
+				seed, p3.Throughput, base.Throughput, bw, len(m.Layers), m.TotalParams())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStallAccounting: recorded stalls explain the gap between iteration
+// time and compute time (they are the same quantity measured two ways for
+// worker 0, up to pipeline effects across workers).
+func TestStallAccounting(t *testing.T) {
+	m := smallModel()
+	r := Run(fastCfg(m, strategy.Baseline(), 2))
+	gap := (r.MeanIterTime - r.ComputeIterTime) * sim.Time(len(r.IterTimes))
+	total := r.TotalStall()
+	if total <= 0 {
+		t.Fatal("no stalls recorded under tight bandwidth")
+	}
+	// Worker 0's stall should be on the order of the cluster-level gap
+	// (within 3x either way: makespans mix all workers).
+	if total > gap*3 || total*3 < gap {
+		t.Fatalf("stall accounting off: total stall %v vs aggregate gap %v", total, gap)
+	}
+	// P3 must reduce the dominant stall.
+	p3 := Run(fastCfg(m, strategy.P3(0), 2))
+	if p3.TotalStall() >= r.TotalStall() {
+		t.Fatalf("P3 stall %v not below baseline %v", p3.TotalStall(), r.TotalStall())
+	}
+}

@@ -1,0 +1,113 @@
+package cluster
+
+import (
+	"testing"
+
+	"p3/internal/strategy"
+)
+
+// TestProtocolMessageCounts pins the wire protocol of each strategy by
+// exact message count per iteration with N machines and C chunks:
+//
+//	NotifyPull (baseline): push + notify + pull + data  = 4*N*C
+//	Immediate (WFBP/slicing/P3): push + broadcast data  = 2*N*C
+//	DeferredPull (TF): push + pull + data               = 3*N*C
+//	Async (ASGD): push + per-worker data                = 2*N*C
+func TestProtocolMessageCounts(t *testing.T) {
+	m := smallModel()
+	const machines = 4
+	iters := int64(1 + 3) // warmup + measured
+
+	cases := []struct {
+		s            strategy.Strategy
+		perChunkMsgs int64
+	}{
+		{strategy.Baseline(), 4},
+		{strategy.WFBP(), 2},
+		{strategy.SlicingOnly(0), 2},
+		{strategy.P3(0), 2},
+		{strategy.TFStyle(), 3},
+		{strategy.ASGDStrategy(), 2},
+	}
+	for _, c := range cases {
+		plan := c.s.Partition(m, machines)
+		want := iters * int64(machines) * int64(plan.NumChunks()) * c.perChunkMsgs
+		r := Run(fastCfg(m, c.s, 10))
+		if r.Msgs != want {
+			t.Errorf("%s: %d messages, want %d (%d chunks)", c.s.Name, r.Msgs, want, plan.NumChunks())
+		}
+	}
+}
+
+// TestWireBytesAccounting: every gradient byte crosses to its server once
+// per worker per iteration, and every updated byte returns once per worker.
+// Control traffic is tiny by comparison.
+func TestWireBytesAccounting(t *testing.T) {
+	m := smallModel()
+	const machines = 4
+	iters := int64(1 + 3)
+	r := Run(fastCfg(m, strategy.P3(0), 10))
+	payload := iters * int64(machines) * m.TotalBytes() * 2 // push + broadcast
+	// r.WireBytes counts payload only (headers added by netsim are not in
+	// the Message.Bytes field).
+	if r.WireBytes != payload {
+		t.Fatalf("wire bytes %d, want %d", r.WireBytes, payload)
+	}
+
+	rBase := Run(fastCfg(m, strategy.Baseline(), 10))
+	// Baseline adds 16-byte notify+pull per chunk per worker per iteration.
+	plan := strategy.Baseline().Partition(m, machines)
+	ctl := iters * int64(machines) * int64(plan.NumChunks()) * 2 * ctlBytes
+	if rBase.WireBytes != payload+ctl {
+		t.Fatalf("baseline wire bytes %d, want %d", rBase.WireBytes, payload+ctl)
+	}
+}
+
+// TestFewerServersThanMachines is the regression test for the stranded-pull
+// deadlock: with a single overloaded server, a worker's pull could arrive
+// after a faster worker's next-iteration push reset the aggregation slot;
+// the server must still answer from its stored value.
+func TestFewerServersThanMachines(t *testing.T) {
+	m := smallModel()
+	for _, servers := range []int{1, 2, 3} {
+		for _, name := range []string{"baseline", "tensorflow", "p3"} {
+			s, _ := strategy.ByName(name)
+			cfg := fastCfg(m, s, 5)
+			cfg.Servers = servers
+			r := Run(cfg) // panics on a wedged protocol
+			if r.Throughput <= 0 {
+				t.Fatalf("%s with %d servers: throughput %v", name, servers, r.Throughput)
+			}
+			for _, it := range r.IterTimes {
+				if it <= 0 {
+					t.Fatalf("%s with %d servers: non-positive iteration %v", name, servers, it)
+				}
+			}
+		}
+	}
+}
+
+// TestMoreServersHelp: spreading the shards over more servers must not slow
+// the run down (load-balancing sanity).
+func TestMoreServersHelp(t *testing.T) {
+	m := smallModel()
+	cfg1 := fastCfg(m, strategy.P3(0), 4)
+	cfg1.Servers = 1
+	cfg4 := fastCfg(m, strategy.P3(0), 4)
+	one, four := Run(cfg1), Run(cfg4)
+	if four.Throughput < one.Throughput {
+		t.Fatalf("4 servers (%v) slower than 1 (%v)", four.Throughput, one.Throughput)
+	}
+}
+
+// TestTooManyServersPanics: servers must fit on the machines.
+func TestTooManyServersPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("8 servers on 4 machines accepted")
+		}
+	}()
+	cfg := fastCfg(smallModel(), strategy.P3(0), 5)
+	cfg.Servers = 8
+	Run(cfg)
+}

@@ -1,0 +1,220 @@
+// Package core implements the paper's primary contribution — Priority-based
+// Parameter Propagation (P3, Section 4): partitioning a model's parameter
+// tensors into independently synchronized chunks, assigning each chunk a
+// priority derived from its layer's forward-pass position, and placing
+// chunks on parameter servers.
+//
+// Two partitioning schemes are provided, matching Section 4.1/4.2:
+//
+//   - PartitionShards: MXNet KVStore's heuristic. A tensor with at least
+//     ShardThreshold parameters is split equally across all servers; smaller
+//     tensors go whole to one server chosen by a deterministic hash. This is
+//     the baseline's layer-granularity scheme — a shard is still updated
+//     only as a unit.
+//   - PartitionSlices: P3's parameter slicing. Every tensor is cut into
+//     slices of at most MaxSliceParams parameters (default 50,000, the
+//     paper's empirically optimal value), each slice assigned to servers
+//     round-robin and synchronized fully independently.
+//
+// The logic here is pure (no clock, no sockets); both the discrete-event
+// cluster simulator and the real TCP parameter server build on it.
+package core
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"p3/internal/model"
+)
+
+// DefaultMaxSliceParams is the paper's empirically optimal slice size
+// (Section 5.7): 50,000 parameters, 200 KB on the wire.
+const DefaultMaxSliceParams = 50_000
+
+// DefaultShardThreshold is KVStore's default big-tensor threshold
+// (Section 4.1): tensors of at least 10^6 parameters are split across all
+// servers.
+const DefaultShardThreshold = 1_000_000
+
+// Priority orders synchronization: lower values are more urgent. P3 assigns
+// each chunk the forward-pass index of its layer, so the parameters consumed
+// first in the next iteration are propagated first (Section 4, Figure 4b).
+type Priority int32
+
+// PriorityOf returns the P3 priority of a layer given its forward index.
+func PriorityOf(layerIndex int) Priority { return Priority(layerIndex) }
+
+// Chunk is the unit of synchronization: a contiguous range of one layer's
+// parameter tensor, pinned to one server.
+type Chunk struct {
+	ID       int      // dense index within the Plan
+	Layer    int      // owning layer (forward-pass index)
+	Seq      int      // position among the layer's chunks (offset order)
+	Offset   int64    // first parameter within the layer
+	Params   int64    // number of parameters
+	Server   int      // owning parameter server
+	Priority Priority // inherited from the layer
+}
+
+// Bytes returns the chunk's payload size on the wire.
+func (c Chunk) Bytes() int64 { return c.Params * model.BytesPerParam }
+
+func (c Chunk) String() string {
+	return fmt.Sprintf("chunk{id=%d layer=%d seq=%d off=%d n=%d srv=%d prio=%d}",
+		c.ID, c.Layer, c.Seq, c.Offset, c.Params, c.Server, c.Priority)
+}
+
+// Plan is a complete partitioning of a model for a given server count.
+type Plan struct {
+	Chunks  []Chunk // all chunks; Chunks[i].ID == i
+	ByLayer [][]int // chunk IDs per layer, in offset order
+	Servers int
+}
+
+// NumChunks returns the total number of chunks.
+func (p *Plan) NumChunks() int { return len(p.Chunks) }
+
+// LayerChunks returns the chunk IDs belonging to layer l.
+func (p *Plan) LayerChunks(l int) []int { return p.ByLayer[l] }
+
+// ServerLoad returns the number of parameters assigned to each server —
+// used to verify the balancing property of round-robin placement.
+func (p *Plan) ServerLoad() []int64 {
+	load := make([]int64, p.Servers)
+	for _, c := range p.Chunks {
+		load[c.Server] += c.Params
+	}
+	return load
+}
+
+// Validate checks the partition invariants: chunks of each layer are
+// contiguous, non-overlapping, cover the tensor exactly, and land on valid
+// servers.
+func (p *Plan) Validate(m *model.Model) error {
+	if len(p.ByLayer) != len(m.Layers) {
+		return fmt.Errorf("plan covers %d layers, model has %d", len(p.ByLayer), len(m.Layers))
+	}
+	for i, c := range p.Chunks {
+		if c.ID != i {
+			return fmt.Errorf("chunk %d has ID %d", i, c.ID)
+		}
+		if c.Server < 0 || c.Server >= p.Servers {
+			return fmt.Errorf("chunk %d on invalid server %d", i, c.Server)
+		}
+		if c.Params <= 0 {
+			return fmt.Errorf("chunk %d has %d params", i, c.Params)
+		}
+	}
+	for l, ids := range p.ByLayer {
+		var off int64
+		for seq, id := range ids {
+			c := p.Chunks[id]
+			if c.Layer != l {
+				return fmt.Errorf("layer %d lists chunk %d of layer %d", l, id, c.Layer)
+			}
+			if c.Seq != seq {
+				return fmt.Errorf("layer %d chunk %d out of order", l, id)
+			}
+			if c.Offset != off {
+				return fmt.Errorf("layer %d chunk %d offset %d, want %d", l, id, c.Offset, off)
+			}
+			if c.Priority != PriorityOf(l) {
+				return fmt.Errorf("layer %d chunk %d priority %d", l, id, c.Priority)
+			}
+			off += c.Params
+		}
+		if off != m.Layers[l].Params {
+			return fmt.Errorf("layer %d chunks cover %d of %d params", l, off, m.Layers[l].Params)
+		}
+	}
+	return nil
+}
+
+// PartitionSlices cuts every layer into slices of at most maxParams
+// parameters (P3's parameter slicing) and assigns slices to servers with a
+// single global round-robin counter, which balances load both within and
+// across layers. maxParams <= 0 selects DefaultMaxSliceParams.
+func PartitionSlices(m *model.Model, maxParams int64, servers int) *Plan {
+	if maxParams <= 0 {
+		maxParams = DefaultMaxSliceParams
+	}
+	if servers <= 0 {
+		panic("core: PartitionSlices needs at least one server")
+	}
+	p := &Plan{Servers: servers, ByLayer: make([][]int, len(m.Layers))}
+	rr := 0
+	for l, layer := range m.Layers {
+		var off int64
+		seq := 0
+		for off < layer.Params {
+			n := layer.Params - off
+			if n > maxParams {
+				n = maxParams
+			}
+			id := len(p.Chunks)
+			p.Chunks = append(p.Chunks, Chunk{
+				ID: id, Layer: l, Seq: seq, Offset: off, Params: n,
+				Server: rr % servers, Priority: PriorityOf(l),
+			})
+			p.ByLayer[l] = append(p.ByLayer[l], id)
+			rr++
+			seq++
+			off += n
+		}
+	}
+	return p
+}
+
+// PartitionShards reproduces KVStore's placement heuristic: layers with at
+// least threshold parameters are split into one equal shard per server;
+// smaller layers are assigned whole to a server chosen by a deterministic
+// hash of the layer name (standing in for KVStore's random choice, which is
+// fixed at initialization time). threshold <= 0 selects
+// DefaultShardThreshold.
+func PartitionShards(m *model.Model, threshold int64, servers int) *Plan {
+	if threshold <= 0 {
+		threshold = DefaultShardThreshold
+	}
+	if servers <= 0 {
+		panic("core: PartitionShards needs at least one server")
+	}
+	p := &Plan{Servers: servers, ByLayer: make([][]int, len(m.Layers))}
+	for l, layer := range m.Layers {
+		if layer.Params >= threshold && servers > 1 {
+			// Equal split: the first (params % servers) shards get one extra.
+			base := layer.Params / int64(servers)
+			extra := layer.Params % int64(servers)
+			var off int64
+			for s := 0; s < servers; s++ {
+				n := base
+				if int64(s) < extra {
+					n++
+				}
+				if n == 0 {
+					continue
+				}
+				id := len(p.Chunks)
+				p.Chunks = append(p.Chunks, Chunk{
+					ID: id, Layer: l, Seq: len(p.ByLayer[l]), Offset: off, Params: n,
+					Server: s, Priority: PriorityOf(l),
+				})
+				p.ByLayer[l] = append(p.ByLayer[l], id)
+				off += n
+			}
+		} else {
+			id := len(p.Chunks)
+			p.Chunks = append(p.Chunks, Chunk{
+				ID: id, Layer: l, Seq: 0, Offset: 0, Params: layer.Params,
+				Server: hashServer(layer.Name, servers), Priority: PriorityOf(l),
+			})
+			p.ByLayer[l] = append(p.ByLayer[l], id)
+		}
+	}
+	return p
+}
+
+func hashServer(name string, servers int) int {
+	h := fnv.New32a()
+	h.Write([]byte(name))
+	return int(h.Sum32() % uint32(servers))
+}

@@ -1,0 +1,259 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"p3/internal/model"
+	"p3/internal/zoo"
+)
+
+func toyModel(sizes ...int64) *model.Model {
+	m := &model.Model{Name: "toy", BatchSize: 1, PlateauPerWorker: 1, FwdFraction: 0.5}
+	for i, s := range sizes {
+		m.Layers = append(m.Layers, model.Layer{
+			Index: i, Name: string(rune('a' + i)), Kind: model.KindConv, Params: s, FwdFLOPs: s,
+		})
+	}
+	return m
+}
+
+func TestSliceSizesRespectMax(t *testing.T) {
+	m := toyModel(120_001, 50_000, 3)
+	p := PartitionSlices(m, 50_000, 4)
+	if err := p.Validate(m); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range p.Chunks {
+		if c.Params > 50_000 {
+			t.Fatalf("chunk %v exceeds max slice size", c)
+		}
+	}
+	// 120001 -> 3 slices; 50000 -> 1; 3 -> 1.
+	if got := p.NumChunks(); got != 5 {
+		t.Fatalf("chunks = %d, want 5", got)
+	}
+}
+
+func TestSliceDefault(t *testing.T) {
+	m := toyModel(100_000)
+	p := PartitionSlices(m, 0, 2)
+	if got := p.NumChunks(); got != 2 {
+		t.Fatalf("default slicing gave %d chunks, want 2 (50k default)", got)
+	}
+}
+
+func TestRoundRobinBalance(t *testing.T) {
+	m := toyModel(500_000, 500_000, 500_000)
+	p := PartitionSlices(m, 50_000, 4)
+	load := p.ServerLoad()
+	lo, hi := load[0], load[0]
+	for _, l := range load[1:] {
+		if l < lo {
+			lo = l
+		}
+		if l > hi {
+			hi = l
+		}
+	}
+	// 30 slices of 50k over 4 servers: 7 or 8 slices each.
+	if hi-lo > 50_000 {
+		t.Fatalf("round robin imbalance: %v", load)
+	}
+}
+
+func TestPriorityIsForwardOrder(t *testing.T) {
+	m := toyModel(10, 10, 10)
+	p := PartitionSlices(m, 50_000, 2)
+	for _, c := range p.Chunks {
+		if c.Priority != Priority(c.Layer) {
+			t.Fatalf("chunk %v: priority != layer index", c)
+		}
+	}
+	if PriorityOf(0) >= PriorityOf(1) {
+		t.Fatal("layer 0 must outrank layer 1")
+	}
+}
+
+func TestShardThresholdBehaviour(t *testing.T) {
+	m := toyModel(2_000_000, 999_999, 50)
+	p := PartitionShards(m, 1_000_000, 4)
+	if err := p.Validate(m); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(p.LayerChunks(0)); got != 4 {
+		t.Fatalf("big layer split into %d shards, want 4", got)
+	}
+	if got := len(p.LayerChunks(1)); got != 1 {
+		t.Fatalf("sub-threshold layer split into %d shards, want 1", got)
+	}
+	if got := len(p.LayerChunks(2)); got != 1 {
+		t.Fatalf("small layer split into %d shards, want 1", got)
+	}
+	// Equal split: shards within one parameter of each other.
+	shards := p.LayerChunks(0)
+	for _, id := range shards {
+		c := p.Chunks[id]
+		if c.Params != 500_000 {
+			t.Fatalf("shard %v: want 500000 params", c)
+		}
+	}
+}
+
+func TestShardUnevenSplit(t *testing.T) {
+	m := toyModel(1_000_003)
+	p := PartitionShards(m, 1_000_000, 4)
+	if err := p.Validate(m); err != nil {
+		t.Fatal(err)
+	}
+	var sizes []int64
+	for _, c := range p.Chunks {
+		sizes = append(sizes, c.Params)
+	}
+	// 1000003 = 250001 + 250001 + 250001 + 250000 — remainders lead.
+	want := []int64{250_001, 250_001, 250_001, 250_000}
+	for i, w := range want {
+		if sizes[i] != w {
+			t.Fatalf("shard sizes = %v, want %v", sizes, want)
+		}
+	}
+}
+
+func TestShardHashDeterministic(t *testing.T) {
+	m := toyModel(10, 20, 30)
+	a := PartitionShards(m, 1_000_000, 4)
+	b := PartitionShards(m, 1_000_000, 4)
+	for i := range a.Chunks {
+		if a.Chunks[i].Server != b.Chunks[i].Server {
+			t.Fatal("shard placement not deterministic")
+		}
+	}
+}
+
+func TestSingleServer(t *testing.T) {
+	m := toyModel(3_000_000)
+	for _, p := range []*Plan{PartitionSlices(m, 0, 1), PartitionShards(m, 0, 1)} {
+		if err := p.Validate(m); err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range p.Chunks {
+			if c.Server != 0 {
+				t.Fatalf("chunk on server %d with 1 server", c.Server)
+			}
+		}
+	}
+}
+
+func TestPartitionPanicsOnZeroServers(t *testing.T) {
+	m := toyModel(10)
+	for _, fn := range []func(){
+		func() { PartitionSlices(m, 0, 0) },
+		func() { PartitionShards(m, 0, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic for zero servers")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestPartitionProperty: random layer sizes and server counts always produce
+// a valid plan under both schemes, with all bytes covered exactly once.
+func TestPartitionProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, seed^0xdead))
+		nLayers := 1 + rng.IntN(20)
+		sizes := make([]int64, nLayers)
+		for i := range sizes {
+			sizes[i] = 1 + int64(rng.IntN(3_000_000))
+		}
+		m := toyModel(sizes...)
+		servers := 1 + rng.IntN(8)
+		maxSlice := int64(1 + rng.IntN(100_000))
+
+		ps := PartitionSlices(m, maxSlice, servers)
+		if ps.Validate(m) != nil {
+			return false
+		}
+		var total int64
+		for _, c := range ps.Chunks {
+			total += c.Params
+		}
+		if total != m.TotalParams() {
+			return false
+		}
+
+		sh := PartitionShards(m, int64(1+rng.IntN(2_000_000)), servers)
+		if sh.Validate(m) != nil {
+			return false
+		}
+		total = 0
+		for _, c := range sh.Chunks {
+			total += c.Params
+		}
+		return total == m.TotalParams()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPaperDefaultSliceCount pins the arithmetic the paper quotes: VGG-19's
+// 143.67M parameters cut into 50k slices.
+func TestPaperDefaultSliceCount(t *testing.T) {
+	m := zoo.VGG19()
+	p := PartitionSlices(m, 0, 4)
+	if err := p.Validate(m); err != nil {
+		t.Fatal(err)
+	}
+	// ceil per layer; fc6 alone is 102.76M -> 2056 slices.
+	if got := len(p.LayerChunks(30)); got == 0 {
+		t.Fatal("fc6 missing chunks")
+	}
+	var fc6Chunks int
+	for li, l := range m.Layers {
+		if l.Name == "fc6_weight" {
+			fc6Chunks = len(p.LayerChunks(li))
+		}
+	}
+	if fc6Chunks != 2056 {
+		t.Fatalf("fc6 slices = %d, want 2056 (102.76M / 50k)", fc6Chunks)
+	}
+}
+
+func TestChunkStringAndBytes(t *testing.T) {
+	c := Chunk{ID: 1, Layer: 2, Params: 10}
+	if c.Bytes() != 40 {
+		t.Fatalf("Bytes = %d", c.Bytes())
+	}
+	if c.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	m := toyModel(100, 200)
+	p := PartitionSlices(m, 64, 2)
+
+	corrupt := func(mutate func(*Plan)) {
+		cp := &Plan{Servers: p.Servers, Chunks: append([]Chunk(nil), p.Chunks...)}
+		cp.ByLayer = make([][]int, len(p.ByLayer))
+		for i := range p.ByLayer {
+			cp.ByLayer[i] = append([]int(nil), p.ByLayer[i]...)
+		}
+		mutate(cp)
+		if cp.Validate(m) == nil {
+			t.Error("corruption not caught")
+		}
+	}
+	corrupt(func(p *Plan) { p.Chunks[0].Server = 99 })
+	corrupt(func(p *Plan) { p.Chunks[0].Params = 0 })
+	corrupt(func(p *Plan) { p.Chunks[1].Offset += 3 })
+	corrupt(func(p *Plan) { p.Chunks[0].Priority = 42 })
+	corrupt(func(p *Plan) { p.ByLayer[0] = p.ByLayer[0][:len(p.ByLayer[0])-1] })
+}

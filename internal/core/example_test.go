@@ -1,0 +1,50 @@
+package core_test
+
+import (
+	"fmt"
+
+	"p3/internal/core"
+	"p3/internal/model"
+)
+
+// ExamplePartitionSlices shows P3's parameter slicing on a toy two-layer
+// model: the 120k-parameter layer is cut into three slices (max 50k), each
+// assigned round-robin across two servers, all carrying their layer's
+// forward-order priority.
+func ExamplePartitionSlices() {
+	m := &model.Model{
+		Name: "toy", BatchSize: 1, PlateauPerWorker: 1, FwdFraction: 0.5,
+		Layers: []model.Layer{
+			{Index: 0, Name: "conv", Kind: model.KindConv, Params: 120_000, FwdFLOPs: 1},
+			{Index: 1, Name: "fc", Kind: model.KindFC, Params: 30_000, FwdFLOPs: 1},
+		},
+	}
+	plan := core.PartitionSlices(m, 50_000, 2)
+	for _, c := range plan.Chunks {
+		fmt.Println(c)
+	}
+	// Output:
+	// chunk{id=0 layer=0 seq=0 off=0 n=50000 srv=0 prio=0}
+	// chunk{id=1 layer=0 seq=1 off=50000 n=50000 srv=1 prio=0}
+	// chunk{id=2 layer=0 seq=2 off=100000 n=20000 srv=0 prio=0}
+	// chunk{id=3 layer=1 seq=0 off=0 n=30000 srv=1 prio=1}
+}
+
+// ExamplePartitionShards shows the baseline KVStore heuristic: tensors at
+// or above the threshold split equally across all servers; smaller tensors
+// go whole to one hashed server.
+func ExamplePartitionShards() {
+	m := &model.Model{
+		Name: "toy", BatchSize: 1, PlateauPerWorker: 1, FwdFraction: 0.5,
+		Layers: []model.Layer{
+			{Index: 0, Name: "big", Kind: model.KindFC, Params: 2_000_000, FwdFLOPs: 1},
+			{Index: 1, Name: "small", Kind: model.KindBias, Params: 1_000, FwdFLOPs: 1},
+		},
+	}
+	plan := core.PartitionShards(m, 1_000_000, 4)
+	fmt.Println("big layer shards:", len(plan.LayerChunks(0)))
+	fmt.Println("small layer shards:", len(plan.LayerChunks(1)))
+	// Output:
+	// big layer shards: 4
+	// small layer shards: 1
+}

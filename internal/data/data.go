@@ -1,0 +1,156 @@
+// Package data generates the deterministic synthetic classification
+// datasets used by the convergence experiments — the stand-in for CIFAR-10,
+// which the offline build cannot download. Samples are drawn from per-class
+// Gaussian clusters pushed through a fixed random nonlinear warp, which
+// makes the task non-linearly separable (a linear model plateaus well below
+// a deep one; the trainer tests verify this).
+package data
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"p3/internal/tensor"
+)
+
+// Set is a labelled dataset.
+type Set struct {
+	X       *tensor.Mat // samples x features
+	Y       []int
+	Classes int
+}
+
+// N returns the number of samples.
+func (s *Set) N() int { return s.X.Rows }
+
+// Config describes a synthetic dataset.
+type Config struct {
+	Samples  int
+	Features int
+	Classes  int
+	// Noise is the within-cluster standard deviation (larger = harder).
+	Noise float64
+	Seed  int64
+}
+
+// Generate builds a synthetic classification set: class centroids on a
+// scaled hypersphere, Gaussian within-class noise, then a fixed nonlinear
+// mixing layer (tanh of a random projection added back) so that class
+// boundaries are curved.
+func Generate(cfg Config) *Set {
+	if cfg.Samples <= 0 || cfg.Features <= 0 || cfg.Classes <= 1 {
+		panic(fmt.Sprintf("data: invalid config %+v", cfg))
+	}
+	if cfg.Noise == 0 {
+		cfg.Noise = 0.6
+	}
+	rng := rand.New(rand.NewPCG(uint64(cfg.Seed), uint64(cfg.Seed)^0xABCD1234))
+
+	// Class centroids.
+	centroids := tensor.NewMat(cfg.Classes, cfg.Features)
+	centroids.Randn(rng, 1.0)
+
+	// Fixed nonlinear warp: x <- x + tanh(x @ P) @ Q with random P, Q.
+	hid := cfg.Features
+	p := tensor.NewMat(cfg.Features, hid)
+	p.Randn(rng, 1.0/math.Sqrt(float64(cfg.Features)))
+	q := tensor.NewMat(hid, cfg.Features)
+	q.Randn(rng, 1.0/math.Sqrt(float64(hid)))
+
+	set := &Set{X: tensor.NewMat(cfg.Samples, cfg.Features), Y: make([]int, cfg.Samples), Classes: cfg.Classes}
+	raw := tensor.NewMat(1, cfg.Features)
+	proj := tensor.NewMat(1, hid)
+	warp := tensor.NewMat(1, cfg.Features)
+	for i := 0; i < cfg.Samples; i++ {
+		c := i % cfg.Classes // balanced classes
+		set.Y[i] = c
+		row := raw.Row(0)
+		cen := centroids.Row(c)
+		for j := range row {
+			row[j] = cen[j] + rng.NormFloat64()*cfg.Noise
+		}
+		tensor.Matmul(proj, raw, p)
+		for j, v := range proj.Row(0) {
+			proj.Row(0)[j] = math.Tanh(v)
+		}
+		tensor.Matmul(warp, proj, q)
+		dst := set.X.Row(i)
+		for j := range dst {
+			dst[j] = row[j] + 1.5*warp.Row(0)[j]
+		}
+	}
+	// Deterministic shuffle: without it, the round-robin class assignment
+	// aligns with Shard's round-robin partitioning whenever the worker
+	// count divides the class count, silently giving workers single-class
+	// shards.
+	for i := cfg.Samples - 1; i > 0; i-- {
+		j := rng.IntN(i + 1)
+		set.Y[i], set.Y[j] = set.Y[j], set.Y[i]
+		ri, rj := set.X.Row(i), set.X.Row(j)
+		for k := range ri {
+			ri[k], rj[k] = rj[k], ri[k]
+		}
+	}
+	return set
+}
+
+// Split partitions the set into train and validation subsets, stratified by
+// class: within each class, every k-th occurrence goes to validation, so
+// both subsets keep the full class distribution. frac is the validation
+// fraction in (0, 1).
+func (s *Set) Split(frac float64) (train, val *Set) {
+	if frac <= 0 || frac >= 1 {
+		panic(fmt.Sprintf("data: invalid validation fraction %f", frac))
+	}
+	stride := int(math.Round(1 / frac))
+	if stride < 2 {
+		stride = 2
+	}
+	seen := make(map[int]int, s.Classes)
+	var trIdx, vaIdx []int
+	for i := 0; i < s.N(); i++ {
+		c := s.Y[i]
+		if seen[c]%stride == stride-1 {
+			vaIdx = append(vaIdx, i)
+		} else {
+			trIdx = append(trIdx, i)
+		}
+		seen[c]++
+	}
+	return s.subset(trIdx), s.subset(vaIdx)
+}
+
+// Shard returns worker w's 1/n horizontal shard (round-robin), the data
+// layout of data-parallel training.
+func (s *Set) Shard(w, n int) *Set {
+	if w < 0 || w >= n {
+		panic(fmt.Sprintf("data: shard %d of %d", w, n))
+	}
+	var idx []int
+	for i := w; i < s.N(); i += n {
+		idx = append(idx, i)
+	}
+	return s.subset(idx)
+}
+
+// Batch copies the samples idx (mod N) into a fresh matrix/label pair.
+func (s *Set) Batch(idx []int) (*tensor.Mat, []int) {
+	x := tensor.NewMat(len(idx), s.X.Cols)
+	y := make([]int, len(idx))
+	for i, ix := range idx {
+		ix = ix % s.N()
+		copy(x.Row(i), s.X.Row(ix))
+		y[i] = s.Y[ix]
+	}
+	return x, y
+}
+
+func (s *Set) subset(idx []int) *Set {
+	out := &Set{X: tensor.NewMat(len(idx), s.X.Cols), Y: make([]int, len(idx)), Classes: s.Classes}
+	for i, ix := range idx {
+		copy(out.X.Row(i), s.X.Row(ix))
+		out.Y[i] = s.Y[ix]
+	}
+	return out
+}

@@ -1,0 +1,233 @@
+package data
+
+import (
+	"testing"
+)
+
+func genSmall(t *testing.T) *Set {
+	t.Helper()
+	return Generate(Config{Samples: 400, Features: 8, Classes: 4, Seed: 42})
+}
+
+func TestGenerateShape(t *testing.T) {
+	s := genSmall(t)
+	if s.N() != 400 || s.X.Cols != 8 || len(s.Y) != 400 || s.Classes != 4 {
+		t.Fatalf("unexpected shape: n=%d cols=%d", s.N(), s.X.Cols)
+	}
+	for _, y := range s.Y {
+		if y < 0 || y >= 4 {
+			t.Fatalf("label %d out of range", y)
+		}
+	}
+}
+
+func TestGenerateBalanced(t *testing.T) {
+	s := genSmall(t)
+	counts := map[int]int{}
+	for _, y := range s.Y {
+		counts[y]++
+	}
+	for c, n := range counts {
+		if n != 100 {
+			t.Fatalf("class %d has %d samples, want 100", c, n)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Config{Samples: 50, Features: 4, Classes: 2, Seed: 7})
+	b := Generate(Config{Samples: 50, Features: 4, Classes: 2, Seed: 7})
+	for i := range a.X.Data {
+		if a.X.Data[i] != b.X.Data[i] {
+			t.Fatal("same seed produced different data")
+		}
+	}
+	c := Generate(Config{Samples: 50, Features: 4, Classes: 2, Seed: 8})
+	same := true
+	for i := range a.X.Data {
+		if a.X.Data[i] != c.X.Data[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestSplitStratified(t *testing.T) {
+	s := genSmall(t)
+	tr, val := s.Split(0.25)
+	if tr.N()+val.N() != s.N() {
+		t.Fatalf("split loses samples: %d + %d != %d", tr.N(), val.N(), s.N())
+	}
+	if val.N() != 100 {
+		t.Fatalf("val size %d, want 100 for frac 0.25", val.N())
+	}
+	valCounts := map[int]int{}
+	for _, y := range val.Y {
+		valCounts[y]++
+	}
+	if len(valCounts) != 4 {
+		t.Fatalf("validation set is missing classes: %v", valCounts)
+	}
+	for c, n := range valCounts {
+		if n != 25 {
+			t.Fatalf("val class %d has %d samples, want 25", c, n)
+		}
+	}
+}
+
+func TestSplitPanicsOnBadFrac(t *testing.T) {
+	s := genSmall(t)
+	for _, f := range []float64{0, 1, -0.5, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("frac %v accepted", f)
+				}
+			}()
+			s.Split(f)
+		}()
+	}
+}
+
+func TestShardPartition(t *testing.T) {
+	s := genSmall(t)
+	const n = 4
+	total := 0
+	seen := map[float64]bool{}
+	for w := 0; w < n; w++ {
+		sh := s.Shard(w, n)
+		total += sh.N()
+		for i := 0; i < sh.N(); i++ {
+			key := sh.X.At(i, 0)
+			if seen[key] {
+				t.Fatal("shards overlap")
+			}
+			seen[key] = true
+		}
+	}
+	if total != s.N() {
+		t.Fatalf("shards cover %d of %d samples", total, s.N())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid shard accepted")
+		}
+	}()
+	s.Shard(4, 4)
+}
+
+func TestBatchCopiesAndWraps(t *testing.T) {
+	s := genSmall(t)
+	x, y := s.Batch([]int{0, 1, 399, 400}) // 400 wraps to 0
+	if x.Rows != 4 || len(y) != 4 {
+		t.Fatalf("batch shape %d/%d", x.Rows, len(y))
+	}
+	if y[3] != s.Y[0] {
+		t.Fatal("index wrap-around broken")
+	}
+	// Mutating the batch must not touch the dataset.
+	x.Set(0, 0, 1e9)
+	if s.X.At(0, 0) == 1e9 {
+		t.Fatal("Batch aliases dataset storage")
+	}
+}
+
+func TestGenerateInvalidConfigPanics(t *testing.T) {
+	for _, cfg := range []Config{
+		{Samples: 0, Features: 4, Classes: 2},
+		{Samples: 10, Features: 0, Classes: 2},
+		{Samples: 10, Features: 4, Classes: 1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %+v accepted", cfg)
+				}
+			}()
+			Generate(cfg)
+		}()
+	}
+}
+
+// TestTaskIsNonlinear: a linear probe should do clearly worse than perfect,
+// confirming the warp makes class boundaries curved (the property that
+// justifies using a deep model).
+func TestTaskIsNonlinear(t *testing.T) {
+	s := Generate(Config{Samples: 800, Features: 16, Classes: 4, Seed: 3, Noise: 1.0})
+	tr, val := s.Split(0.25)
+
+	// One least-squares-ish epoch of a linear classifier via perceptron
+	// updates; enough to measure linear separability roughly.
+	w := make([][]float64, s.Classes)
+	for c := range w {
+		w[c] = make([]float64, s.X.Cols+1)
+	}
+	score := func(x []float64, c int) float64 {
+		v := w[c][len(x)]
+		for j := range x {
+			v += w[c][j] * x[j]
+		}
+		return v
+	}
+	for epoch := 0; epoch < 30; epoch++ {
+		for i := 0; i < tr.N(); i++ {
+			x := tr.X.Row(i)
+			best, bestV := 0, score(x, 0)
+			for c := 1; c < s.Classes; c++ {
+				if v := score(x, c); v > bestV {
+					best, bestV = c, v
+				}
+			}
+			if best != tr.Y[i] {
+				for j := range x {
+					w[tr.Y[i]][j] += 0.01 * x[j]
+					w[best][j] -= 0.01 * x[j]
+				}
+				w[tr.Y[i]][len(x)] += 0.01
+				w[best][len(x)] -= 0.01
+			}
+		}
+	}
+	correct := 0
+	for i := 0; i < val.N(); i++ {
+		x := val.X.Row(i)
+		best, bestV := 0, score(x, 0)
+		for c := 1; c < s.Classes; c++ {
+			if v := score(x, c); v > bestV {
+				best, bestV = c, v
+			}
+		}
+		if best == val.Y[i] {
+			correct++
+		}
+	}
+	acc := float64(correct) / float64(val.N())
+	if acc > 0.98 {
+		t.Fatalf("linear probe reached %.3f: task is linearly separable", acc)
+	}
+	if acc < 0.3 {
+		t.Fatalf("linear probe only %.3f: task may be pure noise", acc)
+	}
+}
+
+// TestShardsContainAllClasses is the regression test for the round-robin
+// alignment bug: when the worker count divides the class count, shards must
+// still contain every class (the generator shuffles to guarantee it).
+func TestShardsContainAllClasses(t *testing.T) {
+	s := Generate(Config{Samples: 300, Features: 8, Classes: 3, Seed: 4})
+	for _, n := range []int{2, 3, 6} {
+		for w := 0; w < n; w++ {
+			sh := s.Shard(w, n)
+			seen := map[int]bool{}
+			for _, y := range sh.Y {
+				seen[y] = true
+			}
+			if len(seen) != 3 {
+				t.Fatalf("shard %d/%d sees only classes %v", w, n, seen)
+			}
+		}
+	}
+}

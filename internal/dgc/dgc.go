@@ -1,0 +1,157 @@
+// Package dgc implements Deep Gradient Compression (Lin et al., ICLR 2018),
+// the compression baseline of the paper's Section 5.6: each worker keeps
+// per-tensor momentum and accumulation buffers, and per step transmits only
+// the top-k largest accumulated gradient values (k = (1-sparsity)·n),
+// applying momentum correction and momentum factor masking locally.
+//
+// Unlike P3, DGC is lossy: unsent gradient mass stays in local accumulators
+// and arrives late, which is what costs it the small accuracy gap the paper
+// measures (0.4% average on ResNet-110/CIFAR-10).
+package dgc
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Sparse is one tensor's compressed update: parallel index/value slices.
+type Sparse struct {
+	Idx []int
+	Val []float64
+}
+
+// Compressor holds one worker's DGC state across all parameter tensors.
+type Compressor struct {
+	Sparsity float64 // fraction of values withheld per tensor, e.g. 0.999
+	Momentum float64
+
+	u [][]float64 // per-tensor momentum buffer
+	v [][]float64 // per-tensor accumulation buffer
+}
+
+// NewCompressor creates DGC state for tensors of the given sizes.
+func NewCompressor(sizes []int, sparsity, momentum float64) *Compressor {
+	if sparsity <= 0 || sparsity >= 1 {
+		panic(fmt.Sprintf("dgc: sparsity %f out of (0,1)", sparsity))
+	}
+	c := &Compressor{Sparsity: sparsity, Momentum: momentum}
+	c.u = make([][]float64, len(sizes))
+	c.v = make([][]float64, len(sizes))
+	for i, n := range sizes {
+		c.u[i] = make([]float64, n)
+		c.v[i] = make([]float64, n)
+	}
+	return c
+}
+
+// K returns the number of values transmitted for a tensor of n elements:
+// ceil((1-sparsity)*n), at least 1.
+func (c *Compressor) K(n int) int {
+	k := int(float64(n)*(1-c.Sparsity) + 0.999999)
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	return k
+}
+
+// Compress folds the dense gradient of tensor t into the local state and
+// returns the top-k sparse update (momentum-corrected). The returned values
+// are removed from the local accumulators (momentum factor masking).
+func (c *Compressor) Compress(t int, grad []float64) Sparse {
+	u, v := c.u[t], c.v[t]
+	if len(grad) != len(u) {
+		panic(fmt.Sprintf("dgc: tensor %d has %d elements, gradient %d", t, len(u), len(grad)))
+	}
+	for i, g := range grad {
+		u[i] = c.Momentum*u[i] + g // momentum correction
+		v[i] += u[i]               // local accumulation
+	}
+	k := c.K(len(v))
+	idx := topK(v, k)
+	out := Sparse{Idx: idx, Val: make([]float64, len(idx))}
+	for j, i := range idx {
+		out.Val[j] = v[i]
+		v[i] = 0 // transmitted: clear accumulator...
+		u[i] = 0 // ...and mask momentum
+	}
+	return out
+}
+
+// topK returns the indices of the k largest |v| values, in ascending index
+// order (deterministic: ties keep the lower index).
+func topK(v []float64, k int) []int {
+	// Min-heap of size k over (|value|, index): O(n log k).
+	type entry struct {
+		mag float64
+		idx int
+	}
+	heap := make([]entry, 0, k)
+	less := func(a, b entry) bool { // true if a should sit nearer the heap top
+		if a.mag != b.mag {
+			return a.mag < b.mag
+		}
+		return a.idx > b.idx // larger index evicted first on ties
+	}
+	down := func(i int) {
+		for {
+			l, r := 2*i+1, 2*i+2
+			smallest := i
+			if l < len(heap) && less(heap[l], heap[smallest]) {
+				smallest = l
+			}
+			if r < len(heap) && less(heap[r], heap[smallest]) {
+				smallest = r
+			}
+			if smallest == i {
+				return
+			}
+			heap[i], heap[smallest] = heap[smallest], heap[i]
+			i = smallest
+		}
+	}
+	up := func(i int) {
+		for i > 0 {
+			p := (i - 1) / 2
+			if !less(heap[i], heap[p]) {
+				return
+			}
+			heap[i], heap[p] = heap[p], heap[i]
+			i = p
+		}
+	}
+	for i, x := range v {
+		e := entry{mag: abs(x), idx: i}
+		if len(heap) < k {
+			heap = append(heap, e)
+			up(len(heap) - 1)
+			continue
+		}
+		if less(heap[0], e) {
+			heap[0] = e
+			down(0)
+		}
+	}
+	sel := make([]int, len(heap))
+	for i, e := range heap {
+		sel[i] = e.idx
+	}
+	sort.Ints(sel)
+	return sel
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Apply adds a sparse update into a dense accumulator.
+func Apply(dst []float64, s Sparse) {
+	for j, i := range s.Idx {
+		dst[i] += s.Val[j]
+	}
+}

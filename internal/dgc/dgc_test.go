@@ -1,0 +1,197 @@
+package dgc
+
+import (
+	"math"
+	"math/rand/v2"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestKComputation(t *testing.T) {
+	c := NewCompressor([]int{1000}, 0.999, 0.9)
+	if got := c.K(1000); got != 1 {
+		t.Fatalf("K(1000)@0.999 = %d, want 1", got)
+	}
+	if got := c.K(10_000); got != 10 {
+		t.Fatalf("K(10000)@0.999 = %d, want 10", got)
+	}
+	c2 := NewCompressor([]int{10}, 0.5, 0.9)
+	if got := c2.K(10); got != 5 {
+		t.Fatalf("K(10)@0.5 = %d, want 5", got)
+	}
+	if got := c2.K(1); got != 1 {
+		t.Fatalf("K(1) = %d, want at least 1", got)
+	}
+}
+
+func TestInvalidSparsityPanics(t *testing.T) {
+	for _, s := range []float64{0, 1, -0.1, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("sparsity %v accepted", s)
+				}
+			}()
+			NewCompressor([]int{10}, s, 0.9)
+		}()
+	}
+}
+
+func TestCompressPicksLargest(t *testing.T) {
+	c := NewCompressor([]int{5}, 0.6, 0) // k = 2, no momentum
+	sp := c.Compress(0, []float64{0.1, -5, 0.3, 4, 0.2})
+	if len(sp.Idx) != 2 {
+		t.Fatalf("sent %d values, want 2", len(sp.Idx))
+	}
+	// Largest |values| are -5 (idx 1) and 4 (idx 3), in index order.
+	if sp.Idx[0] != 1 || sp.Idx[1] != 3 {
+		t.Fatalf("picked %v, want [1 3]", sp.Idx)
+	}
+	if sp.Val[0] != -5 || sp.Val[1] != 4 {
+		t.Fatalf("values %v", sp.Val)
+	}
+}
+
+// TestMassConservation: over any sequence of compress calls with momentum 0,
+// (sum of all transmitted values) + (remaining accumulator) == (sum of all
+// gradients fed in). DGC loses nothing permanently — it only delays.
+func TestMassConservation(t *testing.T) {
+	const n = 64
+	c := NewCompressor([]int{n}, 0.9, 0)
+	rng := rand.New(rand.NewPCG(5, 6))
+	var fedIn, sent float64
+	for step := 0; step < 50; step++ {
+		g := make([]float64, n)
+		for i := range g {
+			g[i] = rng.NormFloat64()
+			fedIn += g[i]
+		}
+		sp := c.Compress(0, g)
+		for _, v := range sp.Val {
+			sent += v
+		}
+	}
+	var residual float64
+	for _, v := range c.v[0] {
+		residual += v
+	}
+	if math.Abs(fedIn-(sent+residual)) > 1e-9 {
+		t.Fatalf("mass leak: fed %v, sent %v + residual %v", fedIn, sent, residual)
+	}
+}
+
+// TestMomentumMasking: a transmitted coordinate's momentum resets, so an
+// immediately following zero gradient transmits nothing new there.
+func TestMomentumMasking(t *testing.T) {
+	c := NewCompressor([]int{4}, 0.5, 0.9) // k = 2
+	sp := c.Compress(0, []float64{10, 0, 0, 0})
+	if len(sp.Idx) == 0 || sp.Idx[0] != 0 {
+		t.Fatalf("first compress picked %v", sp.Idx)
+	}
+	if c.u[0][0] != 0 || c.v[0][0] != 0 {
+		t.Fatal("momentum/accumulator not masked after transmission")
+	}
+}
+
+// TestAccumulationEventuallySends: a small but persistent gradient must
+// eventually be transmitted thanks to local accumulation.
+func TestAccumulationEventuallySends(t *testing.T) {
+	c := NewCompressor([]int{10}, 0.9, 0) // k = 1
+	// Coordinate 9 has a small persistent signal; others get one-off noise.
+	sentNine := false
+	for step := 0; step < 100 && !sentNine; step++ {
+		g := make([]float64, 10)
+		g[step%9] = 0.5 // rotating noise
+		g[9] = 0.2      // persistent small signal
+		sp := c.Compress(0, g)
+		for _, idx := range sp.Idx {
+			if idx == 9 {
+				sentNine = true
+			}
+		}
+	}
+	if !sentNine {
+		t.Fatal("persistent small gradient never transmitted")
+	}
+}
+
+func TestTopKMatchesSortReference(t *testing.T) {
+	f := func(raw []float64, kRaw uint8) bool {
+		v := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				v = append(v, x)
+			}
+		}
+		if len(v) == 0 {
+			return true
+		}
+		k := 1 + int(kRaw)%len(v)
+		got := topK(v, k)
+
+		// Reference: stable sort by (|v| desc, idx asc).
+		idx := make([]int, len(v))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.SliceStable(idx, func(a, b int) bool {
+			va, vb := math.Abs(v[idx[a]]), math.Abs(v[idx[b]])
+			if va != vb {
+				return va > vb
+			}
+			return idx[a] < idx[b]
+		})
+		want := append([]int(nil), idx[:k]...)
+		sort.Ints(want)
+
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApply(t *testing.T) {
+	dst := make([]float64, 5)
+	Apply(dst, Sparse{Idx: []int{1, 4}, Val: []float64{2, -3}})
+	Apply(dst, Sparse{Idx: []int{1}, Val: []float64{0.5}})
+	want := []float64{0, 2.5, 0, 0, -3}
+	for i := range dst {
+		if dst[i] != want[i] {
+			t.Fatalf("Apply = %v, want %v", dst, want)
+		}
+	}
+}
+
+func TestCompressShapePanics(t *testing.T) {
+	c := NewCompressor([]int{3}, 0.5, 0.9)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong gradient size accepted")
+		}
+	}()
+	c.Compress(0, []float64{1, 2})
+}
+
+func BenchmarkCompress(b *testing.B) {
+	const n = 100_000
+	c := NewCompressor([]int{n}, 0.999, 0.9)
+	rng := rand.New(rand.NewPCG(1, 1))
+	g := make([]float64, n)
+	for i := range g {
+		g[i] = rng.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Compress(0, g)
+	}
+}

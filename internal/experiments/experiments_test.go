@@ -1,0 +1,219 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+var fast = Options{Fast: true, Seed: 1}
+
+func checkFigure(t *testing.T, f *Figure) {
+	t.Helper()
+	if f.ID == "" || f.Title == "" {
+		t.Fatalf("figure missing metadata: %+v", f)
+	}
+	if len(f.Series) == 0 {
+		t.Fatalf("%s: no series", f.ID)
+	}
+	for _, s := range f.Series {
+		if len(s.X) != len(s.Y) {
+			t.Fatalf("%s/%s: %d x vs %d y", f.ID, s.Name, len(s.X), len(s.Y))
+		}
+	}
+	if tsv := f.TSV(); !strings.Contains(tsv, f.ID) {
+		t.Fatalf("%s: TSV missing header", f.ID)
+	}
+	if plot := f.ASCII(60, 10); !strings.Contains(plot, f.ID) {
+		t.Fatalf("%s: ASCII missing header", f.ID)
+	}
+}
+
+func TestFig5(t *testing.T) {
+	figs := Fig5(fast)
+	if len(figs) != 3 {
+		t.Fatalf("fig5 has %d sub-figures", len(figs))
+	}
+	for _, f := range figs {
+		checkFigure(t, f)
+	}
+	// VGG sub-figure must show the dominant fc6 spike.
+	vgg := figs[1]
+	_, hi := minMax(vgg.Series[0].Y)
+	if hi < 100 {
+		t.Fatalf("vgg19 max tensor %.1fM, want >100M (fc6)", hi)
+	}
+}
+
+func minMax(xs []float64) (lo, hi float64) {
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return
+}
+
+func TestFig7FastShapes(t *testing.T) {
+	figs := Fig7(fast)
+	if len(figs) != 4 {
+		t.Fatalf("fig7 has %d sub-figures", len(figs))
+	}
+	for _, f := range figs {
+		checkFigure(t, f)
+		if len(f.Series) != 3 {
+			t.Fatalf("%s: %d series, want baseline/slicing/p3", f.ID, len(f.Series))
+		}
+		// P3 never loses to the baseline at any measured bandwidth.
+		base, p3 := f.Series[0], f.Series[2]
+		for i := range base.Y {
+			if p3.Y[i] < base.Y[i]*0.99 {
+				t.Errorf("%s: p3 (%.1f) below baseline (%.1f) at %g Gbps",
+					f.ID, p3.Y[i], base.Y[i], base.X[i])
+			}
+		}
+		// Throughput grows with bandwidth.
+		for i := 1; i < len(p3.Y); i++ {
+			if p3.Y[i] < p3.Y[i-1]*0.99 {
+				t.Errorf("%s: p3 throughput fell between %g and %g Gbps", f.ID, p3.X[i-1], p3.X[i])
+			}
+		}
+	}
+}
+
+func TestFig8And9(t *testing.T) {
+	for _, figs := range [][]*Figure{Fig8(fast), Fig9(fast)} {
+		if len(figs) != 3 {
+			t.Fatalf("%d sub-figures", len(figs))
+		}
+		for _, f := range figs {
+			checkFigure(t, f)
+			if len(f.Series) != 2 {
+				t.Fatalf("%s: want outbound+inbound", f.ID)
+			}
+			var total float64
+			for _, s := range f.Series {
+				for _, y := range s.Y {
+					if y < 0 {
+						t.Fatalf("%s: negative utilization", f.ID)
+					}
+					total += y
+				}
+			}
+			if total == 0 {
+				t.Fatalf("%s: all-zero utilization", f.ID)
+			}
+		}
+	}
+}
+
+func TestFig10Scaling(t *testing.T) {
+	figs := Fig10(fast)
+	if len(figs) != 3 {
+		t.Fatalf("fig10 has %d sub-figures", len(figs))
+	}
+	for _, f := range figs {
+		checkFigure(t, f)
+		for _, s := range f.Series {
+			// Aggregate throughput grows with cluster size.
+			for i := 1; i < len(s.Y); i++ {
+				if s.Y[i] <= s.Y[i-1] {
+					t.Errorf("%s/%s: no scaling from %g to %g machines", f.ID, s.Name, s.X[i-1], s.X[i])
+				}
+			}
+		}
+	}
+}
+
+func TestFig12SliceSweep(t *testing.T) {
+	figs := Fig12(fast)
+	if len(figs) != 3 {
+		t.Fatalf("fig12 has %d sub-figures", len(figs))
+	}
+	for _, f := range figs {
+		checkFigure(t, f)
+		s := f.Series[0]
+		// Fast mode measures {1k, 50k, 1M}: the paper's 50k sweet spot must
+		// beat both extremes (or at least never lose to them).
+		if len(s.Y) == 3 {
+			if s.Y[1] < s.Y[0] || s.Y[1] < s.Y[2]*0.99 {
+				t.Errorf("%s: 50k (%.1f) not the peak of [%.1f %.1f %.1f]",
+					f.ID, s.Y[1], s.Y[0], s.Y[1], s.Y[2])
+			}
+		}
+	}
+}
+
+func TestFig13And14(t *testing.T) {
+	for _, figs := range [][]*Figure{Fig13(fast), Fig14(fast)} {
+		if len(figs) != 1 {
+			t.Fatalf("%d figures", len(figs))
+		}
+		checkFigure(t, figs[0])
+	}
+}
+
+func TestHeadline(t *testing.T) {
+	rows := Headline(fast)
+	if len(rows) != 4 {
+		t.Fatalf("%d headline rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.SpeedupPct < 0 {
+			t.Errorf("%s: negative P3 speedup %.1f%%", r.Model, r.SpeedupPct)
+		}
+		if r.P3 < r.Baseline {
+			t.Errorf("%s: P3 %.1f below baseline %.1f", r.Model, r.P3, r.Baseline)
+		}
+	}
+	tbl := HeadlineTable(rows)
+	if !strings.Contains(tbl, "vgg19") {
+		t.Fatalf("headline table:\n%s", tbl)
+	}
+}
+
+func TestFig11Fast(t *testing.T) {
+	figs := Fig11(fast)
+	if len(figs) != 1 {
+		t.Fatalf("%d figures", len(figs))
+	}
+	f := figs[0]
+	checkFigure(t, f)
+	if len(f.Series) != 4 {
+		t.Fatalf("fig11 has %d series, want min/max bands for p3 and dgc", len(f.Series))
+	}
+	for _, s := range f.Series {
+		for _, y := range s.Y {
+			if y < 0 || y > 1 {
+				t.Fatalf("accuracy %v out of range", y)
+			}
+		}
+	}
+}
+
+func TestFig15Fast(t *testing.T) {
+	figs := Fig15(fast)
+	f := figs[0]
+	checkFigure(t, f)
+	if len(f.Series) != 2 {
+		t.Fatalf("fig15 has %d series", len(f.Series))
+	}
+	// Time axis must be strictly increasing.
+	for _, s := range f.Series {
+		for i := 1; i < len(s.X); i++ {
+			if s.X[i] <= s.X[i-1] {
+				t.Fatalf("%s: time axis not increasing", s.Name)
+			}
+		}
+	}
+}
+
+func TestASCIIHandlesEmptyFigure(t *testing.T) {
+	f := &Figure{ID: "x", Title: "t", Series: []Series{{Name: "s"}}}
+	if out := f.ASCII(40, 8); !strings.Contains(out, "no data") {
+		t.Fatalf("empty figure rendering: %q", out)
+	}
+}

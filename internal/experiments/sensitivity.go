@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"fmt"
+
+	"p3/internal/cluster"
+	"p3/internal/strategy"
+	"p3/internal/zoo"
+)
+
+// SensitivityRow is one configuration of the Appendix A.7 customization
+// study: varying the server count or the per-machine batch size.
+type SensitivityRow struct {
+	Knob     string
+	Value    int
+	Baseline float64 // per-machine samples/sec
+	P3       float64
+	GainPct  float64
+}
+
+// Sensitivity sweeps the two knobs the paper's artifact exposes beyond the
+// headline grid: the number of parameter servers (the paper co-locates one
+// per machine; fewer servers concentrate ingress and update load) and the
+// per-worker batch size (which scales compute time against a fixed
+// communication volume). VGG-19 at 15 Gbps, 4 machines.
+func Sensitivity(o Options) []SensitivityRow {
+	warm, measure := o.iters()
+	m := zoo.VGG19()
+	runOne := func(s strategy.Strategy, servers, batch int) float64 {
+		mm := m
+		if batch != m.BatchSize {
+			clone := *m
+			clone.BatchSize = batch
+			mm = &clone
+		}
+		r := cluster.Run(cluster.Config{
+			Model: mm, Machines: 4, Servers: servers, Strategy: s, BandwidthGbps: 15,
+			WarmupIters: warm, MeasureIters: measure, Seed: o.Seed + 1,
+		})
+		return r.Throughput / 4
+	}
+
+	var rows []SensitivityRow
+	add := func(knob string, value int, servers, batch int) {
+		base := runOne(strategy.Baseline(), servers, batch)
+		p3 := runOne(strategy.P3(0), servers, batch)
+		rows = append(rows, SensitivityRow{
+			Knob: knob, Value: value, Baseline: base, P3: p3,
+			GainPct: (p3/base - 1) * 100,
+		})
+	}
+
+	serverCounts := []int{1, 2, 4}
+	batches := []int{16, 32, 64}
+	if o.Fast {
+		serverCounts = []int{1, 4}
+		batches = []int{32}
+	}
+	for _, s := range serverCounts {
+		add("servers", s, s, m.BatchSize)
+	}
+	for _, b := range batches {
+		add("batch", b, 4, b)
+	}
+	return rows
+}
+
+// SensitivityTable renders the sweep.
+func SensitivityTable(rows []SensitivityRow) string {
+	out := "knob\tvalue\tbaseline\tp3\tgain%\n"
+	for _, r := range rows {
+		out += fmt.Sprintf("%s\t%d\t%.1f\t%.1f\t%+.1f\n", r.Knob, r.Value, r.Baseline, r.P3, r.GainPct)
+	}
+	return out
+}

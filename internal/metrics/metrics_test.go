@@ -1,0 +1,109 @@
+package metrics
+
+import (
+	"math"
+	"math/rand/v2"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+}
+
+func TestSummarizeKnown(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.P50 != 3 {
+		t.Fatalf("summary = %+v", s)
+	}
+	wantStd := math.Sqrt(2.5) // sample variance of 1..5 is 2.5
+	if math.Abs(s.Std-wantStd) > 1e-12 {
+		t.Fatalf("std = %v, want %v", s.Std, wantStd)
+	}
+}
+
+func TestPercentileInterpolation(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 10}, {1, 40}, {0.5, 25}, {1.0 / 3.0, 20},
+	}
+	for _, c := range cases {
+		if got := Percentile(sorted, c.p); math.Abs(got-c.want) > 1e-9 {
+			t.Fatalf("P%.2f = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPercentilePanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for empty sample")
+		}
+	}()
+	Percentile(nil, 0.5)
+}
+
+func TestMeanAndMinMax(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) != 0")
+	}
+	if got := Mean([]float64{2, 4, 9}); got != 5 {
+		t.Fatalf("Mean = %v", got)
+	}
+	lo, hi := MinMax([]float64{3, -1, 7, 2})
+	if lo != -1 || hi != 7 {
+		t.Fatalf("MinMax = %v, %v", lo, hi)
+	}
+}
+
+// Property: min <= p50 <= p95 <= p99 <= max, and mean within [min, max].
+func TestSummaryOrderingProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, math.Mod(x, 1e6))
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		s := Summarize(xs)
+		return s.Min <= s.P50 && s.P50 <= s.P95 && s.P95 <= s.P99 && s.P99 <= s.Max &&
+			s.Mean >= s.Min-1e-9 && s.Mean <= s.Max+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: percentile is monotone in p.
+func TestPercentileMonotone(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 5))
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	sort.Float64s(xs)
+	prev := math.Inf(-1)
+	for p := 0.0; p <= 1.0; p += 0.01 {
+		v := Percentile(xs, p)
+		if v < prev {
+			t.Fatalf("percentile decreased at p=%.2f: %v < %v", p, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	if Summarize([]float64{1}).String() == "" {
+		t.Fatal("empty String()")
+	}
+}

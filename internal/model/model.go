@@ -1,0 +1,158 @@
+// Package model defines the representation of a DNN used by the timing
+// experiments: an ordered list of parameter tensors ("keys" in parameter-
+// server terminology) with parameter counts and per-sample FLOP estimates,
+// plus a calibrated compute-time model.
+//
+// The unit of synchronization in MXNet's KVStore — and therefore in this
+// reproduction — is the parameter tensor, not the architectural "layer": a
+// convolution's weight, a batch-norm's gamma and beta each get their own key.
+// The paper's Figure 5 plots exactly this key index on its x axis.
+package model
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind classifies a parameter tensor by the operation that owns it.
+type Kind int
+
+// Parameter tensor kinds.
+const (
+	KindConv Kind = iota
+	KindFC
+	KindBatchNorm
+	KindBias
+	KindEmbedding
+	KindRNN
+	KindAttention
+	KindOther
+)
+
+var kindNames = [...]string{"conv", "fc", "batchnorm", "bias", "embedding", "rnn", "attention", "other"}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// BytesPerParam is the wire size of one parameter or gradient element.
+// MXNet's KVStore ships float32 values.
+const BytesPerParam = 4
+
+// Layer is one parameter tensor in forward-pass order.
+type Layer struct {
+	Index    int    // position in forward-pass order, 0-based
+	Name     string // human-readable, e.g. "stage3_unit2_conv2_weight"
+	Kind     Kind
+	Params   int64 // number of learnable scalars in this tensor
+	FwdFLOPs int64 // per-sample forward FLOPs attributed to this tensor's op
+}
+
+// Bytes returns the wire size of this tensor's gradient (or parameter) data.
+func (l Layer) Bytes() int64 { return l.Params * BytesPerParam }
+
+// Model is a DNN described at parameter-tensor granularity together with the
+// calibration constants used by the compute-time model.
+type Model struct {
+	Name   string
+	Layers []Layer
+
+	// BatchSize is the per-worker mini-batch used in the paper's runs.
+	BatchSize int
+	// SampleUnit is the throughput unit ("images" or "sentences").
+	SampleUnit string
+	// PlateauPerWorker is the calibrated compute-bound throughput of one
+	// worker (samples/second): the value the paper's curves plateau at,
+	// divided by the number of machines. It pins the absolute scale of the
+	// simulated compute times; everything else is shape.
+	PlateauPerWorker float64
+	// ComputeJitter is the relative standard deviation of per-iteration
+	// compute time across workers. Nonzero only for Sockeye, whose variable
+	// sequence lengths make iteration times uneven (paper §5.5).
+	ComputeJitter float64
+	// FwdFraction is the share of iteration compute spent in the forward
+	// pass (backward gets the rest). 1:2 is the conventional split.
+	FwdFraction float64
+}
+
+// TotalParams returns the total learnable parameter count.
+func (m *Model) TotalParams() int64 {
+	var n int64
+	for _, l := range m.Layers {
+		n += l.Params
+	}
+	return n
+}
+
+// TotalBytes returns the total gradient bytes exchanged per worker per
+// iteration (one direction).
+func (m *Model) TotalBytes() int64 { return m.TotalParams() * BytesPerParam }
+
+// TotalFwdFLOPs returns the per-sample forward FLOPs of the whole model.
+func (m *Model) TotalFwdFLOPs() int64 {
+	var n int64
+	for _, l := range m.Layers {
+		n += l.FwdFLOPs
+	}
+	return n
+}
+
+// NumLayers returns the number of parameter tensors.
+func (m *Model) NumLayers() int { return len(m.Layers) }
+
+// Validate checks structural invariants: contiguous indices, positive
+// parameter counts, nonempty names.
+func (m *Model) Validate() error {
+	if m.Name == "" {
+		return fmt.Errorf("model has no name")
+	}
+	if len(m.Layers) == 0 {
+		return fmt.Errorf("model %s has no layers", m.Name)
+	}
+	for i, l := range m.Layers {
+		if l.Index != i {
+			return fmt.Errorf("model %s: layer %d has index %d", m.Name, i, l.Index)
+		}
+		if l.Params <= 0 {
+			return fmt.Errorf("model %s: layer %q has %d params", m.Name, l.Name, l.Params)
+		}
+		if l.FwdFLOPs < 0 {
+			return fmt.Errorf("model %s: layer %q has negative FLOPs", m.Name, l.Name)
+		}
+		if l.Name == "" {
+			return fmt.Errorf("model %s: layer %d is unnamed", m.Name, i)
+		}
+	}
+	if m.BatchSize <= 0 {
+		return fmt.Errorf("model %s: batch size %d", m.Name, m.BatchSize)
+	}
+	if m.PlateauPerWorker <= 0 {
+		return fmt.Errorf("model %s: plateau %f", m.Name, m.PlateauPerWorker)
+	}
+	if m.FwdFraction <= 0 || m.FwdFraction >= 1 {
+		return fmt.Errorf("model %s: forward fraction %f out of (0,1)", m.Name, m.FwdFraction)
+	}
+	return nil
+}
+
+// String summarizes the model.
+func (m *Model) String() string {
+	return fmt.Sprintf("%s: %d tensors, %.2fM params, %.1f MB gradients, batch %d",
+		m.Name, len(m.Layers), float64(m.TotalParams())/1e6,
+		float64(m.TotalBytes())/1e6, m.BatchSize)
+}
+
+// Table renders the per-tensor parameter distribution (the data behind the
+// paper's Figure 5) as a tab-separated table.
+func (m *Model) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n", m.String())
+	fmt.Fprintf(&b, "index\tname\tkind\tparams\tfwd_flops\n")
+	for _, l := range m.Layers {
+		fmt.Fprintf(&b, "%d\t%s\t%s\t%d\t%d\n", l.Index, l.Name, l.Kind, l.Params, l.FwdFLOPs)
+	}
+	return b.String()
+}

@@ -1,0 +1,150 @@
+package model
+
+import (
+	"strings"
+	"testing"
+
+	"p3/internal/sim"
+)
+
+func testModel() *Model {
+	return &Model{
+		Name: "toy",
+		Layers: []Layer{
+			{Index: 0, Name: "a", Kind: KindConv, Params: 100, FwdFLOPs: 1000},
+			{Index: 1, Name: "b", Kind: KindFC, Params: 300, FwdFLOPs: 3000},
+			{Index: 2, Name: "c", Kind: KindBias, Params: 50, FwdFLOPs: 0},
+		},
+		BatchSize:        10,
+		SampleUnit:       "images",
+		PlateauPerWorker: 100,
+		FwdFraction:      1.0 / 3.0,
+	}
+}
+
+func TestTotals(t *testing.T) {
+	m := testModel()
+	if got := m.TotalParams(); got != 450 {
+		t.Fatalf("TotalParams = %d", got)
+	}
+	if got := m.TotalBytes(); got != 1800 {
+		t.Fatalf("TotalBytes = %d", got)
+	}
+	if got := m.TotalFwdFLOPs(); got != 4000 {
+		t.Fatalf("TotalFwdFLOPs = %d", got)
+	}
+	if m.NumLayers() != 3 {
+		t.Fatalf("NumLayers = %d", m.NumLayers())
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := testModel().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCatchesProblems(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Model)
+	}{
+		{"no name", func(m *Model) { m.Name = "" }},
+		{"no layers", func(m *Model) { m.Layers = nil }},
+		{"bad index", func(m *Model) { m.Layers[1].Index = 5 }},
+		{"zero params", func(m *Model) { m.Layers[0].Params = 0 }},
+		{"negative flops", func(m *Model) { m.Layers[0].FwdFLOPs = -1 }},
+		{"unnamed layer", func(m *Model) { m.Layers[2].Name = "" }},
+		{"zero batch", func(m *Model) { m.BatchSize = 0 }},
+		{"zero plateau", func(m *Model) { m.PlateauPerWorker = 0 }},
+		{"bad fraction", func(m *Model) { m.FwdFraction = 1.5 }},
+	}
+	for _, c := range cases {
+		m := testModel()
+		c.mutate(m)
+		if err := m.Validate(); err == nil {
+			t.Errorf("%s: Validate did not fail", c.name)
+		}
+	}
+}
+
+func TestLayerBytes(t *testing.T) {
+	l := Layer{Params: 25}
+	if l.Bytes() != 100 {
+		t.Fatalf("Bytes = %d, want 100 (4 per param)", l.Bytes())
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindConv.String() != "conv" || KindEmbedding.String() != "embedding" {
+		t.Fatal("kind names wrong")
+	}
+	if !strings.Contains(Kind(99).String(), "99") {
+		t.Fatal("unknown kind not reported")
+	}
+}
+
+func TestTimingDistribution(t *testing.T) {
+	m := testModel()
+	tm := NewTiming(m)
+
+	// Total compute = batch/plateau = 0.1 s.
+	want := sim.FromSeconds(0.1)
+	if diff := tm.IterCompute - want; diff < -10 || diff > 10 {
+		t.Fatalf("IterCompute = %v, want ~%v", tm.IterCompute, want)
+	}
+
+	// Forward gets FwdFraction of the total.
+	var fwd sim.Time
+	for _, d := range tm.Fwd {
+		fwd += d
+	}
+	wantFwd := sim.Time(float64(want) / 3)
+	if diff := fwd - wantFwd; diff < -10 || diff > 10 {
+		t.Fatalf("forward total = %v, want ~%v", fwd, wantFwd)
+	}
+
+	// Layer b has 3x layer a's FLOPs -> 3x the time; layer c has none.
+	if tm.Fwd[1] < tm.Fwd[0]*2 || tm.Fwd[1] > tm.Fwd[0]*4 {
+		t.Fatalf("flops share not respected: %v vs %v", tm.Fwd[1], tm.Fwd[0])
+	}
+	if tm.Fwd[2] != 0 || tm.Bwd[2] != 0 {
+		t.Fatalf("zero-FLOP layer got time: %v/%v", tm.Fwd[2], tm.Bwd[2])
+	}
+
+	// Backward is twice forward per layer (up to nanosecond rounding).
+	for i := range tm.Fwd {
+		if tm.Fwd[i] == 0 {
+			continue
+		}
+		diff := tm.Bwd[i] - tm.Fwd[i]*2
+		if diff < -2 || diff > 2 {
+			t.Fatalf("layer %d: bwd %v != 2*fwd %v", i, tm.Bwd[i], tm.Fwd[i])
+		}
+	}
+}
+
+func TestTimingZeroFLOPsModel(t *testing.T) {
+	m := testModel()
+	for i := range m.Layers {
+		m.Layers[i].FwdFLOPs = 0
+	}
+	tm := NewTiming(m)
+	if tm.IterCompute <= 0 {
+		t.Fatal("degenerate model got no compute time")
+	}
+	if tm.Fwd[0] != tm.Fwd[1] || tm.Fwd[1] != tm.Fwd[2] {
+		t.Fatal("uniform fallback not uniform")
+	}
+}
+
+func TestStringAndTable(t *testing.T) {
+	m := testModel()
+	if !strings.Contains(m.String(), "toy") {
+		t.Fatalf("String = %q", m.String())
+	}
+	tbl := m.Table()
+	if !strings.Contains(tbl, "index\tname") || !strings.Contains(tbl, "\tb\t") {
+		t.Fatalf("Table missing content:\n%s", tbl)
+	}
+}

@@ -1,0 +1,197 @@
+// Package netsim models the cluster interconnect on the discrete-event
+// clock: one full-duplex NIC per machine with independent egress and ingress
+// serialization at a configurable rate — the simulated equivalent of the
+// paper's `tc qdisc` rate limiting.
+//
+// Each direction is a single queueing server: transmitting a message occupies
+// the sender's egress for overhead + size/rate, propagates, then occupies the
+// receiver's ingress likewise (store-and-forward through an uncongested
+// core — the paper's testbed is a small cluster on a non-blocking switch).
+// The egress queue discipline is FIFO for the baseline strategies and a
+// priority queue for P3, which is exactly the worker-side producer/consumer
+// mechanism of Section 4.2: the highest-priority queued message is always
+// transmitted next, and an in-flight message finishes before the next choice
+// is made (preemption at message granularity).
+package netsim
+
+import (
+	"fmt"
+
+	"p3/internal/pq"
+	"p3/internal/sim"
+	"p3/internal/trace"
+)
+
+// Config holds the interconnect parameters.
+type Config struct {
+	// BandwidthGbps is the NIC rate per direction, in gigabits per second
+	// (the unit of the paper's x axes).
+	BandwidthGbps float64
+	// PropDelay is the one-way propagation latency between machines.
+	PropDelay sim.Time
+	// PerMsgOverhead is the fixed software cost charged per message per
+	// direction (syscall, serialization); it is what makes very small
+	// parameter slices unprofitable (paper §5.7).
+	PerMsgOverhead sim.Time
+	// HeaderBytes is the wire framing added to every message.
+	HeaderBytes int64
+	// LocalBandwidthGbps is the loopback rate for messages between a worker
+	// and the server co-located on the same machine (never crosses the NIC).
+	LocalBandwidthGbps float64
+	// LocalDelay is the fixed loopback latency.
+	LocalDelay sim.Time
+	// PriorityEgress selects the egress discipline: true = priority queue
+	// (P3), false = FIFO (baseline and slicing-only).
+	PriorityEgress bool
+}
+
+// DefaultConfig returns the interconnect constants used for every experiment
+// (DESIGN.md §5), with the bandwidth left for the caller to set.
+func DefaultConfig(gbps float64) Config {
+	return Config{
+		BandwidthGbps:      gbps,
+		PropDelay:          25 * sim.Microsecond,
+		PerMsgOverhead:     8 * sim.Microsecond,
+		HeaderBytes:        64,
+		LocalBandwidthGbps: 160,
+		LocalDelay:         5 * sim.Microsecond,
+	}
+}
+
+// Message is one transfer unit. Application-level meaning travels in the
+// Kind/Chunk/Iter/Src fields, interpreted by the cluster layer; netsim only
+// reads From, To, Bytes and Priority.
+type Message struct {
+	From, To int   // machine indices
+	Bytes    int64 // payload size (headers are added by the network)
+	Priority int32 // lower is more urgent; used only with PriorityEgress
+
+	Kind  uint8 // application tag: push, notify, pull, data, ...
+	Chunk int32 // application tag: chunk id
+	Iter  int32 // application tag: iteration number
+	Src   int32 // application tag: originating worker
+}
+
+// Handler receives fully delivered messages.
+type Handler func(Message)
+
+type nic struct {
+	egress     *pq.Queue[Message]
+	egressBusy bool
+	ingress    *pq.Queue[Message]
+	ingressBsy bool
+}
+
+// Network simulates the interconnect for n machines.
+type Network struct {
+	eng     *sim.Engine
+	cfg     Config
+	nics    []nic
+	deliver Handler
+	rec     *trace.Recorder // optional
+
+	// Stats, for conservation checks and reporting.
+	MsgsSent       int64
+	BytesSent      int64
+	MsgsDelivered  int64
+	BytesDelivered int64
+}
+
+// New creates a network of n machines on the given engine. handler is invoked
+// (on the virtual clock) when a message has fully arrived. rec may be nil.
+func New(eng *sim.Engine, n int, cfg Config, handler Handler, rec *trace.Recorder) *Network {
+	if cfg.BandwidthGbps <= 0 {
+		panic(fmt.Sprintf("netsim: bandwidth %v Gbps", cfg.BandwidthGbps))
+	}
+	if cfg.LocalBandwidthGbps <= 0 {
+		cfg.LocalBandwidthGbps = 160
+	}
+	nw := &Network{eng: eng, cfg: cfg, deliver: handler, rec: rec}
+	less := func(a, b Message) bool { return false } // pure FIFO via insertion order
+	if cfg.PriorityEgress {
+		less = func(a, b Message) bool { return a.Priority < b.Priority }
+	}
+	fifoLess := func(a, b Message) bool { return false }
+	nw.nics = make([]nic, n)
+	for i := range nw.nics {
+		nw.nics[i] = nic{egress: pq.New(less), ingress: pq.New(fifoLess)}
+	}
+	return nw
+}
+
+// wireTime is the serialization time of a message in one direction.
+func (nw *Network) wireTime(bytes int64) sim.Time {
+	bits := float64(bytes+nw.cfg.HeaderBytes) * 8
+	return nw.cfg.PerMsgOverhead + sim.Time(bits/nw.cfg.BandwidthGbps)
+	// BandwidthGbps is Gbit/s = bit/ns, so bits/rate is already nanoseconds.
+}
+
+func (nw *Network) localTime(bytes int64) sim.Time {
+	bits := float64(bytes+nw.cfg.HeaderBytes) * 8
+	return nw.cfg.LocalDelay + sim.Time(bits/nw.cfg.LocalBandwidthGbps)
+}
+
+// Send queues m for transmission. Loopback messages (From == To) skip the
+// NIC entirely, as a co-located worker and server communicate through shared
+// memory in the real system.
+func (nw *Network) Send(m Message) {
+	nw.MsgsSent++
+	nw.BytesSent += m.Bytes
+	if m.From == m.To {
+		nw.eng.After(nw.localTime(m.Bytes), func() {
+			nw.MsgsDelivered++
+			nw.BytesDelivered += m.Bytes
+			nw.deliver(m)
+		})
+		return
+	}
+	nw.nics[m.From].egress.Push(m)
+	nw.pumpEgress(m.From)
+}
+
+func (nw *Network) pumpEgress(machine int) {
+	n := &nw.nics[machine]
+	if n.egressBusy || n.egress.Len() == 0 {
+		return
+	}
+	m := n.egress.Pop()
+	n.egressBusy = true
+	start := nw.eng.Now()
+	tx := nw.wireTime(m.Bytes)
+	nw.eng.After(tx, func() {
+		nw.rec.AddRange(machine, trace.Out, start, start+tx, m.Bytes+nw.cfg.HeaderBytes)
+		n.egressBusy = false
+		// Hand off to the receiver after propagation.
+		nw.eng.After(nw.cfg.PropDelay, func() { nw.arrive(m) })
+		nw.pumpEgress(machine)
+	})
+}
+
+func (nw *Network) arrive(m Message) {
+	n := &nw.nics[m.To]
+	n.ingress.Push(m)
+	nw.pumpIngress(m.To)
+}
+
+func (nw *Network) pumpIngress(machine int) {
+	n := &nw.nics[machine]
+	if n.ingressBsy || n.ingress.Len() == 0 {
+		return
+	}
+	m := n.ingress.Pop()
+	n.ingressBsy = true
+	start := nw.eng.Now()
+	rx := nw.wireTime(m.Bytes)
+	nw.eng.After(rx, func() {
+		nw.rec.AddRange(machine, trace.In, start, start+rx, m.Bytes+nw.cfg.HeaderBytes)
+		n.ingressBsy = false
+		nw.MsgsDelivered++
+		nw.BytesDelivered += m.Bytes
+		nw.deliver(m)
+		nw.pumpIngress(machine)
+	})
+}
+
+// QueuedEgress reports how many messages wait in machine m's egress queue
+// (not counting one in flight). Used by tests.
+func (nw *Network) QueuedEgress(m int) int { return nw.nics[m].egress.Len() }

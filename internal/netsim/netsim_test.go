@@ -1,0 +1,233 @@
+package netsim
+
+import (
+	"testing"
+
+	"p3/internal/sim"
+	"p3/internal/trace"
+)
+
+// cfg returns a config with clean arithmetic: 8 Gbps = 1 byte/ns, zero
+// overheads unless a test opts in.
+func cleanCfg(priority bool) Config {
+	return Config{
+		BandwidthGbps:      8,
+		PropDelay:          0,
+		PerMsgOverhead:     0,
+		HeaderBytes:        0,
+		LocalBandwidthGbps: 8000,
+		LocalDelay:         0,
+		PriorityEgress:     priority,
+	}
+}
+
+type delivery struct {
+	m  Message
+	at sim.Time
+}
+
+func runNet(t *testing.T, cfg Config, n int, send func(nw *Network)) []delivery {
+	t.Helper()
+	var eng sim.Engine
+	var got []delivery
+	var nw *Network
+	nw = New(&eng, n, cfg, func(m Message) {
+		got = append(got, delivery{m, eng.Now()})
+	}, nil)
+	send(nw)
+	eng.Run()
+	return got
+}
+
+func TestSerializationTiming(t *testing.T) {
+	// 1000 bytes at 8 Gbps (1 byte/ns): egress 1000 ns + ingress 1000 ns.
+	got := runNet(t, cleanCfg(false), 2, func(nw *Network) {
+		nw.Send(Message{From: 0, To: 1, Bytes: 1000})
+	})
+	if len(got) != 1 {
+		t.Fatalf("%d deliveries", len(got))
+	}
+	if got[0].at != 2000 {
+		t.Fatalf("delivered at %v ns, want 2000 (store-and-forward)", got[0].at)
+	}
+}
+
+func TestOverheadAndHeaderAccounting(t *testing.T) {
+	cfg := cleanCfg(false)
+	cfg.PerMsgOverhead = 100
+	cfg.HeaderBytes = 50
+	got := runNet(t, cfg, 2, func(nw *Network) {
+		nw.Send(Message{From: 0, To: 1, Bytes: 1000})
+	})
+	// Each direction: 100 overhead + 1050 bytes/1Bpns = 1150; two directions.
+	if got[0].at != 2300 {
+		t.Fatalf("delivered at %v, want 2300", got[0].at)
+	}
+}
+
+func TestPropagationDelay(t *testing.T) {
+	cfg := cleanCfg(false)
+	cfg.PropDelay = 500
+	got := runNet(t, cfg, 2, func(nw *Network) {
+		nw.Send(Message{From: 0, To: 1, Bytes: 1000})
+	})
+	if got[0].at != 2500 {
+		t.Fatalf("delivered at %v, want 2500", got[0].at)
+	}
+}
+
+func TestLoopbackBypassesNIC(t *testing.T) {
+	got := runNet(t, cleanCfg(false), 2, func(nw *Network) {
+		nw.Send(Message{From: 1, To: 1, Bytes: 8_000_000})
+	})
+	// Local rate 8000 Gbps = 1000 bytes/ns: 8000 ns, no double count.
+	if got[0].at != 8000 {
+		t.Fatalf("loopback delivered at %v, want 8000", got[0].at)
+	}
+}
+
+func TestFIFOEgressOrder(t *testing.T) {
+	got := runNet(t, cleanCfg(false), 2, func(nw *Network) {
+		nw.Send(Message{From: 0, To: 1, Bytes: 100, Priority: 9, Chunk: 0})
+		nw.Send(Message{From: 0, To: 1, Bytes: 100, Priority: 1, Chunk: 1})
+		nw.Send(Message{From: 0, To: 1, Bytes: 100, Priority: 5, Chunk: 2})
+	})
+	for i, d := range got {
+		if d.m.Chunk != int32(i) {
+			t.Fatalf("FIFO violated: delivery %d is chunk %d", i, d.m.Chunk)
+		}
+	}
+}
+
+// TestPriorityEgressPreemption is the paper's worker-side mechanism: queued
+// messages reorder by priority, but the in-flight message completes first
+// (preemption at message granularity).
+func TestPriorityEgressPreemption(t *testing.T) {
+	cfg := cleanCfg(true)
+	var eng sim.Engine
+	var got []int32
+	nw := New(&eng, 2, cfg, func(m Message) { got = append(got, m.Chunk) }, nil)
+	// Chunk 0 (low priority) starts transmitting immediately; chunks pushed
+	// while it is in flight reorder: 3 (prio 1) before 1 (prio 2) before 2
+	// (prio 8).
+	nw.Send(Message{From: 0, To: 1, Bytes: 10_000, Priority: 9, Chunk: 0})
+	eng.After(100, func() {
+		nw.Send(Message{From: 0, To: 1, Bytes: 100, Priority: 2, Chunk: 1})
+		nw.Send(Message{From: 0, To: 1, Bytes: 100, Priority: 8, Chunk: 2})
+		nw.Send(Message{From: 0, To: 1, Bytes: 100, Priority: 1, Chunk: 3})
+	})
+	eng.Run()
+	want := []int32{0, 3, 1, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("priority order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestIngressSerializesIncast(t *testing.T) {
+	// Two senders to one receiver: their ingress serializations cannot
+	// overlap, so the second delivery lands ~1000 ns after the first.
+	got := runNet(t, cleanCfg(false), 3, func(nw *Network) {
+		nw.Send(Message{From: 0, To: 2, Bytes: 1000})
+		nw.Send(Message{From: 1, To: 2, Bytes: 1000})
+	})
+	if len(got) != 2 {
+		t.Fatalf("%d deliveries", len(got))
+	}
+	if got[0].at != 2000 || got[1].at != 3000 {
+		t.Fatalf("incast deliveries at %v/%v, want 2000/3000", got[0].at, got[1].at)
+	}
+}
+
+func TestParallelSendersDontInterfere(t *testing.T) {
+	// Distinct sender and receiver pairs: full parallelism.
+	got := runNet(t, cleanCfg(false), 4, func(nw *Network) {
+		nw.Send(Message{From: 0, To: 2, Bytes: 1000})
+		nw.Send(Message{From: 1, To: 3, Bytes: 1000})
+	})
+	for _, d := range got {
+		if d.at != 2000 {
+			t.Fatalf("parallel transfer delayed: %v", d.at)
+		}
+	}
+}
+
+func TestByteConservation(t *testing.T) {
+	var eng sim.Engine
+	var delivered int64
+	var nw *Network
+	nw = New(&eng, 4, cleanCfg(false), func(m Message) { delivered += m.Bytes }, nil)
+	var sent int64
+	for i := 0; i < 100; i++ {
+		b := int64(i*13 + 1)
+		nw.Send(Message{From: i % 4, To: (i + 1) % 4, Bytes: b})
+		sent += b
+	}
+	eng.Run()
+	if delivered != sent {
+		t.Fatalf("delivered %d bytes, sent %d", delivered, sent)
+	}
+	if nw.BytesDelivered != sent || nw.BytesSent != sent {
+		t.Fatalf("stats: sent %d delivered %d, want %d", nw.BytesSent, nw.BytesDelivered, sent)
+	}
+	if nw.MsgsDelivered != 100 {
+		t.Fatalf("msgs delivered = %d", nw.MsgsDelivered)
+	}
+}
+
+func TestUtilizationRecording(t *testing.T) {
+	var eng sim.Engine
+	rec := trace.NewRecorder(2, 10*sim.Millisecond)
+	rec.Start(0)
+	cfg := cleanCfg(false)
+	cfg.HeaderBytes = 0
+	nw := New(&eng, 2, cfg, func(Message) {}, rec)
+	nw.Send(Message{From: 0, To: 1, Bytes: 5000})
+	eng.Run()
+	if out := rec.TotalBytes(0, trace.Out); out != 5000 {
+		t.Fatalf("machine 0 outbound = %v, want 5000", out)
+	}
+	if in := rec.TotalBytes(1, trace.In); in != 5000 {
+		t.Fatalf("machine 1 inbound = %v, want 5000", in)
+	}
+	// Loopback must not touch the recorder.
+	nw.Send(Message{From: 0, To: 0, Bytes: 700})
+	eng.Run()
+	if out := rec.TotalBytes(0, trace.Out); out != 5000 {
+		t.Fatalf("loopback counted on NIC: %v", out)
+	}
+}
+
+func TestQueuedEgress(t *testing.T) {
+	var eng sim.Engine
+	nw := New(&eng, 2, cleanCfg(false), func(Message) {}, nil)
+	for i := 0; i < 5; i++ {
+		nw.Send(Message{From: 0, To: 1, Bytes: 1000})
+	}
+	// One in flight, four queued.
+	if got := nw.QueuedEgress(0); got != 4 {
+		t.Fatalf("QueuedEgress = %d, want 4", got)
+	}
+	eng.Run()
+	if got := nw.QueuedEgress(0); got != 0 {
+		t.Fatalf("QueuedEgress after run = %d", got)
+	}
+}
+
+func TestInvalidBandwidthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for zero bandwidth")
+		}
+	}()
+	var eng sim.Engine
+	New(&eng, 1, Config{}, func(Message) {}, nil)
+}
+
+func TestDefaultConfig(t *testing.T) {
+	cfg := DefaultConfig(25)
+	if cfg.BandwidthGbps != 25 || cfg.HeaderBytes == 0 || cfg.PerMsgOverhead == 0 {
+		t.Fatalf("DefaultConfig = %+v", cfg)
+	}
+}

@@ -1,0 +1,101 @@
+// Package opt implements the optimizers used by the convergence
+// experiments: SGD with momentum and weight decay (the training rule of the
+// paper's ResNet-110/CIFAR-10 study) and step learning-rate schedules.
+package opt
+
+import (
+	"fmt"
+
+	"p3/internal/nn"
+)
+
+// SGD is stochastic gradient descent with classical momentum:
+//
+//	v <- mu*v + g + wd*w ;  w <- w - lr*v
+type SGD struct {
+	LR          float64
+	Momentum    float64
+	WeightDecay float64
+
+	vel map[*nn.Param][]float64
+}
+
+// NewSGD creates the optimizer.
+func NewSGD(lr, momentum, weightDecay float64) *SGD {
+	if lr <= 0 {
+		panic(fmt.Sprintf("opt: non-positive learning rate %f", lr))
+	}
+	return &SGD{LR: lr, Momentum: momentum, WeightDecay: weightDecay, vel: make(map[*nn.Param][]float64)}
+}
+
+// Step applies one update to every parameter from its current gradient.
+func (o *SGD) Step(params []*nn.Param) {
+	for _, p := range params {
+		v, ok := o.vel[p]
+		if !ok {
+			v = make([]float64, len(p.Data))
+			o.vel[p] = v
+		}
+		for i := range p.Data {
+			g := p.Grad[i] + o.WeightDecay*p.Data[i]
+			v[i] = o.Momentum*v[i] + g
+			p.Data[i] -= o.LR * v[i]
+		}
+	}
+}
+
+// StepDense applies an update from an externally aggregated flat gradient
+// (one slice per parameter tensor, aligned with params). Used by the
+// data-parallel trainer, where the gradient arrives from the parameter
+// server rather than from the local replica.
+func (o *SGD) StepDense(params []*nn.Param, grads [][]float64) {
+	if len(params) != len(grads) {
+		panic(fmt.Sprintf("opt: %d params vs %d gradient tensors", len(params), len(grads)))
+	}
+	for pi, p := range params {
+		g := grads[pi]
+		if len(g) != len(p.Data) {
+			panic(fmt.Sprintf("opt: param %q has %d elements, gradient %d", p.Name, len(p.Data), len(g)))
+		}
+		v, ok := o.vel[p]
+		if !ok {
+			v = make([]float64, len(p.Data))
+			o.vel[p] = v
+		}
+		for i := range p.Data {
+			gr := g[i] + o.WeightDecay*p.Data[i]
+			v[i] = o.Momentum*v[i] + gr
+			p.Data[i] -= o.LR * v[i]
+		}
+	}
+}
+
+// Schedule maps an epoch to a learning rate.
+type Schedule interface {
+	LR(epoch int) float64
+}
+
+// StepSchedule decays Base by Gamma at each milestone epoch (the standard
+// CIFAR recipe).
+type StepSchedule struct {
+	Base       float64
+	Gamma      float64
+	Milestones []int
+}
+
+// LR implements Schedule.
+func (s StepSchedule) LR(epoch int) float64 {
+	lr := s.Base
+	for _, m := range s.Milestones {
+		if epoch >= m {
+			lr *= s.Gamma
+		}
+	}
+	return lr
+}
+
+// ConstSchedule is a fixed learning rate.
+type ConstSchedule float64
+
+// LR implements Schedule.
+func (c ConstSchedule) LR(int) float64 { return float64(c) }

@@ -1,0 +1,111 @@
+package opt
+
+import (
+	"math"
+	"testing"
+
+	"p3/internal/nn"
+)
+
+func param(n int) *nn.Param {
+	return &nn.Param{Name: "p", Data: make([]float64, n), Grad: make([]float64, n)}
+}
+
+func TestSGDPlain(t *testing.T) {
+	p := param(2)
+	p.Data[0], p.Data[1] = 1, 2
+	p.Grad[0], p.Grad[1] = 0.5, -0.5
+	o := NewSGD(0.1, 0, 0)
+	o.Step([]*nn.Param{p})
+	if math.Abs(p.Data[0]-0.95) > 1e-12 || math.Abs(p.Data[1]-2.05) > 1e-12 {
+		t.Fatalf("plain SGD step = %v", p.Data)
+	}
+}
+
+func TestSGDMomentumClosedForm(t *testing.T) {
+	// With constant gradient g, velocity after k steps is
+	// g * (1 - mu^k) / (1 - mu).
+	p := param(1)
+	p.Data[0] = 0
+	const g, mu, lr = 1.0, 0.9, 0.1
+	o := NewSGD(lr, mu, 0)
+	v, x := 0.0, 0.0
+	for k := 0; k < 10; k++ {
+		p.Grad[0] = g
+		o.Step([]*nn.Param{p})
+		v = mu*v + g
+		x -= lr * v
+		if math.Abs(p.Data[0]-x) > 1e-12 {
+			t.Fatalf("step %d: got %v, want %v", k, p.Data[0], x)
+		}
+	}
+}
+
+func TestWeightDecay(t *testing.T) {
+	p := param(1)
+	p.Data[0] = 10
+	p.Grad[0] = 0
+	o := NewSGD(0.1, 0, 0.01)
+	o.Step([]*nn.Param{p})
+	// g_eff = 0 + 0.01*10 = 0.1; x = 10 - 0.1*0.1 = 9.99.
+	if math.Abs(p.Data[0]-9.99) > 1e-12 {
+		t.Fatalf("weight decay step = %v", p.Data[0])
+	}
+}
+
+func TestStepDenseMatchesStep(t *testing.T) {
+	a, b := param(3), param(3)
+	for i := 0; i < 3; i++ {
+		a.Data[i], b.Data[i] = float64(i), float64(i)
+	}
+	grads := [][]float64{{0.1, 0.2, 0.3}}
+	copy(a.Grad, grads[0])
+
+	oa := NewSGD(0.05, 0.9, 1e-4)
+	ob := NewSGD(0.05, 0.9, 1e-4)
+	for step := 0; step < 5; step++ {
+		oa.Step([]*nn.Param{a})
+		ob.StepDense([]*nn.Param{b}, grads)
+		copy(a.Grad, grads[0]) // Step reads p.Grad each time
+		for i := range a.Data {
+			if a.Data[i] != b.Data[i] {
+				t.Fatalf("step %d: Step %v != StepDense %v", step, a.Data, b.Data)
+			}
+		}
+	}
+}
+
+func TestStepDensePanicsOnMismatch(t *testing.T) {
+	o := NewSGD(0.1, 0, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched grads accepted")
+		}
+	}()
+	o.StepDense([]*nn.Param{param(2)}, [][]float64{{1}})
+}
+
+func TestNewSGDRejectsBadLR(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("lr=0 accepted")
+		}
+	}()
+	NewSGD(0, 0.9, 0)
+}
+
+func TestStepSchedule(t *testing.T) {
+	s := StepSchedule{Base: 1.0, Gamma: 0.1, Milestones: []int{10, 20}}
+	cases := map[int]float64{0: 1.0, 9: 1.0, 10: 0.1, 19: 0.1, 20: 0.01, 100: 0.01}
+	for epoch, want := range cases {
+		if got := s.LR(epoch); math.Abs(got-want) > 1e-15 {
+			t.Fatalf("LR(%d) = %v, want %v", epoch, got, want)
+		}
+	}
+}
+
+func TestConstSchedule(t *testing.T) {
+	if ConstSchedule(0.3).LR(57) != 0.3 {
+		t.Fatal("const schedule broken")
+	}
+}

@@ -1,0 +1,29 @@
+package pq_test
+
+import (
+	"fmt"
+
+	"p3/internal/pq"
+)
+
+// Example shows the scheduler semantics P3 relies on: lowest priority value
+// first, FIFO among equals — so two slices of the same layer keep their
+// push order while a more urgent layer's slice overtakes both.
+func Example() {
+	type slice struct {
+		layer int
+		seq   int
+	}
+	q := pq.New(func(a, b slice) bool { return a.layer < b.layer })
+	q.Push(slice{layer: 3, seq: 0}) // bulk layer, pushed first
+	q.Push(slice{layer: 3, seq: 1})
+	q.Push(slice{layer: 0, seq: 0}) // urgent layer, pushed last
+	for q.Len() > 0 {
+		s := q.Pop()
+		fmt.Printf("layer %d seq %d\n", s.layer, s.seq)
+	}
+	// Output:
+	// layer 0 seq 0
+	// layer 3 seq 0
+	// layer 3 seq 1
+}

@@ -1,0 +1,93 @@
+// Package pq provides a deterministic priority queue used throughout the
+// library: by the P3 scheduler (worker- and server-side producer/consumer
+// loops), by the network simulator's priority egress discipline, and by the
+// TCP transport's sender goroutine.
+//
+// Lower Less() values are dequeued first. Elements that compare equal are
+// dequeued in insertion order (FIFO), which both matches the behaviour of the
+// paper's implementation (slices of the same layer are sent in order) and
+// keeps the discrete-event simulation deterministic.
+package pq
+
+import "container/heap"
+
+// Queue is a min-queue over T ordered by the less function supplied at
+// construction, with FIFO tie-breaking. The zero value is not usable; call
+// New.
+type Queue[T any] struct {
+	h inner[T]
+}
+
+type item[T any] struct {
+	value T
+	seq   uint64
+}
+
+type inner[T any] struct {
+	items []item[T]
+	less  func(a, b T) bool
+	seq   uint64
+}
+
+// New returns an empty queue ordered by less (true means a dequeues before b).
+func New[T any](less func(a, b T) bool) *Queue[T] {
+	return &Queue[T]{h: inner[T]{less: less}}
+}
+
+// Len reports the number of queued elements.
+func (q *Queue[T]) Len() int { return len(q.h.items) }
+
+// Push adds v to the queue.
+func (q *Queue[T]) Push(v T) {
+	q.h.seq++
+	heap.Push(&q.h, item[T]{value: v, seq: q.h.seq})
+}
+
+// Pop removes and returns the minimum element. It panics on an empty queue.
+func (q *Queue[T]) Pop() T {
+	return heap.Pop(&q.h).(item[T]).value
+}
+
+// Peek returns the minimum element without removing it. The second result is
+// false if the queue is empty.
+func (q *Queue[T]) Peek() (T, bool) {
+	if len(q.h.items) == 0 {
+		var zero T
+		return zero, false
+	}
+	return q.h.items[0].value, true
+}
+
+// Drain removes all elements in priority order and returns them.
+func (q *Queue[T]) Drain() []T {
+	out := make([]T, 0, q.Len())
+	for q.Len() > 0 {
+		out = append(out, q.Pop())
+	}
+	return out
+}
+
+func (h *inner[T]) Len() int { return len(h.items) }
+
+func (h *inner[T]) Less(i, j int) bool {
+	a, b := h.items[i], h.items[j]
+	if h.less(a.value, b.value) {
+		return true
+	}
+	if h.less(b.value, a.value) {
+		return false
+	}
+	return a.seq < b.seq
+}
+
+func (h *inner[T]) Swap(i, j int) { h.items[i], h.items[j] = h.items[j], h.items[i] }
+
+func (h *inner[T]) Push(x any) { h.items = append(h.items, x.(item[T])) }
+
+func (h *inner[T]) Pop() any {
+	old := h.items
+	n := len(old)
+	it := old[n-1]
+	h.items = old[:n-1]
+	return it
+}

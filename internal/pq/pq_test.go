@@ -1,0 +1,147 @@
+package pq
+
+import (
+	"math/rand/v2"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func intLess(a, b int) bool { return a < b }
+
+func TestEmptyQueue(t *testing.T) {
+	q := New(intLess)
+	if q.Len() != 0 {
+		t.Fatalf("new queue has Len %d", q.Len())
+	}
+	if _, ok := q.Peek(); ok {
+		t.Fatal("Peek on empty queue reported ok")
+	}
+	if got := q.Drain(); len(got) != 0 {
+		t.Fatalf("Drain on empty queue returned %v", got)
+	}
+}
+
+func TestPopPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Pop on empty queue did not panic")
+		}
+	}()
+	New(intLess).Pop()
+}
+
+func TestOrdering(t *testing.T) {
+	q := New(intLess)
+	for _, v := range []int{5, 3, 8, 1, 9, 2, 7} {
+		q.Push(v)
+	}
+	want := []int{1, 2, 3, 5, 7, 8, 9}
+	for i, w := range want {
+		if got := q.Pop(); got != w {
+			t.Fatalf("pop %d = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestPeekMatchesPop(t *testing.T) {
+	q := New(intLess)
+	for _, v := range []int{4, 2, 6} {
+		q.Push(v)
+	}
+	for q.Len() > 0 {
+		p, ok := q.Peek()
+		if !ok {
+			t.Fatal("Peek failed on non-empty queue")
+		}
+		if got := q.Pop(); got != p {
+			t.Fatalf("Peek %d != Pop %d", p, got)
+		}
+	}
+}
+
+type prioVal struct {
+	prio int
+	seq  int
+}
+
+// TestFIFOWithinEqualPriority is the scheduler invariant the paper relies
+// on: slices of the same layer (equal priority) transmit in push order.
+func TestFIFOWithinEqualPriority(t *testing.T) {
+	q := New(func(a, b prioVal) bool { return a.prio < b.prio })
+	for i := 0; i < 100; i++ {
+		q.Push(prioVal{prio: i % 3, seq: i})
+	}
+	lastSeq := map[int]int{0: -1, 1: -1, 2: -1}
+	lastPrio := -1
+	for q.Len() > 0 {
+		v := q.Pop()
+		if v.prio < lastPrio {
+			t.Fatalf("priority went backwards: %d after %d", v.prio, lastPrio)
+		}
+		lastPrio = v.prio
+		if v.seq <= lastSeq[v.prio] {
+			t.Fatalf("FIFO violated within priority %d: seq %d after %d", v.prio, v.seq, lastSeq[v.prio])
+		}
+		lastSeq[v.prio] = v.seq
+	}
+}
+
+// TestDrainMatchesStableSort checks against the reference semantics: drain
+// order equals a stable sort of the input by priority.
+func TestDrainMatchesStableSort(t *testing.T) {
+	f := func(vals []int16) bool {
+		q := New(func(a, b int16) bool { return a < b })
+		for _, v := range vals {
+			q.Push(v)
+		}
+		got := q.Drain()
+		want := append([]int16(nil), vals...)
+		sort.SliceStable(want, func(i, j int) bool { return want[i] < want[j] })
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInterleavedPushPop exercises heap integrity under mixed operations.
+func TestInterleavedPushPop(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	q := New(intLess)
+	var mirror []int
+	for step := 0; step < 5000; step++ {
+		if q.Len() == 0 || rng.IntN(3) > 0 {
+			v := rng.IntN(1000)
+			q.Push(v)
+			mirror = append(mirror, v)
+			sort.Ints(mirror)
+			continue
+		}
+		got := q.Pop()
+		if got != mirror[0] {
+			t.Fatalf("step %d: pop %d, want %d", step, got, mirror[0])
+		}
+		mirror = mirror[1:]
+	}
+}
+
+func BenchmarkPushPop(b *testing.B) {
+	q := New(intLess)
+	rng := rand.New(rand.NewPCG(1, 2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Push(rng.IntN(1 << 20))
+		if q.Len() > 1024 {
+			q.Pop()
+		}
+	}
+}

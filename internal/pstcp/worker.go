@@ -1,0 +1,164 @@
+package pstcp
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"p3/internal/transport"
+)
+
+// Handler receives fully delivered Data frames on the worker.
+type Handler func(f *transport.Frame)
+
+// Worker is one training process's communication endpoint: the P3Worker of
+// Section 4.2. Gradient slices pushed by the training loop (the producer)
+// are drained by a single consumer goroutine that always transmits the most
+// urgent slice next.
+type Worker struct {
+	id      uint8
+	conns   []net.Conn
+	sendQ   *transport.SendQueue
+	handler Handler
+
+	wg     sync.WaitGroup
+	readWG sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// DialWorker connects worker id to every server address. priority selects
+// P3 send ordering (false = FIFO baseline). handler runs on a receive
+// goroutine for every Data frame; it must be safe for concurrent calls when
+// multiple servers are used.
+func DialWorker(id int, addrs []string, priority bool, handler Handler) (*Worker, error) {
+	if id < 0 || id > 255 {
+		return nil, fmt.Errorf("pstcp: worker id %d out of range", id)
+	}
+	w := &Worker{
+		id:      uint8(id),
+		sendQ:   transport.NewSendQueue(priority),
+		handler: handler,
+	}
+	for _, addr := range addrs {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			w.Close()
+			return nil, fmt.Errorf("pstcp: dial %s: %w", addr, err)
+		}
+		w.conns = append(w.conns, conn)
+	}
+	// Register on every server before anything else moves.
+	for _, conn := range w.conns {
+		fw := transport.NewFrameWriter(conn)
+		if err := transport.WriteFrame(fw, &transport.Frame{Type: transport.TypeHello, Sender: w.id}); err != nil {
+			w.Close()
+			return nil, fmt.Errorf("pstcp: hello: %w", err)
+		}
+		if err := fw.Flush(); err != nil {
+			w.Close()
+			return nil, fmt.Errorf("pstcp: hello flush: %w", err)
+		}
+	}
+	for _, conn := range w.conns {
+		w.readWG.Add(1)
+		go w.readLoop(conn)
+	}
+	w.wg.Add(1)
+	go w.sendLoop()
+	return w, nil
+}
+
+// Init uploads initial parameter values for a key to its server.
+func (w *Worker) Init(server int, key uint64, values []float32) {
+	w.sendQ.Push(&transport.Frame{
+		Type: transport.TypeInit, Sender: w.id, Dst: uint8(server),
+		Key: key, Values: values,
+	})
+}
+
+// Push sends a gradient slice for key to its server; the slice joins the
+// send queue at the given priority (lower = more urgent).
+func (w *Worker) Push(server int, key uint64, iter int32, priority int32, grad []float32) {
+	w.sendQ.Push(&transport.Frame{
+		Type: transport.TypePush, Sender: w.id, Dst: uint8(server),
+		Priority: priority, Key: key, Iter: iter, Values: grad,
+	})
+}
+
+// Pull requests the current value of key (used by baseline-style flows; P3
+// relies on the server's immediate broadcast instead).
+func (w *Worker) Pull(server int, key uint64, iter int32, priority int32) {
+	w.sendQ.Push(&transport.Frame{
+		Type: transport.TypePull, Sender: w.id, Dst: uint8(server),
+		Priority: priority, Key: key, Iter: iter,
+	})
+}
+
+// QueuedSends reports the number of frames waiting in the send queue.
+func (w *Worker) QueuedSends() int { return w.sendQ.Len() }
+
+// Close tears down the connections and waits for the worker's goroutines.
+func (w *Worker) Close() {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return
+	}
+	w.closed = true
+	w.mu.Unlock()
+	w.sendQ.Close()
+	w.wg.Wait() // drain pending sends before closing connections
+	for _, c := range w.conns {
+		c.Close()
+	}
+	w.readWG.Wait()
+}
+
+func (w *Worker) readLoop(conn net.Conn) {
+	defer w.readWG.Done()
+	r := transport.NewFrameReader(conn)
+	for {
+		f, err := transport.ReadFrame(r)
+		if err != nil {
+			return
+		}
+		if (f.Type == transport.TypeData || f.Type == transport.TypeNotify) && w.handler != nil {
+			w.handler(f)
+		}
+	}
+}
+
+// sendLoop is the consumer thread of Section 4.2: it polls the highest
+// priority frame and performs the blocking network call, so transmission
+// order always tracks priority at frame granularity.
+func (w *Worker) sendLoop() {
+	defer w.wg.Done()
+	writers := make([]*connWriter, len(w.conns))
+	for i, c := range w.conns {
+		writers[i] = &connWriter{conn: c, w: transport.NewFrameWriter(c)}
+	}
+	dirty := make(map[int]bool)
+	flushAll := func() {
+		for i := range dirty {
+			writers[i].w.Flush()
+			delete(dirty, i)
+		}
+	}
+	for {
+		f, ok := w.sendQ.Pop()
+		if !ok {
+			flushAll()
+			return
+		}
+		if int(f.Dst) < len(writers) {
+			if err := transport.WriteFrame(writers[f.Dst].w, f); err == nil {
+				dirty[int(f.Dst)] = true
+			}
+		}
+		if w.sendQ.Len() == 0 {
+			flushAll()
+		}
+	}
+}

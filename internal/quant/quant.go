@@ -1,0 +1,189 @@
+// Package quant implements the gradient-quantization baselines the paper
+// positions P3 against in its related work (Section 6): QSGD (Alistarh et
+// al. 2017), TernGrad (Wen et al. 2017) and 1-bit SGD with error feedback
+// (Seide et al. 2014). Each codec consumes a dense gradient and returns the
+// gradient the receiving end would reconstruct, plus the wire cost in bits —
+// so the trainer can measure both the statistical effect (information loss)
+// and the bandwidth saving, the trade-off P3 refuses to make.
+//
+// All stochastic codecs draw from an explicit seeded generator: runs are
+// reproducible.
+package quant
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+)
+
+// Codec transforms a worker's local gradient into what the far end decodes.
+type Codec interface {
+	// EncodeDecode quantizes grad for tensor t and returns the decoded
+	// gradient (same length) and the number of wire bits the encoding
+	// would occupy.
+	EncodeDecode(t int, grad []float64) (decoded []float64, wireBits int64)
+	// Name identifies the codec.
+	Name() string
+}
+
+// ---- QSGD ----
+
+// QSGD is stochastic uniform quantization with s levels per half-axis:
+// each coordinate becomes ||v||_2 * sign(v_i) * xi_i with xi_i an integer
+// multiple of 1/s, chosen stochastically so the estimate is unbiased.
+type QSGD struct {
+	Levels int // s; 2^b - 1 levels for b-bit quantization
+	rng    *rand.Rand
+}
+
+// NewQSGD creates a QSGD codec with the given level count and seed.
+func NewQSGD(levels int, seed int64) *QSGD {
+	if levels < 1 {
+		panic(fmt.Sprintf("quant: QSGD needs >= 1 level, got %d", levels))
+	}
+	return &QSGD{Levels: levels, rng: rand.New(rand.NewPCG(uint64(seed), uint64(seed)^0x95D))}
+}
+
+// Name implements Codec.
+func (q *QSGD) Name() string { return fmt.Sprintf("qsgd-%d", q.Levels) }
+
+// EncodeDecode implements Codec.
+func (q *QSGD) EncodeDecode(_ int, grad []float64) ([]float64, int64) {
+	norm := 0.0
+	for _, g := range grad {
+		norm += g * g
+	}
+	norm = math.Sqrt(norm)
+	out := make([]float64, len(grad))
+	if norm == 0 {
+		return out, 32 // just the norm
+	}
+	s := float64(q.Levels)
+	for i, g := range grad {
+		u := math.Abs(g) / norm * s // in [0, s]
+		lo := math.Floor(u)
+		level := lo
+		if q.rng.Float64() < u-lo {
+			level = lo + 1
+		}
+		val := norm * level / s
+		if g < 0 {
+			val = -val
+		}
+		out[i] = val
+	}
+	// Wire cost: 32-bit norm + per coordinate sign + ceil(log2(s+1)) bits.
+	bitsPer := int64(math.Ceil(math.Log2(s+1))) + 1
+	return out, 32 + bitsPer*int64(len(grad))
+}
+
+// ---- TernGrad ----
+
+// TernGrad quantizes to three levels {-1, 0, +1} scaled by the max
+// magnitude, stochastically and unbiasedly.
+type TernGrad struct {
+	rng *rand.Rand
+}
+
+// NewTernGrad creates a TernGrad codec.
+func NewTernGrad(seed int64) *TernGrad {
+	return &TernGrad{rng: rand.New(rand.NewPCG(uint64(seed), uint64(seed)^0x7E4))}
+}
+
+// Name implements Codec.
+func (t *TernGrad) Name() string { return "terngrad" }
+
+// EncodeDecode implements Codec.
+func (t *TernGrad) EncodeDecode(_ int, grad []float64) ([]float64, int64) {
+	var maxAbs float64
+	for _, g := range grad {
+		if a := math.Abs(g); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	out := make([]float64, len(grad))
+	if maxAbs == 0 {
+		return out, 32
+	}
+	for i, g := range grad {
+		p := math.Abs(g) / maxAbs
+		if t.rng.Float64() < p {
+			if g < 0 {
+				out[i] = -maxAbs
+			} else {
+				out[i] = maxAbs
+			}
+		}
+	}
+	// 32-bit scale + 2 bits per coordinate (ternary).
+	return out, 32 + 2*int64(len(grad))
+}
+
+// ---- 1-bit SGD ----
+
+// OneBit quantizes every coordinate to one bit (sign), scaling positive and
+// negative halves by their respective means, and carries the quantization
+// error into the next step (error feedback) — without which it diverges.
+type OneBit struct {
+	err [][]float64
+}
+
+// NewOneBit creates a 1-bit codec for tensors of the given sizes.
+func NewOneBit(sizes []int) *OneBit {
+	o := &OneBit{err: make([][]float64, len(sizes))}
+	for i, n := range sizes {
+		o.err[i] = make([]float64, n)
+	}
+	return o
+}
+
+// Name implements Codec.
+func (o *OneBit) Name() string { return "1bit" }
+
+// EncodeDecode implements Codec.
+func (o *OneBit) EncodeDecode(t int, grad []float64) ([]float64, int64) {
+	e := o.err[t]
+	if len(e) != len(grad) {
+		panic(fmt.Sprintf("quant: tensor %d has %d coords, gradient %d", t, len(e), len(grad)))
+	}
+	// Corrected gradient = fresh gradient + carried error.
+	corrected := make([]float64, len(grad))
+	for i := range grad {
+		corrected[i] = grad[i] + e[i]
+	}
+	var posSum, negSum float64
+	var posN, negN int
+	for _, c := range corrected {
+		if c >= 0 {
+			posSum += c
+			posN++
+		} else {
+			negSum += c
+			negN++
+		}
+	}
+	posMean, negMean := 0.0, 0.0
+	if posN > 0 {
+		posMean = posSum / float64(posN)
+	}
+	if negN > 0 {
+		negMean = negSum / float64(negN)
+	}
+	out := make([]float64, len(grad))
+	for i, c := range corrected {
+		if c >= 0 {
+			out[i] = posMean
+		} else {
+			out[i] = negMean
+		}
+		e[i] = c - out[i] // error feedback
+	}
+	// Two 32-bit scales + 1 bit per coordinate.
+	return out, 64 + int64(len(grad))
+}
+
+// CompressionRatio returns the ratio of dense float32 wire size to the
+// codec's wire size for a gradient of n coordinates costing bits.
+func CompressionRatio(n int, bits int64) float64 {
+	return float64(32*n) / float64(bits)
+}

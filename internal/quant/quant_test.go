@@ -1,0 +1,169 @@
+package quant
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func randGrad(rng *rand.Rand, n int) []float64 {
+	g := make([]float64, n)
+	for i := range g {
+		g[i] = rng.NormFloat64()
+	}
+	return g
+}
+
+// TestQSGDUnbiased: averaging many independent quantizations recovers the
+// original gradient (QSGD's defining property).
+func TestQSGDUnbiased(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	g := randGrad(rng, 32)
+	q := NewQSGD(4, 7)
+	const trials = 4000
+	mean := make([]float64, len(g))
+	for k := 0; k < trials; k++ {
+		dec, _ := q.EncodeDecode(0, g)
+		for i := range mean {
+			mean[i] += dec[i] / trials
+		}
+	}
+	for i := range g {
+		if math.Abs(mean[i]-g[i]) > 0.15 {
+			t.Fatalf("coord %d: E[quantized] = %v, want %v", i, mean[i], g[i])
+		}
+	}
+}
+
+func TestQSGDLevelsAreDiscrete(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	g := randGrad(rng, 64)
+	q := NewQSGD(4, 9)
+	dec, bits := q.EncodeDecode(0, g)
+	norm := 0.0
+	for _, x := range g {
+		norm += x * x
+	}
+	norm = math.Sqrt(norm)
+	for i, d := range dec {
+		level := math.Abs(d) / norm * 4
+		if math.Abs(level-math.Round(level)) > 1e-9 {
+			t.Fatalf("coord %d: %v is not a level multiple", i, d)
+		}
+	}
+	// 4 levels: 3 bits + sign... ceil(log2(5)) = 3, +1 sign = 4 bits/coord.
+	if want := int64(32 + 4*64); bits != want {
+		t.Fatalf("wire bits = %d, want %d", bits, want)
+	}
+}
+
+func TestQSGDZeroGradient(t *testing.T) {
+	q := NewQSGD(4, 1)
+	dec, _ := q.EncodeDecode(0, make([]float64, 8))
+	for _, d := range dec {
+		if d != 0 {
+			t.Fatal("zero gradient quantized to nonzero")
+		}
+	}
+}
+
+func TestQSGDPanicsOnBadLevels(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("levels=0 accepted")
+		}
+	}()
+	NewQSGD(0, 1)
+}
+
+// TestTernGradUnbiasedAndTernary.
+func TestTernGradUnbiased(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	g := randGrad(rng, 16)
+	tg := NewTernGrad(11)
+	const trials = 6000
+	mean := make([]float64, len(g))
+	for k := 0; k < trials; k++ {
+		dec, _ := tg.EncodeDecode(0, g)
+		var maxAbs float64
+		for _, x := range g {
+			if a := math.Abs(x); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		for i, d := range dec {
+			if d != 0 && math.Abs(math.Abs(d)-maxAbs) > 1e-12 {
+				t.Fatalf("coord %d: %v not in {0, +-%v}", i, d, maxAbs)
+			}
+			mean[i] += d / trials
+		}
+	}
+	for i := range g {
+		if math.Abs(mean[i]-g[i]) > 0.2 {
+			t.Fatalf("coord %d: E[ternary] = %v, want %v", i, mean[i], g[i])
+		}
+	}
+}
+
+// TestOneBitErrorFeedback: the carried error makes the *cumulative*
+// transmitted signal track the cumulative true gradient.
+func TestOneBitErrorFeedback(t *testing.T) {
+	const n = 16
+	o := NewOneBit([]int{n})
+	rng := rand.New(rand.NewPCG(7, 8))
+	trueSum := make([]float64, n)
+	sentSum := make([]float64, n)
+	for step := 0; step < 400; step++ {
+		g := randGrad(rng, n)
+		// Constant bias on coordinate 3 so it has real signal.
+		g[3] += 0.5
+		dec, bits := o.EncodeDecode(0, g)
+		if bits != 64+n {
+			t.Fatalf("wire bits = %d", bits)
+		}
+		for i := range g {
+			trueSum[i] += g[i]
+			sentSum[i] += dec[i]
+		}
+	}
+	// The residual error is bounded (it is exactly o.err), so cumulative
+	// sums must be close after many steps.
+	for i := range trueSum {
+		if diff := math.Abs(trueSum[i] - sentSum[i]); diff > 5 {
+			t.Fatalf("coord %d: cumulative drift %v", i, diff)
+		}
+	}
+}
+
+func TestOneBitShapePanics(t *testing.T) {
+	o := NewOneBit([]int{4})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong shape accepted")
+		}
+	}()
+	o.EncodeDecode(0, make([]float64, 5))
+}
+
+func TestNames(t *testing.T) {
+	if NewQSGD(15, 1).Name() != "qsgd-15" {
+		t.Fatal("qsgd name")
+	}
+	if NewTernGrad(1).Name() != "terngrad" {
+		t.Fatal("terngrad name")
+	}
+	if NewOneBit(nil).Name() != "1bit" {
+		t.Fatal("1bit name")
+	}
+}
+
+func TestCompressionRatio(t *testing.T) {
+	// 1-bit on a big tensor approaches 32x.
+	if r := CompressionRatio(100_000, 64+100_000); r < 31 || r > 32 {
+		t.Fatalf("1-bit ratio %v", r)
+	}
+	// TernGrad approaches 16x.
+	if r := CompressionRatio(100_000, 32+200_000); r < 15.9 || r > 16.1 {
+		t.Fatalf("terngrad ratio %v", r)
+	}
+}

@@ -1,0 +1,191 @@
+package sim
+
+import (
+	"math/rand/v2"
+	"sort"
+	"testing"
+)
+
+func TestTimeConversions(t *testing.T) {
+	if got := (2 * Second).Seconds(); got != 2.0 {
+		t.Fatalf("Seconds = %v", got)
+	}
+	if got := (3 * Millisecond).Millis(); got != 3.0 {
+		t.Fatalf("Millis = %v", got)
+	}
+	if got := FromSeconds(1.5); got != 1500*Millisecond {
+		t.Fatalf("FromSeconds(1.5) = %v", got)
+	}
+	if s := (1500 * Millisecond).String(); s != "1.500000s" {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestEventsRunInTimeOrder(t *testing.T) {
+	var eng Engine
+	rng := rand.New(rand.NewPCG(7, 9))
+	times := make([]Time, 200)
+	for i := range times {
+		times[i] = Time(rng.IntN(1_000_000))
+	}
+	var fired []Time
+	for _, at := range times {
+		at := at
+		eng.At(at, func() { fired = append(fired, at) })
+	}
+	end := eng.Run()
+
+	sorted := append([]Time(nil), times...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	if len(fired) != len(sorted) {
+		t.Fatalf("fired %d events, want %d", len(fired), len(sorted))
+	}
+	for i := range fired {
+		if fired[i] != sorted[i] {
+			t.Fatalf("event %d fired at %v, want %v", i, fired[i], sorted[i])
+		}
+	}
+	if end != sorted[len(sorted)-1] {
+		t.Fatalf("Run returned %v, want %v", end, sorted[len(sorted)-1])
+	}
+}
+
+func TestTieBreakIsFIFO(t *testing.T) {
+	var eng Engine
+	var order []int
+	for i := 0; i < 50; i++ {
+		i := i
+		eng.At(1000, func() { order = append(order, i) })
+	}
+	eng.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie at same timestamp fired out of order: %v", order)
+		}
+	}
+}
+
+func TestAfterAccumulates(t *testing.T) {
+	var eng Engine
+	var at Time
+	eng.After(10, func() {
+		eng.After(5, func() { at = eng.Now() })
+	})
+	eng.Run()
+	if at != 15 {
+		t.Fatalf("nested After fired at %v, want 15", at)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	var eng Engine
+	eng.At(100, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		eng.At(50, func() {})
+	})
+	eng.Run()
+}
+
+func TestRunUntil(t *testing.T) {
+	var eng Engine
+	var fired []Time
+	for _, at := range []Time{10, 20, 30, 40} {
+		at := at
+		eng.At(at, func() { fired = append(fired, at) })
+	}
+	if end := eng.RunUntil(25); end != 25 {
+		t.Fatalf("RunUntil returned %v, want 25", end)
+	}
+	if len(fired) != 2 {
+		t.Fatalf("RunUntil(25) fired %d events, want 2", len(fired))
+	}
+	if eng.Pending() != 2 {
+		t.Fatalf("pending = %d, want 2", eng.Pending())
+	}
+	eng.Run()
+	if len(fired) != 4 {
+		t.Fatalf("second Run fired %d total, want 4", len(fired))
+	}
+}
+
+func TestStop(t *testing.T) {
+	var eng Engine
+	count := 0
+	for i := 1; i <= 10; i++ {
+		eng.At(Time(i), func() {
+			count++
+			if count == 3 {
+				eng.Stop()
+			}
+		})
+	}
+	eng.Run()
+	if count != 3 {
+		t.Fatalf("Stop did not halt run: %d events fired", count)
+	}
+	if eng.Pending() != 7 {
+		t.Fatalf("pending after Stop = %d, want 7", eng.Pending())
+	}
+}
+
+func TestProcessedCounter(t *testing.T) {
+	var eng Engine
+	for i := 0; i < 5; i++ {
+		eng.After(Time(i), func() {})
+	}
+	eng.Run()
+	if eng.Processed() != 5 {
+		t.Fatalf("Processed = %d, want 5", eng.Processed())
+	}
+}
+
+// TestDeterminism: two identical schedules fire identically.
+func TestDeterminism(t *testing.T) {
+	runOnce := func() []Time {
+		var eng Engine
+		rng := rand.New(rand.NewPCG(42, 42))
+		var out []Time
+		var spawn func(depth int)
+		spawn = func(depth int) {
+			if depth > 3 {
+				return
+			}
+			eng.After(Time(rng.IntN(100)), func() {
+				out = append(out, eng.Now())
+				spawn(depth + 1)
+				spawn(depth + 1)
+			})
+		}
+		spawn(0)
+		eng.Run()
+		return out
+	}
+	a, b := runOnce(), runOnce()
+	if len(a) != len(b) {
+		t.Fatalf("different event counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("divergence at event %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func BenchmarkEngine(b *testing.B) {
+	var eng Engine
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			eng.After(10, tick)
+		}
+	}
+	eng.After(10, tick)
+	b.ResetTimer()
+	eng.Run()
+}

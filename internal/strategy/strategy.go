@@ -1,0 +1,157 @@
+// Package strategy defines the parameter-synchronization mechanisms the
+// paper compares. A strategy is a declarative description — partition
+// granularity, transmission order, and pull protocol — interpreted by the
+// cluster simulator and by the TCP parameter server.
+//
+// The five mechanisms:
+//
+//   - Baseline: MXNet KVStore (Section 4.1). Layer-granularity shards,
+//     FIFO transmission in gradient-generation order, and the explicit
+//     notify-then-pull protocol (a worker pulls a layer only after being
+//     notified that all of its shards updated).
+//   - TFStyle: TensorFlow's graph-based parameter server (Section 2 and
+//     Appendix B.1): pushes during backprop, but pull requests are not
+//     issued until the next iteration's graph execution starts.
+//   - WFBP: Poseidon-style wait-free backpropagation (Zhang et al. 2017):
+//     layer granularity, FIFO, with updates returned immediately (no
+//     notify/pull round trip).
+//   - SlicingOnly: P3's parameter slicing alone (the "Slicing" series of
+//     Figure 7): fixed-size slices, immediate broadcast, but FIFO order.
+//   - P3: slicing + priority queues on both the worker and server sides +
+//     immediate broadcast (Section 4.2).
+package strategy
+
+import (
+	"fmt"
+
+	"p3/internal/core"
+	"p3/internal/model"
+)
+
+// Granularity selects the partitioning scheme.
+type Granularity int
+
+const (
+	// Shards uses KVStore's layer-granularity placement (split only tensors
+	// over the threshold, one shard per server).
+	Shards Granularity = iota
+	// Slices uses P3's fixed-maximum-size parameter slicing.
+	Slices
+)
+
+// Order selects the transmission order of ready chunks.
+type Order int
+
+const (
+	// FIFO transmits chunks in the order their gradients were produced
+	// (backprop order: last layer first).
+	FIFO Order = iota
+	// ByPriority transmits the most urgent ready chunk first (forward-pass
+	// order: first layer first), preempting lower-priority traffic at chunk
+	// granularity.
+	ByPriority
+)
+
+// PullMode selects how updated parameters travel back to workers.
+type PullMode int
+
+const (
+	// NotifyPull: the server notifies workers per updated shard; a worker
+	// requests the data only after every shard of a layer is notified
+	// (MXNet semantics, Section 4.1/4.2).
+	NotifyPull PullMode = iota
+	// Immediate: the server broadcasts updated chunks to all workers as
+	// soon as aggregation completes (P3's modification, Section 4.2).
+	Immediate
+	// DeferredPull: workers request all parameters at the start of the next
+	// iteration (TensorFlow semantics, Section 2).
+	DeferredPull
+)
+
+// Strategy describes a synchronization mechanism.
+type Strategy struct {
+	Name        string
+	Granularity Granularity
+	// MaxSliceParams caps slice size when Granularity == Slices
+	// (0 = core.DefaultMaxSliceParams).
+	MaxSliceParams int64
+	// ShardThreshold is KVStore's split threshold when Granularity == Shards
+	// (0 = core.DefaultShardThreshold).
+	ShardThreshold int64
+	Order          Order
+	Pull           PullMode
+	// Async selects asynchronous SGD (Appendix B.2): the server applies and
+	// returns each worker's push immediately instead of waiting for all
+	// workers, so no worker ever blocks on another.
+	Async bool
+}
+
+// Baseline returns the MXNet KVStore baseline.
+func Baseline() Strategy {
+	return Strategy{Name: "baseline", Granularity: Shards, Order: FIFO, Pull: NotifyPull}
+}
+
+// TFStyle returns the TensorFlow-like strategy (Appendix B.1, Figure 13).
+func TFStyle() Strategy {
+	return Strategy{Name: "tensorflow", Granularity: Shards, Order: FIFO, Pull: DeferredPull}
+}
+
+// WFBP returns the Poseidon-like wait-free-backprop strategy (Figure 14).
+func WFBP() Strategy {
+	return Strategy{Name: "wfbp", Granularity: Shards, Order: FIFO, Pull: Immediate}
+}
+
+// SlicingOnly returns parameter slicing without priority (the "Slicing"
+// series of Figure 7). maxSlice 0 selects the paper's 50,000-parameter
+// default.
+func SlicingOnly(maxSlice int64) Strategy {
+	return Strategy{Name: "slicing", Granularity: Slices, MaxSliceParams: maxSlice, Order: FIFO, Pull: Immediate}
+}
+
+// P3 returns the full mechanism. maxSlice 0 selects the paper's
+// 50,000-parameter default.
+func P3(maxSlice int64) Strategy {
+	return Strategy{Name: "p3", Granularity: Slices, MaxSliceParams: maxSlice, Order: ByPriority, Pull: Immediate}
+}
+
+// ASGDStrategy returns MXNet's asynchronous-SGD wire behaviour (Appendix
+// B.2): layer-granularity shards, FIFO, per-worker immediate update.
+func ASGDStrategy() Strategy {
+	return Strategy{Name: "asgd", Granularity: Shards, Order: FIFO, Pull: Immediate, Async: true}
+}
+
+// ByName maps the names used by the CLI tools to strategies.
+func ByName(name string) (Strategy, error) {
+	switch name {
+	case "baseline":
+		return Baseline(), nil
+	case "tensorflow", "tf":
+		return TFStyle(), nil
+	case "wfbp", "poseidon":
+		return WFBP(), nil
+	case "slicing":
+		return SlicingOnly(0), nil
+	case "p3":
+		return P3(0), nil
+	case "asgd":
+		return ASGDStrategy(), nil
+	}
+	return Strategy{}, fmt.Errorf("unknown strategy %q (want baseline|tensorflow|wfbp|slicing|p3|asgd)", name)
+}
+
+// Partition applies the strategy's granularity to m for the given number of
+// servers.
+func (s Strategy) Partition(m *model.Model, servers int) *core.Plan {
+	switch s.Granularity {
+	case Slices:
+		return core.PartitionSlices(m, s.MaxSliceParams, servers)
+	default:
+		return core.PartitionShards(m, s.ShardThreshold, servers)
+	}
+}
+
+// PriorityEgress reports whether NIC egress queues (and server processing
+// queues) should use the priority discipline.
+func (s Strategy) PriorityEgress() bool { return s.Order == ByPriority }
+
+func (s Strategy) String() string { return s.Name }

@@ -1,0 +1,98 @@
+package strategy
+
+import (
+	"testing"
+
+	"p3/internal/core"
+	"p3/internal/zoo"
+)
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"baseline", "tensorflow", "wfbp", "slicing", "p3", "asgd"} {
+		s, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if s.Name == "" {
+			t.Fatalf("ByName(%q) has empty name", name)
+		}
+	}
+	if s, _ := ByName("tf"); s.Name != "tensorflow" {
+		t.Error("tf alias broken")
+	}
+	if s, _ := ByName("poseidon"); s.Name != "wfbp" {
+		t.Error("poseidon alias broken")
+	}
+	if _, err := ByName("nccl"); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+}
+
+func TestStrategySemantics(t *testing.T) {
+	cases := []struct {
+		s        Strategy
+		gran     Granularity
+		order    Order
+		pull     PullMode
+		async    bool
+		priority bool
+	}{
+		{Baseline(), Shards, FIFO, NotifyPull, false, false},
+		{TFStyle(), Shards, FIFO, DeferredPull, false, false},
+		{WFBP(), Shards, FIFO, Immediate, false, false},
+		{SlicingOnly(0), Slices, FIFO, Immediate, false, false},
+		{P3(0), Slices, ByPriority, Immediate, false, true},
+		{ASGDStrategy(), Shards, FIFO, Immediate, true, false},
+	}
+	for _, c := range cases {
+		if c.s.Granularity != c.gran || c.s.Order != c.order || c.s.Pull != c.pull || c.s.Async != c.async {
+			t.Errorf("%s: unexpected semantics %+v", c.s.Name, c.s)
+		}
+		if c.s.PriorityEgress() != c.priority {
+			t.Errorf("%s: PriorityEgress = %v", c.s.Name, c.s.PriorityEgress())
+		}
+	}
+}
+
+func TestPartitionDispatch(t *testing.T) {
+	m := zoo.ResNet50()
+
+	p3Plan := P3(10_000).Partition(m, 4)
+	if err := p3Plan.Validate(m); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range p3Plan.Chunks {
+		if c.Params > 10_000 {
+			t.Fatalf("P3 chunk bigger than requested slice: %v", c)
+		}
+	}
+
+	basePlan := Baseline().Partition(m, 4)
+	if err := basePlan.Validate(m); err != nil {
+		t.Fatal(err)
+	}
+	// KVStore default threshold is 1M: ResNet-50 has layers above it
+	// (2048x1000 fc and 2.36M conv) which must be split.
+	var split bool
+	for l, ids := range basePlan.ByLayer {
+		if m.Layers[l].Params >= core.DefaultShardThreshold && len(ids) == 4 {
+			split = true
+		}
+		if m.Layers[l].Params < core.DefaultShardThreshold && len(ids) != 1 {
+			t.Fatalf("small layer %d split into %d", l, len(ids))
+		}
+	}
+	if !split {
+		t.Fatal("no big layer was split across servers")
+	}
+
+	if got, want := p3Plan.NumChunks(), basePlan.NumChunks(); got <= want {
+		t.Fatalf("slicing produced %d chunks <= sharding's %d", got, want)
+	}
+}
+
+func TestStringer(t *testing.T) {
+	if P3(0).String() != "p3" {
+		t.Fatal("String() broken")
+	}
+}

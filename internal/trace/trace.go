@@ -1,0 +1,164 @@
+// Package trace records per-machine, per-direction network utilization on
+// the virtual clock, mirroring the paper's bwm-ng measurements: bytes
+// crossing each NIC are accumulated into fixed-width (default 10 ms) buckets,
+// from which the Gbps time series of Figures 8, 9, 13 and 14 are produced.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"p3/internal/sim"
+)
+
+// Dir is a transfer direction relative to a machine's NIC.
+type Dir int
+
+// NIC directions.
+const (
+	Out Dir = iota // outbound (transmit)
+	In             // inbound (receive)
+)
+
+func (d Dir) String() string {
+	if d == Out {
+		return "outbound"
+	}
+	return "inbound"
+}
+
+// DefaultBucket matches the 10 ms precision of the paper's bwm-ng runs.
+const DefaultBucket = 10 * sim.Millisecond
+
+// Recorder accumulates transferred bytes into time buckets. The zero value is
+// not usable; call NewRecorder.
+type Recorder struct {
+	bucket   sim.Time
+	machines int
+	out      [][]float64 // [machine][bucket] bytes
+	in       [][]float64
+	enabled  bool
+	start    sim.Time // recording window start; bytes before it are dropped
+}
+
+// NewRecorder creates a recorder for n machines with the given bucket width
+// (0 means DefaultBucket). Recording starts disabled; call Start.
+func NewRecorder(n int, bucket sim.Time) *Recorder {
+	if bucket <= 0 {
+		bucket = DefaultBucket
+	}
+	return &Recorder{
+		bucket:   bucket,
+		machines: n,
+		out:      make([][]float64, n),
+		in:       make([][]float64, n),
+	}
+}
+
+// Start begins recording; bytes transferred before at are ignored and bucket
+// 0 corresponds to the instant at.
+func (r *Recorder) Start(at sim.Time) {
+	r.enabled = true
+	r.start = at
+}
+
+// Stop halts recording.
+func (r *Recorder) Stop() { r.enabled = false }
+
+// Bucket returns the bucket width.
+func (r *Recorder) Bucket() sim.Time { return r.bucket }
+
+// AddRange attributes bytes transferred over [from, to) on machine m in
+// direction d, spreading them proportionally over the buckets the interval
+// covers (a transfer that straddles a bucket boundary contributes to both).
+func (r *Recorder) AddRange(m int, d Dir, from, to sim.Time, bytes int64) {
+	if r == nil || !r.enabled || bytes <= 0 || to <= from {
+		return
+	}
+	if to <= r.start {
+		return
+	}
+	if from < r.start {
+		// Clip to the recording window, dropping the pre-window share.
+		bytes = int64(float64(bytes) * float64(to-r.start) / float64(to-from))
+		from = r.start
+	}
+	series := &r.out[m]
+	if d == In {
+		series = &r.in[m]
+	}
+	first := int((from - r.start) / r.bucket)
+	last := int((to - r.start - 1) / r.bucket)
+	for len(*series) <= last {
+		*series = append(*series, 0)
+	}
+	if first == last {
+		(*series)[first] += float64(bytes)
+		return
+	}
+	perNS := float64(bytes) / float64(to-from)
+	for bkt := first; bkt <= last; bkt++ {
+		bStart := r.start + sim.Time(bkt)*r.bucket
+		bEnd := bStart + r.bucket
+		lo, hi := from, to
+		if bStart > lo {
+			lo = bStart
+		}
+		if bEnd < hi {
+			hi = bEnd
+		}
+		(*series)[bkt] += perNS * float64(hi-lo)
+	}
+}
+
+// Series returns the raw byte counts per bucket for machine m, direction d.
+func (r *Recorder) Series(m int, d Dir) []float64 {
+	if d == Out {
+		return r.out[m]
+	}
+	return r.in[m]
+}
+
+// Gbps converts the bucket series for machine m, direction d into gigabits
+// per second.
+func (r *Recorder) Gbps(m int, d Dir) []float64 {
+	raw := r.Series(m, d)
+	out := make([]float64, len(raw))
+	secs := r.bucket.Seconds()
+	for i, b := range raw {
+		out[i] = b * 8 / secs / 1e9
+	}
+	return out
+}
+
+// TotalBytes returns the sum over all buckets for machine m, direction d.
+func (r *Recorder) TotalBytes(m int, d Dir) float64 {
+	var t float64
+	for _, b := range r.Series(m, d) {
+		t += b
+	}
+	return t
+}
+
+// Table renders both directions for machine m as the paper's
+// time-vs-usage series (time in bucket index, usage in Gbps).
+func (r *Recorder) Table(m int) string {
+	outG, inG := r.Gbps(m, Out), r.Gbps(m, In)
+	n := len(outG)
+	if len(inG) > n {
+		n = len(inG)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "bucket\toutbound_gbps\tinbound_gbps\n")
+	for i := 0; i < n; i++ {
+		var o, in float64
+		if i < len(outG) {
+			o = outG[i]
+		}
+		if i < len(inG) {
+			in = inG[i]
+		}
+		fmt.Fprintf(&b, "%d\t%.4f\t%.4f\n", i, o, in)
+	}
+	return b.String()
+}

@@ -1,0 +1,151 @@
+package trace
+
+import (
+	"math"
+	"testing"
+
+	"p3/internal/sim"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+func TestSingleBucket(t *testing.T) {
+	r := NewRecorder(2, 10*sim.Millisecond)
+	r.Start(0)
+	r.AddRange(0, Out, 1*sim.Millisecond, 2*sim.Millisecond, 1000)
+	s := r.Series(0, Out)
+	if len(s) != 1 || !almostEq(s[0], 1000) {
+		t.Fatalf("series = %v, want [1000]", s)
+	}
+	if got := r.Series(0, In); len(got) != 0 {
+		t.Fatalf("inbound series unexpectedly %v", got)
+	}
+}
+
+func TestSpreadAcrossBuckets(t *testing.T) {
+	r := NewRecorder(1, 10*sim.Millisecond)
+	r.Start(0)
+	// 30 ms transfer spanning buckets 0..2 evenly.
+	r.AddRange(0, In, 0, 30*sim.Millisecond, 3000)
+	s := r.Series(0, In)
+	if len(s) != 3 {
+		t.Fatalf("series length %d, want 3", len(s))
+	}
+	for i, b := range s {
+		if !almostEq(b, 1000) {
+			t.Fatalf("bucket %d = %v, want 1000", i, b)
+		}
+	}
+}
+
+func TestPartialBucketSplit(t *testing.T) {
+	r := NewRecorder(1, 10*sim.Millisecond)
+	r.Start(0)
+	// 5ms..15ms: half in bucket 0, half in bucket 1.
+	r.AddRange(0, Out, 5*sim.Millisecond, 15*sim.Millisecond, 800)
+	s := r.Series(0, Out)
+	if len(s) != 2 || !almostEq(s[0], 400) || !almostEq(s[1], 400) {
+		t.Fatalf("series = %v, want [400 400]", s)
+	}
+}
+
+func TestBytesConserved(t *testing.T) {
+	r := NewRecorder(1, 10*sim.Millisecond)
+	r.Start(0)
+	total := int64(0)
+	for i := 0; i < 100; i++ {
+		from := sim.Time(i) * 7 * sim.Millisecond
+		to := from + sim.Time(i%13+1)*sim.Millisecond
+		r.AddRange(0, Out, from, to, int64(i*37+1))
+		total += int64(i*37 + 1)
+	}
+	if got := r.TotalBytes(0, Out); !almostEq(got, float64(total)) {
+		t.Fatalf("TotalBytes = %v, want %d", got, total)
+	}
+}
+
+func TestWindowClipping(t *testing.T) {
+	r := NewRecorder(1, 10*sim.Millisecond)
+	r.Start(100 * sim.Millisecond)
+	// Fully before the window: dropped.
+	r.AddRange(0, Out, 0, 50*sim.Millisecond, 500)
+	if got := r.TotalBytes(0, Out); got != 0 {
+		t.Fatalf("pre-window bytes recorded: %v", got)
+	}
+	// Straddles the start: only the in-window share counts.
+	r.AddRange(0, Out, 90*sim.Millisecond, 110*sim.Millisecond, 1000)
+	if got := r.TotalBytes(0, Out); !almostEq(got, 500) {
+		t.Fatalf("straddling bytes = %v, want 500", got)
+	}
+	// Bucket 0 is the window start.
+	s := r.Series(0, Out)
+	if !almostEq(s[0], 500) {
+		t.Fatalf("bucket 0 = %v, want 500", s[0])
+	}
+}
+
+func TestDisabledAndNilRecorder(t *testing.T) {
+	r := NewRecorder(1, 0)
+	r.AddRange(0, Out, 0, sim.Millisecond, 100) // not started: ignored
+	if got := r.TotalBytes(0, Out); got != 0 {
+		t.Fatalf("disabled recorder captured %v bytes", got)
+	}
+	r.Start(0)
+	r.Stop()
+	r.AddRange(0, Out, 0, sim.Millisecond, 100)
+	if got := r.TotalBytes(0, Out); got != 0 {
+		t.Fatalf("stopped recorder captured %v bytes", got)
+	}
+	var nilRec *Recorder
+	nilRec.AddRange(0, Out, 0, sim.Millisecond, 100) // must not panic
+}
+
+func TestGbpsConversion(t *testing.T) {
+	r := NewRecorder(1, 10*sim.Millisecond)
+	r.Start(0)
+	// 12.5 MB in one 10 ms bucket = 100 Mbit / 0.01 s = 10 Gbps.
+	r.AddRange(0, In, 0, 10*sim.Millisecond, 12_500_000)
+	g := r.Gbps(0, In)
+	if len(g) != 1 || !almostEq(g[0], 10) {
+		t.Fatalf("Gbps = %v, want [10]", g)
+	}
+}
+
+func TestDefaultBucket(t *testing.T) {
+	r := NewRecorder(1, 0)
+	if r.Bucket() != DefaultBucket {
+		t.Fatalf("default bucket = %v", r.Bucket())
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	r := NewRecorder(1, 10*sim.Millisecond)
+	r.Start(0)
+	r.AddRange(0, Out, 0, 10*sim.Millisecond, 1000)
+	r.AddRange(0, In, 0, 20*sim.Millisecond, 3000)
+	tbl := r.Table(0)
+	if tbl == "" {
+		t.Fatal("empty table")
+	}
+	lines := 0
+	for _, c := range tbl {
+		if c == '\n' {
+			lines++
+		}
+	}
+	if lines != 3 { // header + 2 buckets
+		t.Fatalf("table has %d lines:\n%s", lines, tbl)
+	}
+}
+
+func TestZeroAndNegativeRangesIgnored(t *testing.T) {
+	r := NewRecorder(1, 10*sim.Millisecond)
+	r.Start(0)
+	r.AddRange(0, Out, 5, 5, 100)  // empty interval
+	r.AddRange(0, Out, 10, 5, 100) // inverted interval
+	r.AddRange(0, Out, 0, 10, 0)   // zero bytes
+	r.AddRange(0, Out, 0, 10, -5)  // negative bytes
+	if got := r.TotalBytes(0, Out); got != 0 {
+		t.Fatalf("degenerate ranges recorded %v bytes", got)
+	}
+}

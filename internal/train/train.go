@@ -1,0 +1,507 @@
+// Package train runs data-parallel training of the convergence experiments
+// (paper Sections 5.6 and Appendix B.2): N workers compute gradients on
+// disjoint data shards and exchange them through one of four aggregation
+// rules:
+//
+//   - Dense: synchronous dense aggregation — the rule shared by the MXNet
+//     baseline AND P3. The two differ only in *when* bytes move, never in
+//     what is computed, so their parameter trajectories are bit-identical;
+//     the trainer exposes the chunk-ordered aggregation path so tests can
+//     verify exactly that (the paper's "P3 does not affect convergence").
+//   - DGC: Deep Gradient Compression (lossy top-k with momentum correction).
+//   - ASGD: asynchronous SGD — each worker pushes into the master without
+//     waiting for the others, computing on stale parameters.
+//   - Quantized: QSGD/TernGrad/1-bit codecs from the paper's related work.
+package train
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sync"
+
+	"p3/internal/core"
+	"p3/internal/data"
+	"p3/internal/dgc"
+	"p3/internal/model"
+	"p3/internal/nn"
+	"p3/internal/opt"
+	"p3/internal/quant"
+)
+
+// Mode selects the gradient-exchange rule.
+type Mode int
+
+// Aggregation modes.
+const (
+	Dense Mode = iota
+	DGC
+	ASGD
+	// Quantized exchanges codec-compressed gradients (QSGD/TernGrad/1-bit,
+	// the related-work baselines of the paper's Section 6); the Codecs
+	// field supplies one codec per worker.
+	Quantized
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Dense:
+		return "dense"
+	case DGC:
+		return "dgc"
+	case ASGD:
+		return "asgd"
+	case Quantized:
+		return "quantized"
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// Config describes one training run.
+type Config struct {
+	Net         nn.Config
+	Workers     int
+	Batch       int // per-worker batch size
+	Epochs      int
+	Schedule    opt.Schedule
+	Momentum    float64
+	WeightDecay float64
+
+	Mode Mode
+	// DGCSparsity is the withheld fraction for Mode == DGC (paper: 0.999).
+	DGCSparsity float64
+	// Codecs holds one quantization codec per worker for Mode == Quantized
+	// (codecs like 1-bit SGD carry per-worker error state).
+	Codecs []quant.Codec
+
+	// ChunkOrder, if non-nil, aggregates gradients chunk-by-chunk in this
+	// plan's order (sorted by priority when Priority is true) instead of
+	// tensor-by-tensor. Results are bit-identical either way — that is the
+	// paper's central convergence claim, and tests assert it.
+	ChunkOrder *core.Plan
+	Priority   bool
+
+	// ClipNorm rescales gradients whose global L2 norm exceeds it (0
+	// disables). Applied to the aggregated gradient in Dense/ASGD and to
+	// each worker's local gradient in DGC, as in the respective papers.
+	ClipNorm float64
+
+	Seed int64
+	// Parallel computes worker gradients on goroutines (identical results;
+	// aggregation order is fixed).
+	Parallel bool
+}
+
+// clipNorm rescales the tensors in-place so their joint L2 norm is at most
+// maxNorm (no-op when maxNorm <= 0).
+func clipNorm(grads [][]float64, maxNorm float64) {
+	if maxNorm <= 0 {
+		return
+	}
+	var ss float64
+	for _, g := range grads {
+		for _, x := range g {
+			ss += x * x
+		}
+	}
+	if ss <= maxNorm*maxNorm {
+		return
+	}
+	scale := maxNorm / math.Sqrt(ss)
+	for _, g := range grads {
+		for i := range g {
+			g[i] *= scale
+		}
+	}
+}
+
+// History records a run's per-epoch metrics.
+type History struct {
+	Mode        Mode
+	ValAcc      []float64 // per epoch
+	TrainLoss   []float64 // per epoch (mean over iterations)
+	Iterations  int
+	FinalValAcc float64
+	// CompressionRatio is the measured dense-bits / wire-bits ratio for
+	// Quantized runs (0 otherwise).
+	CompressionRatio float64
+}
+
+// Run trains the configured network and returns its history. The master
+// replica's parameters end up in the returned network.
+func Run(cfg Config, tr, val *data.Set) (*History, *nn.Network) {
+	if cfg.Workers <= 0 || cfg.Batch <= 0 || cfg.Epochs <= 0 {
+		panic(fmt.Sprintf("train: invalid config workers=%d batch=%d epochs=%d", cfg.Workers, cfg.Batch, cfg.Epochs))
+	}
+	switch cfg.Mode {
+	case Dense:
+		return runDense(cfg, tr, val)
+	case DGC:
+		return runDGC(cfg, tr, val)
+	case ASGD:
+		return runASGD(cfg, tr, val)
+	case Quantized:
+		return runQuantized(cfg, tr, val)
+	}
+	panic(fmt.Sprintf("train: unknown mode %v", cfg.Mode))
+}
+
+// runQuantized is synchronous data-parallel SGD where each worker's
+// gradient passes through its quantization codec before aggregation. The
+// server applies momentum SGD on the mean of the decoded gradients. The
+// history records the measured compression ratio.
+func runQuantized(cfg Config, tr, val *data.Set) (*History, *nn.Network) {
+	if len(cfg.Codecs) != cfg.Workers {
+		panic(fmt.Sprintf("train: %d codecs for %d workers", len(cfg.Codecs), cfg.Workers))
+	}
+	shards, sample := shardsAndBatches(cfg, tr)
+	replicas := make([]*nn.Network, cfg.Workers)
+	opts := make([]*opt.SGD, cfg.Workers)
+	for w := range replicas {
+		replicas[w] = nn.NewResidualMLP(cfg.Net)
+		opts[w] = opt.NewSGD(cfg.Schedule.LR(0), cfg.Momentum, cfg.WeightDecay)
+	}
+	params := make([][]*nn.Param, cfg.Workers)
+	grads := make([][][]float64, cfg.Workers)
+	for w := range replicas {
+		params[w] = replicas[w].Params()
+		grads[w] = gradBuffers(params[w])
+	}
+	agg := gradBuffers(params[0])
+
+	h := &History{Mode: cfg.Mode}
+	iters := itersPerEpoch(cfg, tr)
+	var wireBits, denseBits int64
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		lr := cfg.Schedule.LR(epoch)
+		var lossSum float64
+		for it := 0; it < iters; it++ {
+			losses := computeGrads(cfg, replicas, shards, sample, epoch, it, grads)
+			for _, l := range losses {
+				lossSum += l / float64(cfg.Workers)
+			}
+			for pi := range agg {
+				for i := range agg[pi] {
+					agg[pi][i] = 0
+				}
+			}
+			for w := 0; w < cfg.Workers; w++ {
+				clipNorm(grads[w], cfg.ClipNorm)
+				for pi := range agg {
+					dec, bits := cfg.Codecs[w].EncodeDecode(pi, grads[w][pi])
+					wireBits += bits
+					denseBits += 32 * int64(len(dec))
+					a := agg[pi]
+					for i := range a {
+						a[i] += dec[i]
+					}
+				}
+			}
+			inv := 1.0 / float64(cfg.Workers)
+			for pi := range agg {
+				for i := range agg[pi] {
+					agg[pi][i] *= inv
+				}
+			}
+			for w := range replicas {
+				opts[w].LR = lr
+				opts[w].StepDense(params[w], agg)
+			}
+			h.Iterations++
+		}
+		h.TrainLoss = append(h.TrainLoss, lossSum/float64(iters))
+		h.ValAcc = append(h.ValAcc, replicas[0].Accuracy(val.X, val.Y))
+	}
+	h.FinalValAcc = h.ValAcc[len(h.ValAcc)-1]
+	if wireBits > 0 {
+		h.CompressionRatio = float64(denseBits) / float64(wireBits)
+	}
+	return h, replicas[0]
+}
+
+// shardsAndBatches prepares per-worker data shards and a deterministic
+// batch-index sampler.
+func shardsAndBatches(cfg Config, tr *data.Set) ([]*data.Set, func(epoch, iter, worker int) []int) {
+	shards := make([]*data.Set, cfg.Workers)
+	for w := range shards {
+		shards[w] = tr.Shard(w, cfg.Workers)
+	}
+	sample := func(epoch, iter, worker int) []int {
+		seed := uint64(cfg.Seed)*1e9 + uint64(epoch)*1e6 + uint64(iter)*101 + uint64(worker)
+		rng := rand.New(rand.NewPCG(seed, seed^0xfeed))
+		idx := make([]int, cfg.Batch)
+		n := shards[worker].N()
+		for i := range idx {
+			idx[i] = rng.IntN(n)
+		}
+		return idx
+	}
+	return shards, sample
+}
+
+// itersPerEpoch is the number of synchronous steps per epoch.
+func itersPerEpoch(cfg Config, tr *data.Set) int {
+	it := tr.N() / (cfg.Workers * cfg.Batch)
+	if it < 1 {
+		it = 1
+	}
+	return it
+}
+
+// gradBuffers allocates one flat gradient buffer per parameter tensor.
+func gradBuffers(params []*nn.Param) [][]float64 {
+	out := make([][]float64, len(params))
+	for i, p := range params {
+		out[i] = make([]float64, len(p.Data))
+	}
+	return out
+}
+
+// computeGrads runs forward/backward on every worker's batch and copies the
+// resulting per-tensor gradients into grads[w]. Replicas hold identical
+// parameters in synchronous modes, so this is exactly data-parallel SGD.
+func computeGrads(cfg Config, replicas []*nn.Network, shards []*data.Set,
+	sample func(int, int, int) []int, epoch, iter int, grads [][][]float64) []float64 {
+
+	losses := make([]float64, cfg.Workers)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		runOne := func(w int) {
+			x, y := shards[w].Batch(sample(epoch, iter, w))
+			net := replicas[w]
+			logits := net.Forward(x)
+			losses[w] = net.LossAndBackward(logits, y)
+			for pi, p := range net.Params() {
+				copy(grads[w][pi], p.Grad)
+			}
+		}
+		if cfg.Parallel {
+			wg.Add(1)
+			go func(w int) { defer wg.Done(); runOne(w) }(w)
+		} else {
+			runOne(w)
+		}
+	}
+	wg.Wait()
+	return losses
+}
+
+// aggregate sums per-worker gradients into agg (averaged). If a chunk plan
+// is present, aggregation walks chunk-by-chunk in plan (optionally priority)
+// order — byte-for-byte the same arithmetic, demonstrating that P3's
+// reordering cannot change results.
+func aggregate(cfg Config, params []*nn.Param, grads [][][]float64, agg [][]float64) {
+	inv := 1.0 / float64(cfg.Workers)
+	for pi := range agg {
+		for i := range agg[pi] {
+			agg[pi][i] = 0
+		}
+	}
+	if cfg.ChunkOrder == nil {
+		for pi := range params {
+			for w := 0; w < cfg.Workers; w++ {
+				g := grads[w][pi]
+				a := agg[pi]
+				for i := range a {
+					a[i] += g[i]
+				}
+			}
+			for i := range agg[pi] {
+				agg[pi][i] *= inv
+			}
+		}
+		return
+	}
+	order := make([]core.Chunk, len(cfg.ChunkOrder.Chunks))
+	copy(order, cfg.ChunkOrder.Chunks)
+	if cfg.Priority {
+		// Stable sort by priority: P3's transmission order.
+		for i := 1; i < len(order); i++ {
+			for j := i; j > 0 && order[j].Priority < order[j-1].Priority; j-- {
+				order[j], order[j-1] = order[j-1], order[j]
+			}
+		}
+	}
+	for _, c := range order {
+		a := agg[c.Layer][c.Offset : c.Offset+c.Params]
+		for w := 0; w < cfg.Workers; w++ {
+			g := grads[w][c.Layer][c.Offset : c.Offset+c.Params]
+			for i := range a {
+				a[i] += g[i]
+			}
+		}
+		for i := range a {
+			a[i] *= inv
+		}
+	}
+}
+
+// PlanFor builds a core slicing plan matching a network's parameter tensors
+// so that the trainer can aggregate through P3's chunk order.
+func PlanFor(net *nn.Network, maxSlice int64, servers int) *core.Plan {
+	params := net.Params()
+	m := &model.Model{Name: "trainer", BatchSize: 1, PlateauPerWorker: 1, FwdFraction: 0.5}
+	for i, p := range params {
+		m.Layers = append(m.Layers, model.Layer{
+			Index: i, Name: p.Name, Kind: model.KindFC, Params: int64(len(p.Data)), FwdFLOPs: 1,
+		})
+	}
+	return core.PartitionSlices(m, maxSlice, servers)
+}
+
+func runDense(cfg Config, tr, val *data.Set) (*History, *nn.Network) {
+	shards, sample := shardsAndBatches(cfg, tr)
+	replicas := make([]*nn.Network, cfg.Workers)
+	opts := make([]*opt.SGD, cfg.Workers)
+	for w := range replicas {
+		replicas[w] = nn.NewResidualMLP(cfg.Net) // same seed -> identical init
+		opts[w] = opt.NewSGD(cfg.Schedule.LR(0), cfg.Momentum, cfg.WeightDecay)
+	}
+	params := make([][]*nn.Param, cfg.Workers)
+	grads := make([][][]float64, cfg.Workers)
+	for w := range replicas {
+		params[w] = replicas[w].Params()
+		grads[w] = gradBuffers(params[w])
+	}
+	agg := gradBuffers(params[0])
+
+	h := &History{Mode: cfg.Mode}
+	iters := itersPerEpoch(cfg, tr)
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		lr := cfg.Schedule.LR(epoch)
+		var lossSum float64
+		for it := 0; it < iters; it++ {
+			losses := computeGrads(cfg, replicas, shards, sample, epoch, it, grads)
+			for _, l := range losses {
+				lossSum += l / float64(cfg.Workers)
+			}
+			aggregate(cfg, params[0], grads, agg)
+			clipNorm(agg, cfg.ClipNorm)
+			// Every replica applies the identical aggregated update (the
+			// parameter-server broadcast).
+			for w := range replicas {
+				opts[w].LR = lr
+				opts[w].StepDense(params[w], agg)
+			}
+			h.Iterations++
+		}
+		h.TrainLoss = append(h.TrainLoss, lossSum/float64(iters))
+		h.ValAcc = append(h.ValAcc, replicas[0].Accuracy(val.X, val.Y))
+	}
+	h.FinalValAcc = h.ValAcc[len(h.ValAcc)-1]
+	return h, replicas[0]
+}
+
+func runDGC(cfg Config, tr, val *data.Set) (*History, *nn.Network) {
+	if cfg.DGCSparsity == 0 {
+		cfg.DGCSparsity = 0.999
+	}
+	shards, sample := shardsAndBatches(cfg, tr)
+	replicas := make([]*nn.Network, cfg.Workers)
+	for w := range replicas {
+		replicas[w] = nn.NewResidualMLP(cfg.Net)
+	}
+	params := make([][]*nn.Param, cfg.Workers)
+	grads := make([][][]float64, cfg.Workers)
+	sizes := []int{}
+	for _, p := range replicas[0].Params() {
+		sizes = append(sizes, len(p.Data))
+	}
+	comps := make([]*dgc.Compressor, cfg.Workers)
+	for w := range replicas {
+		params[w] = replicas[w].Params()
+		grads[w] = gradBuffers(params[w])
+		comps[w] = dgc.NewCompressor(sizes, cfg.DGCSparsity, cfg.Momentum)
+	}
+	agg := gradBuffers(params[0])
+
+	h := &History{Mode: cfg.Mode}
+	iters := itersPerEpoch(cfg, tr)
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		lr := cfg.Schedule.LR(epoch)
+		var lossSum float64
+		for it := 0; it < iters; it++ {
+			losses := computeGrads(cfg, replicas, shards, sample, epoch, it, grads)
+			for _, l := range losses {
+				lossSum += l / float64(cfg.Workers)
+			}
+			// Each worker compresses; the server sums sparse updates.
+			for pi := range agg {
+				for i := range agg[pi] {
+					agg[pi][i] = 0
+				}
+			}
+			for w := 0; w < cfg.Workers; w++ {
+				clipNorm(grads[w], cfg.ClipNorm)
+				for pi := range agg {
+					sp := comps[w].Compress(pi, grads[w][pi])
+					dgc.Apply(agg[pi], sp)
+				}
+			}
+			inv := 1.0 / float64(cfg.Workers)
+			// DGC carries momentum in the workers (momentum correction), so
+			// the server applies plain SGD on the aggregated sparse update.
+			for w := range replicas {
+				for pi, p := range params[w] {
+					for i := range p.Data {
+						p.Data[i] -= lr * (agg[pi][i]*inv + cfg.WeightDecay*p.Data[i])
+					}
+				}
+			}
+			h.Iterations++
+		}
+		h.TrainLoss = append(h.TrainLoss, lossSum/float64(iters))
+		h.ValAcc = append(h.ValAcc, replicas[0].Accuracy(val.X, val.Y))
+	}
+	h.FinalValAcc = h.ValAcc[len(h.ValAcc)-1]
+	return h, replicas[0]
+}
+
+func runASGD(cfg Config, tr, val *data.Set) (*History, *nn.Network) {
+	shards, sample := shardsAndBatches(cfg, tr)
+	master := nn.NewResidualMLP(cfg.Net)
+	masterParams := master.Params()
+	sgd := opt.NewSGD(cfg.Schedule.LR(0), cfg.Momentum, cfg.WeightDecay)
+
+	// Each worker computes on a stale snapshot, refreshed after its push.
+	replicas := make([]*nn.Network, cfg.Workers)
+	for w := range replicas {
+		replicas[w] = nn.NewResidualMLP(cfg.Net)
+	}
+	syncFromMaster := func(w int) {
+		for pi, p := range replicas[w].Params() {
+			copy(p.Data, masterParams[pi].Data)
+		}
+	}
+
+	h := &History{Mode: cfg.Mode}
+	iters := itersPerEpoch(cfg, tr)
+	grad := gradBuffers(masterParams)
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		sgd.LR = cfg.Schedule.LR(epoch)
+		var lossSum float64
+		for it := 0; it < iters; it++ {
+			// One "iteration" consumes the same sample budget as a
+			// synchronous step: every worker pushes once, in turn, each
+			// computing on parameters that are (Workers-1) updates stale by
+			// the time its own update lands.
+			for w := 0; w < cfg.Workers; w++ {
+				x, y := shards[w].Batch(sample(epoch, it, w))
+				net := replicas[w]
+				logits := net.Forward(x)
+				lossSum += net.LossAndBackward(logits, y) / float64(cfg.Workers)
+				for pi, p := range net.Params() {
+					copy(grad[pi], p.Grad)
+				}
+				clipNorm(grad, cfg.ClipNorm)
+				sgd.StepDense(masterParams, grad)
+				syncFromMaster(w)
+			}
+			h.Iterations++
+		}
+		h.TrainLoss = append(h.TrainLoss, lossSum/float64(iters))
+		h.ValAcc = append(h.ValAcc, master.Accuracy(val.X, val.Y))
+	}
+	h.FinalValAcc = h.ValAcc[len(h.ValAcc)-1]
+	return h, master
+}

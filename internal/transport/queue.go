@@ -1,0 +1,82 @@
+package transport
+
+import (
+	"sync"
+
+	"p3/internal/pq"
+)
+
+// SendQueue is the blocking priority queue behind every producer/consumer
+// pair in the real transport (Section 4.2): producers enqueue frames as
+// gradients become ready, a single consumer goroutine pops the most urgent
+// frame and performs the blocking network write. When priority mode is off
+// the queue degenerates to FIFO, which is the baseline behaviour.
+type SendQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	q      *pq.Queue[*Frame]
+	closed bool
+}
+
+// NewSendQueue creates a queue; priority selects P3 ordering vs FIFO.
+func NewSendQueue(priority bool) *SendQueue {
+	less := func(a, b *Frame) bool { return false }
+	if priority {
+		less = func(a, b *Frame) bool { return a.Priority < b.Priority }
+	}
+	s := &SendQueue{q: pq.New(less)}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// Push enqueues a frame. Pushing to a closed queue is a no-op.
+func (s *SendQueue) Push(f *Frame) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.q.Push(f)
+	s.cond.Signal()
+}
+
+// Pop blocks until a frame is available or the queue is closed. The second
+// result is false once the queue is closed and drained.
+func (s *SendQueue) Pop() (*Frame, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.q.Len() == 0 && !s.closed {
+		s.cond.Wait()
+	}
+	if s.q.Len() == 0 {
+		return nil, false
+	}
+	return s.q.Pop(), true
+}
+
+// TryPop pops without blocking; the second result is false if nothing is
+// queued.
+func (s *SendQueue) TryPop() (*Frame, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.q.Len() == 0 {
+		return nil, false
+	}
+	return s.q.Pop(), true
+}
+
+// Len reports the queued frame count.
+func (s *SendQueue) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.q.Len()
+}
+
+// Close wakes all blocked consumers; queued frames may still be drained via
+// Pop/TryPop.
+func (s *SendQueue) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	s.cond.Broadcast()
+}

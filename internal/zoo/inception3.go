@@ -1,0 +1,104 @@
+package zoo
+
+import (
+	"p3/internal/model"
+)
+
+// InceptionV3 builds Inception-v3 (Szegedy et al. 2015) for 299x299 inputs:
+// the five-conv stem, three InceptionA blocks at 35x35, a ReductionA, four
+// InceptionB blocks with factorized 7x7 convolutions at 17x17, a ReductionB,
+// two InceptionC blocks at 8x8 and the classifier. The auxiliary classifier
+// is excluded (it is not part of the synchronized training graph the paper
+// measures). ~23.8M parameters across ~290 small tensors: like ResNet-50, no
+// single dominant layer, which is why the paper finds slicing alone does not
+// help this model.
+func InceptionV3() *model.Model {
+	b := &builder{}
+
+	// Stem: 299 -> 149 -> 147 -> 147 -> pool 73 -> 73 -> 71 -> pool 35.
+	b.convBN("conv1a", 3, 3, 32, 149)
+	b.convBN("conv2a", 3, 32, 32, 147)
+	b.convBN("conv2b", 3, 32, 64, 147)
+	b.convBN("conv3b", 1, 64, 80, 73)
+	b.convBN("conv4a", 3, 80, 192, 71)
+
+	// InceptionA at 35x35: in -> 64 + 64 + 96 + pool. Pool-projection width
+	// is 32 for the first block and 64 afterwards.
+	inceptionA := func(name string, cin, poolProj int64) int64 {
+		const hw = 35
+		b.convBN(name+"_1x1", 1, cin, 64, hw)
+		b.convBN(name+"_5x5red", 1, cin, 48, hw)
+		b.convBN(name+"_5x5", 5, 48, 64, hw)
+		b.convBN(name+"_3x3red", 1, cin, 64, hw)
+		b.convBN(name+"_3x3a", 3, 64, 96, hw)
+		b.convBN(name+"_3x3b", 3, 96, 96, hw)
+		b.convBN(name+"_pool", 1, cin, poolProj, hw)
+		return 64 + 64 + 96 + poolProj
+	}
+	c := inceptionA("mixed5b", 192, 32) // 256
+	c = inceptionA("mixed5c", c, 64)    // 288
+	c = inceptionA("mixed5d", c, 64)    // 288
+
+	// ReductionA: 35 -> 17.
+	b.convBN("mixed6a_3x3", 3, c, 384, 17)
+	b.convBN("mixed6a_dblred", 1, c, 64, 35)
+	b.convBN("mixed6a_dbl3x3a", 3, 64, 96, 35)
+	b.convBN("mixed6a_dbl3x3b", 3, 96, 96, 17)
+	c = 384 + 96 + c // 768 (max-pool branch passes channels through)
+
+	// InceptionB at 17x17 with factorized 7x7s; c7 is the bottleneck width.
+	inceptionB := func(name string, c7 int64) {
+		const hw = 17
+		b.convBN(name+"_1x1", 1, 768, 192, hw)
+		b.convBN(name+"_7x7red", 1, 768, c7, hw)
+		b.convBN2(name+"_1x7a", 1, 7, c7, c7, hw, hw)
+		b.convBN2(name+"_7x1a", 7, 1, c7, 192, hw, hw)
+		b.convBN(name+"_dblred", 1, 768, c7, hw)
+		b.convBN2(name+"_dbl7x1a", 7, 1, c7, c7, hw, hw)
+		b.convBN2(name+"_dbl1x7a", 1, 7, c7, c7, hw, hw)
+		b.convBN2(name+"_dbl7x1b", 7, 1, c7, c7, hw, hw)
+		b.convBN2(name+"_dbl1x7b", 1, 7, c7, 192, hw, hw)
+		b.convBN(name+"_pool", 1, 768, 192, hw)
+	}
+	inceptionB("mixed6b", 128)
+	inceptionB("mixed6c", 160)
+	inceptionB("mixed6d", 160)
+	inceptionB("mixed6e", 192)
+
+	// ReductionB: 17 -> 8.
+	b.convBN("mixed7a_3x3red", 1, 768, 192, 17)
+	b.convBN("mixed7a_3x3", 3, 192, 320, 8)
+	b.convBN("mixed7a_7x7red", 1, 768, 192, 17)
+	b.convBN2("mixed7a_1x7", 1, 7, 192, 192, 17, 17)
+	b.convBN2("mixed7a_7x1", 7, 1, 192, 192, 17, 17)
+	b.convBN("mixed7a_3x3b", 3, 192, 192, 8)
+	cin := int64(320 + 192 + 768) // 1280 with the pooled pass-through
+
+	// InceptionC at 8x8.
+	inceptionC := func(name string, cin int64) {
+		const hw = 8
+		b.convBN(name+"_1x1", 1, cin, 320, hw)
+		b.convBN(name+"_3x3red", 1, cin, 384, hw)
+		b.convBN2(name+"_1x3", 1, 3, 384, 384, hw, hw)
+		b.convBN2(name+"_3x1", 3, 1, 384, 384, hw, hw)
+		b.convBN(name+"_dblred", 1, cin, 448, hw)
+		b.convBN(name+"_dbl3x3", 3, 448, 384, hw)
+		b.convBN2(name+"_dbl1x3", 1, 3, 384, 384, hw, hw)
+		b.convBN2(name+"_dbl3x1", 3, 1, 384, 384, hw, hw)
+		b.convBN(name+"_pool", 1, cin, 192, hw)
+	}
+	inceptionC("mixed7b", cin)
+	inceptionC("mixed7c", 2048)
+
+	b.fc("fc", 2048, 1000)
+
+	m := &model.Model{
+		Name:             "inception3",
+		Layers:           b.layers,
+		BatchSize:        32,
+		SampleUnit:       "images",
+		PlateauPerWorker: 71,
+		FwdFraction:      1.0 / 3.0,
+	}
+	return m
+}

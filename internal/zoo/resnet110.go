@@ -1,0 +1,49 @@
+package zoo
+
+import (
+	"fmt"
+
+	"p3/internal/model"
+)
+
+// ResNet110 builds the CIFAR-10 ResNet-110 (He et al. 2015) used by the
+// paper's convergence studies (Section 5.6 and Appendix B.2): a 3x3 stem,
+// three stages of 18 basic blocks at widths 16/32/64 on 32x32 inputs, and a
+// 10-way classifier. ~1.73M parameters across ~330 tiny tensors. The timing
+// experiments use it to derive the iteration times behind the accuracy-vs-
+// wall-clock comparison of Figure 15.
+func ResNet110() *model.Model {
+	b := &builder{}
+
+	b.convBN("conv0", 3, 3, 16, 32)
+
+	type stage struct {
+		width int64
+		hw    int64
+	}
+	stages := []stage{{16, 32}, {32, 16}, {64, 8}}
+	in := int64(16)
+	for si, s := range stages {
+		for u := 1; u <= 18; u++ {
+			prefix := fmt.Sprintf("stage%d_unit%d", si+1, u)
+			b.convBN(prefix+"_conv1", 3, in, s.width, s.hw)
+			b.convBN(prefix+"_conv2", 3, s.width, s.width, s.hw)
+			if in != s.width {
+				// Projection shortcut on the widening unit.
+				b.convBN(prefix+"_sc", 1, in, s.width, s.hw)
+			}
+			in = s.width
+		}
+	}
+
+	b.fc("fc", 64, 10)
+
+	return &model.Model{
+		Name:             "resnet110",
+		Layers:           b.layers,
+		BatchSize:        128,
+		SampleUnit:       "images",
+		PlateauPerWorker: 900,
+		FwdFraction:      1.0 / 3.0,
+	}
+}

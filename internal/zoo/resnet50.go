@@ -1,0 +1,60 @@
+package zoo
+
+import (
+	"fmt"
+
+	"p3/internal/model"
+)
+
+// ResNet50 builds the standard ResNet-50 (He et al. 2015) for 224x224
+// ImageNet inputs: 7x7 stem, four stages of [3,4,6,3] bottleneck units,
+// global pooling and a 1000-way classifier. 161 parameter tensors, 25.56M
+// parameters — matching the spread-out, all-small-tensors distribution of
+// the paper's Figure 5(a).
+func ResNet50() *model.Model {
+	b := &builder{}
+
+	// Stem: 224 -> conv s2 -> 112 -> maxpool s2 -> 56.
+	b.convBN("conv0", 7, 3, 64, 112)
+
+	type stage struct {
+		units int64
+		mid   int64 // bottleneck width
+		out   int64
+		hw    int64 // spatial side after the stage's (possibly strided) first unit
+	}
+	stages := []stage{
+		{units: 3, mid: 64, out: 256, hw: 56},
+		{units: 4, mid: 128, out: 512, hw: 28},
+		{units: 6, mid: 256, out: 1024, hw: 14},
+		{units: 3, mid: 512, out: 2048, hw: 7},
+	}
+
+	in := int64(64)
+	for si, s := range stages {
+		for u := int64(0); u < s.units; u++ {
+			prefix := fmt.Sprintf("stage%d_unit%d", si+1, u+1)
+			// 1x1 reduce, 3x3, 1x1 expand; the 3x3 of the first unit of
+			// stages 2-4 carries the stride (already reflected in s.hw).
+			b.convBN(prefix+"_conv1", 1, in, s.mid, s.hw)
+			b.convBN(prefix+"_conv2", 3, s.mid, s.mid, s.hw)
+			b.convBN(prefix+"_conv3", 1, s.mid, s.out, s.hw)
+			if u == 0 {
+				// Projection shortcut on the first unit of every stage.
+				b.convBN(prefix+"_sc", 1, in, s.out, s.hw)
+			}
+			in = s.out
+		}
+	}
+
+	b.fc("fc", 2048, 1000)
+
+	return &model.Model{
+		Name:             "resnet50",
+		Layers:           b.layers,
+		BatchSize:        32,
+		SampleUnit:       "images",
+		PlateauPerWorker: 105,
+		FwdFraction:      1.0 / 3.0,
+	}
+}

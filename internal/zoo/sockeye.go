@@ -1,0 +1,79 @@
+package zoo
+
+import (
+	"p3/internal/model"
+)
+
+// Sockeye builds an IWSLT15-scale Sockeye (Hieber et al. 2017) neural
+// machine translation model: source/target embeddings, a bidirectional LSTM
+// encoder layer followed by two stacked LSTM encoder layers, MLP attention,
+// a three-layer LSTM decoder and the output projection. 20k source / 12k
+// target vocabulary, 512 hidden units, ~25-token average sentences.
+//
+// The distinguishing trait the paper leans on (Figure 5(c), Sections 5.3 and
+// 5.5): the heaviest parameter tensor is the *initial* source embedding, so
+// its gradient is produced last in backprop yet consumed first in the next
+// forward pass — the worst case for FIFO synchronization. Variable sequence
+// lengths also make iteration times uneven across workers, captured by
+// ComputeJitter.
+func Sockeye() *model.Model {
+	const (
+		srcVocab = 20000
+		tgtVocab = 12000
+		hidden   = 512
+		srcLen   = 25 // average source tokens per sentence
+		tgtLen   = 25 // average target tokens per sentence
+	)
+
+	b := &builder{}
+
+	// lstm emits the four parameter tensors of one LSTM layer and attributes
+	// per-sentence FLOPs (2 FLOPs per weight per time step).
+	lstm := func(name string, in, steps int64) {
+		i2h := int64(4 * in * hidden)
+		h2h := int64(4 * hidden * hidden)
+		b.add(name+"_i2h_weight", model.KindRNN, i2h, 2*i2h*steps)
+		b.add(name+"_i2h_bias", model.KindBias, 4*hidden, 4*hidden*steps)
+		b.add(name+"_h2h_weight", model.KindRNN, h2h, 2*h2h*steps)
+		b.add(name+"_h2h_bias", model.KindBias, 4*hidden, 4*hidden*steps)
+	}
+
+	// Source embedding: the heaviest tensor, first in forward order.
+	b.add("source_embed_weight", model.KindEmbedding, srcVocab*hidden, srcLen*hidden*2)
+
+	// Encoder: bidirectional first layer, then two stacked layers.
+	lstm("encoder_birnn_fwd", hidden, srcLen)
+	lstm("encoder_birnn_rev", hidden, srcLen)
+	lstm("encoder_rnn_l1", 2*hidden, srcLen) // consumes the concatenated directions
+	lstm("encoder_rnn_l2", hidden, srcLen)
+
+	// Bridge: initializes the decoder state from the final encoder state.
+	b.fc("bridge", hidden, hidden)
+
+	// Target embedding.
+	b.add("target_embed_weight", model.KindEmbedding, tgtVocab*hidden, tgtLen*hidden*2)
+
+	// MLP attention (query projection, key projection, scoring vector).
+	b.add("attention_query_weight", model.KindAttention, hidden*hidden, 2*hidden*hidden*tgtLen)
+	b.add("attention_key_weight", model.KindAttention, hidden*hidden, 2*hidden*hidden*srcLen)
+	b.add("attention_score_weight", model.KindAttention, hidden, 2*hidden*srcLen*tgtLen)
+
+	// Decoder: first layer consumes embedding + attention context.
+	lstm("decoder_rnn_l0", 2*hidden, tgtLen)
+	lstm("decoder_rnn_l1", hidden, tgtLen)
+	lstm("decoder_rnn_l2", hidden, tgtLen)
+
+	// Output projection over the target vocabulary.
+	b.add("output_weight", model.KindFC, hidden*tgtVocab, 2*hidden*tgtVocab*tgtLen)
+	b.add("output_bias", model.KindBias, tgtVocab, tgtVocab*tgtLen)
+
+	return &model.Model{
+		Name:             "sockeye",
+		Layers:           b.layers,
+		BatchSize:        64,
+		SampleUnit:       "sentences",
+		PlateauPerWorker: 170,
+		ComputeJitter:    0.12,
+		FwdFraction:      1.0 / 3.0,
+	}
+}

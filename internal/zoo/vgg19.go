@@ -1,0 +1,52 @@
+package zoo
+
+import (
+	"fmt"
+
+	"p3/internal/model"
+)
+
+// VGG19 builds VGG-19 (Simonyan & Zisserman 2014) for 224x224 inputs:
+// sixteen 3x3 convolutions in five blocks plus three fully connected layers.
+// 38 parameter tensors, 143.67M parameters. The first FC layer
+// (25088x4096 = 102.76M parameters, 71.5% of the model) is the
+// disproportionately heavy tensor the paper's Figure 5(b) and the
+// granularity analysis of Section 3 revolve around.
+func VGG19() *model.Model {
+	b := &builder{}
+
+	type block struct {
+		convs int64
+		cout  int64
+		hw    int64 // spatial side within the block (pooling halves it after)
+	}
+	blocks := []block{
+		{convs: 2, cout: 64, hw: 224},
+		{convs: 2, cout: 128, hw: 112},
+		{convs: 4, cout: 256, hw: 56},
+		{convs: 4, cout: 512, hw: 28},
+		{convs: 4, cout: 512, hw: 14},
+	}
+
+	in := int64(3)
+	for bi, blk := range blocks {
+		for c := int64(0); c < blk.convs; c++ {
+			b.convBias(fmt.Sprintf("conv%d_%d", bi+1, c+1), 3, in, blk.cout, blk.hw)
+			in = blk.cout
+		}
+	}
+
+	// After the fifth pool: 512 x 7 x 7 = 25088 inputs to the classifier.
+	b.fc("fc6", 512*7*7, 4096)
+	b.fc("fc7", 4096, 4096)
+	b.fc("fc8", 4096, 1000)
+
+	return &model.Model{
+		Name:             "vgg19",
+		Layers:           b.layers,
+		BatchSize:        32,
+		SampleUnit:       "images",
+		PlateauPerWorker: 56,
+		FwdFraction:      1.0 / 3.0,
+	}
+}

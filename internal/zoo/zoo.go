@@ -1,0 +1,110 @@
+// Package zoo builds the four DNNs the paper evaluates — ResNet-50,
+// InceptionV3, VGG-19 and Sockeye — as parameter-tensor tables
+// (model.Model). Architectures are generated programmatically from their
+// published configurations; parameter counts are exact for ResNet-50 and
+// VGG-19 and faithful approximations for InceptionV3 (aux classifier
+// excluded) and Sockeye (IWSLT15-scale NMT: 16k vocab, 512-unit LSTMs).
+//
+// One table entry per parameter tensor (conv weight, BN gamma, BN beta, FC
+// weight, FC bias, ...), in forward-pass order — the same granularity as
+// MXNet KVStore keys and the x axis of the paper's Figure 5.
+package zoo
+
+import (
+	"fmt"
+
+	"p3/internal/model"
+)
+
+// Names of the available models, in the order the paper presents them.
+var Names = []string{"resnet50", "inception3", "vgg19", "sockeye"}
+
+// ByName returns the named model. It panics on an unknown name; use Names
+// for the valid set.
+func ByName(name string) *model.Model {
+	switch name {
+	case "resnet50":
+		return ResNet50()
+	case "inception3", "inceptionv3":
+		return InceptionV3()
+	case "vgg19":
+		return VGG19()
+	case "sockeye":
+		return Sockeye()
+	case "resnet110":
+		return ResNet110()
+	}
+	panic(fmt.Sprintf("zoo: unknown model %q", name))
+}
+
+// All returns the four paper models.
+func All() []*model.Model {
+	return []*model.Model{ResNet50(), InceptionV3(), VGG19(), Sockeye()}
+}
+
+// builder accumulates parameter tensors in forward order.
+type builder struct {
+	layers []model.Layer
+}
+
+func (b *builder) add(name string, kind model.Kind, params, flops int64) {
+	b.layers = append(b.layers, model.Layer{
+		Index:    len(b.layers),
+		Name:     name,
+		Kind:     kind,
+		Params:   params,
+		FwdFLOPs: flops,
+	})
+}
+
+// conv emits a convolution weight tensor (no bias, as in BN networks).
+// k: kernel side, cin/cout: channels, hw: output spatial side.
+func (b *builder) conv(name string, k, cin, cout, hwOut int64) {
+	params := k * k * cin * cout
+	flops := 2 * params * hwOut * hwOut
+	b.add(name+"_weight", model.KindConv, params, flops)
+}
+
+// conv2 emits a convolution with distinct kernel height/width (for
+// InceptionV3's factorized 1x7 / 7x1 convolutions).
+func (b *builder) conv2(name string, kh, kw, cin, cout, hOut, wOut int64) {
+	params := kh * kw * cin * cout
+	flops := 2 * params * hOut * wOut
+	b.add(name+"_weight", model.KindConv, params, flops)
+}
+
+// bn emits batch-norm gamma and beta tensors over cout channels at spatial
+// side hw.
+func (b *builder) bn(name string, cout, hw int64) {
+	elemFLOPs := 2 * cout * hw * hw
+	b.add(name+"_gamma", model.KindBatchNorm, cout, elemFLOPs)
+	b.add(name+"_beta", model.KindBatchNorm, cout, elemFLOPs)
+}
+
+// convBN emits a conv weight followed by its batch norm.
+func (b *builder) convBN(name string, k, cin, cout, hwOut int64) {
+	b.conv(name, k, cin, cout, hwOut)
+	b.bn(name+"_bn", cout, hwOut)
+}
+
+// convBN2 is convBN with rectangular kernels.
+func (b *builder) convBN2(name string, kh, kw, cin, cout, hOut, wOut int64) {
+	b.conv2(name, kh, kw, cin, cout, hOut, wOut)
+	elemFLOPs := 2 * cout * hOut * wOut
+	b.add(name+"_bn_gamma", model.KindBatchNorm, cout, elemFLOPs)
+	b.add(name+"_bn_beta", model.KindBatchNorm, cout, elemFLOPs)
+}
+
+// fc emits a fully connected weight and bias.
+func (b *builder) fc(name string, in, out int64) {
+	b.add(name+"_weight", model.KindFC, in*out, 2*in*out)
+	b.add(name+"_bias", model.KindBias, out, out)
+}
+
+// convBias emits a conv weight plus bias (VGG-style, no BN).
+func (b *builder) convBias(name string, k, cin, cout, hwOut int64) {
+	params := k * k * cin * cout
+	flops := 2 * params * hwOut * hwOut
+	b.add(name+"_weight", model.KindConv, params, flops)
+	b.add(name+"_bias", model.KindBias, cout, cout*hwOut*hwOut)
+}

@@ -1,0 +1,160 @@
+package zoo
+
+import (
+	"testing"
+
+	"p3/internal/model"
+)
+
+func TestAllModelsValidate(t *testing.T) {
+	for _, m := range All() {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+	}
+	if err := ResNet110().Validate(); err != nil {
+		t.Errorf("resnet110: %v", err)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range append(Names, "resnet110") {
+		if m := ByName(name); m.Name != name {
+			t.Errorf("ByName(%q).Name = %q", name, m.Name)
+		}
+	}
+	if ByName("inceptionv3").Name != "inception3" {
+		t.Error("inceptionv3 alias broken")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown model did not panic")
+		}
+	}()
+	ByName("alexnet")
+}
+
+// TestResNet50Exact pins the well-known ImageNet parameter count.
+func TestResNet50Exact(t *testing.T) {
+	m := ResNet50()
+	if got := m.TotalParams(); got != 25_557_032 {
+		t.Fatalf("ResNet-50 params = %d, want 25557032", got)
+	}
+	if got := len(m.Layers); got != 161 {
+		t.Fatalf("ResNet-50 tensors = %d, want 161", got)
+	}
+}
+
+// TestVGG19Exact pins VGG-19's parameter count and the paper's 71.5% claim
+// about fc6 (Section 3).
+func TestVGG19Exact(t *testing.T) {
+	m := VGG19()
+	if got := m.TotalParams(); got != 143_667_240 {
+		t.Fatalf("VGG-19 params = %d, want 143667240", got)
+	}
+	if got := len(m.Layers); got != 38 {
+		t.Fatalf("VGG-19 tensors = %d, want 38", got)
+	}
+	var fc6 int64
+	for _, l := range m.Layers {
+		if l.Name == "fc6_weight" {
+			fc6 = l.Params
+		}
+	}
+	if fc6 != 25088*4096 {
+		t.Fatalf("fc6 = %d params", fc6)
+	}
+	share := float64(fc6) / float64(m.TotalParams())
+	if share < 0.710 || share > 0.720 {
+		t.Fatalf("fc6 share = %.4f, paper says 0.715", share)
+	}
+}
+
+func TestInceptionV3Approximate(t *testing.T) {
+	m := InceptionV3()
+	got := float64(m.TotalParams())
+	// torchvision inception_v3 without aux: ~23.8M. Allow 3%.
+	if got < 23.8e6*0.97 || got > 23.8e6*1.03 {
+		t.Fatalf("InceptionV3 params = %.2fM, want ~23.8M", got/1e6)
+	}
+	// No single dominant tensor (the paper's reason slicing does not help).
+	var max int64
+	for _, l := range m.Layers {
+		if l.Params > max {
+			max = l.Params
+		}
+	}
+	if float64(max) > 0.1*got {
+		t.Fatalf("largest tensor %.2fM is over 10%% of the model", float64(max)/1e6)
+	}
+}
+
+// TestSockeyeShape checks the property the paper leans on: the heaviest
+// tensor is the *initial* source embedding.
+func TestSockeyeShape(t *testing.T) {
+	m := Sockeye()
+	first := m.Layers[0]
+	if first.Kind != model.KindEmbedding {
+		t.Fatalf("first tensor is %v, want embedding", first.Kind)
+	}
+	for _, l := range m.Layers[1:] {
+		if l.Params >= first.Params {
+			t.Fatalf("tensor %q (%d params) >= initial embedding (%d)", l.Name, l.Params, first.Params)
+		}
+	}
+	if m.ComputeJitter <= 0 {
+		t.Fatal("Sockeye must model variable sequence-length jitter")
+	}
+}
+
+func TestResNet110Shape(t *testing.T) {
+	m := ResNet110()
+	got := float64(m.TotalParams())
+	// He et al. report ~1.7M for ResNet-110 on CIFAR.
+	if got < 1.6e6 || got > 1.9e6 {
+		t.Fatalf("ResNet-110 params = %.2fM, want ~1.7M", got/1e6)
+	}
+	if len(m.Layers) < 200 {
+		t.Fatalf("ResNet-110 has %d tensors, expected hundreds of small ones", len(m.Layers))
+	}
+}
+
+// TestResNet50Distribution checks Figure 5(a)'s property: all tensors are
+// below 2.5M parameters, with the largest in the final stage.
+func TestResNet50Distribution(t *testing.T) {
+	m := ResNet50()
+	var maxIdx int
+	var max int64
+	for _, l := range m.Layers {
+		if l.Params > max {
+			max = l.Params
+			maxIdx = l.Index
+		}
+	}
+	if max > 2_500_000 {
+		t.Fatalf("largest ResNet-50 tensor = %d params; Figure 5(a) tops at ~2.4M", max)
+	}
+	if maxIdx < len(m.Layers)/2 {
+		t.Fatalf("largest tensor at index %d; image models grow towards the end", maxIdx)
+	}
+}
+
+func TestForwardOrderIndices(t *testing.T) {
+	for _, m := range All() {
+		for i, l := range m.Layers {
+			if l.Index != i {
+				t.Fatalf("%s: layer %d has index %d", m.Name, i, l.Index)
+			}
+		}
+	}
+}
+
+func TestFLOPsPositiveForWeightTensors(t *testing.T) {
+	for _, m := range All() {
+		for _, l := range m.Layers {
+			if (l.Kind == model.KindConv || l.Kind == model.KindFC || l.Kind == model.KindRNN) && l.FwdFLOPs <= 0 {
+				t.Errorf("%s: weight tensor %q has no FLOPs", m.Name, l.Name)
+			}
+		}
+	}
+}
