@@ -23,7 +23,7 @@ import (
 
 var figOrder = []string{
 	"fig5", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
-	"headline", "ablation", "allreduce", "tta", "compression", "sensitivity",
+	"headline", "ablation", "sched", "allreduce", "tta", "compression", "sensitivity",
 }
 
 func main() {
@@ -66,6 +66,10 @@ func main() {
 		case t == "ablation":
 			fmt.Println("== Ablation: contribution of each P3 design decision (per-machine samples/sec) ==")
 			fmt.Print(experiments.AblationTable(experiments.Ablation(o)))
+			fmt.Println()
+		case t == "sched":
+			fmt.Println("== Scheduler ablation: every queue discipline on the sliced strategy (internal/sched) ==")
+			fmt.Print(experiments.SchedulerTable(experiments.SchedulerAblation(o)))
 			fmt.Println()
 		case t == "compression":
 			fmt.Println("== Extension: compression family (related work, Section 6) vs dense exchange ==")

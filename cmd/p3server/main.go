@@ -3,8 +3,8 @@
 // Start one per machine, then point p3worker processes at the full server
 // list (the paper's Appendix A workflow, minus MXNet).
 //
-//	p3server -addr :9700 -workers 4 -priority
-//	p3server -addr :9701 -workers 4 -priority
+//	p3server -addr :9700 -workers 4 -sched p3
+//	p3server -addr :9701 -workers 4 -sched p3
 //
 // The server aggregates each key's gradient pushes, applies SGD on the Nth
 // push, and immediately broadcasts the updated values (or, with
@@ -17,26 +17,32 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"p3/internal/pstcp"
+	"p3/internal/sched"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:9700", "listen address")
 	id := flag.Int("id", 0, "server id")
 	workers := flag.Int("workers", 4, "worker count (pushes per update)")
-	priority := flag.Bool("priority", true, "P3 priority queues (false = FIFO baseline)")
+	schedName := flag.String("sched", "p3", "queue discipline: "+strings.Join(sched.Names(), "|")+" (p3 = paper, fifo = baseline)")
 	notifyPull := flag.Bool("notifypull", false, "stock KVStore notify+pull instead of immediate broadcast")
 	lr := flag.Float64("lr", 0.1, "server-side SGD learning rate")
 	stats := flag.Duration("stats", 10*time.Second, "stats print interval (0 = off)")
 	flag.Parse()
 
+	if _, err := sched.ByName(*schedName); err != nil {
+		fmt.Fprintln(os.Stderr, "p3server:", err)
+		os.Exit(2)
+	}
 	srv := pstcp.NewServer(pstcp.ServerConfig{
 		ID:         *id,
 		Workers:    *workers,
-		Priority:   *priority,
+		Sched:      *schedName,
 		NotifyPull: *notifyPull,
 		Updater:    pstcp.SGDUpdater(float32(*lr)),
 	})
@@ -49,8 +55,8 @@ func main() {
 	if *notifyPull {
 		mode = "notify+pull"
 	}
-	fmt.Printf("p3server %d listening on %s (workers=%d, priority=%v, %s)\n",
-		*id, bound, *workers, *priority, mode)
+	fmt.Printf("p3server %d listening on %s (workers=%d, sched=%s, %s)\n",
+		*id, bound, *workers, *schedName, mode)
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)

@@ -6,14 +6,21 @@
 // Example:
 //
 //	p3sim -model vgg19 -strategy p3 -bw 15 -machines 4 -slice 50000 -trace
+//
+// The -sched flag re-runs any strategy under a different queue discipline
+// from the internal/sched registry (fifo, p3, rr, smallest, credit:<bytes>):
+//
+//	p3sim -model vgg19 -strategy slicing -sched credit:1048576 -bw 15
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"p3/internal/cluster"
+	"p3/internal/sched"
 	"p3/internal/strategy"
 	"p3/internal/trace"
 	"p3/internal/zoo"
@@ -22,6 +29,7 @@ import (
 func main() {
 	modelName := flag.String("model", "resnet50", "model: resnet50|inception3|vgg19|sockeye|resnet110")
 	stratName := flag.String("strategy", "p3", "strategy: baseline|tensorflow|wfbp|slicing|p3|asgd")
+	schedName := flag.String("sched", "", "override the strategy's queue discipline: "+strings.Join(sched.Names(), "|")+" (also credit:<bytes>)")
 	bw := flag.Float64("bw", 10, "per-direction NIC bandwidth in Gbps")
 	machines := flag.Int("machines", 4, "cluster size (workers == servers == machines)")
 	slice := flag.Int64("slice", 0, "max slice size in parameters (0 = paper default 50k; slicing/p3 only)")
@@ -36,6 +44,13 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "p3sim:", err)
 		os.Exit(2)
+	}
+	if *schedName != "" {
+		st, err = st.WithSched(*schedName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "p3sim:", err)
+			os.Exit(2)
+		}
 	}
 	if *slice > 0 && st.Granularity == strategy.Slices {
 		st.MaxSliceParams = *slice
@@ -63,7 +78,7 @@ func main() {
 	})
 
 	fmt.Printf("model:       %s (%s)\n", m.Name, m)
-	fmt.Printf("strategy:    %s  machines: %d  bandwidth: %g Gbps\n", st.Name, r.Machines, r.BandwidthGbps)
+	fmt.Printf("strategy:    %s  sched: %s  machines: %d  bandwidth: %g Gbps\n", st.Name, st.Discipline(), r.Machines, r.BandwidthGbps)
 	fmt.Printf("throughput:  %.1f %s/s aggregate (%.1f per machine)\n",
 		r.Throughput, m.SampleUnit, r.Throughput/float64(r.Machines))
 	fmt.Printf("iteration:   %.2f ms mean (pure compute %.2f ms, comm overhead %.2f ms)\n",

@@ -3,7 +3,8 @@
 // in backpropagation order (last layer first) with forward-order priorities,
 // waits for every updated slice to return, and reports iteration times —
 // a real-network microbenchmark of the mechanism, usable on loopback or
-// across machines (the paper's Appendix A benchmark workflow).
+// across machines (the paper's Appendix A benchmark workflow). The -sched
+// flag selects the send-queue discipline (see internal/sched).
 //
 // Start the servers first, then one p3worker per machine:
 //
@@ -24,6 +25,7 @@ import (
 
 	"p3/internal/core"
 	"p3/internal/pstcp"
+	"p3/internal/sched"
 	"p3/internal/transport"
 	"p3/internal/zoo"
 )
@@ -35,7 +37,7 @@ func main() {
 	slice := flag.Int64("slice", 0, "max slice size in parameters (0 = paper default 50k)")
 	iters := flag.Int("iters", 20, "iterations to run")
 	warmup := flag.Int("warmup", 3, "warm-up iterations excluded from stats")
-	priority := flag.Bool("priority", true, "P3 priority send queue (false = FIFO)")
+	schedName := flag.String("sched", "p3", "send-queue discipline: "+strings.Join(sched.Names(), "|")+" (p3 = paper, fifo = baseline)")
 	batch := flag.Int("batch", 32, "nominal batch size (throughput accounting only)")
 	flag.Parse()
 
@@ -53,7 +55,7 @@ func main() {
 	}
 
 	recv := make(chan struct{}, plan.NumChunks()+8)
-	worker, err := pstcp.DialWorker(*id, addrs, *priority, func(f *transport.Frame) {
+	worker, err := pstcp.DialWorker(*id, addrs, *schedName, func(f *transport.Frame) {
 		if f.Type == transport.TypeData {
 			recv <- struct{}{}
 		}

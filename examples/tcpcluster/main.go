@@ -52,7 +52,7 @@ func main() {
 	var addrs []string
 	for s := 0; s < nServers; s++ {
 		srv := pstcp.NewServer(pstcp.ServerConfig{
-			ID: s, Workers: nWorkers, Priority: true, Updater: pstcp.SGDUpdater(lr),
+			ID: s, Workers: nWorkers, Sched: "p3", Updater: pstcp.SGDUpdater(lr),
 		})
 		addr, err := srv.Start("127.0.0.1:0")
 		if err != nil {
@@ -104,7 +104,7 @@ func runWorker(id int, addrs []string, plan *core.Plan, netCfg nn.Config,
 	shard := tr.Shard(id, nWorkers)
 
 	recv := make(chan *transport.Frame, plan.NumChunks()+8)
-	worker, err := pstcp.DialWorker(id, addrs, true, func(f *transport.Frame) { recv <- f })
+	worker, err := pstcp.DialWorker(id, addrs, "p3", func(f *transport.Frame) { recv <- f })
 	if err != nil {
 		log.Fatal(err)
 	}

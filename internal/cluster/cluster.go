@@ -24,7 +24,7 @@ import (
 	"p3/internal/core"
 	"p3/internal/model"
 	"p3/internal/netsim"
-	"p3/internal/pq"
+	"p3/internal/sched"
 	"p3/internal/sim"
 	"p3/internal/strategy"
 	"p3/internal/trace"
@@ -54,7 +54,7 @@ type Config struct {
 	BandwidthGbps float64
 	// Net optionally overrides the full interconnect config; if zero-valued
 	// it is derived from BandwidthGbps via netsim.DefaultConfig. The
-	// PriorityEgress field is always forced from the strategy.
+	// Egress discipline is always forced from the strategy's Sched name.
 	Net *netsim.Config
 	// UpdateRateGBps is the server-side per-byte processing rate in
 	// gigabytes per second: deserializing a received gradient, accumulating
@@ -197,12 +197,14 @@ type procItem struct {
 // procPool serializes per-byte endpoint processing. It models MXNet's engine
 // semantics: up to `threads` items process concurrently, but items for the
 // same chunk (key) always serialize because they share an accumulator. The
-// queue discipline is FIFO for baseline strategies and priority-ordered for
-// P3 — the server- and worker-side producer/consumer loops of Section 4.2.
+// queue discipline is pluggable (a sched.Discipline resolved from the
+// strategy's Sched name): fifo for baseline strategies, p3 priority ordering
+// for the server- and worker-side producer/consumer loops of Section 4.2,
+// or any other registered discipline.
 type procPool struct {
 	threads   int
 	inFlight  int
-	queue     *pq.Queue[procItem]
+	queue     *sched.Queue[procItem]
 	chunkBusy map[int32]bool
 	waiting   map[int32][]procItem
 	overhead  sim.Time
@@ -210,10 +212,12 @@ type procPool struct {
 	done      func(procItem)
 }
 
-func newProcPool(threads int, overhead sim.Time, rate float64, less func(a, b procItem) bool) *procPool {
+// newProcPool builds a pool ordered by queue, which must wrap a fresh
+// discipline instance (pools never share scheduler state).
+func newProcPool(threads int, overhead sim.Time, rate float64, queue *sched.Queue[procItem]) *procPool {
 	return &procPool{
 		threads:   threads,
-		queue:     pq.New(less),
+		queue:     queue,
 		chunkBusy: make(map[int32]bool),
 		waiting:   make(map[int32][]procItem),
 		overhead:  overhead,
@@ -221,18 +225,24 @@ func newProcPool(threads int, overhead sim.Time, rate float64, less func(a, b pr
 	}
 }
 
-// add enqueues an item and starts as many queued items as the thread and
-// per-key limits allow. The pool's done callback runs on the virtual clock
-// when an item finishes processing.
+// add enqueues an item and starts as many queued items as the thread,
+// per-key and credit limits allow. The pool's done callback runs on the
+// virtual clock when an item finishes processing.
 func (p *procPool) add(cs *clusterSim, it procItem) {
 	p.queue.Push(it)
 	p.pump(cs)
 }
 
 func (p *procPool) pump(cs *clusterSim) {
-	for p.inFlight < p.threads && p.queue.Len() > 0 {
-		it := p.queue.Pop()
+	for p.inFlight < p.threads {
+		it, ok := p.queue.PopReady()
+		if !ok {
+			return
+		}
 		if p.chunkBusy[it.chunk] {
+			// Deferred on the per-key serialization, not processing yet:
+			// refund any credit until the chunk frees up and re-queues it.
+			p.queue.Done(it)
 			p.waiting[it.chunk] = append(p.waiting[it.chunk], it)
 			continue
 		}
@@ -247,6 +257,7 @@ func (p *procPool) start(cs *clusterSim, it procItem) {
 	cs.eng.After(cost, func() {
 		p.inFlight--
 		delete(p.chunkBusy, it.chunk)
+		p.queue.Done(it)
 		if w := p.waiting[it.chunk]; len(w) > 0 {
 			p.queue.Push(w[0])
 			if len(w) == 1 {
@@ -332,7 +343,7 @@ func newClusterSim(cfg Config) *clusterSim {
 	if cfg.BandwidthGbps > 0 {
 		netCfg.BandwidthGbps = cfg.BandwidthGbps
 	}
-	netCfg.PriorityEgress = cfg.Strategy.PriorityEgress()
+	netCfg.Egress = cfg.Strategy.Discipline()
 
 	cs := &clusterSim{
 		cfg:    cfg,
@@ -346,15 +357,19 @@ func newClusterSim(cfg Config) *clusterSim {
 	cs.updRate = cfg.UpdateRateGBps // GB/s == bytes/ns
 	cs.hostRate = cfg.HostRateGBps  // GB/s == bytes/ns
 
-	less := func(a, b procItem) bool { return false }
-	if cfg.Strategy.PriorityEgress() {
-		less = func(a, b procItem) bool { return a.priority < b.priority }
+	// Every processing pool runs the strategy's discipline on a fresh
+	// instance; the item view exposes the chunk's wire priority and size.
+	itemView := func(it procItem) sched.Item {
+		return sched.Item{Priority: it.priority, Bytes: cs.plan.Chunks[it.chunk].Bytes()}
+	}
+	newQueue := func() *sched.Queue[procItem] {
+		return sched.NewQueue(sched.MustByName(cfg.Strategy.Discipline()), itemView)
 	}
 	cs.servers = make([]serverState, cfg.Servers)
 	for s := range cs.servers {
 		srv := s
 		cs.servers[s] = serverState{
-			proc:     newProcPool(cfg.ServerThreads, cfg.UpdateOverhead, cfg.UpdateRateGBps, less),
+			proc:     newProcPool(cfg.ServerThreads, cfg.UpdateOverhead, cfg.UpdateRateGBps, newQueue()),
 			agg:      make([]chunkAgg, cs.plan.NumChunks()),
 			lastDone: make([]int32, cs.plan.NumChunks()),
 			pending:  make(map[int32][]pendingPull),
@@ -377,7 +392,7 @@ func newClusterSim(cfg Config) *clusterSim {
 		ws.notifyCount = make([]int, cs.layers)
 		ws.bwdDone = make([]sim.Time, cs.total)
 		ws.layerStall = make([]sim.Time, cs.layers)
-		ws.proc = newProcPool(cfg.HostThreads, cfg.HostOverhead, cfg.HostRateGBps, less)
+		ws.proc = newProcPool(cfg.HostThreads, cfg.HostOverhead, cfg.HostRateGBps, newQueue())
 		wk := w
 		ws.proc.done = func(it procItem) { cs.installChunk(wk, it.chunk, it.iter) }
 	}

@@ -37,7 +37,7 @@ func Ablation(o Options) []AblationRow {
 	}
 	priorityShards := strategy.Strategy{
 		Name: "priority-shards", Granularity: strategy.Shards,
-		Order: strategy.ByPriority, Pull: strategy.Immediate,
+		Sched: "p3", Pull: strategy.Immediate,
 	}
 	rows := make([]AblationRow, 0, len(cases))
 	for _, c := range cases {
@@ -87,9 +87,9 @@ func ExtAllreduce(o Options) []*Figure {
 		name string
 		s    strategy.Strategy
 	}{
-		{"ar-layer", strategy.Strategy{Name: "ar-layer", Granularity: strategy.Shards, Order: strategy.FIFO}},
-		{"ar-sliced", strategy.Strategy{Name: "ar-sliced", Granularity: strategy.Slices, Order: strategy.FIFO}},
-		{"ar-p3", strategy.Strategy{Name: "ar-p3", Granularity: strategy.Slices, Order: strategy.ByPriority}},
+		{"ar-layer", strategy.Strategy{Name: "ar-layer", Granularity: strategy.Shards, Sched: "fifo"}},
+		{"ar-sliced", strategy.Strategy{Name: "ar-sliced", Granularity: strategy.Slices, Sched: "fifo"}},
+		{"ar-p3", strategy.Strategy{Name: "ar-p3", Granularity: strategy.Slices, Sched: "p3"}},
 	}
 	var figs []*Figure
 	sub := 'a'

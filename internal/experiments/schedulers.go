@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"fmt"
+
+	"p3/internal/strategy"
+	"p3/internal/zoo"
+)
+
+// SchedDisciplines is the discipline sweep of the scheduler ablation: every
+// built-in sched.Discipline, applied to the same sliced/immediate-broadcast
+// strategy so ordering is the only variable.
+var SchedDisciplines = []string{"fifo", "rr", "smallest", "credit", "p3"}
+
+// SchedulerRow is one (model, discipline) cell of the scheduler ablation.
+type SchedulerRow struct {
+	Model         string
+	BandwidthGbps float64
+	Sched         string
+	// PerMachine is the per-machine training throughput (samples/sec).
+	PerMachine float64
+	// IterMs is the mean iteration makespan in milliseconds.
+	IterMs float64
+	// TTCSpeedup is the time-to-convergence speedup over fifo. Synchronous
+	// SGD's convergence trajectory is identical under every discipline (the
+	// wire order changes, the math does not), so time-to-convergence scales
+	// exactly with iteration time: fifo_iter / sched_iter.
+	TTCSpeedup float64
+}
+
+// SchedulerAblation compares every registered queue discipline on the zoo
+// models at their headline bandwidths — the payoff of extracting
+// internal/sched: the paper's p3-vs-fifo comparison becomes one row pair in
+// a sweep that also covers round-robin fairness, shortest-job-first, and a
+// ByteScheduler-style credit window, with no changes outside the strategy's
+// Sched name.
+func SchedulerAblation(o Options) []SchedulerRow {
+	cases := []struct {
+		model string
+		gbps  float64
+	}{
+		{"resnet50", 4},
+		{"vgg19", 15},
+		{"sockeye", 4},
+	}
+	var rows []SchedulerRow
+	for _, c := range cases {
+		m := zoo.ByName(c.model)
+		measure := func(name string) SchedulerRow {
+			st, err := strategy.SlicingOnly(0).WithSched(name)
+			if err != nil {
+				panic(err) // SchedDisciplines only holds registered names
+			}
+			st.Name = "sliced+" + name
+			r := run(m, st, 4, c.gbps, o, nil)
+			return SchedulerRow{
+				Model:         c.model,
+				BandwidthGbps: c.gbps,
+				Sched:         name,
+				PerMachine:    r.Throughput / float64(r.Machines),
+				IterMs:        r.MeanIterTime.Millis(),
+			}
+		}
+		// The fifo reference runs once, up front, so TTCSpeedup does not
+		// depend on SchedDisciplines' ordering.
+		fifo := measure("fifo")
+		fifo.TTCSpeedup = 1
+		for _, name := range SchedDisciplines {
+			if name == "fifo" {
+				rows = append(rows, fifo)
+				continue
+			}
+			row := measure(name)
+			row.TTCSpeedup = fifo.IterMs / row.IterMs
+			rows = append(rows, row)
+		}
+	}
+	return rows
+}
+
+// SchedulerTable renders the ablation, one line per (model, discipline).
+func SchedulerTable(rows []SchedulerRow) string {
+	out := "model\tGbps\tsched\tsamples/s/machine\titer_ms\tttc_speedup_vs_fifo\n"
+	for _, r := range rows {
+		out += fmt.Sprintf("%s\t%g\t%s\t%.1f\t%.2f\t%.3fx\n",
+			r.Model, r.BandwidthGbps, r.Sched, r.PerMachine, r.IterMs, r.TTCSpeedup)
+	}
+	return out
+}

@@ -1,0 +1,48 @@
+package experiments
+
+import "testing"
+
+// TestSchedulerAblation checks the shape of the sweep and its headline
+// claim: the p3 discipline beats fifo on time-to-convergence for every zoo
+// model at its paper bandwidth (the acceptance criterion of the sched
+// extraction), with the credit window close behind.
+func TestSchedulerAblation(t *testing.T) {
+	rows := SchedulerAblation(Options{Fast: true})
+	const models = 3
+	if len(rows) != models*len(SchedDisciplines) {
+		t.Fatalf("%d rows, want %d", len(rows), models*len(SchedDisciplines))
+	}
+	byModel := map[string]map[string]SchedulerRow{}
+	for _, r := range rows {
+		if byModel[r.Model] == nil {
+			byModel[r.Model] = map[string]SchedulerRow{}
+		}
+		byModel[r.Model][r.Sched] = r
+	}
+	for model, per := range byModel {
+		fifo, p3 := per["fifo"], per["p3"]
+		if !(p3.IterMs < fifo.IterMs) {
+			t.Errorf("%s: p3 iter %.2f ms not below fifo %.2f ms", model, p3.IterMs, fifo.IterMs)
+		}
+		if !(p3.TTCSpeedup > 1.0) {
+			t.Errorf("%s: p3 time-to-convergence speedup %.3f <= 1", model, p3.TTCSpeedup)
+		}
+		if fifo.TTCSpeedup != 1.0 {
+			t.Errorf("%s: fifo speedup %.3f, want exactly 1", model, fifo.TTCSpeedup)
+		}
+		// The credit window approximates p3 (it is p3 plus a bounded
+		// in-flight budget), so it must land within a few percent.
+		credit := per["credit"]
+		if credit.IterMs > p3.IterMs*1.05 {
+			t.Errorf("%s: credit iter %.2f ms >5%% above p3 %.2f ms", model, credit.IterMs, p3.IterMs)
+		}
+		// Every discipline still moves the same bytes to the same places:
+		// throughput may differ, but nothing should collapse below fifo by
+		// more than a third (a wedged schedule would).
+		for name, r := range per {
+			if r.PerMachine < fifo.PerMachine*0.66 {
+				t.Errorf("%s/%s: throughput %.1f collapsed vs fifo %.1f", model, name, r.PerMachine, fifo.PerMachine)
+			}
+		}
+	}
+}

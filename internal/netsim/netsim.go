@@ -7,17 +7,22 @@
 // the sender's egress for overhead + size/rate, propagates, then occupies the
 // receiver's ingress likewise (store-and-forward through an uncongested
 // core — the paper's testbed is a small cluster on a non-blocking switch).
-// The egress queue discipline is FIFO for the baseline strategies and a
-// priority queue for P3, which is exactly the worker-side producer/consumer
-// mechanism of Section 4.2: the highest-priority queued message is always
-// transmitted next, and an in-flight message finishes before the next choice
-// is made (preemption at message granularity).
+// The egress queue discipline is pluggable (Config.Egress names a
+// sched.Discipline): "fifo" reproduces the baseline strategies, "p3" the
+// worker-side producer/consumer mechanism of Section 4.2 — the
+// highest-priority queued message is always transmitted next, and an
+// in-flight message finishes before the next choice is made (preemption at
+// message granularity). Credit-gated disciplines see the true transmission
+// window: a message is charged in flight from the moment its serialization
+// starts until it is fully delivered at the receiver, so "credit:<bytes>"
+// bounds the bytes in the pipe per NIC, ByteScheduler-style.
 package netsim
 
 import (
 	"fmt"
 
 	"p3/internal/pq"
+	"p3/internal/sched"
 	"p3/internal/sim"
 	"p3/internal/trace"
 )
@@ -40,9 +45,11 @@ type Config struct {
 	LocalBandwidthGbps float64
 	// LocalDelay is the fixed loopback latency.
 	LocalDelay sim.Time
-	// PriorityEgress selects the egress discipline: true = priority queue
-	// (P3), false = FIFO (baseline and slicing-only).
-	PriorityEgress bool
+	// Egress names the egress queue discipline (sched registry): "" or
+	// "fifo" for the baseline, "p3" for P3's priority queue, "rr",
+	// "smallest", "credit[:bytes]", ... Each NIC gets a fresh discipline
+	// instance, so stateful disciplines never share state across machines.
+	Egress string
 }
 
 // DefaultConfig returns the interconnect constants used for every experiment
@@ -64,7 +71,7 @@ func DefaultConfig(gbps float64) Config {
 type Message struct {
 	From, To int   // machine indices
 	Bytes    int64 // payload size (headers are added by the network)
-	Priority int32 // lower is more urgent; used only with PriorityEgress
+	Priority int32 // lower is more urgent; interpreted by the egress discipline
 
 	Kind  uint8 // application tag: push, notify, pull, data, ...
 	Chunk int32 // application tag: chunk id
@@ -72,11 +79,16 @@ type Message struct {
 	Src   int32 // application tag: originating worker
 }
 
+// msgItem is the scheduler-visible view of a message.
+func msgItem(m Message) sched.Item {
+	return sched.Item{Priority: m.Priority, Bytes: m.Bytes}
+}
+
 // Handler receives fully delivered messages.
 type Handler func(Message)
 
 type nic struct {
-	egress     *pq.Queue[Message]
+	egress     *sched.Queue[Message]
 	egressBusy bool
 	ingress    *pq.Queue[Message]
 	ingressBsy bool
@@ -99,6 +111,8 @@ type Network struct {
 
 // New creates a network of n machines on the given engine. handler is invoked
 // (on the virtual clock) when a message has fully arrived. rec may be nil.
+// It panics on an unknown egress discipline name — validate names from user
+// input with sched.ByName first.
 func New(eng *sim.Engine, n int, cfg Config, handler Handler, rec *trace.Recorder) *Network {
 	if cfg.BandwidthGbps <= 0 {
 		panic(fmt.Sprintf("netsim: bandwidth %v Gbps", cfg.BandwidthGbps))
@@ -107,14 +121,16 @@ func New(eng *sim.Engine, n int, cfg Config, handler Handler, rec *trace.Recorde
 		cfg.LocalBandwidthGbps = 160
 	}
 	nw := &Network{eng: eng, cfg: cfg, deliver: handler, rec: rec}
-	less := func(a, b Message) bool { return false } // pure FIFO via insertion order
-	if cfg.PriorityEgress {
-		less = func(a, b Message) bool { return a.Priority < b.Priority }
-	}
+	// Ingress stays store-and-forward FIFO: reordering happens at the
+	// sender, exactly as in the real system (the receiver drains the socket
+	// in arrival order).
 	fifoLess := func(a, b Message) bool { return false }
 	nw.nics = make([]nic, n)
 	for i := range nw.nics {
-		nw.nics[i] = nic{egress: pq.New(less), ingress: pq.New(fifoLess)}
+		nw.nics[i] = nic{
+			egress:  sched.NewQueue(sched.MustByName(cfg.Egress), msgItem),
+			ingress: pq.New(fifoLess),
+		}
 	}
 	return nw
 }
@@ -151,10 +167,16 @@ func (nw *Network) Send(m Message) {
 
 func (nw *Network) pumpEgress(machine int) {
 	n := &nw.nics[machine]
-	if n.egressBusy || n.egress.Len() == 0 {
+	if n.egressBusy {
 		return
 	}
-	m := n.egress.Pop()
+	// PopReady respects a credit-gated discipline's transmission window: a
+	// refused head stays queued until a delivery returns credit (see
+	// pumpIngress), which repumps this egress.
+	m, ok := n.egress.PopReady()
+	if !ok {
+		return
+	}
 	n.egressBusy = true
 	start := nw.eng.Now()
 	tx := nw.wireTime(m.Bytes)
@@ -187,6 +209,10 @@ func (nw *Network) pumpIngress(machine int) {
 		n.ingressBsy = false
 		nw.MsgsDelivered++
 		nw.BytesDelivered += m.Bytes
+		// Full delivery closes the sender's transmission window for this
+		// message: return its credit and let the sender's egress continue.
+		nw.nics[m.From].egress.Done(m)
+		nw.pumpEgress(m.From)
 		nw.deliver(m)
 		nw.pumpIngress(machine)
 	})

@@ -9,7 +9,7 @@ import (
 
 // cfg returns a config with clean arithmetic: 8 Gbps = 1 byte/ns, zero
 // overheads unless a test opts in.
-func cleanCfg(priority bool) Config {
+func cleanCfg(egress string) Config {
 	return Config{
 		BandwidthGbps:      8,
 		PropDelay:          0,
@@ -17,7 +17,7 @@ func cleanCfg(priority bool) Config {
 		HeaderBytes:        0,
 		LocalBandwidthGbps: 8000,
 		LocalDelay:         0,
-		PriorityEgress:     priority,
+		Egress:             egress,
 	}
 }
 
@@ -41,7 +41,7 @@ func runNet(t *testing.T, cfg Config, n int, send func(nw *Network)) []delivery 
 
 func TestSerializationTiming(t *testing.T) {
 	// 1000 bytes at 8 Gbps (1 byte/ns): egress 1000 ns + ingress 1000 ns.
-	got := runNet(t, cleanCfg(false), 2, func(nw *Network) {
+	got := runNet(t, cleanCfg("fifo"), 2, func(nw *Network) {
 		nw.Send(Message{From: 0, To: 1, Bytes: 1000})
 	})
 	if len(got) != 1 {
@@ -53,7 +53,7 @@ func TestSerializationTiming(t *testing.T) {
 }
 
 func TestOverheadAndHeaderAccounting(t *testing.T) {
-	cfg := cleanCfg(false)
+	cfg := cleanCfg("fifo")
 	cfg.PerMsgOverhead = 100
 	cfg.HeaderBytes = 50
 	got := runNet(t, cfg, 2, func(nw *Network) {
@@ -66,7 +66,7 @@ func TestOverheadAndHeaderAccounting(t *testing.T) {
 }
 
 func TestPropagationDelay(t *testing.T) {
-	cfg := cleanCfg(false)
+	cfg := cleanCfg("fifo")
 	cfg.PropDelay = 500
 	got := runNet(t, cfg, 2, func(nw *Network) {
 		nw.Send(Message{From: 0, To: 1, Bytes: 1000})
@@ -77,7 +77,7 @@ func TestPropagationDelay(t *testing.T) {
 }
 
 func TestLoopbackBypassesNIC(t *testing.T) {
-	got := runNet(t, cleanCfg(false), 2, func(nw *Network) {
+	got := runNet(t, cleanCfg("fifo"), 2, func(nw *Network) {
 		nw.Send(Message{From: 1, To: 1, Bytes: 8_000_000})
 	})
 	// Local rate 8000 Gbps = 1000 bytes/ns: 8000 ns, no double count.
@@ -87,7 +87,7 @@ func TestLoopbackBypassesNIC(t *testing.T) {
 }
 
 func TestFIFOEgressOrder(t *testing.T) {
-	got := runNet(t, cleanCfg(false), 2, func(nw *Network) {
+	got := runNet(t, cleanCfg("fifo"), 2, func(nw *Network) {
 		nw.Send(Message{From: 0, To: 1, Bytes: 100, Priority: 9, Chunk: 0})
 		nw.Send(Message{From: 0, To: 1, Bytes: 100, Priority: 1, Chunk: 1})
 		nw.Send(Message{From: 0, To: 1, Bytes: 100, Priority: 5, Chunk: 2})
@@ -103,7 +103,7 @@ func TestFIFOEgressOrder(t *testing.T) {
 // messages reorder by priority, but the in-flight message completes first
 // (preemption at message granularity).
 func TestPriorityEgressPreemption(t *testing.T) {
-	cfg := cleanCfg(true)
+	cfg := cleanCfg("p3")
 	var eng sim.Engine
 	var got []int32
 	nw := New(&eng, 2, cfg, func(m Message) { got = append(got, m.Chunk) }, nil)
@@ -125,10 +125,35 @@ func TestPriorityEgressPreemption(t *testing.T) {
 	}
 }
 
+// TestCreditGatedEgressWindow: with a credit window smaller than two
+// messages, the second transmission may not start until the first is fully
+// delivered and its credit returns — the ByteScheduler-style bounded
+// preemption window.
+func TestCreditGatedEgressWindow(t *testing.T) {
+	deliveries := func(egress string) []delivery {
+		return runNet(t, cleanCfg(egress), 2, func(nw *Network) {
+			nw.Send(Message{From: 0, To: 1, Bytes: 600, Chunk: 0})
+			nw.Send(Message{From: 0, To: 1, Bytes: 600, Chunk: 1})
+		})
+	}
+	// Ungated: egress pipelines into ingress; second delivery at 1800.
+	got := deliveries("fifo")
+	if got[0].at != 1200 || got[1].at != 1800 {
+		t.Fatalf("fifo deliveries at %v/%v, want 1200/1800", got[0].at, got[1].at)
+	}
+	// 1000-byte window: the second 600-byte message must wait for the
+	// first's delivery at 1200 before serializing (1200..1800), then
+	// ingress (1800..2400).
+	got = deliveries("credit:1000")
+	if got[0].at != 1200 || got[1].at != 2400 {
+		t.Fatalf("credit deliveries at %v/%v, want 1200/2400", got[0].at, got[1].at)
+	}
+}
+
 func TestIngressSerializesIncast(t *testing.T) {
 	// Two senders to one receiver: their ingress serializations cannot
 	// overlap, so the second delivery lands ~1000 ns after the first.
-	got := runNet(t, cleanCfg(false), 3, func(nw *Network) {
+	got := runNet(t, cleanCfg("fifo"), 3, func(nw *Network) {
 		nw.Send(Message{From: 0, To: 2, Bytes: 1000})
 		nw.Send(Message{From: 1, To: 2, Bytes: 1000})
 	})
@@ -142,7 +167,7 @@ func TestIngressSerializesIncast(t *testing.T) {
 
 func TestParallelSendersDontInterfere(t *testing.T) {
 	// Distinct sender and receiver pairs: full parallelism.
-	got := runNet(t, cleanCfg(false), 4, func(nw *Network) {
+	got := runNet(t, cleanCfg("fifo"), 4, func(nw *Network) {
 		nw.Send(Message{From: 0, To: 2, Bytes: 1000})
 		nw.Send(Message{From: 1, To: 3, Bytes: 1000})
 	})
@@ -157,7 +182,7 @@ func TestByteConservation(t *testing.T) {
 	var eng sim.Engine
 	var delivered int64
 	var nw *Network
-	nw = New(&eng, 4, cleanCfg(false), func(m Message) { delivered += m.Bytes }, nil)
+	nw = New(&eng, 4, cleanCfg("fifo"), func(m Message) { delivered += m.Bytes }, nil)
 	var sent int64
 	for i := 0; i < 100; i++ {
 		b := int64(i*13 + 1)
@@ -180,7 +205,7 @@ func TestUtilizationRecording(t *testing.T) {
 	var eng sim.Engine
 	rec := trace.NewRecorder(2, 10*sim.Millisecond)
 	rec.Start(0)
-	cfg := cleanCfg(false)
+	cfg := cleanCfg("fifo")
 	cfg.HeaderBytes = 0
 	nw := New(&eng, 2, cfg, func(Message) {}, rec)
 	nw.Send(Message{From: 0, To: 1, Bytes: 5000})
@@ -201,7 +226,7 @@ func TestUtilizationRecording(t *testing.T) {
 
 func TestQueuedEgress(t *testing.T) {
 	var eng sim.Engine
-	nw := New(&eng, 2, cleanCfg(false), func(Message) {}, nil)
+	nw := New(&eng, 2, cleanCfg("fifo"), func(Message) {}, nil)
 	for i := 0; i < 5; i++ {
 		nw.Send(Message{From: 0, To: 1, Bytes: 1000})
 	}

@@ -34,7 +34,7 @@ func TestDistributedTrainingEndToEnd(t *testing.T) {
 	var servers []*Server
 	var addrs []string
 	for s := 0; s < nServers; s++ {
-		srv := NewServer(ServerConfig{ID: s, Workers: nWorkers, Priority: true, Updater: SGDUpdater(lr)})
+		srv := NewServer(ServerConfig{ID: s, Workers: nWorkers, Sched: "p3", Updater: SGDUpdater(lr)})
 		addr, err := srv.Start("127.0.0.1:0")
 		if err != nil {
 			t.Fatal(err)
@@ -67,7 +67,7 @@ func TestDistributedTrainingEndToEnd(t *testing.T) {
 			params := netw.Params()
 			shard := set.Shard(id, nWorkers)
 			recv := make(chan *transport.Frame, plan.NumChunks()+4)
-			worker, err := DialWorker(id, addrs, true, func(f *transport.Frame) { recv <- f })
+			worker, err := DialWorker(id, addrs, "p3", func(f *transport.Frame) { recv <- f })
 			if err != nil {
 				t.Error(err)
 				return
@@ -142,7 +142,7 @@ func TestDistributedTrainingEndToEnd(t *testing.T) {
 // remaining aggregation state simply never completes (synchronous SGD
 // semantics), but the server must stay responsive and shut down cleanly.
 func TestWorkerDisconnectDoesNotWedgeServer(t *testing.T) {
-	srv := NewServer(ServerConfig{ID: 0, Workers: 2, Priority: true, Updater: SGDUpdater(1)})
+	srv := NewServer(ServerConfig{ID: 0, Workers: 2, Sched: "p3", Updater: SGDUpdater(1)})
 	addr, err := srv.Start("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -150,12 +150,12 @@ func TestWorkerDisconnectDoesNotWedgeServer(t *testing.T) {
 	defer srv.Close()
 
 	got := make(chan *transport.Frame, 4)
-	w0, err := DialWorker(0, []string{addr}, true, func(f *transport.Frame) { got <- f })
+	w0, err := DialWorker(0, []string{addr}, "p3", func(f *transport.Frame) { got <- f })
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer w0.Close()
-	w1, err := DialWorker(1, []string{addr}, true, nil)
+	w1, err := DialWorker(1, []string{addr}, "p3", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -184,7 +184,7 @@ func TestWorkerDisconnectDoesNotWedgeServer(t *testing.T) {
 // TestMalformedFrameClosesConnOnly: garbage on one connection must not
 // crash the server or disturb other workers.
 func TestMalformedFrameClosesConnOnly(t *testing.T) {
-	srv := NewServer(ServerConfig{ID: 0, Workers: 1, Priority: false, Updater: SGDUpdater(1)})
+	srv := NewServer(ServerConfig{ID: 0, Workers: 1, Sched: "fifo", Updater: SGDUpdater(1)})
 	addr, err := srv.Start("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -202,7 +202,7 @@ func TestMalformedFrameClosesConnOnly(t *testing.T) {
 
 	// A well-behaved worker still gets service.
 	got := make(chan *transport.Frame, 1)
-	w, err := DialWorker(0, []string{addr}, false, func(f *transport.Frame) { got <- f })
+	w, err := DialWorker(0, []string{addr}, "fifo", func(f *transport.Frame) { got <- f })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -223,14 +223,14 @@ func TestMalformedFrameClosesConnOnly(t *testing.T) {
 // TestPushBeforeInitZeroInitializes: the server adopts the first push's
 // shape with zero parameters rather than crashing.
 func TestPushBeforeInitZeroInitializes(t *testing.T) {
-	srv := NewServer(ServerConfig{ID: 0, Workers: 1, Priority: false, Updater: SGDUpdater(1)})
+	srv := NewServer(ServerConfig{ID: 0, Workers: 1, Sched: "fifo", Updater: SGDUpdater(1)})
 	addr, err := srv.Start("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer srv.Close()
 	got := make(chan *transport.Frame, 1)
-	w, err := DialWorker(0, []string{addr}, false, func(f *transport.Frame) { got <- f })
+	w, err := DialWorker(0, []string{addr}, "fifo", func(f *transport.Frame) { got <- f })
 	if err != nil {
 		t.Fatal(err)
 	}

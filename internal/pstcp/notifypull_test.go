@@ -22,7 +22,7 @@ func TestNotifyPullProtocol(t *testing.T) {
 
 	notifies := make(chan *transport.Frame, 4)
 	datas := make(chan *transport.Frame, 4)
-	w, err := DialWorker(0, []string{addr}, false, func(f *transport.Frame) {
+	w, err := DialWorker(0, []string{addr}, "fifo", func(f *transport.Frame) {
 		if f.Type == transport.TypeNotify {
 			notifies <- f
 		} else {
@@ -77,8 +77,8 @@ func TestPriorityReducesUrgentLatency(t *testing.T) {
 		bulkFrames = 64
 		bulkSize   = 64 * 1024 // floats per bulk frame (256 KB)
 	)
-	measure := func(priority bool) time.Duration {
-		srv := NewServer(ServerConfig{ID: 0, Workers: 1, Priority: priority, Updater: SGDUpdater(1)})
+	measure := func(schedName string) time.Duration {
+		srv := NewServer(ServerConfig{ID: 0, Workers: 1, Sched: schedName, Updater: SGDUpdater(1)})
 		addr, err := srv.Start("127.0.0.1:0")
 		if err != nil {
 			t.Fatal(err)
@@ -87,7 +87,7 @@ func TestPriorityReducesUrgentLatency(t *testing.T) {
 
 		var mu sync.Mutex
 		urgentDone := make(chan time.Time, 1)
-		w, err := DialWorker(0, []string{addr}, priority, func(f *transport.Frame) {
+		w, err := DialWorker(0, []string{addr}, schedName, func(f *transport.Frame) {
 			if f.Key == 9999 {
 				mu.Lock()
 				select {
@@ -119,8 +119,8 @@ func TestPriorityReducesUrgentLatency(t *testing.T) {
 		}
 	}
 
-	fifo := measure(false)
-	prio := measure(true)
+	fifo := measure("fifo")
+	prio := measure("p3")
 	t.Logf("urgent round trip: fifo=%v priority=%v", fifo, prio)
 	// Under FIFO the urgent frame waits behind ~16 MB of queued bulk; with
 	// priority it overtakes everything except the frame already in flight.

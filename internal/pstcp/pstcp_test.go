@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"p3/internal/sched"
 	"p3/internal/transport"
 )
 
@@ -16,11 +17,11 @@ type testCluster struct {
 	workers []*Worker
 }
 
-func startCluster(t *testing.T, nServers, nWorkers int, priority bool, upd Updater, handler func(worker int, f *transport.Frame)) *testCluster {
+func startCluster(t *testing.T, nServers, nWorkers int, schedName string, upd Updater, handler func(worker int, f *transport.Frame)) *testCluster {
 	t.Helper()
 	tc := &testCluster{}
 	for s := 0; s < nServers; s++ {
-		srv := NewServer(ServerConfig{ID: s, Workers: nWorkers, Priority: priority, Updater: upd})
+		srv := NewServer(ServerConfig{ID: s, Workers: nWorkers, Sched: schedName, Updater: upd})
 		addr, err := srv.Start("127.0.0.1:0")
 		if err != nil {
 			t.Fatal(err)
@@ -30,7 +31,7 @@ func startCluster(t *testing.T, nServers, nWorkers int, priority bool, upd Updat
 	}
 	for w := 0; w < nWorkers; w++ {
 		w := w
-		wk, err := DialWorker(w, tc.addrs, priority, func(f *transport.Frame) { handler(w, f) })
+		wk, err := DialWorker(w, tc.addrs, schedName, func(f *transport.Frame) { handler(w, f) })
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -60,7 +61,7 @@ func TestAggregationAndBroadcast(t *testing.T) {
 	var wg sync.WaitGroup
 	wg.Add(nWorkers * nKeys)
 
-	tc := startCluster(t, nServers, nWorkers, true, SGDUpdater(1.0),
+	tc := startCluster(t, nServers, nWorkers, "p3", SGDUpdater(1.0),
 		func(worker int, f *transport.Frame) {
 			mu.Lock()
 			if got[worker] == nil {
@@ -138,7 +139,7 @@ func waitDone(t *testing.T, wg *sync.WaitGroup, timeout time.Duration) {
 func TestMultipleIterations(t *testing.T) {
 	const workers = 2
 	results := make(chan []float32, 16)
-	tc := startCluster(t, 1, workers, true, SGDUpdater(0.5),
+	tc := startCluster(t, 1, workers, "p3", SGDUpdater(0.5),
 		func(worker int, f *transport.Frame) {
 			if worker == 0 {
 				results <- append([]float32(nil), f.Values...)
@@ -169,7 +170,7 @@ func TestMultipleIterations(t *testing.T) {
 // flows).
 func TestPullReturnsCurrentValue(t *testing.T) {
 	results := make(chan []float32, 1)
-	tc := startCluster(t, 1, 1, false, SGDUpdater(1),
+	tc := startCluster(t, 1, 1, "fifo", SGDUpdater(1),
 		func(worker int, f *transport.Frame) {
 			results <- append([]float32(nil), f.Values...)
 		})
@@ -189,7 +190,7 @@ func TestPullReturnsCurrentValue(t *testing.T) {
 // TestPriorityOrderingUnderBacklog verifies the consumer thread drains the
 // send queue most-urgent-first once a backlog forms.
 func TestPriorityOrderingUnderBacklog(t *testing.T) {
-	q := transport.NewSendQueue(true)
+	q := transport.NewSendQueue(sched.NewP3Priority())
 	// Simulate the producer side: enqueue a burst out of order.
 	for _, p := range []int32{9, 4, 7, 1, 8, 0, 3} {
 		q.Push(&transport.Frame{Priority: p})
@@ -216,7 +217,7 @@ func TestManyKeysManyWorkers(t *testing.T) {
 	var wg sync.WaitGroup
 	wg.Add(nWorkers * nKeys * iters)
 
-	tc := startCluster(t, nServers, nWorkers, true, SGDUpdater(0.1),
+	tc := startCluster(t, nServers, nWorkers, "p3", SGDUpdater(0.1),
 		func(worker int, f *transport.Frame) {
 			mu.Lock()
 			recv[fmt.Sprintf("%d/%d/%d", worker, f.Key, f.Iter)]++
@@ -260,19 +261,19 @@ func TestManyKeysManyWorkers(t *testing.T) {
 }
 
 func TestWorkerRejectsBadID(t *testing.T) {
-	if _, err := DialWorker(300, nil, false, nil); err == nil {
+	if _, err := DialWorker(300, nil, "fifo", nil); err == nil {
 		t.Fatal("id 300 accepted")
 	}
 }
 
 func TestDialFailure(t *testing.T) {
-	if _, err := DialWorker(0, []string{"127.0.0.1:1"}, false, nil); err == nil {
+	if _, err := DialWorker(0, []string{"127.0.0.1:1"}, "fifo", nil); err == nil {
 		t.Fatal("dial to closed port succeeded")
 	}
 }
 
 func TestDoubleCloseIsSafe(t *testing.T) {
-	tc := startCluster(t, 1, 1, false, nil, func(int, *transport.Frame) {})
+	tc := startCluster(t, 1, 1, "fifo", nil, func(int, *transport.Frame) {})
 	tc.workers[0].Close()
 	tc.workers[0].Close() // second close must be a no-op
 }

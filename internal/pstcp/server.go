@@ -3,14 +3,15 @@
 // modified-KVStore design exactly:
 //
 //   - the worker slices gradients (via core.PartitionSlices), a producer
-//     pushes slices into a priority queue, and a single consumer goroutine
-//     performs blocking sends of the most urgent slice;
-//   - the server pushes received frames into a priority queue drained by a
-//     single processor goroutine, aggregates per key, applies the update on
-//     the Nth push, and immediately broadcasts the new values to all workers
-//     (the explicit notify+pull of stock KVStore is removed);
-//   - with Priority=false both queues degenerate to FIFO, giving the
-//     baseline wire behaviour for comparison.
+//     pushes slices into a scheduled send queue, and a single consumer
+//     goroutine performs blocking sends of the most urgent slice;
+//   - the server pushes received frames into a scheduled receive queue
+//     drained by a single processor goroutine, aggregates per key, applies
+//     the update on the Nth push, and immediately broadcasts the new values
+//     to all workers (the explicit notify+pull of stock KVStore is removed);
+//   - the queue discipline is a sched registry name ("p3" reproduces the
+//     paper, "fifo" the baseline, "credit" a ByteScheduler-style window;
+//     see internal/sched for the full set).
 //
 // The simulator reproduces the paper's timing results; this package
 // demonstrates the same protocol logic end-to-end on a real network stack
@@ -23,6 +24,7 @@ import (
 	"net"
 	"sync"
 
+	"p3/internal/sched"
 	"p3/internal/transport"
 )
 
@@ -44,9 +46,11 @@ func SGDUpdater(lr float32) Updater {
 type ServerConfig struct {
 	ID      int
 	Workers int // number of workers that must push before an update
-	// Priority enables P3's receive- and send-side priority queues; false
-	// gives FIFO (baseline) behaviour.
-	Priority bool
+	// Sched names the queue discipline (sched registry) applied to the
+	// receive and send queues: "p3" for the paper's priority mechanism,
+	// "fifo" (or empty) for the baseline, "credit[:bytes]" for a
+	// ByteScheduler-style window, etc.
+	Sched string
 	// NotifyPull selects stock KVStore semantics (Section 4.1): on update
 	// completion the server sends a payload-free Notify to every worker and
 	// returns data only on explicit Pull. False selects P3's immediate
@@ -91,6 +95,8 @@ type connWriter struct {
 }
 
 // NewServer creates a server. A nil Updater defaults to SGD with lr 0.1.
+// It panics on an unknown Sched name (validate with sched.ByName first if
+// the name comes from user input).
 func NewServer(cfg ServerConfig) *Server {
 	if cfg.Workers <= 0 {
 		panic(fmt.Sprintf("pstcp: server needs workers > 0, got %d", cfg.Workers))
@@ -100,8 +106,8 @@ func NewServer(cfg ServerConfig) *Server {
 	}
 	return &Server{
 		cfg:     cfg,
-		recvQ:   transport.NewSendQueue(cfg.Priority),
-		sendQ:   transport.NewSendQueue(cfg.Priority),
+		recvQ:   transport.NewSendQueue(sched.MustByName(cfg.Sched)),
+		sendQ:   transport.NewSendQueue(sched.MustByName(cfg.Sched)),
 		writers: make(map[uint8]*connWriter),
 		params:  make(map[uint64][]float32),
 		agg:     make(map[uint64]*aggState),
@@ -195,6 +201,7 @@ func (s *Server) processLoop() {
 		case transport.TypePull:
 			s.handlePull(f)
 		}
+		s.recvQ.Done(f)
 	}
 }
 
@@ -292,17 +299,31 @@ func (s *Server) handlePull(f *transport.Frame) {
 }
 
 // sendLoop is the consumer of the send queue: one blocking write at a time,
-// most urgent frame first, flushing whenever the queue momentarily drains.
+// most urgent admitted frame first. Credit is returned at flush, so a
+// credit-gated discipline bounds the buffered-but-unflushed backlog; the
+// loop flushes whenever nothing is admitted (queue drained or window full).
 func (s *Server) sendLoop() {
 	defer s.wg.Done()
 	dirty := make(map[uint8]*connWriter)
+	var pending []*transport.Frame // written, not yet flushed/acked
+	flushAll := func() {
+		for id, cw := range dirty {
+			cw.w.Flush()
+			delete(dirty, id)
+		}
+		for _, f := range pending {
+			s.sendQ.Done(f)
+		}
+		pending = pending[:0]
+	}
 	for {
-		f, ok := s.sendQ.Pop()
+		f, ok := s.sendQ.TryPop()
 		if !ok {
-			for _, cw := range dirty {
-				cw.w.Flush()
+			flushAll()
+			if f, ok = s.sendQ.Pop(); !ok {
+				flushAll()
+				return
 			}
-			return
 		}
 		s.mu.Lock()
 		cw := s.writers[f.Dst]
@@ -312,12 +333,7 @@ func (s *Server) sendLoop() {
 				dirty[f.Dst] = cw
 			}
 		}
-		if s.sendQ.Len() == 0 {
-			for id, cw := range dirty {
-				cw.w.Flush()
-				delete(dirty, id)
-			}
-		}
+		pending = append(pending, f)
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"net"
 	"sync"
 
+	"p3/internal/sched"
 	"p3/internal/transport"
 )
 
@@ -28,17 +29,22 @@ type Worker struct {
 	closed bool
 }
 
-// DialWorker connects worker id to every server address. priority selects
-// P3 send ordering (false = FIFO baseline). handler runs on a receive
-// goroutine for every Data frame; it must be safe for concurrent calls when
-// multiple servers are used.
-func DialWorker(id int, addrs []string, priority bool, handler Handler) (*Worker, error) {
+// DialWorker connects worker id to every server address. schedName names
+// the send-queue discipline from the sched registry ("p3" for the paper's
+// priority ordering, "fifo" or empty for the baseline). handler runs on a
+// receive goroutine for every Data frame; it must be safe for concurrent
+// calls when multiple servers are used.
+func DialWorker(id int, addrs []string, schedName string, handler Handler) (*Worker, error) {
 	if id < 0 || id > 255 {
 		return nil, fmt.Errorf("pstcp: worker id %d out of range", id)
 	}
+	disc, err := sched.ByName(schedName)
+	if err != nil {
+		return nil, fmt.Errorf("pstcp: %w", err)
+	}
 	w := &Worker{
 		id:      uint8(id),
-		sendQ:   transport.NewSendQueue(priority),
+		sendQ:   transport.NewSendQueue(disc),
 		handler: handler,
 	}
 	for _, addr := range addrs {
@@ -130,9 +136,12 @@ func (w *Worker) readLoop(conn net.Conn) {
 	}
 }
 
-// sendLoop is the consumer thread of Section 4.2: it polls the highest
-// priority frame and performs the blocking network call, so transmission
-// order always tracks priority at frame granularity.
+// sendLoop is the consumer thread of Section 4.2: it polls the most urgent
+// admitted frame and performs the blocking network call, so transmission
+// order always tracks the discipline at frame granularity. A frame's credit
+// is returned only when its bytes are flushed to the socket, so a
+// credit-gated discipline bounds the buffered-but-unflushed backlog: once
+// the window fills, the loop flushes and acknowledges before popping more.
 func (w *Worker) sendLoop() {
 	defer w.wg.Done()
 	writers := make([]*connWriter, len(w.conns))
@@ -140,25 +149,34 @@ func (w *Worker) sendLoop() {
 		writers[i] = &connWriter{conn: c, w: transport.NewFrameWriter(c)}
 	}
 	dirty := make(map[int]bool)
+	var pending []*transport.Frame // written, not yet flushed/acked
 	flushAll := func() {
 		for i := range dirty {
 			writers[i].w.Flush()
 			delete(dirty, i)
 		}
+		for _, f := range pending {
+			w.sendQ.Done(f)
+		}
+		pending = pending[:0]
 	}
 	for {
-		f, ok := w.sendQ.Pop()
+		f, ok := w.sendQ.TryPop()
 		if !ok {
+			// Nothing admitted right now — either the queue is empty or
+			// the credit window is full of unflushed frames. Flush, return
+			// their credit, then block for the next admitted frame.
 			flushAll()
-			return
+			if f, ok = w.sendQ.Pop(); !ok {
+				flushAll()
+				return
+			}
 		}
 		if int(f.Dst) < len(writers) {
 			if err := transport.WriteFrame(writers[f.Dst].w, f); err == nil {
 				dirty[int(f.Dst)] = true
 			}
 		}
-		if w.sendQ.Len() == 0 {
-			flushAll()
-		}
+		pending = append(pending, f)
 	}
 }

@@ -25,7 +25,7 @@ import (
 	"p3/internal/core"
 	"p3/internal/model"
 	"p3/internal/netsim"
-	"p3/internal/pq"
+	"p3/internal/sched"
 	"p3/internal/sim"
 	"p3/internal/strategy"
 	"p3/internal/trace"
@@ -102,7 +102,7 @@ type workerState struct {
 	curIter    int32
 	bwdDone    []sim.Time
 
-	reduce *pq.Queue[redItem]
+	reduce *sched.Queue[redItem]
 	busy   bool
 }
 
@@ -147,7 +147,7 @@ func newRingSim(cfg Config) *ringSim {
 	n := cfg.Machines
 	eng := &sim.Engine{}
 	netCfg := netsim.DefaultConfig(cfg.BandwidthGbps)
-	netCfg.PriorityEgress = cfg.Strategy.PriorityEgress()
+	netCfg.Egress = cfg.Strategy.Discipline()
 
 	rs := &ringSim{
 		cfg: cfg, eng: eng,
@@ -167,9 +167,10 @@ func newRingSim(cfg Config) *ringSim {
 		rs.chunks[i] = chunkState{recvRounds: make([]int, n), iter: -1}
 	}
 
-	less := func(a, b redItem) bool { return false }
-	if cfg.Strategy.PriorityEgress() {
-		less = func(a, b redItem) bool { return a.priority < b.priority }
+	// Each machine's reduction queue runs the strategy's discipline on a
+	// fresh instance, mirroring the receiver-side consumer of Section 4.2.
+	redView := func(it redItem) sched.Item {
+		return sched.Item{Priority: it.priority, Bytes: rs.segBytes(it.chunk)}
 	}
 	rs.workers = make([]workerState, n)
 	for w := range rs.workers {
@@ -180,7 +181,7 @@ func newRingSim(cfg Config) *ringSim {
 		}
 		ws.chunksDone = make([]int, rs.layers)
 		ws.bwdDone = make([]sim.Time, rs.total)
-		ws.reduce = pq.New(less)
+		ws.reduce = sched.NewQueue(sched.MustByName(cfg.Strategy.Discipline()), redView)
 	}
 
 	rs.jitter = make([][]float64, n)
@@ -301,14 +302,18 @@ func (rs *ringSim) deliver(m netsim.Message) {
 // onto the all-reduce.
 func (rs *ringSim) pumpReduce(w int) {
 	ws := &rs.workers[w]
-	if ws.busy || ws.reduce.Len() == 0 {
+	if ws.busy {
 		return
 	}
-	it := ws.reduce.Pop()
+	it, ok := ws.reduce.PopReady()
+	if !ok {
+		return
+	}
 	ws.busy = true
 	cost := rs.cfg.ReduceOverhead + sim.Time(float64(rs.segBytes(it.chunk))/rs.redRate)
 	rs.eng.After(cost, func() {
 		ws.busy = false
+		ws.reduce.Done(it)
 		rs.roundDone(w, it)
 		rs.pumpReduce(w)
 	})

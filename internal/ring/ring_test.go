@@ -29,9 +29,9 @@ func cfg(s strategy.Strategy, gbps float64, machines int) Config {
 }
 
 var (
-	arLayer  = strategy.Strategy{Name: "ar-layer", Granularity: strategy.Shards, Order: strategy.FIFO}
-	arSliced = strategy.Strategy{Name: "ar-sliced", Granularity: strategy.Slices, Order: strategy.FIFO}
-	arP3     = strategy.Strategy{Name: "ar-p3", Granularity: strategy.Slices, Order: strategy.ByPriority}
+	arLayer  = strategy.Strategy{Name: "ar-layer", Granularity: strategy.Shards, Sched: "fifo"}
+	arSliced = strategy.Strategy{Name: "ar-sliced", Granularity: strategy.Slices, Sched: "fifo"}
+	arP3     = strategy.Strategy{Name: "ar-p3", Granularity: strategy.Slices, Sched: "p3"}
 )
 
 func TestRunCompletes(t *testing.T) {

@@ -1,0 +1,116 @@
+package sched
+
+import "p3/internal/pq"
+
+// Queue is a deterministic, non-thread-safe queue of T ordered by a
+// Discipline. It is the building block behind every scheduling site: the
+// discrete-event simulator uses it directly (single-threaded on the virtual
+// clock), and transport.SendQueue wraps it with a mutex/condvar for the real
+// concurrent transport.
+//
+// The view function projects an element into the scheduler-visible Item;
+// it must be pure (the queue may call it more than once per element).
+type Queue[T any] struct {
+	d    Discipline
+	rank Ranker     // non-nil iff d ranks at enqueue
+	disp Dispatcher // non-nil iff d tracks dispatches
+	adm  Admitter   // non-nil iff d gates with a credit window
+	view func(T) Item
+	q    *pq.Queue[entry[T]]
+}
+
+type entry[T any] struct {
+	v  T
+	it Item
+}
+
+// NewQueue builds a queue ordered by d. d must be a fresh instance not
+// shared with any other queue (stateful disciplines carry per-queue state).
+func NewQueue[T any](d Discipline, view func(T) Item) *Queue[T] {
+	q := &Queue[T]{d: d, view: view}
+	q.rank, _ = d.(Ranker)
+	q.disp, _ = d.(Dispatcher)
+	q.adm, _ = d.(Admitter)
+	q.q = pq.New(func(a, b entry[T]) bool { return d.Less(a.it, b.it) })
+	return q
+}
+
+// Discipline returns the queue's discipline.
+func (q *Queue[T]) Discipline() Discipline { return q.d }
+
+// Len reports the number of queued elements.
+func (q *Queue[T]) Len() int { return q.q.Len() }
+
+// Push enqueues v.
+func (q *Queue[T]) Push(v T) {
+	it := q.view(v)
+	if q.rank != nil {
+		q.rank.Rank(&it)
+	}
+	q.q.Push(entry[T]{v: v, it: it})
+}
+
+// Peek returns the most urgent element without removing it.
+func (q *Queue[T]) Peek() (T, bool) {
+	e, ok := q.q.Peek()
+	return e.v, ok
+}
+
+// Pop removes and returns the most urgent element, bypassing the Admit
+// check of any credit gate (used when draining a closed queue). It still
+// charges the element in flight (OnStart), so the caller's usual Done call
+// stays balanced whether the element came from Pop or PopReady. The second
+// result is false when the queue is empty.
+func (q *Queue[T]) Pop() (T, bool) {
+	if q.q.Len() == 0 {
+		var zero T
+		return zero, false
+	}
+	e := q.q.Pop()
+	if q.adm != nil {
+		q.adm.OnStart(e.it)
+	}
+	if q.disp != nil {
+		q.disp.OnDispatch(e.it)
+	}
+	return e.v, true
+}
+
+// PopReady removes and returns the most urgent element if the discipline
+// admits it now. The second result is false when the queue is empty or the
+// head is blocked by the credit window. An admitted element is charged
+// in-flight (OnStart); release it with Done once it completes.
+func (q *Queue[T]) PopReady() (T, bool) {
+	e, ok := q.q.Peek()
+	if !ok {
+		var zero T
+		return zero, false
+	}
+	if q.adm != nil && !q.adm.Admit(e.it) {
+		var zero T
+		return zero, false
+	}
+	q.q.Pop()
+	if q.adm != nil {
+		q.adm.OnStart(e.it)
+	}
+	if q.disp != nil {
+		q.disp.OnDispatch(e.it)
+	}
+	return e.v, true
+}
+
+// Done releases v's in-flight charge (a no-op for disciplines without a
+// credit window). Call it exactly once per successful PopReady.
+func (q *Queue[T]) Done(v T) {
+	if q.adm != nil {
+		q.adm.OnDone(q.view(v))
+	}
+}
+
+// Blocked reports whether the head exists but is currently refused by the
+// credit window — i.e. a Done call is required before progress.
+func (q *Queue[T]) Blocked() bool {
+	e, ok := q.q.Peek()
+	return ok && q.adm != nil && !q.adm.Admit(e.it)
+}

@@ -1,0 +1,302 @@
+// Package sched is the pluggable scheduling subsystem behind every
+// send/processing queue in the tree: the simulator's NIC egress queues and
+// endpoint processing pools (internal/netsim, internal/cluster,
+// internal/ring) and the real TCP transport's producer/consumer queues
+// (internal/transport, internal/pstcp) all order their work through a
+// sched.Discipline.
+//
+// P3's core contribution (Section 4.2 of the paper) is an ordering
+// discipline on parameter-chunk traffic; the related systems differ mainly
+// in which discipline they apply to the same queues — ByteScheduler gates a
+// credit window, TicTac derives a DAG order, Parameter Hub schedules at rack
+// scale. Making the discipline a first-class value turns every queue into an
+// experiment knob: a strategy (internal/strategy) names its discipline, the
+// registry resolves it, and each queue instantiates a fresh copy so stateful
+// disciplines never share state across queues.
+//
+// The built-in disciplines:
+//
+//   - fifo: insertion order (the MXNet/ps-lite baseline).
+//   - p3: strict priority, lower Item.Priority first (the paper's
+//     mechanism; ties dequeue in insertion order).
+//   - rr: round-robin across priority classes via stride scheduling —
+//     layers share the wire instead of starving each other.
+//   - smallest: smallest payload first (shortest-job-first; a natural
+//     foil for slicing experiments).
+//   - credit / credit:<bytes>: ByteScheduler-style credit gate — strict
+//     priority order, but at most <bytes> of traffic may be in flight
+//     (popped and not yet acknowledged via Done), bounding how much
+//     lower-priority data can delay a newly urgent item.
+//
+// Disciplines are deliberately deterministic: equal items dequeue in
+// insertion order, which keeps the discrete-event simulator reproducible and
+// matches the paper's implementation (slices of one layer go out in order).
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Item is the scheduler-visible view of a queued element. Callers project
+// their own element type (a transport frame, a simulator message, a
+// processing-pool work item) into an Item; disciplines only ever see this
+// view.
+type Item struct {
+	// Priority is the urgency class, lower = more urgent. P3 assigns
+	// forward-pass layer order, so Priority doubles as the flow key for
+	// fairness disciplines.
+	Priority int32
+	// Bytes is the payload size (wire bytes or processing cost proxy).
+	Bytes int64
+	// rank is a discipline-assigned ordering key, set by a Ranker at
+	// enqueue time (e.g. the stride-scheduling pass of rr).
+	rank uint64
+}
+
+// Discipline orders a queue. Less reports whether a should dequeue before
+// b; elements that compare equal dequeue in insertion order. A Discipline
+// instance may be stateful and must not be shared between queues — obtain a
+// fresh instance per queue via ByName or a registered Factory.
+type Discipline interface {
+	// Name returns the canonical registry name.
+	Name() string
+	// Less reports whether a is more urgent than b.
+	Less(a, b Item) bool
+}
+
+// Ranker is implemented by disciplines that assign an ordering key at
+// enqueue time (stateful orders that a pure comparator cannot express, such
+// as round-robin). Rank is called exactly once per item, before insertion.
+type Ranker interface {
+	Rank(it *Item)
+}
+
+// Dispatcher is implemented by disciplines that track dequeues (e.g. to
+// advance a virtual clock). OnDispatch is called when an item is popped.
+type Dispatcher interface {
+	OnDispatch(it Item)
+}
+
+// Admitter is implemented by disciplines that gate dispatch with a credit
+// window (ByteScheduler-style preemption control). Admit is consulted before
+// an item may start; OnStart/OnDone bracket the item's in-flight interval.
+// An Admitter must admit at least one item when nothing is in flight, or the
+// queue would wedge.
+type Admitter interface {
+	Admit(it Item) bool
+	OnStart(it Item)
+	OnDone(it Item)
+}
+
+// ---- built-in disciplines ----
+
+// FIFO dequeues in insertion order: the baseline wire behaviour of
+// stock ps-lite/MXNet.
+type FIFO struct{}
+
+// NewFIFO returns the fifo discipline.
+func NewFIFO() *FIFO { return &FIFO{} }
+
+func (*FIFO) Name() string        { return "fifo" }
+func (*FIFO) Less(a, b Item) bool { return false }
+
+// P3Priority dequeues the lowest Priority value first — the paper's
+// mechanism (Section 4.2): chunks of early layers preempt chunks of late
+// layers at item granularity, ties in insertion order.
+type P3Priority struct{}
+
+// NewP3Priority returns the p3 strict-priority discipline.
+func NewP3Priority() *P3Priority { return &P3Priority{} }
+
+func (*P3Priority) Name() string        { return "p3" }
+func (*P3Priority) Less(a, b Item) bool { return a.Priority < b.Priority }
+
+// RoundRobinLayer interleaves priority classes (layers) fairly via stride
+// scheduling: each class holds a pass counter, every enqueued item is
+// stamped with its class's next pass (never behind the virtual clock of the
+// last dispatch, so an idle class cannot hoard credit), and the smallest
+// pass dequeues first. The result is one-from-each-layer round-robin rather
+// than strict preemption.
+type RoundRobinLayer struct {
+	pass    map[int32]uint64
+	virtual uint64
+}
+
+// NewRoundRobinLayer returns the rr discipline.
+func NewRoundRobinLayer() *RoundRobinLayer {
+	return &RoundRobinLayer{pass: make(map[int32]uint64)}
+}
+
+func (*RoundRobinLayer) Name() string { return "rr" }
+
+func (r *RoundRobinLayer) Less(a, b Item) bool { return a.rank < b.rank }
+
+func (r *RoundRobinLayer) Rank(it *Item) {
+	p := r.pass[it.Priority]
+	if p < r.virtual {
+		p = r.virtual
+	}
+	it.rank = p
+	r.pass[it.Priority] = p + 1
+}
+
+func (r *RoundRobinLayer) OnDispatch(it Item) {
+	if it.rank+1 > r.virtual {
+		r.virtual = it.rank + 1
+	}
+}
+
+// SmallestFirst dequeues the smallest payload first (shortest-job-first),
+// breaking ties by priority. It minimizes mean queueing delay without any
+// model knowledge — the natural foil for P3's semantic priorities.
+type SmallestFirst struct{}
+
+// NewSmallestFirst returns the smallest discipline.
+func NewSmallestFirst() *SmallestFirst { return &SmallestFirst{} }
+
+func (*SmallestFirst) Name() string { return "smallest" }
+
+func (*SmallestFirst) Less(a, b Item) bool {
+	if a.Bytes != b.Bytes {
+		return a.Bytes < b.Bytes
+	}
+	return a.Priority < b.Priority
+}
+
+// DefaultCreditBytes is the credit window used by the plain "credit" name:
+// 4 MiB, ByteScheduler's default credit of a few slices' worth of traffic.
+const DefaultCreditBytes = 4 << 20
+
+// CreditGated is the ByteScheduler-style discipline: strict priority order
+// plus a credit window — an item may start only while the bytes already in
+// flight (started, not yet Done) leave room for it, except that the window
+// never blocks an otherwise idle queue. Small windows approximate perfect
+// preemption (a newly urgent item waits behind at most Credit bytes); an
+// infinite window degenerates to p3.
+type CreditGated struct {
+	// Credit is the in-flight byte budget.
+	Credit int64
+	// inFlight is the byte total of started-but-not-Done items.
+	inFlight int64
+}
+
+// NewCreditGated returns a credit discipline with the given window
+// (<= 0 selects DefaultCreditBytes).
+func NewCreditGated(credit int64) *CreditGated {
+	if credit <= 0 {
+		credit = DefaultCreditBytes
+	}
+	return &CreditGated{Credit: credit}
+}
+
+func (*CreditGated) Name() string        { return "credit" }
+func (*CreditGated) Less(a, b Item) bool { return a.Priority < b.Priority }
+
+func (c *CreditGated) Admit(it Item) bool {
+	return c.inFlight == 0 || c.inFlight+it.Bytes <= c.Credit
+}
+
+func (c *CreditGated) OnStart(it Item) { c.inFlight += it.Bytes }
+
+func (c *CreditGated) OnDone(it Item) {
+	c.inFlight -= it.Bytes
+	if c.inFlight < 0 {
+		panic(fmt.Sprintf("sched: credit underflow (%d bytes)", c.inFlight))
+	}
+}
+
+// InFlight reports the bytes currently charged against the window.
+func (c *CreditGated) InFlight() int64 { return c.inFlight }
+
+// ---- registry ----
+
+// Factory builds a fresh Discipline instance. arg is the text after ":" in
+// a parameterized name ("credit:1048576"), or "" when absent.
+type Factory func(arg string) (Discipline, error)
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Factory{}
+	aliases  = map[string]string{}
+)
+
+// Register installs a Factory under a canonical name plus aliases. It
+// panics on duplicates — registration is an init-time affair.
+func Register(name string, f Factory, alias ...string) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("sched: duplicate discipline %q", name))
+	}
+	registry[name] = f
+	for _, a := range alias {
+		if _, dup := aliases[a]; dup {
+			panic(fmt.Sprintf("sched: duplicate alias %q", a))
+		}
+		aliases[a] = name
+	}
+}
+
+func init() {
+	Register("fifo", func(string) (Discipline, error) { return NewFIFO(), nil }, "baseline")
+	Register("p3", func(string) (Discipline, error) { return NewP3Priority(), nil }, "priority", "p3priority")
+	Register("rr", func(string) (Discipline, error) { return NewRoundRobinLayer(), nil }, "roundrobin")
+	Register("smallest", func(string) (Discipline, error) { return NewSmallestFirst(), nil }, "sjf")
+	Register("credit", func(arg string) (Discipline, error) {
+		if arg == "" {
+			return NewCreditGated(0), nil
+		}
+		n, err := strconv.ParseInt(arg, 10, 64)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("sched: credit window %q (want a positive byte count)", arg)
+		}
+		return NewCreditGated(n), nil
+	}, "bytescheduler")
+}
+
+// ByName resolves a discipline name (optionally parameterized as
+// "name:arg") to a fresh instance. The empty name resolves to fifo.
+func ByName(name string) (Discipline, error) {
+	if name == "" {
+		return NewFIFO(), nil
+	}
+	base, arg := name, ""
+	if i := strings.IndexByte(name, ':'); i >= 0 {
+		base, arg = name[:i], name[i+1:]
+	}
+	regMu.RLock()
+	if canon, ok := aliases[base]; ok {
+		base = canon
+	}
+	f, ok := registry[base]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("sched: unknown discipline %q (want %s)", name, strings.Join(Names(), "|"))
+	}
+	return f(arg)
+}
+
+// MustByName is ByName for statically known names; it panics on error.
+func MustByName(name string) Discipline {
+	d, err := ByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Names returns the canonical discipline names, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

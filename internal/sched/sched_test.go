@@ -1,0 +1,230 @@
+package sched
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func drain(q *Queue[int]) []int {
+	var out []int
+	for {
+		v, ok := q.Pop()
+		if !ok {
+			return out
+		}
+		out = append(out, v)
+	}
+}
+
+// items pushes n elements where element i carries priority pri[i] and size
+// bytes[i]; the element value is its index, so pop order is observable.
+func fill(q *Queue[int], pri []int32, bytes []int64) {
+	for i := range pri {
+		q.Push(i)
+	}
+	_ = bytes
+}
+
+func TestFIFOOrder(t *testing.T) {
+	pri := []int32{3, 1, 2, 0}
+	q := NewQueue(NewFIFO(), func(i int) Item { return Item{Priority: pri[i]} })
+	fill(q, pri, nil)
+	got := drain(q)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("fifo pop order %v, want insertion order", got)
+		}
+	}
+}
+
+func TestP3PriorityOrderWithFIFOTies(t *testing.T) {
+	pri := []int32{2, 0, 1, 0, 2, 1}
+	q := NewQueue(NewP3Priority(), func(i int) Item { return Item{Priority: pri[i]} })
+	fill(q, pri, nil)
+	want := []int{1, 3, 2, 5, 0, 4} // by priority, ties in insertion order
+	got := drain(q)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("p3 pop order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSmallestFirstOrder(t *testing.T) {
+	pri := []int32{0, 1, 2}
+	bytes := []int64{300, 100, 200}
+	q := NewQueue(NewSmallestFirst(), func(i int) Item { return Item{Priority: pri[i], Bytes: bytes[i]} })
+	fill(q, pri, bytes)
+	want := []int{1, 2, 0}
+	got := drain(q)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("smallest pop order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRoundRobinInterleavesLayers(t *testing.T) {
+	// Three items of layer 0 queued before three of layer 1: strict priority
+	// would emit 0,0,0,1,1,1; round-robin must alternate.
+	pri := []int32{0, 0, 0, 1, 1, 1}
+	q := NewQueue(NewRoundRobinLayer(), func(i int) Item { return Item{Priority: pri[i]} })
+	fill(q, pri, nil)
+	got := drain(q)
+	var layers []int32
+	for _, v := range got {
+		layers = append(layers, pri[v])
+	}
+	want := []int32{0, 1, 0, 1, 0, 1}
+	for i := range want {
+		if layers[i] != want[i] {
+			t.Fatalf("rr layer order %v, want %v", layers, want)
+		}
+	}
+}
+
+func TestRoundRobinLateFlowDoesNotHoardCredit(t *testing.T) {
+	pri := []int32{0, 0, 0, 0, 1}
+	q := NewQueue(NewRoundRobinLayer(), func(i int) Item { return Item{Priority: pri[i]} })
+	// Dispatch several layer-0 items, then a layer-1 item arrives: it must
+	// not jump ahead of everything by starting at pass 0.
+	for i := 0; i < 3; i++ {
+		q.Push(i)
+	}
+	for i := 0; i < 3; i++ {
+		if _, ok := q.Pop(); !ok {
+			t.Fatal("pop failed")
+		}
+	}
+	q.Push(3) // layer 0 again
+	q.Push(4) // layer 1, first appearance
+	first, _ := q.Pop()
+	second, _ := q.Pop()
+	// Both were stamped at the current virtual time, so insertion order
+	// (layer 0's item first) must hold — not a burst of the late flow.
+	if first != 3 || second != 4 {
+		t.Fatalf("late-flow pop order (%d,%d), want (3,4)", first, second)
+	}
+}
+
+func TestCreditGatedWindow(t *testing.T) {
+	pri := []int32{5, 5, 0}
+	bytes := []int64{600, 600, 100}
+	d := NewCreditGated(1000)
+	q := NewQueue[int](d, func(i int) Item { return Item{Priority: pri[i], Bytes: bytes[i]} })
+	q.Push(0)
+	q.Push(1)
+
+	v, ok := q.PopReady()
+	if !ok || v != 0 {
+		t.Fatalf("first PopReady = (%d,%v), want (0,true)", v, ok)
+	}
+	// 600 bytes in flight; another 600 would exceed the 1000-byte window.
+	if _, ok := q.PopReady(); ok {
+		t.Fatal("second low-priority item admitted beyond the credit window")
+	}
+	if !q.Blocked() {
+		t.Fatal("queue should report Blocked while the window is full")
+	}
+	// An urgent item arrives; it is also blocked (the window is about
+	// in-flight bytes), but as soon as credit returns it goes first.
+	q.Push(2)
+	q.Done(0)
+	v, ok = q.PopReady()
+	if !ok || v != 2 {
+		t.Fatalf("post-credit PopReady = (%d,%v), want (2,true)", v, ok)
+	}
+	if d.InFlight() != 100 {
+		t.Fatalf("in-flight = %d, want 100", d.InFlight())
+	}
+	// Oversized item with an idle queue must still be admitted.
+	q.Done(2)
+	big := NewCreditGated(10)
+	qb := NewQueue[int](big, func(int) Item { return Item{Bytes: 1 << 20} })
+	qb.Push(0)
+	if _, ok := qb.PopReady(); !ok {
+		t.Fatal("idle queue refused an oversized item: wedge")
+	}
+}
+
+func TestByNameRegistry(t *testing.T) {
+	for _, name := range []string{"fifo", "p3", "rr", "smallest", "credit"} {
+		d, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if d.Name() != name {
+			t.Fatalf("ByName(%q).Name() = %q", name, d.Name())
+		}
+	}
+	for alias, canon := range map[string]string{
+		"baseline": "fifo", "priority": "p3", "p3priority": "p3",
+		"roundrobin": "rr", "sjf": "smallest", "bytescheduler": "credit",
+	} {
+		d, err := ByName(alias)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", alias, err)
+		}
+		if d.Name() != canon {
+			t.Fatalf("alias %q resolved to %q, want %q", alias, d.Name(), canon)
+		}
+	}
+	if d, err := ByName("credit:123"); err != nil {
+		t.Fatalf("credit:123: %v", err)
+	} else if d.(*CreditGated).Credit != 123 {
+		t.Fatalf("credit:123 window = %d", d.(*CreditGated).Credit)
+	}
+	if _, err := ByName("credit:nope"); err == nil {
+		t.Fatal("credit:nope accepted")
+	}
+	if _, err := ByName("zgoneba"); err == nil {
+		t.Fatal("unknown discipline accepted")
+	}
+	if d, err := ByName(""); err != nil || d.Name() != "fifo" {
+		t.Fatalf("empty name = (%v,%v), want fifo", d, err)
+	}
+	if len(Names()) < 5 {
+		t.Fatalf("Names() = %v, want at least the 5 built-ins", Names())
+	}
+}
+
+func TestByNameReturnsFreshInstances(t *testing.T) {
+	a := MustByName("rr").(*RoundRobinLayer)
+	b := MustByName("rr").(*RoundRobinLayer)
+	ita := Item{Priority: 7}
+	a.Rank(&ita)
+	a.Rank(&ita)
+	itb := Item{Priority: 7}
+	b.Rank(&itb)
+	if itb.rank != 0 {
+		t.Fatal("rr instances share pass state across queues")
+	}
+}
+
+// TestPriorityInvariantProperty: under any interleaving of pushes and pops,
+// p3 never emits an item while a strictly more urgent one is queued.
+func TestPriorityInvariantProperty(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 11))
+	for trial := 0; trial < 50; trial++ {
+		pris := make([]int32, 0, 256)
+		q := NewQueue(NewP3Priority(), func(i int) Item { return Item{Priority: pris[i]} })
+		queued := map[int32]int{} // priority -> count currently queued
+		for step := 0; step < 400; step++ {
+			if rng.IntN(2) == 0 || q.Len() == 0 {
+				p := int32(rng.IntN(8))
+				pris = append(pris, p)
+				q.Push(len(pris) - 1)
+				queued[p]++
+				continue
+			}
+			v, _ := q.Pop()
+			got := pris[v]
+			for p, n := range queued {
+				if n > 0 && p < got {
+					t.Fatalf("trial %d: popped priority %d while %d queued", trial, got, p)
+				}
+			}
+			queued[got]--
+		}
+	}
+}

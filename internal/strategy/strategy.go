@@ -1,24 +1,33 @@
 // Package strategy defines the parameter-synchronization mechanisms the
 // paper compares. A strategy is a declarative description — partition
-// granularity, transmission order, and pull protocol — interpreted by the
+// granularity, queue discipline, and pull protocol — interpreted by the
 // cluster simulator and by the TCP parameter server.
 //
-// The five mechanisms:
+// Transmission order is not an enum here: the Sched field names a queue
+// discipline in the internal/sched registry ("fifo", "p3", "rr",
+// "smallest", "credit[:bytes]", ...), and every scheduling site — the
+// simulator's NIC egress queues and endpoint processing pools, and the TCP
+// transport's send/receive queues — resolves that name to a fresh
+// discipline instance. The named strategies below are thin presets over
+// that registry; any strategy can be re-run under any discipline by
+// overriding Sched (the -sched flag of cmd/p3sim does exactly this).
+//
+// The preset mechanisms:
 //
 //   - Baseline: MXNet KVStore (Section 4.1). Layer-granularity shards,
-//     FIFO transmission in gradient-generation order, and the explicit
+//     fifo transmission in gradient-generation order, and the explicit
 //     notify-then-pull protocol (a worker pulls a layer only after being
 //     notified that all of its shards updated).
 //   - TFStyle: TensorFlow's graph-based parameter server (Section 2 and
 //     Appendix B.1): pushes during backprop, but pull requests are not
 //     issued until the next iteration's graph execution starts.
 //   - WFBP: Poseidon-style wait-free backpropagation (Zhang et al. 2017):
-//     layer granularity, FIFO, with updates returned immediately (no
+//     layer granularity, fifo, with updates returned immediately (no
 //     notify/pull round trip).
 //   - SlicingOnly: P3's parameter slicing alone (the "Slicing" series of
-//     Figure 7): fixed-size slices, immediate broadcast, but FIFO order.
-//   - P3: slicing + priority queues on both the worker and server sides +
-//     immediate broadcast (Section 4.2).
+//     Figure 7): fixed-size slices, immediate broadcast, but fifo order.
+//   - P3: slicing + the p3 priority discipline on both the worker and
+//     server sides + immediate broadcast (Section 4.2).
 package strategy
 
 import (
@@ -26,6 +35,7 @@ import (
 
 	"p3/internal/core"
 	"p3/internal/model"
+	"p3/internal/sched"
 )
 
 // Granularity selects the partitioning scheme.
@@ -37,19 +47,6 @@ const (
 	Shards Granularity = iota
 	// Slices uses P3's fixed-maximum-size parameter slicing.
 	Slices
-)
-
-// Order selects the transmission order of ready chunks.
-type Order int
-
-const (
-	// FIFO transmits chunks in the order their gradients were produced
-	// (backprop order: last layer first).
-	FIFO Order = iota
-	// ByPriority transmits the most urgent ready chunk first (forward-pass
-	// order: first layer first), preempting lower-priority traffic at chunk
-	// granularity.
-	ByPriority
 )
 
 // PullMode selects how updated parameters travel back to workers.
@@ -78,8 +75,14 @@ type Strategy struct {
 	// ShardThreshold is KVStore's split threshold when Granularity == Shards
 	// (0 = core.DefaultShardThreshold).
 	ShardThreshold int64
-	Order          Order
-	Pull           PullMode
+	// Sched names the queue discipline (sched registry) applied to every
+	// scheduling site: NIC egress queues, endpoint processing pools, and the
+	// TCP transport's send/receive queues. Empty means "fifo", transmitting
+	// chunks in gradient-generation order (backprop order: last layer
+	// first); "p3" transmits the most urgent ready chunk first (forward
+	// order), preempting lower-priority traffic at chunk granularity.
+	Sched string
+	Pull  PullMode
 	// Async selects asynchronous SGD (Appendix B.2): the server applies and
 	// returns each worker's push immediately instead of waiting for all
 	// workers, so no worker ever blocks on another.
@@ -88,36 +91,36 @@ type Strategy struct {
 
 // Baseline returns the MXNet KVStore baseline.
 func Baseline() Strategy {
-	return Strategy{Name: "baseline", Granularity: Shards, Order: FIFO, Pull: NotifyPull}
+	return Strategy{Name: "baseline", Granularity: Shards, Sched: "fifo", Pull: NotifyPull}
 }
 
 // TFStyle returns the TensorFlow-like strategy (Appendix B.1, Figure 13).
 func TFStyle() Strategy {
-	return Strategy{Name: "tensorflow", Granularity: Shards, Order: FIFO, Pull: DeferredPull}
+	return Strategy{Name: "tensorflow", Granularity: Shards, Sched: "fifo", Pull: DeferredPull}
 }
 
 // WFBP returns the Poseidon-like wait-free-backprop strategy (Figure 14).
 func WFBP() Strategy {
-	return Strategy{Name: "wfbp", Granularity: Shards, Order: FIFO, Pull: Immediate}
+	return Strategy{Name: "wfbp", Granularity: Shards, Sched: "fifo", Pull: Immediate}
 }
 
 // SlicingOnly returns parameter slicing without priority (the "Slicing"
 // series of Figure 7). maxSlice 0 selects the paper's 50,000-parameter
 // default.
 func SlicingOnly(maxSlice int64) Strategy {
-	return Strategy{Name: "slicing", Granularity: Slices, MaxSliceParams: maxSlice, Order: FIFO, Pull: Immediate}
+	return Strategy{Name: "slicing", Granularity: Slices, MaxSliceParams: maxSlice, Sched: "fifo", Pull: Immediate}
 }
 
 // P3 returns the full mechanism. maxSlice 0 selects the paper's
 // 50,000-parameter default.
 func P3(maxSlice int64) Strategy {
-	return Strategy{Name: "p3", Granularity: Slices, MaxSliceParams: maxSlice, Order: ByPriority, Pull: Immediate}
+	return Strategy{Name: "p3", Granularity: Slices, MaxSliceParams: maxSlice, Sched: "p3", Pull: Immediate}
 }
 
 // ASGDStrategy returns MXNet's asynchronous-SGD wire behaviour (Appendix
-// B.2): layer-granularity shards, FIFO, per-worker immediate update.
+// B.2): layer-granularity shards, fifo, per-worker immediate update.
 func ASGDStrategy() Strategy {
-	return Strategy{Name: "asgd", Granularity: Shards, Order: FIFO, Pull: Immediate, Async: true}
+	return Strategy{Name: "asgd", Granularity: Shards, Sched: "fifo", Pull: Immediate, Async: true}
 }
 
 // ByName maps the names used by the CLI tools to strategies.
@@ -150,8 +153,25 @@ func (s Strategy) Partition(m *model.Model, servers int) *core.Plan {
 	}
 }
 
-// PriorityEgress reports whether NIC egress queues (and server processing
-// queues) should use the priority discipline.
-func (s Strategy) PriorityEgress() bool { return s.Order == ByPriority }
+// Discipline returns the strategy's effective scheduler name ("fifo" when
+// Sched is empty), suitable for sched.ByName.
+func (s Strategy) Discipline() string {
+	if s.Sched == "" {
+		return "fifo"
+	}
+	return s.Sched
+}
+
+// WithSched returns a copy of s running under the named discipline — the
+// hook behind the -sched knob of the CLI tools. It validates the name
+// against the sched registry.
+func (s Strategy) WithSched(name string) (Strategy, error) {
+	if _, err := sched.ByName(name); err != nil {
+		return Strategy{}, err
+	}
+	out := s
+	out.Sched = name
+	return out, nil
+}
 
 func (s Strategy) String() string { return s.Name }

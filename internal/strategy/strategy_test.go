@@ -30,27 +30,42 @@ func TestByName(t *testing.T) {
 
 func TestStrategySemantics(t *testing.T) {
 	cases := []struct {
-		s        Strategy
-		gran     Granularity
-		order    Order
-		pull     PullMode
-		async    bool
-		priority bool
+		s     Strategy
+		gran  Granularity
+		sched string
+		pull  PullMode
+		async bool
 	}{
-		{Baseline(), Shards, FIFO, NotifyPull, false, false},
-		{TFStyle(), Shards, FIFO, DeferredPull, false, false},
-		{WFBP(), Shards, FIFO, Immediate, false, false},
-		{SlicingOnly(0), Slices, FIFO, Immediate, false, false},
-		{P3(0), Slices, ByPriority, Immediate, false, true},
-		{ASGDStrategy(), Shards, FIFO, Immediate, true, false},
+		{Baseline(), Shards, "fifo", NotifyPull, false},
+		{TFStyle(), Shards, "fifo", DeferredPull, false},
+		{WFBP(), Shards, "fifo", Immediate, false},
+		{SlicingOnly(0), Slices, "fifo", Immediate, false},
+		{P3(0), Slices, "p3", Immediate, false},
+		{ASGDStrategy(), Shards, "fifo", Immediate, true},
 	}
 	for _, c := range cases {
-		if c.s.Granularity != c.gran || c.s.Order != c.order || c.s.Pull != c.pull || c.s.Async != c.async {
+		if c.s.Granularity != c.gran || c.s.Sched != c.sched || c.s.Pull != c.pull || c.s.Async != c.async {
 			t.Errorf("%s: unexpected semantics %+v", c.s.Name, c.s)
 		}
-		if c.s.PriorityEgress() != c.priority {
-			t.Errorf("%s: PriorityEgress = %v", c.s.Name, c.s.PriorityEgress())
+		if c.s.Discipline() != c.sched {
+			t.Errorf("%s: Discipline = %q", c.s.Name, c.s.Discipline())
 		}
+	}
+}
+
+func TestWithSched(t *testing.T) {
+	s, err := P3(0).WithSched("credit:65536")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Discipline() != "credit:65536" || s.Granularity != Slices {
+		t.Fatalf("WithSched result %+v", s)
+	}
+	if _, err := Baseline().WithSched("bogus"); err == nil {
+		t.Fatal("unknown discipline accepted")
+	}
+	if (Strategy{}).Discipline() != "fifo" {
+		t.Fatal("zero-value Discipline should default to fifo")
 	}
 }
 

@@ -1,7 +1,11 @@
 // Package transport implements the wire protocol of the real (non-simulated)
 // parameter server: length-prefixed binary frames carrying float32 tensors,
-// plus the blocking priority queue that the sender and receiver
-// producer/consumer loops of Section 4.2 drain.
+// plus the blocking scheduled queue (SendQueue) that the sender and receiver
+// producer/consumer loops of Section 4.2 drain. SendQueue takes its ordering
+// from a sched.Discipline — fifo for the baseline wire behaviour, p3 for the
+// paper's priority mechanism, credit for a ByteScheduler-style bounded
+// in-flight window, or any other discipline registered in internal/sched —
+// so the transport itself is policy-free.
 //
 // The frame layout (little-endian):
 //

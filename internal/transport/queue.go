@@ -3,28 +3,34 @@ package transport
 import (
 	"sync"
 
-	"p3/internal/pq"
+	"p3/internal/sched"
 )
 
-// SendQueue is the blocking priority queue behind every producer/consumer
+// SendQueue is the blocking scheduled queue behind every producer/consumer
 // pair in the real transport (Section 4.2): producers enqueue frames as
 // gradients become ready, a single consumer goroutine pops the most urgent
-// frame and performs the blocking network write. When priority mode is off
-// the queue degenerates to FIFO, which is the baseline behaviour.
+// frame and performs the blocking network write. The ordering — and any
+// credit gating — comes from the sched.Discipline supplied at construction:
+// fifo reproduces the baseline, p3 the paper's priority mechanism, credit a
+// ByteScheduler-style bounded preemption window.
 type SendQueue struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
-	q      *pq.Queue[*Frame]
+	q      *sched.Queue[*Frame]
 	closed bool
 }
 
-// NewSendQueue creates a queue; priority selects P3 ordering vs FIFO.
-func NewSendQueue(priority bool) *SendQueue {
-	less := func(a, b *Frame) bool { return false }
-	if priority {
-		less = func(a, b *Frame) bool { return a.Priority < b.Priority }
-	}
-	s := &SendQueue{q: pq.New(less)}
+// frameItem is the scheduler-visible view of a frame: the wire priority and
+// the payload size.
+func frameItem(f *Frame) sched.Item {
+	return sched.Item{Priority: f.Priority, Bytes: 4 * int64(len(f.Values))}
+}
+
+// NewSendQueue creates a queue ordered by d. d must be a fresh discipline
+// instance (stateful disciplines carry per-queue state); obtain one from
+// sched.ByName.
+func NewSendQueue(d sched.Discipline) *SendQueue {
+	s := &SendQueue{q: sched.NewQueue(d, frameItem)}
 	s.cond = sync.NewCond(&s.mu)
 	return s
 }
@@ -40,29 +46,43 @@ func (s *SendQueue) Push(f *Frame) {
 	s.cond.Signal()
 }
 
-// Pop blocks until a frame is available or the queue is closed. The second
-// result is false once the queue is closed and drained.
+// Pop blocks until a frame is admitted by the discipline or the queue is
+// closed. The second result is false once the queue is closed and drained.
+// With a credit-gated discipline the caller must Done every popped frame
+// once its write completes, or the window fills and Pop blocks forever.
 func (s *SendQueue) Pop() (*Frame, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for s.q.Len() == 0 && !s.closed {
+	for !s.closed {
+		if f, ok := s.q.PopReady(); ok {
+			return f, true
+		}
 		s.cond.Wait()
 	}
-	if s.q.Len() == 0 {
-		return nil, false
-	}
-	return s.q.Pop(), true
+	// Closed: drain without the credit gate — the consumer is shutting
+	// down and acknowledgements may never come.
+	return s.q.Pop()
 }
 
 // TryPop pops without blocking; the second result is false if nothing is
-// queued.
+// queued or the discipline refuses to admit the head right now.
 func (s *SendQueue) TryPop() (*Frame, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.q.Len() == 0 {
-		return nil, false
+	if s.closed {
+		return s.q.Pop()
 	}
-	return s.q.Pop(), true
+	return s.q.PopReady()
+}
+
+// Done releases f's in-flight credit (a no-op for ungated disciplines) and
+// wakes a consumer that may now be admitted. Call it once per popped frame
+// after the blocking write completes.
+func (s *SendQueue) Done(f *Frame) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.q.Done(f)
+	s.cond.Signal()
 }
 
 // Len reports the queued frame count.

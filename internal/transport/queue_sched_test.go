@@ -1,0 +1,126 @@
+package transport
+
+import (
+	"math/rand/v2"
+	"sync"
+	"testing"
+
+	"p3/internal/sched"
+)
+
+// TestP3NeverEmitsLowerPriorityWhileHigherQueued is the scheduler-correctness
+// property of Section 4.2: under any interleaving of pushes and pops, a
+// SendQueue running the p3 discipline must never hand the consumer a frame
+// while a strictly more urgent frame is still queued.
+func TestP3NeverEmitsLowerPriorityWhileHigherQueued(t *testing.T) {
+	rng := rand.New(rand.NewPCG(42, 99))
+	for trial := 0; trial < 25; trial++ {
+		q := NewSendQueue(sched.NewP3Priority())
+		queued := map[int32]int{} // priority -> frames currently queued
+		for step := 0; step < 500; step++ {
+			if rng.IntN(2) == 0 || q.Len() == 0 {
+				p := int32(rng.IntN(10))
+				q.Push(&Frame{Type: TypePush, Priority: p})
+				queued[p]++
+				continue
+			}
+			f, ok := q.TryPop()
+			if !ok {
+				t.Fatalf("trial %d: TryPop failed on non-empty queue", trial)
+			}
+			for p, n := range queued {
+				if n > 0 && p < f.Priority {
+					t.Fatalf("trial %d: emitted priority %d while priority %d queued",
+						trial, f.Priority, p)
+				}
+			}
+			queued[f.Priority]--
+		}
+	}
+}
+
+// TestCreditGatedSendQueue exercises the Done/credit path end to end: with a
+// one-frame window the consumer must acknowledge each frame before the next
+// is admitted, and urgency still wins within the window.
+func TestCreditGatedSendQueue(t *testing.T) {
+	q := NewSendQueue(sched.NewCreditGated(100))
+	lo := &Frame{Priority: 9, Values: make([]float32, 20)} // 80 bytes
+	hi := &Frame{Priority: 0, Values: make([]float32, 20)}
+	q.Push(lo)
+	q.Push(hi)
+	f, ok := q.TryPop()
+	if !ok || f != hi {
+		t.Fatalf("first pop = %+v, want the urgent frame", f)
+	}
+	if _, ok := q.TryPop(); ok {
+		t.Fatal("second frame admitted with the window full")
+	}
+	q.Done(hi)
+	if f, ok := q.TryPop(); !ok || f != lo {
+		t.Fatalf("post-Done pop = (%+v,%v), want the low frame", f, ok)
+	}
+	q.Done(lo)
+}
+
+// TestCreditGatedDrainAfterClose: draining a closed credit-gated queue with
+// the consumer's usual Pop+Done loop must stay balanced — the drain path
+// bypasses the admission gate but still charges credit, so the trailing
+// Done calls cannot underflow the window (this panicked before the charge
+// was added to the drain path).
+func TestCreditGatedDrainAfterClose(t *testing.T) {
+	q := NewSendQueue(sched.NewCreditGated(100))
+	for i := 0; i < 4; i++ {
+		q.Push(&Frame{Priority: int32(i), Values: make([]float32, 30)}) // 120 B each
+	}
+	q.Close()
+	for i := 0; i < 4; i++ {
+		f, ok := q.Pop()
+		if !ok {
+			t.Fatalf("drain pop %d failed", i)
+		}
+		q.Done(f) // must not panic with "credit underflow"
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("drained queue returned a frame")
+	}
+}
+
+// BenchmarkSendQueue measures the queue under concurrent producers for the
+// three wire disciplines the paper's comparison hinges on: fifo (baseline),
+// p3 (priority), and credit (bounded preemption window).
+func BenchmarkSendQueue(b *testing.B) {
+	const producers = 4
+	for _, name := range []string{"fifo", "p3", "credit:262144"} {
+		b.Run(name, func(b *testing.B) {
+			q := NewSendQueue(sched.MustByName(name))
+			frames := make([]*Frame, 64)
+			for i := range frames {
+				frames[i] = &Frame{
+					Type:     TypePush,
+					Priority: int32(i % 16),
+					Values:   make([]float32, 64),
+				}
+			}
+			var wg sync.WaitGroup
+			per := b.N / producers
+			b.ResetTimer()
+			for p := 0; p < producers; p++ {
+				wg.Add(1)
+				go func(p int) {
+					defer wg.Done()
+					for i := 0; i < per; i++ {
+						q.Push(frames[(p*per+i)%len(frames)])
+					}
+				}(p)
+			}
+			for i := 0; i < per*producers; i++ {
+				f, ok := q.Pop()
+				if !ok {
+					b.Fatal("queue closed early")
+				}
+				q.Done(f)
+			}
+			wg.Wait()
+		})
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"io"
 	"math"
+	"p3/internal/sched"
 	"sync"
 	"testing"
 	"testing/quick"
@@ -138,7 +139,7 @@ func TestOversizeFrameRejected(t *testing.T) {
 // ---- SendQueue ----
 
 func TestQueueFIFO(t *testing.T) {
-	q := NewSendQueue(false)
+	q := NewSendQueue(sched.NewFIFO())
 	for i := int32(0); i < 5; i++ {
 		q.Push(&Frame{Iter: i, Priority: -i}) // priorities would reverse it
 	}
@@ -151,7 +152,7 @@ func TestQueueFIFO(t *testing.T) {
 }
 
 func TestQueuePriority(t *testing.T) {
-	q := NewSendQueue(true)
+	q := NewSendQueue(sched.NewP3Priority())
 	for _, p := range []int32{5, 1, 3, 1, 4} {
 		q.Push(&Frame{Priority: p})
 	}
@@ -165,7 +166,7 @@ func TestQueuePriority(t *testing.T) {
 }
 
 func TestQueueBlockingPop(t *testing.T) {
-	q := NewSendQueue(true)
+	q := NewSendQueue(sched.NewP3Priority())
 	done := make(chan *Frame)
 	go func() {
 		f, _ := q.Pop()
@@ -184,7 +185,7 @@ func TestQueueBlockingPop(t *testing.T) {
 }
 
 func TestQueueCloseWakesConsumers(t *testing.T) {
-	q := NewSendQueue(false)
+	q := NewSendQueue(sched.NewFIFO())
 	var wg sync.WaitGroup
 	for i := 0; i < 3; i++ {
 		wg.Add(1)
@@ -206,7 +207,7 @@ func TestQueueCloseWakesConsumers(t *testing.T) {
 }
 
 func TestQueueDrainAfterClose(t *testing.T) {
-	q := NewSendQueue(false)
+	q := NewSendQueue(sched.NewFIFO())
 	q.Push(&Frame{Key: 1})
 	q.Push(&Frame{Key: 2})
 	q.Close()
@@ -223,7 +224,7 @@ func TestQueueDrainAfterClose(t *testing.T) {
 }
 
 func TestQueueConcurrentProducers(t *testing.T) {
-	q := NewSendQueue(true)
+	q := NewSendQueue(sched.NewP3Priority())
 	const producers, per = 8, 100
 	var wg sync.WaitGroup
 	for p := 0; p < producers; p++ {
