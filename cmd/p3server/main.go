@@ -23,6 +23,8 @@ import (
 
 	"p3/internal/pstcp"
 	"p3/internal/sched"
+	"p3/internal/strategy"
+	"p3/internal/zoo"
 )
 
 func main() {
@@ -30,19 +32,34 @@ func main() {
 	id := flag.Int("id", 0, "server id")
 	workers := flag.Int("workers", 4, "worker count (pushes per update)")
 	schedName := flag.String("sched", "p3", "queue discipline: "+strings.Join(sched.Names(), "|")+" (p3 = paper, fifo = baseline)")
+	modelName := flag.String("model", "", "zoo model supplying the timing profile for model-aware disciplines (tictac); empty = none")
+	gbps := flag.Float64("gbps", 10, "estimated wire rate (Gbps) for the timing profile's transfer estimates")
 	notifyPull := flag.Bool("notifypull", false, "stock KVStore notify+pull instead of immediate broadcast")
 	lr := flag.Float64("lr", 0.1, "server-side SGD learning rate")
 	stats := flag.Duration("stats", 10*time.Second, "stats print interval (0 = off)")
 	flag.Parse()
 
-	if _, err := sched.ByName(*schedName); err != nil {
+	disc, err := sched.ByName(*schedName)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "p3server:", err)
 		os.Exit(2)
+	}
+	var profile *sched.Profile
+	if *modelName != "" {
+		m, err := zoo.Lookup(*modelName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "p3server:", err)
+			os.Exit(2)
+		}
+		profile = strategy.ComputeProfile(m, *gbps)
+	} else if _, wantsProfile := disc.(sched.Profiled); wantsProfile {
+		fmt.Fprintf(os.Stderr, "p3server: warning: -sched %s without -model has no timing profile and degrades to p3 ordering\n", *schedName)
 	}
 	srv := pstcp.NewServer(pstcp.ServerConfig{
 		ID:         *id,
 		Workers:    *workers,
 		Sched:      *schedName,
+		Profile:    profile,
 		NotifyPull: *notifyPull,
 		Updater:    pstcp.SGDUpdater(float32(*lr)),
 	})

@@ -26,6 +26,7 @@ import (
 	"p3/internal/core"
 	"p3/internal/pstcp"
 	"p3/internal/sched"
+	"p3/internal/strategy"
 	"p3/internal/transport"
 	"p3/internal/zoo"
 )
@@ -38,6 +39,7 @@ func main() {
 	iters := flag.Int("iters", 20, "iterations to run")
 	warmup := flag.Int("warmup", 3, "warm-up iterations excluded from stats")
 	schedName := flag.String("sched", "p3", "send-queue discipline: "+strings.Join(sched.Names(), "|")+" (p3 = paper, fifo = baseline)")
+	gbps := flag.Float64("gbps", 10, "estimated wire rate (Gbps) for the tictac timing profile's transfer estimates")
 	batch := flag.Int("batch", 32, "nominal batch size (throughput accounting only)")
 	flag.Parse()
 
@@ -55,7 +57,8 @@ func main() {
 	}
 
 	recv := make(chan struct{}, plan.NumChunks()+8)
-	worker, err := pstcp.DialWorker(*id, addrs, *schedName, func(f *transport.Frame) {
+	profile := strategy.ComputeProfile(m, *gbps)
+	worker, err := pstcp.DialWorkerProfile(*id, addrs, *schedName, profile, func(f *transport.Frame) {
 		if f.Type == transport.TypeData {
 			recv <- struct{}{}
 		}

@@ -242,7 +242,9 @@ func (p *procPool) pump(cs *clusterSim) {
 		if p.chunkBusy[it.chunk] {
 			// Deferred on the per-key serialization, not processing yet:
 			// refund any credit until the chunk frees up and re-queues it.
-			p.queue.Done(it)
+			// Cancel, not Done — an adaptive window must not read this
+			// refund as a completed transfer.
+			p.queue.Cancel(it)
 			p.waiting[it.chunk] = append(p.waiting[it.chunk], it)
 			continue
 		}
@@ -344,6 +346,10 @@ func newClusterSim(cfg Config) *clusterSim {
 		netCfg.BandwidthGbps = cfg.BandwidthGbps
 	}
 	netCfg.Egress = cfg.Strategy.Discipline()
+	// Model-aware disciplines (tictac) see the same timing the simulator
+	// runs on; model-blind disciplines ignore the profile entirely.
+	prof := strategy.ComputeProfile(m, netCfg.BandwidthGbps)
+	netCfg.Profile = prof
 
 	cs := &clusterSim{
 		cfg:    cfg,
@@ -358,12 +364,13 @@ func newClusterSim(cfg Config) *clusterSim {
 	cs.hostRate = cfg.HostRateGBps  // GB/s == bytes/ns
 
 	// Every processing pool runs the strategy's discipline on a fresh
-	// instance; the item view exposes the chunk's wire priority and size.
+	// instance; the item view exposes the chunk's wire priority and size,
+	// with the originating worker as the flow key of per-destination gates.
 	itemView := func(it procItem) sched.Item {
-		return sched.Item{Priority: it.priority, Bytes: cs.plan.Chunks[it.chunk].Bytes()}
+		return sched.Item{Priority: it.priority, Bytes: cs.plan.Chunks[it.chunk].Bytes(), Dest: it.src}
 	}
 	newQueue := func() *sched.Queue[procItem] {
-		return sched.NewQueue(sched.MustByName(cfg.Strategy.Discipline()), itemView)
+		return sched.NewQueue(sched.ApplyProfile(sched.MustByName(cfg.Strategy.Discipline()), prof), itemView)
 	}
 	cs.servers = make([]serverState, cfg.Servers)
 	for s := range cs.servers {

@@ -3,37 +3,55 @@ package experiments
 import (
 	"fmt"
 
+	"p3/internal/ring"
+	"p3/internal/sched"
 	"p3/internal/strategy"
 	"p3/internal/zoo"
 )
 
-// SchedDisciplines is the discipline sweep of the scheduler ablation: every
-// built-in sched.Discipline, applied to the same sliced/immediate-broadcast
-// strategy so ordering is the only variable.
-var SchedDisciplines = []string{"fifo", "rr", "smallest", "credit", "p3"}
+// SchedDisciplines returns the discipline sweep of the scheduler ablation:
+// every name in the sched registry (fifo, p3, rr, smallest, credit, tictac,
+// credit-adaptive, ...), applied to the same sliced/immediate-broadcast
+// strategy so ordering is the only variable. Reading the registry at call
+// time (not package init) means a discipline registered from anywhere —
+// even a late init — joins the sweep for free.
+func SchedDisciplines() []string { return sched.Names() }
 
-// SchedulerRow is one (model, discipline) cell of the scheduler ablation.
+// Aggregation paths the ablation sweeps: the parameter-server cluster
+// simulator and the ring all-reduce simulator.
+const (
+	PathCluster = "cluster"
+	PathRing    = "ring"
+)
+
+// SchedulerRow is one (model, path, discipline) cell of the scheduler
+// ablation.
 type SchedulerRow struct {
 	Model         string
 	BandwidthGbps float64
-	Sched         string
+	// Path is the aggregation path: "cluster" (parameter server) or "ring"
+	// (all-reduce).
+	Path  string
+	Sched string
 	// PerMachine is the per-machine training throughput (samples/sec).
 	PerMachine float64
 	// IterMs is the mean iteration makespan in milliseconds.
 	IterMs float64
-	// TTCSpeedup is the time-to-convergence speedup over fifo. Synchronous
-	// SGD's convergence trajectory is identical under every discipline (the
-	// wire order changes, the math does not), so time-to-convergence scales
-	// exactly with iteration time: fifo_iter / sched_iter.
+	// TTCSpeedup is the time-to-convergence speedup over fifo on the same
+	// path. Synchronous SGD's convergence trajectory is identical under
+	// every discipline (the wire order changes, the math does not), so
+	// time-to-convergence scales exactly with iteration time:
+	// fifo_iter / sched_iter.
 	TTCSpeedup float64
 }
 
 // SchedulerAblation compares every registered queue discipline on the zoo
-// models at their headline bandwidths — the payoff of extracting
-// internal/sched: the paper's p3-vs-fifo comparison becomes one row pair in
-// a sweep that also covers round-robin fairness, shortest-job-first, and a
-// ByteScheduler-style credit window, with no changes outside the strategy's
-// Sched name.
+// models at their headline bandwidths, on both aggregation paths — the
+// payoff of extracting internal/sched: the paper's p3-vs-fifo comparison
+// becomes one row pair in a sweep that also covers round-robin fairness,
+// shortest-job-first, ByteScheduler-style credit windows, TicTac
+// critical-path ranking, and per-destination adaptive credit, with no
+// changes outside the strategy's Sched name.
 func SchedulerAblation(o Options) []SchedulerRow {
 	cases := []struct {
 		model string
@@ -43,47 +61,62 @@ func SchedulerAblation(o Options) []SchedulerRow {
 		{"vgg19", 15},
 		{"sockeye", 4},
 	}
+	warm, measure := o.iters()
 	var rows []SchedulerRow
 	for _, c := range cases {
 		m := zoo.ByName(c.model)
-		measure := func(name string) SchedulerRow {
-			st, err := strategy.SlicingOnly(0).WithSched(name)
-			if err != nil {
-				panic(err) // SchedDisciplines only holds registered names
+		for _, path := range []string{PathCluster, PathRing} {
+			measureRow := func(name string) SchedulerRow {
+				st, err := strategy.SlicingOnly(0).WithSched(name)
+				if err != nil {
+					panic(err) // SchedDisciplines() only holds registered names
+				}
+				st.Name = "sliced+" + name
+				row := SchedulerRow{
+					Model:         c.model,
+					BandwidthGbps: c.gbps,
+					Path:          path,
+					Sched:         name,
+				}
+				if path == PathRing {
+					r := ring.Run(ring.Config{
+						Model: m, Machines: 4, Strategy: st, BandwidthGbps: c.gbps,
+						WarmupIters: warm, MeasureIters: measure, Seed: o.Seed + 1,
+					})
+					row.PerMachine = r.Throughput / float64(r.Machines)
+					row.IterMs = r.MeanIterTime.Millis()
+				} else {
+					r := run(m, st, 4, c.gbps, o, nil)
+					row.PerMachine = r.Throughput / float64(r.Machines)
+					row.IterMs = r.MeanIterTime.Millis()
+				}
+				return row
 			}
-			st.Name = "sliced+" + name
-			r := run(m, st, 4, c.gbps, o, nil)
-			return SchedulerRow{
-				Model:         c.model,
-				BandwidthGbps: c.gbps,
-				Sched:         name,
-				PerMachine:    r.Throughput / float64(r.Machines),
-				IterMs:        r.MeanIterTime.Millis(),
+			// The fifo reference runs once, up front, so TTCSpeedup does not
+			// depend on SchedDisciplines' ordering.
+			fifo := measureRow("fifo")
+			fifo.TTCSpeedup = 1
+			for _, name := range SchedDisciplines() {
+				if name == "fifo" {
+					rows = append(rows, fifo)
+					continue
+				}
+				row := measureRow(name)
+				row.TTCSpeedup = fifo.IterMs / row.IterMs
+				rows = append(rows, row)
 			}
-		}
-		// The fifo reference runs once, up front, so TTCSpeedup does not
-		// depend on SchedDisciplines' ordering.
-		fifo := measure("fifo")
-		fifo.TTCSpeedup = 1
-		for _, name := range SchedDisciplines {
-			if name == "fifo" {
-				rows = append(rows, fifo)
-				continue
-			}
-			row := measure(name)
-			row.TTCSpeedup = fifo.IterMs / row.IterMs
-			rows = append(rows, row)
 		}
 	}
 	return rows
 }
 
-// SchedulerTable renders the ablation, one line per (model, discipline).
+// SchedulerTable renders the ablation, one line per (model, path,
+// discipline).
 func SchedulerTable(rows []SchedulerRow) string {
-	out := "model\tGbps\tsched\tsamples/s/machine\titer_ms\tttc_speedup_vs_fifo\n"
+	out := "model\tGbps\tpath\tsched\tsamples/s/machine\titer_ms\tttc_speedup_vs_fifo\n"
 	for _, r := range rows {
-		out += fmt.Sprintf("%s\t%g\t%s\t%.1f\t%.2f\t%.3fx\n",
-			r.Model, r.BandwidthGbps, r.Sched, r.PerMachine, r.IterMs, r.TTCSpeedup)
+		out += fmt.Sprintf("%s\t%g\t%s\t%s\t%.1f\t%.2f\t%.3fx\n",
+			r.Model, r.BandwidthGbps, r.Path, r.Sched, r.PerMachine, r.IterMs, r.TTCSpeedup)
 	}
 	return out
 }

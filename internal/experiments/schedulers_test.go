@@ -1,47 +1,80 @@
 package experiments
 
-import "testing"
+import (
+	"testing"
+
+	"p3/internal/sched"
+)
 
 // TestSchedulerAblation checks the shape of the sweep and its headline
-// claim: the p3 discipline beats fifo on time-to-convergence for every zoo
-// model at its paper bandwidth (the acceptance criterion of the sched
-// extraction), with the credit window close behind.
+// claims: every registered discipline appears on both aggregation paths,
+// the p3 discipline beats fifo on time-to-convergence for every zoo model
+// at its paper bandwidth, and the model-aware disciplines (tictac,
+// credit-adaptive) land close to p3 rather than collapsing.
 func TestSchedulerAblation(t *testing.T) {
 	rows := SchedulerAblation(Options{Fast: true})
 	const models = 3
-	if len(rows) != models*len(SchedDisciplines) {
-		t.Fatalf("%d rows, want %d", len(rows), models*len(SchedDisciplines))
+	const paths = 2
+	if len(rows) != models*paths*len(SchedDisciplines()) {
+		t.Fatalf("%d rows, want %d", len(rows), models*paths*len(SchedDisciplines()))
 	}
-	byModel := map[string]map[string]SchedulerRow{}
-	for _, r := range rows {
-		if byModel[r.Model] == nil {
-			byModel[r.Model] = map[string]SchedulerRow{}
+	for _, name := range []string{"tictac", "credit-adaptive"} {
+		found := false
+		for _, n := range SchedDisciplines() {
+			if n == name {
+				found = true
+			}
 		}
-		byModel[r.Model][r.Sched] = r
+		if !found {
+			t.Fatalf("SchedDisciplines %v misses %q", SchedDisciplines(), name)
+		}
 	}
-	for model, per := range byModel {
+	byCell := map[string]map[string]SchedulerRow{}
+	for _, r := range rows {
+		key := r.Model + "/" + r.Path
+		if byCell[key] == nil {
+			byCell[key] = map[string]SchedulerRow{}
+		}
+		byCell[key][r.Sched] = r
+	}
+	if len(byCell) != models*paths {
+		t.Fatalf("%d (model, path) cells, want %d", len(byCell), models*paths)
+	}
+	for cell, per := range byCell {
+		if len(per) != len(sched.Names()) {
+			t.Errorf("%s: %d disciplines, want every registered one (%d)", cell, len(per), len(sched.Names()))
+		}
 		fifo, p3 := per["fifo"], per["p3"]
 		if !(p3.IterMs < fifo.IterMs) {
-			t.Errorf("%s: p3 iter %.2f ms not below fifo %.2f ms", model, p3.IterMs, fifo.IterMs)
+			t.Errorf("%s: p3 iter %.2f ms not below fifo %.2f ms", cell, p3.IterMs, fifo.IterMs)
 		}
 		if !(p3.TTCSpeedup > 1.0) {
-			t.Errorf("%s: p3 time-to-convergence speedup %.3f <= 1", model, p3.TTCSpeedup)
+			t.Errorf("%s: p3 time-to-convergence speedup %.3f <= 1", cell, p3.TTCSpeedup)
 		}
 		if fifo.TTCSpeedup != 1.0 {
-			t.Errorf("%s: fifo speedup %.3f, want exactly 1", model, fifo.TTCSpeedup)
+			t.Errorf("%s: fifo speedup %.3f, want exactly 1", cell, fifo.TTCSpeedup)
 		}
 		// The credit window approximates p3 (it is p3 plus a bounded
-		// in-flight budget), so it must land within a few percent.
-		credit := per["credit"]
-		if credit.IterMs > p3.IterMs*1.05 {
-			t.Errorf("%s: credit iter %.2f ms >5%% above p3 %.2f ms", model, credit.IterMs, p3.IterMs)
+		// in-flight budget), so it must land within a few percent; the
+		// adaptive variant converges toward the same regime.
+		for _, name := range []string{"credit", "credit-adaptive"} {
+			if r := per[name]; r.IterMs > p3.IterMs*1.05 {
+				t.Errorf("%s: %s iter %.2f ms >5%% above p3 %.2f ms", cell, name, r.IterMs, p3.IterMs)
+			}
+		}
+		// tictac's timing-derived order coincides with layer order for
+		// these linear-chain models (the paper's own observation about
+		// TicTac vs P3), so it must track p3 closely — a large gap means
+		// the slack ranking inverted something structural.
+		if tt := per["tictac"]; tt.IterMs > p3.IterMs*1.10 {
+			t.Errorf("%s: tictac iter %.2f ms >10%% above p3 %.2f ms", cell, tt.IterMs, p3.IterMs)
 		}
 		// Every discipline still moves the same bytes to the same places:
 		// throughput may differ, but nothing should collapse below fifo by
 		// more than a third (a wedged schedule would).
 		for name, r := range per {
 			if r.PerMachine < fifo.PerMachine*0.66 {
-				t.Errorf("%s/%s: throughput %.1f collapsed vs fifo %.1f", model, name, r.PerMachine, fifo.PerMachine)
+				t.Errorf("%s/%s: throughput %.1f collapsed vs fifo %.1f", cell, name, r.PerMachine, fifo.PerMachine)
 			}
 		}
 	}

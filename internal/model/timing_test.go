@@ -1,0 +1,104 @@
+package model
+
+import (
+	"testing"
+
+	"p3/internal/sim"
+)
+
+// TestNewTimingEdgeCases pins NewTiming's behaviour on the degenerate
+// shapes the tictac ranker's profile construction depends on: zero-FLOP
+// layers (batch-norm/bias tensors) must get zero time without poisoning
+// their neighbours, a single-layer model must receive the whole budget,
+// and FwdFraction at the extremes (0 and 1 — rejected by Validate but
+// reachable through hand-built models) must stay finite and non-negative.
+func TestNewTimingEdgeCases(t *testing.T) {
+	layer := func(i int, params, flops int64) Layer {
+		return Layer{Index: i, Name: "l", Params: params, FwdFLOPs: flops}
+	}
+	mk := func(fwdFraction float64, layers ...Layer) *Model {
+		return &Model{
+			Name: "t", Layers: layers, BatchSize: 16,
+			PlateauPerWorker: 100, FwdFraction: fwdFraction,
+		}
+	}
+	iter := sim.FromSeconds(16.0 / 100) // BatchSize / PlateauPerWorker
+
+	cases := []struct {
+		name string
+		m    *Model
+		// wantFwdShare[i] is layer i's expected share of the forward budget
+		// (nil skips the per-layer check).
+		wantFwdShare []float64
+		wantFwdTotal sim.Time
+	}{
+		{
+			name:         "single layer",
+			m:            mk(1.0/3, layer(0, 1000, 500)),
+			wantFwdShare: []float64{1},
+			wantFwdTotal: iter / 3,
+		},
+		{
+			name:         "zero-flop layer rides along",
+			m:            mk(1.0/3, layer(0, 1000, 300), layer(1, 10, 0), layer(2, 1000, 100)),
+			wantFwdShare: []float64{0.75, 0, 0.25},
+			wantFwdTotal: iter / 3,
+		},
+		{
+			name:         "all layers zero-flop spreads uniformly",
+			m:            mk(0.5, layer(0, 10, 0), layer(1, 10, 0), layer(2, 10, 0), layer(3, 10, 0)),
+			wantFwdShare: []float64{0.25, 0.25, 0.25, 0.25},
+			wantFwdTotal: iter / 2,
+		},
+		{
+			name:         "fwd fraction 0 puts everything in backward",
+			m:            mk(0, layer(0, 1000, 300), layer(1, 1000, 100)),
+			wantFwdTotal: 0,
+		},
+		{
+			name:         "fwd fraction 1 puts everything in forward",
+			m:            mk(1, layer(0, 1000, 300), layer(1, 1000, 100)),
+			wantFwdTotal: iter,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			tm := NewTiming(c.m)
+			n := len(c.m.Layers)
+			if len(tm.Fwd) != n || len(tm.Bwd) != n {
+				t.Fatalf("Fwd/Bwd lengths %d/%d, want %d", len(tm.Fwd), len(tm.Bwd), n)
+			}
+			var fwdSum, bwdSum sim.Time
+			for i := 0; i < n; i++ {
+				if tm.Fwd[i] < 0 || tm.Bwd[i] < 0 {
+					t.Fatalf("layer %d: negative duration fwd=%d bwd=%d", i, tm.Fwd[i], tm.Bwd[i])
+				}
+				fwdSum += tm.Fwd[i]
+				bwdSum += tm.Bwd[i]
+			}
+			if tm.IterCompute != fwdSum+bwdSum {
+				t.Fatalf("IterCompute %d != fwd %d + bwd %d", tm.IterCompute, fwdSum, bwdSum)
+			}
+			// Rounding may shed a few nanoseconds per layer, never more.
+			slack := sim.Time(n + 1)
+			if diff := fwdSum - c.wantFwdTotal; diff < -slack || diff > slack {
+				t.Fatalf("forward budget %d, want %d (±%d)", fwdSum, c.wantFwdTotal, slack)
+			}
+			if diff := tm.IterCompute - iter; diff < -slack || diff > slack {
+				t.Fatalf("IterCompute %d, want %d (±%d)", tm.IterCompute, iter, slack)
+			}
+			for i, share := range c.wantFwdShare {
+				want := sim.Time(float64(c.wantFwdTotal) * share)
+				if diff := tm.Fwd[i] - want; diff < -slack || diff > slack {
+					t.Fatalf("layer %d forward %d, want %d (share %.2f)", i, tm.Fwd[i], want, share)
+				}
+			}
+			// A zero-FLOP layer among FLOP-bearing ones gets exactly zero.
+			if c.name == "zero-flop layer rides along" {
+				if tm.Fwd[1] != 0 || tm.Bwd[1] != 0 {
+					t.Fatalf("zero-FLOP layer got fwd=%d bwd=%d, want 0/0", tm.Fwd[1], tm.Bwd[1])
+				}
+			}
+		})
+	}
+}

@@ -50,6 +50,9 @@ type Config struct {
 	// "smallest", "credit[:bytes]", ... Each NIC gets a fresh discipline
 	// instance, so stateful disciplines never share state across machines.
 	Egress string
+	// Profile optionally supplies model timing to profile-aware egress
+	// disciplines (tictac); nil leaves them model-blind.
+	Profile *sched.Profile
 }
 
 // DefaultConfig returns the interconnect constants used for every experiment
@@ -79,9 +82,10 @@ type Message struct {
 	Src   int32 // application tag: originating worker
 }
 
-// msgItem is the scheduler-visible view of a message.
+// msgItem is the scheduler-visible view of a message; the receiving machine
+// is the destination key of per-destination disciplines.
 func msgItem(m Message) sched.Item {
-	return sched.Item{Priority: m.Priority, Bytes: m.Bytes}
+	return sched.Item{Priority: m.Priority, Bytes: m.Bytes, Dest: int32(m.To)}
 }
 
 // Handler receives fully delivered messages.
@@ -128,7 +132,7 @@ func New(eng *sim.Engine, n int, cfg Config, handler Handler, rec *trace.Recorde
 	nw.nics = make([]nic, n)
 	for i := range nw.nics {
 		nw.nics[i] = nic{
-			egress:  sched.NewQueue(sched.MustByName(cfg.Egress), msgItem),
+			egress:  sched.NewQueue(sched.ApplyProfile(sched.MustByName(cfg.Egress), cfg.Profile), msgItem),
 			ingress: pq.New(fifoLess),
 		}
 	}

@@ -49,8 +49,12 @@ type ServerConfig struct {
 	// Sched names the queue discipline (sched registry) applied to the
 	// receive and send queues: "p3" for the paper's priority mechanism,
 	// "fifo" (or empty) for the baseline, "credit[:bytes]" for a
-	// ByteScheduler-style window, etc.
+	// ByteScheduler-style window, "tictac" / "credit-adaptive[:bytes]" for
+	// the model-aware disciplines, etc.
 	Sched string
+	// Profile optionally supplies model timing to profile-aware disciplines
+	// (tictac); without it tictac degrades to p3 ordering.
+	Profile *sched.Profile
 	// NotifyPull selects stock KVStore semantics (Section 4.1): on update
 	// completion the server sends a payload-free Notify to every worker and
 	// returns data only on explicit Pull. False selects P3's immediate
@@ -106,8 +110,8 @@ func NewServer(cfg ServerConfig) *Server {
 	}
 	return &Server{
 		cfg:     cfg,
-		recvQ:   transport.NewSendQueue(sched.MustByName(cfg.Sched)),
-		sendQ:   transport.NewSendQueue(sched.MustByName(cfg.Sched)),
+		recvQ:   transport.NewSendQueue(sched.ApplyProfile(sched.MustByName(cfg.Sched), cfg.Profile)),
+		sendQ:   transport.NewSendQueue(sched.ApplyProfile(sched.MustByName(cfg.Sched), cfg.Profile)),
 		writers: make(map[uint8]*connWriter),
 		params:  make(map[uint64][]float32),
 		agg:     make(map[uint64]*aggState),

@@ -35,6 +35,14 @@ type Worker struct {
 // receive goroutine for every Data frame; it must be safe for concurrent
 // calls when multiple servers are used.
 func DialWorker(id int, addrs []string, schedName string, handler Handler) (*Worker, error) {
+	return DialWorkerProfile(id, addrs, schedName, nil, handler)
+}
+
+// DialWorkerProfile is DialWorker with a model timing profile for
+// profile-aware send-queue disciplines (tictac ranks gradient slices by
+// slack to consumption instead of layer index). profile may be nil, in
+// which case such disciplines degrade to their model-blind order.
+func DialWorkerProfile(id int, addrs []string, schedName string, profile *sched.Profile, handler Handler) (*Worker, error) {
 	if id < 0 || id > 255 {
 		return nil, fmt.Errorf("pstcp: worker id %d out of range", id)
 	}
@@ -42,6 +50,7 @@ func DialWorker(id int, addrs []string, schedName string, handler Handler) (*Wor
 	if err != nil {
 		return nil, fmt.Errorf("pstcp: %w", err)
 	}
+	sched.ApplyProfile(disc, profile)
 	w := &Worker{
 		id:      uint8(id),
 		sendQ:   transport.NewSendQueue(disc),

@@ -148,6 +148,8 @@ func newRingSim(cfg Config) *ringSim {
 	eng := &sim.Engine{}
 	netCfg := netsim.DefaultConfig(cfg.BandwidthGbps)
 	netCfg.Egress = cfg.Strategy.Discipline()
+	prof := strategy.ComputeProfile(cfg.Model, netCfg.BandwidthGbps)
+	netCfg.Profile = prof
 
 	rs := &ringSim{
 		cfg: cfg, eng: eng,
@@ -181,7 +183,7 @@ func newRingSim(cfg Config) *ringSim {
 		}
 		ws.chunksDone = make([]int, rs.layers)
 		ws.bwdDone = make([]sim.Time, rs.total)
-		ws.reduce = sched.NewQueue(sched.MustByName(cfg.Strategy.Discipline()), redView)
+		ws.reduce = sched.NewQueue(sched.ApplyProfile(sched.MustByName(cfg.Strategy.Discipline()), prof), redView)
 	}
 
 	rs.jitter = make([][]float64, n)

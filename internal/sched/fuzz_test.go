@@ -1,0 +1,65 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzByName hammers the registry's name/arg parsing. Historical catches:
+// "credit:" (colon, empty argument) used to resolve silently to the default
+// window, masking a lost argument, and "rr:junk" used to resolve to rr with
+// the argument dropped; both are errors now. The invariants checked on
+// every successful resolution keep a future discipline from wedging a
+// queue: a resolved credit window is positive, Less is irreflexive (a
+// self-inverting comparator corrupts the heap), and an Admitter admits onto
+// an idle queue.
+func FuzzByName(f *testing.F) {
+	for _, seed := range []string{
+		"", "fifo", "p3", "rr", "smallest", "credit", "tictac",
+		"credit-adaptive", "credit:1048576", "credit-adaptive:65536",
+		"credit:", "credit:-5", "credit:abc", "credit:0", "credit:+7",
+		"credit:5:6", "adaptive:0", "bytescheduler:7", "dag", "rr:junk",
+		"tictac:5", "zgoneba", ":", "::", "CREDIT", " credit", "credit ",
+		"credit:99999999999999999999",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, name string) {
+		d, err := ByName(name)
+		if err != nil {
+			if d != nil {
+				t.Fatalf("ByName(%q) returned both a discipline and error %v", name, err)
+			}
+			return
+		}
+		if d == nil {
+			t.Fatalf("ByName(%q) returned nil without error", name)
+		}
+		if d.Name() == "" {
+			t.Fatalf("ByName(%q): empty canonical name", name)
+		}
+		if strings.ContainsRune(name, ':') && strings.HasSuffix(name, ":") {
+			t.Fatalf("ByName(%q): empty argument resolved silently to %q", name, d.Name())
+		}
+		switch c := d.(type) {
+		case *CreditGated:
+			if c.Credit <= 0 {
+				t.Fatalf("ByName(%q): zero/negative credit window %d would wedge the queue", name, c.Credit)
+			}
+		case *AdaptiveCredit:
+			if c.Initial <= 0 || c.Min <= 0 || c.Max < c.Initial || c.Step <= 0 {
+				t.Fatalf("ByName(%q): degenerate adaptive window (initial %d, min %d, max %d, step %d)",
+					name, c.Initial, c.Min, c.Max, c.Step)
+			}
+		}
+		it := Item{Priority: 1, Bytes: 100}
+		if d.Less(it, it) {
+			t.Fatalf("ByName(%q): Less(x, x) = true", name)
+		}
+		if a, ok := d.(Admitter); ok {
+			if !a.Admit(Item{Bytes: 1 << 40}) {
+				t.Fatalf("ByName(%q): idle queue refused an oversized item: wedge", name)
+			}
+		}
+	})
+}

@@ -108,8 +108,27 @@ func (q *Queue[T]) Done(v T) {
 	}
 }
 
+// Cancel releases v's in-flight charge without signalling a completion:
+// use it when the caller backs out of work it popped (e.g. re-queueing an
+// item deferred on a serialization constraint), so adaptive disciplines do
+// not tune their windows on bytes that were never actually processed.
+// Falls back to Done semantics for disciplines without a cancel path.
+func (q *Queue[T]) Cancel(v T) {
+	if q.adm == nil {
+		return
+	}
+	if c, ok := q.adm.(Canceler); ok {
+		c.OnCancel(q.view(v))
+		return
+	}
+	q.adm.OnDone(q.view(v))
+}
+
 // Blocked reports whether the head exists but is currently refused by the
-// credit window — i.e. a Done call is required before progress.
+// credit window — i.e. a Done call is required before progress. It consults
+// the discipline's Admit, which for adaptive disciplines records the
+// refusal as a congestion signal — treat Blocked as part of the dispatch
+// loop, not a free-standing query to poll.
 func (q *Queue[T]) Blocked() bool {
 	e, ok := q.q.Peek()
 	return ok && q.adm != nil && !q.adm.Admit(e.it)

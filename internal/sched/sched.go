@@ -27,6 +27,15 @@
 //     priority order, but at most <bytes> of traffic may be in flight
 //     (popped and not yet acknowledged via Done), bounding how much
 //     lower-priority data can delay a newly urgent item.
+//   - tictac: TicTac-style critical-path order — given a Profile (the
+//     model's forward timing), items are ranked by slack to consumption:
+//     time until the forward pass needs the layer minus the estimated
+//     transfer time. Without a profile it degrades to p3.
+//   - credit-adaptive / credit-adaptive:<bytes>: per-destination credit
+//     windows (the plain credit gate shares one window per queue) that
+//     adapt by AIMD from the admit/ack pattern the queue observes — a
+//     window that drains dry while refusing traffic grows additively, one
+//     that never binds shrinks multiplicatively.
 //
 // Disciplines are deliberately deterministic: equal items dequeue in
 // insertion order, which keeps the discrete-event simulator reproducible and
@@ -35,6 +44,7 @@ package sched
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -52,6 +62,11 @@ type Item struct {
 	Priority int32
 	// Bytes is the payload size (wire bytes or processing cost proxy).
 	Bytes int64
+	// Dest identifies the flow's destination (receiving machine, worker
+	// id, ...); per-destination disciplines (credit-adaptive) key their
+	// windows on it. Callers without a meaningful destination leave it 0,
+	// which collapses those disciplines to a single shared window.
+	Dest int32
 	// rank is a discipline-assigned ordering key, set by a Ranker at
 	// enqueue time (e.g. the stride-scheduling pass of rr).
 	rank uint64
@@ -85,11 +100,67 @@ type Dispatcher interface {
 // window (ByteScheduler-style preemption control). Admit is consulted before
 // an item may start; OnStart/OnDone bracket the item's in-flight interval.
 // An Admitter must admit at least one item when nothing is in flight, or the
-// queue would wedge.
+// queue would wedge. Admit is part of the adaptation protocol, not a pure
+// query: an adaptive discipline may record a refusal as a congestion
+// signal, so callers must not poll it (or Queue.Blocked) outside the
+// dispatch loop's own cadence.
 type Admitter interface {
 	Admit(it Item) bool
 	OnStart(it Item)
 	OnDone(it Item)
+}
+
+// Canceler is implemented by Admitters that distinguish a refunded
+// admission — the caller backed out before performing the work (e.g. a
+// processing pool deferring an item on per-key serialization) — from a
+// real completion. OnCancel releases the in-flight charge without feeding
+// the discipline's adaptation signals; an Admitter without it treats
+// cancels as completions.
+type Canceler interface {
+	OnCancel(it Item)
+}
+
+// Profile carries the model timing knowledge that model-aware disciplines
+// consume: for each priority class p (a layer's forward-pass index, the
+// value carried in Item.Priority), NeedAtNs[p] is the compute time from the
+// start of a forward pass until that layer's parameters are consumed, and
+// GbpsEstimate is the wire rate used to estimate transfer times. Strategies
+// populate it from the zoo model's model.Timing (strategy.ComputeProfile)
+// and the scheduling sites hand it to their disciplines via ApplyProfile.
+type Profile struct {
+	NeedAtNs []int64
+	// LayerBytes[p] is the total wire size of class p's tensor, used to
+	// estimate how early the class's transfer must start.
+	LayerBytes   []int64
+	GbpsEstimate float64
+}
+
+// TxNs estimates the transfer time of a payload at the profiled wire rate
+// (Gbit/s == bit/ns, so bits/rate is already nanoseconds).
+func (p *Profile) TxNs(bytes int64) int64 {
+	if p == nil || p.GbpsEstimate <= 0 {
+		return 0
+	}
+	return int64(float64(bytes) * 8 / p.GbpsEstimate)
+}
+
+// Profiled is implemented by disciplines that consume a model Profile
+// (tictac). A queue site that has one applies it with ApplyProfile right
+// after resolving the discipline; disciplines must tolerate never receiving
+// a profile by degrading to a model-blind order.
+type Profiled interface {
+	SetProfile(*Profile)
+}
+
+// ApplyProfile hands p to d when d is profile-aware, and returns d for
+// chaining around NewQueue. A nil profile is a no-op.
+func ApplyProfile(d Discipline, p *Profile) Discipline {
+	if p != nil {
+		if pd, ok := d.(Profiled); ok {
+			pd.SetProfile(p)
+		}
+	}
+	return d
 }
 
 // ---- built-in disciplines ----
@@ -212,6 +283,249 @@ func (c *CreditGated) OnDone(it Item) {
 // InFlight reports the bytes currently charged against the window.
 func (c *CreditGated) InFlight() int64 { return c.inFlight }
 
+// TicTac ranks transfers by critical-path urgency the way TicTac (Hashemi
+// et al., cited in the paper's related work) derives its DAG order: each
+// layer's rank is its slack to consumption — the compute time until the
+// next forward pass blocks on the layer, minus the estimated time to move
+// the layer's bytes — so a heavy tensor's transfer is started earlier than
+// its raw position suggests, and layers the timing profile declares
+// compute-equivalent are ordered by transfer weight instead of p3's
+// arbitrary index order.
+//
+// The slack is computed per layer (priority class), never per item: ranking
+// individual chunks by their own size lets a layer's smaller tail chunk
+// sort behind future full-size arrivals of the same layer, and because the
+// forward pass consumes a layer all-or-nothing, that one chunk's starvation
+// stalls the layer for a whole queue drain (observed on ResNet-50's fc
+// layer: one 192 KB tail chunk behind 150 ms of backlog). Within a layer,
+// and between layers with identical slack, items keep insertion order.
+// Without a Profile the slack is unknowable and the discipline degrades to
+// p3 exactly.
+type TicTac struct {
+	prof  *Profile
+	slack []int64 // per priority class, precomputed on SetProfile
+}
+
+// NewTicTac returns the tictac discipline; supply timing via SetProfile
+// (ApplyProfile) before use, or it behaves as p3.
+func NewTicTac() *TicTac { return &TicTac{} }
+
+func (*TicTac) Name() string { return "tictac" }
+
+// SetProfile installs the model timing profile (Profiled) and precomputes
+// the per-layer slack ranks.
+func (t *TicTac) SetProfile(p *Profile) {
+	t.prof = p
+	t.slack = nil
+	if p == nil {
+		return
+	}
+	t.slack = make([]int64, len(p.NeedAtNs))
+	for l := range p.NeedAtNs {
+		var bytes int64
+		if l < len(p.LayerBytes) {
+			bytes = p.LayerBytes[l]
+		}
+		t.slack[l] = p.NeedAtNs[l] - p.TxNs(bytes)
+	}
+}
+
+// Slack returns priority class pri's rank: its consumption deadline minus
+// its estimated transfer time, in nanoseconds; lower is more urgent.
+// Out-of-range classes clamp to the nearest profiled class.
+func (t *TicTac) Slack(pri int32) int64 {
+	if len(t.slack) == 0 {
+		return 0
+	}
+	if pri < 0 {
+		return t.slack[0]
+	}
+	if int(pri) >= len(t.slack) {
+		return t.slack[len(t.slack)-1]
+	}
+	return t.slack[pri]
+}
+
+func (t *TicTac) Less(a, b Item) bool {
+	if len(t.slack) == 0 {
+		return a.Priority < b.Priority
+	}
+	sa, sb := t.Slack(a.Priority), t.Slack(b.Priority)
+	if sa != sb {
+		return sa < sb
+	}
+	return a.Priority < b.Priority
+}
+
+// AdaptiveCredit extends the credit gate from one shared window to one
+// window per destination (Item.Dest), each tuned by AIMD from the
+// admit/acknowledge pattern the queue already observes — no clock needed,
+// so the adaptation is identical on the virtual and the real transport:
+//
+//   - stall: the window ran dry straight after refusing traffic (at most
+//     one acknowledgement followed the last refusal), i.e. the destination
+//     sat credit-limited with work queued — additive increase (Step,
+//     capped at Max). A refusal followed by a burst of acknowledgements is
+//     batch bookkeeping (the real send loops flush pending frames whenever
+//     the gate refuses), not starvation, and does not grow the window;
+//   - idle margin: 2x the window's worth of bytes completed without the
+//     gate ever binding — the window buys no preemption it is paying for,
+//     multiplicative decrease (halve, floored at Min).
+//
+// Window sizing is independent per destination: a slow receiver tunes its
+// own window without inflating or shrinking anyone else's, the rack-scale
+// imbalance Parameter Hub's analysis attributes to shared gates. Dispatch,
+// however, still runs through the queue's single priority order: while the
+// head item's destination is out of credit, admissible items for other
+// destinations behind it wait too (head-of-line coupling); the ROADMAP
+// lists flow-aware head skipping as an open item.
+type AdaptiveCredit struct {
+	// Initial is the starting window per destination.
+	Initial int64
+	// Min and Max bound the adaptation; Step is the additive increment.
+	Min, Max, Step int64
+	wins           map[int32]*destWindow
+}
+
+type destWindow struct {
+	credit   int64
+	inFlight int64
+	refused  bool  // the gate refused an item in the current busy period
+	sinceRef int   // completions since the gate last refused
+	clean    int64 // bytes acked since the gate last bound (or last adjust)
+}
+
+// NewAdaptiveCredit returns a credit-adaptive discipline whose per-
+// destination windows start at initial bytes (<= 0 selects
+// DefaultCreditBytes) and adapt within [initial/8, initial*16].
+func NewAdaptiveCredit(initial int64) *AdaptiveCredit {
+	if initial <= 0 {
+		initial = DefaultCreditBytes
+	}
+	a := &AdaptiveCredit{
+		Initial: initial,
+		Min:     initial / 8,
+		Max:     initial * 16,
+		Step:    initial / 4,
+		wins:    make(map[int32]*destWindow),
+	}
+	if a.Max/16 != initial { // initial*16 overflowed int64
+		a.Max = math.MaxInt64
+	}
+	if a.Min < 1 {
+		a.Min = 1
+	}
+	if a.Step < 1 {
+		a.Step = 1
+	}
+	return a
+}
+
+func (*AdaptiveCredit) Name() string        { return "credit-adaptive" }
+func (*AdaptiveCredit) Less(a, b Item) bool { return a.Priority < b.Priority }
+
+func (a *AdaptiveCredit) win(dst int32) *destWindow {
+	w := a.wins[dst]
+	if w == nil {
+		w = &destWindow{credit: a.Initial}
+		a.wins[dst] = w
+	}
+	return w
+}
+
+func (a *AdaptiveCredit) Admit(it Item) bool {
+	w := a.win(it.Dest)
+	if w.inFlight == 0 || w.inFlight+it.Bytes <= w.credit {
+		return true
+	}
+	w.refused = true
+	w.sinceRef = 0
+	w.clean = 0
+	return false
+}
+
+func (a *AdaptiveCredit) OnStart(it Item) { a.win(it.Dest).inFlight += it.Bytes }
+
+func (a *AdaptiveCredit) OnDone(it Item) {
+	w := a.win(it.Dest)
+	w.inFlight -= it.Bytes
+	if w.inFlight < 0 {
+		panic(fmt.Sprintf("sched: credit-adaptive underflow (dest %d, %d bytes)", it.Dest, w.inFlight))
+	}
+	if w.refused {
+		w.sinceRef++
+	}
+	if w.inFlight == 0 {
+		if w.refused {
+			// The busy period ended with traffic having been refused. If at
+			// most one completion followed the last refusal, the window ran
+			// dry straight after binding — the destination stalled on
+			// credit, not on data: additive increase. A burst of
+			// completions after the refusal instead means the consumer
+			// acknowledges in batches (the real send loops flush a whole
+			// pending batch whenever the gate refuses), which drains the
+			// window to zero as a matter of bookkeeping, not starvation —
+			// growing on that signal would ratchet every window to Max and
+			// degrade the discipline to an ungated p3 queue.
+			if w.sinceRef <= 1 {
+				w.credit += a.Step
+				if w.credit > a.Max {
+					w.credit = a.Max
+				}
+			}
+			w.refused = false
+			w.sinceRef = 0
+			w.clean = 0
+			return
+		}
+		// Idle drain without any refusal: fall through and count the bytes
+		// as unconstrained.
+	}
+	if !w.refused {
+		w.clean += it.Bytes
+		if w.clean >= 2*w.credit {
+			w.credit /= 2
+			if w.credit < a.Min {
+				w.credit = a.Min
+			}
+			w.clean = 0
+		}
+	}
+}
+
+// OnCancel refunds an admission without feeding the AIMD: the caller
+// backed out of the work, so the bytes were neither stalled on nor cleanly
+// delivered. If the refund drains the window, any pending refusal evidence
+// is discarded rather than interpreted — a drain by cancellation says
+// nothing about credit starvation.
+func (a *AdaptiveCredit) OnCancel(it Item) {
+	w := a.win(it.Dest)
+	w.inFlight -= it.Bytes
+	if w.inFlight < 0 {
+		panic(fmt.Sprintf("sched: credit-adaptive underflow on cancel (dest %d, %d bytes)", it.Dest, w.inFlight))
+	}
+	if w.inFlight == 0 {
+		w.refused = false
+		w.sinceRef = 0
+	}
+}
+
+// Window reports dst's current credit window (Initial if never used).
+func (a *AdaptiveCredit) Window(dst int32) int64 {
+	if w := a.wins[dst]; w != nil {
+		return w.credit
+	}
+	return a.Initial
+}
+
+// InFlight reports the bytes currently charged against dst's window.
+func (a *AdaptiveCredit) InFlight(dst int32) int64 {
+	if w := a.wins[dst]; w != nil {
+		return w.inFlight
+	}
+	return 0
+}
+
 // ---- registry ----
 
 // Factory builds a fresh Discipline instance. arg is the text after ":" in
@@ -241,21 +555,50 @@ func Register(name string, f Factory, alias ...string) {
 	}
 }
 
-func init() {
-	Register("fifo", func(string) (Discipline, error) { return NewFIFO(), nil }, "baseline")
-	Register("p3", func(string) (Discipline, error) { return NewP3Priority(), nil }, "priority", "p3priority")
-	Register("rr", func(string) (Discipline, error) { return NewRoundRobinLayer(), nil }, "roundrobin")
-	Register("smallest", func(string) (Discipline, error) { return NewSmallestFirst(), nil }, "sjf")
-	Register("credit", func(arg string) (Discipline, error) {
-		if arg == "" {
-			return NewCreditGated(0), nil
+// noArg wraps a parameterless discipline constructor into a Factory that
+// rejects stray arguments ("rr:junk" must not silently resolve to rr).
+func noArg(name string, mk func() Discipline) Factory {
+	return func(arg string) (Discipline, error) {
+		if arg != "" {
+			return nil, fmt.Errorf("sched: %s takes no argument (got %q)", name, arg)
 		}
-		n, err := strconv.ParseInt(arg, 10, 64)
-		if err != nil || n <= 0 {
-			return nil, fmt.Errorf("sched: credit window %q (want a positive byte count)", arg)
+		return mk(), nil
+	}
+}
+
+// windowArg parses the optional byte-count argument of the credit
+// disciplines; the empty string selects the default window.
+func windowArg(name, arg string) (int64, error) {
+	if arg == "" {
+		return 0, nil
+	}
+	n, err := strconv.ParseInt(arg, 10, 64)
+	if err != nil || n <= 0 {
+		return 0, fmt.Errorf("sched: %s window %q (want a positive byte count)", name, arg)
+	}
+	return n, nil
+}
+
+func init() {
+	Register("fifo", noArg("fifo", func() Discipline { return NewFIFO() }), "baseline")
+	Register("p3", noArg("p3", func() Discipline { return NewP3Priority() }), "priority", "p3priority")
+	Register("rr", noArg("rr", func() Discipline { return NewRoundRobinLayer() }), "roundrobin")
+	Register("smallest", noArg("smallest", func() Discipline { return NewSmallestFirst() }), "sjf")
+	Register("tictac", noArg("tictac", func() Discipline { return NewTicTac() }), "dag", "criticalpath")
+	Register("credit", func(arg string) (Discipline, error) {
+		n, err := windowArg("credit", arg)
+		if err != nil {
+			return nil, err
 		}
 		return NewCreditGated(n), nil
 	}, "bytescheduler")
+	Register("credit-adaptive", func(arg string) (Discipline, error) {
+		n, err := windowArg("credit-adaptive", arg)
+		if err != nil {
+			return nil, err
+		}
+		return NewAdaptiveCredit(n), nil
+	}, "adaptive")
 }
 
 // ByName resolves a discipline name (optionally parameterized as
@@ -267,6 +610,12 @@ func ByName(name string) (Discipline, error) {
 	base, arg := name, ""
 	if i := strings.IndexByte(name, ':'); i >= 0 {
 		base, arg = name[:i], name[i+1:]
+		if arg == "" {
+			// "credit:" is a malformed parameterization, not a request for
+			// the default window — resolving it silently would mask a lost
+			// argument (found by FuzzByName).
+			return nil, fmt.Errorf("sched: %q has an empty argument (drop the colon for the default)", name)
+		}
 	}
 	regMu.RLock()
 	if canon, ok := aliases[base]; ok {

@@ -123,6 +123,21 @@ func ASGDStrategy() Strategy {
 	return Strategy{Name: "asgd", Granularity: Shards, Sched: "fifo", Pull: Immediate, Async: true}
 }
 
+// TicTac returns P3's slicing and immediate broadcast under the tictac
+// discipline: transfers ranked by critical-path slack from the model's
+// timing profile instead of raw layer index. maxSlice 0 selects the paper's
+// 50,000-parameter default.
+func TicTac(maxSlice int64) Strategy {
+	return Strategy{Name: "tictac", Granularity: Slices, MaxSliceParams: maxSlice, Sched: "tictac", Pull: Immediate}
+}
+
+// CreditAdaptive returns P3's slicing and immediate broadcast under
+// per-destination AIMD-adapted credit windows. maxSlice 0 selects the
+// paper's 50,000-parameter default.
+func CreditAdaptive(maxSlice int64) Strategy {
+	return Strategy{Name: "credit-adaptive", Granularity: Slices, MaxSliceParams: maxSlice, Sched: "credit-adaptive", Pull: Immediate}
+}
+
 // ByName maps the names used by the CLI tools to strategies.
 func ByName(name string) (Strategy, error) {
 	switch name {
@@ -138,8 +153,12 @@ func ByName(name string) (Strategy, error) {
 		return P3(0), nil
 	case "asgd":
 		return ASGDStrategy(), nil
+	case "tictac":
+		return TicTac(0), nil
+	case "credit-adaptive", "adaptive":
+		return CreditAdaptive(0), nil
 	}
-	return Strategy{}, fmt.Errorf("unknown strategy %q (want baseline|tensorflow|wfbp|slicing|p3|asgd)", name)
+	return Strategy{}, fmt.Errorf("unknown strategy %q (want baseline|tensorflow|wfbp|slicing|p3|asgd|tictac|credit-adaptive)", name)
 }
 
 // Partition applies the strategy's granularity to m for the given number of
@@ -160,6 +179,26 @@ func (s Strategy) Discipline() string {
 		return "fifo"
 	}
 	return s.Sched
+}
+
+// ComputeProfile derives the sched.Profile that model-aware disciplines
+// (tictac) consume for model m at an estimated wire rate of gbps:
+// NeedAtNs[l] is the forward compute time preceding layer l's consumption,
+// taken from the same model.Timing the simulators run on, so the ranker's
+// notion of "when does the forward pass block on this layer" matches the
+// clock it is scheduling against. gbps <= 0 disables transfer-time
+// estimation (slack reduces to the consumption deadline).
+func ComputeProfile(m *model.Model, gbps float64) *sched.Profile {
+	t := model.NewTiming(m)
+	need := make([]int64, len(t.Fwd))
+	bytes := make([]int64, len(m.Layers))
+	var acc int64
+	for i, f := range t.Fwd {
+		need[i] = acc
+		acc += int64(f)
+		bytes[i] = m.Layers[i].Bytes()
+	}
+	return &sched.Profile{NeedAtNs: need, LayerBytes: bytes, GbpsEstimate: gbps}
 }
 
 // WithSched returns a copy of s running under the named discipline — the

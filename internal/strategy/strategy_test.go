@@ -4,11 +4,12 @@ import (
 	"testing"
 
 	"p3/internal/core"
+	"p3/internal/model"
 	"p3/internal/zoo"
 )
 
 func TestByName(t *testing.T) {
-	for _, name := range []string{"baseline", "tensorflow", "wfbp", "slicing", "p3", "asgd"} {
+	for _, name := range []string{"baseline", "tensorflow", "wfbp", "slicing", "p3", "asgd", "tictac", "credit-adaptive"} {
 		s, err := ByName(name)
 		if err != nil {
 			t.Fatalf("ByName(%q): %v", name, err)
@@ -22,6 +23,9 @@ func TestByName(t *testing.T) {
 	}
 	if s, _ := ByName("poseidon"); s.Name != "wfbp" {
 		t.Error("poseidon alias broken")
+	}
+	if s, _ := ByName("adaptive"); s.Name != "credit-adaptive" {
+		t.Error("adaptive alias broken")
 	}
 	if _, err := ByName("nccl"); err == nil {
 		t.Error("unknown strategy accepted")
@@ -42,6 +46,8 @@ func TestStrategySemantics(t *testing.T) {
 		{SlicingOnly(0), Slices, "fifo", Immediate, false},
 		{P3(0), Slices, "p3", Immediate, false},
 		{ASGDStrategy(), Shards, "fifo", Immediate, true},
+		{TicTac(0), Slices, "tictac", Immediate, false},
+		{CreditAdaptive(0), Slices, "credit-adaptive", Immediate, false},
 	}
 	for _, c := range cases {
 		if c.s.Granularity != c.gran || c.s.Sched != c.sched || c.s.Pull != c.pull || c.s.Async != c.async {
@@ -109,5 +115,39 @@ func TestPartitionDispatch(t *testing.T) {
 func TestStringer(t *testing.T) {
 	if P3(0).String() != "p3" {
 		t.Fatal("String() broken")
+	}
+}
+
+// TestComputeProfile checks the profile the tictac ranker consumes:
+// deadlines are the cumulative forward times of the model's own Timing
+// (non-decreasing, starting at zero), layer byte totals match the tensors,
+// and transfer estimation follows the requested wire rate.
+func TestComputeProfile(t *testing.T) {
+	m := zoo.ResNet50()
+	prof := ComputeProfile(m, 10)
+	if len(prof.NeedAtNs) != len(m.Layers) || len(prof.LayerBytes) != len(m.Layers) {
+		t.Fatalf("profile covers %d/%d layers, model has %d",
+			len(prof.NeedAtNs), len(prof.LayerBytes), len(m.Layers))
+	}
+	if prof.NeedAtNs[0] != 0 {
+		t.Fatalf("first layer's deadline %d, want 0 (consumed at forward start)", prof.NeedAtNs[0])
+	}
+	tm := model.NewTiming(m)
+	var acc int64
+	for i := range m.Layers {
+		if prof.NeedAtNs[i] != acc {
+			t.Fatalf("layer %d deadline %d, want cumulative forward %d", i, prof.NeedAtNs[i], acc)
+		}
+		acc += int64(tm.Fwd[i])
+		if prof.LayerBytes[i] != m.Layers[i].Bytes() {
+			t.Fatalf("layer %d bytes %d, want %d", i, prof.LayerBytes[i], m.Layers[i].Bytes())
+		}
+		if i > 0 && prof.NeedAtNs[i] < prof.NeedAtNs[i-1] {
+			t.Fatalf("deadlines not monotone at layer %d", i)
+		}
+	}
+	// 1 MB at 10 Gbps is 0.8 ms.
+	if got := prof.TxNs(1_000_000); got != 800_000 {
+		t.Fatalf("TxNs(1MB)@10Gbps = %d ns, want 800000", got)
 	}
 }

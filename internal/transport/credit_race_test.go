@@ -1,0 +1,143 @@
+package transport
+
+import (
+	"math/rand/v2"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"p3/internal/sched"
+)
+
+// driveCreditWindow hammers a SendQueue with concurrent producers and
+// consumers and tracks, per destination, the bytes between a successful pop
+// and its Done call. Consumers mimic the real sendLoop: popped frames
+// accumulate in a pending batch and are only acknowledged when the
+// discipline stops admitting (or the batch fills), so the in-flight total
+// genuinely presses against the window. The per-destination counters are
+// maintained with atomics strictly inside the pop..Done interval, so the
+// observed maximum can only under-count what the discipline charged — an
+// observed value above the configured bound proves the window was exceeded.
+//
+// Consumers use TryPop (never the post-Close drain, which bypasses the gate
+// by design), and every frame is smaller than the window, so the idle-queue
+// admission exception cannot push a destination above its bound either.
+func driveCreditWindow(t *testing.T, mk func() sched.Discipline, globalBound, perDestBound int64, dests int) {
+	t.Helper()
+	const (
+		producers      = 4
+		consumers      = 2
+		framesPerProd  = 500
+		maxFrameFloats = 64 // 256 bytes max, far below any window
+		batch          = 32
+	)
+	total := int64(producers * framesPerProd)
+	q := NewSendQueue(mk())
+	inFlight := make([]atomic.Int64, dests)
+	maxSeen := make([]atomic.Int64, dests)
+	var globalInFlight, globalMax, popped atomic.Int64
+	bump := func(counter, max *atomic.Int64, delta int64) {
+		now := counter.Add(delta)
+		for {
+			prev := max.Load()
+			if now <= prev || max.CompareAndSwap(prev, now) {
+				return
+			}
+		}
+	}
+
+	var prodWG sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		prodWG.Add(1)
+		go func(seed uint64) {
+			defer prodWG.Done()
+			rng := rand.New(rand.NewPCG(seed, seed^0xabcdef))
+			for i := 0; i < framesPerProd; i++ {
+				q.Push(&Frame{
+					Type:     TypePush,
+					Priority: int32(rng.IntN(8)),
+					Dst:      uint8(rng.IntN(dests)),
+					Values:   make([]float32, 1+rng.IntN(maxFrameFloats)),
+				})
+			}
+		}(uint64(p + 1))
+	}
+
+	var consWG sync.WaitGroup
+	for c := 0; c < consumers; c++ {
+		consWG.Add(1)
+		go func() {
+			defer consWG.Done()
+			var pending []*Frame
+			flush := func() {
+				for _, f := range pending {
+					inFlight[f.Dst].Add(-4 * int64(len(f.Values)))
+					globalInFlight.Add(-4 * int64(len(f.Values)))
+					q.Done(f)
+				}
+				pending = pending[:0]
+			}
+			for {
+				f, ok := q.TryPop()
+				if !ok {
+					// Window full or queue momentarily empty: return the
+					// credit we hold so the gate can open, then retry.
+					flush()
+					if popped.Load() == total && q.Len() == 0 {
+						return
+					}
+					runtime.Gosched()
+					continue
+				}
+				popped.Add(1)
+				d := int(f.Dst)
+				bytes := 4 * int64(len(f.Values))
+				bump(&inFlight[d], &maxSeen[d], bytes)
+				bump(&globalInFlight, &globalMax, bytes)
+				pending = append(pending, f)
+				if len(pending) >= batch {
+					flush()
+				}
+			}
+		}()
+	}
+
+	prodWG.Wait()
+	consWG.Wait()
+	q.Close()
+
+	if got := popped.Load(); got != total {
+		t.Fatalf("consumed %d frames, want %d", got, total)
+	}
+	if got := globalMax.Load(); got > globalBound {
+		t.Errorf("global: observed %d in-flight bytes, bound %d", got, globalBound)
+	}
+	for d := 0; d < dests; d++ {
+		if got := maxSeen[d].Load(); got > perDestBound {
+			t.Errorf("dest %d: observed %d in-flight bytes, window bound %d", d, got, perDestBound)
+		}
+	}
+}
+
+// TestCreditGatedWindowNeverExceededConcurrent: under concurrent
+// Push/TryPop/Done producers and consumers, the shared credit window is
+// never exceeded (every frame fits inside it, so the idle-queue exception
+// cannot fire above the bound). Run with -race, as CI does.
+func TestCreditGatedWindowNeverExceededConcurrent(t *testing.T) {
+	const window = 1 << 12
+	driveCreditWindow(t, func() sched.Discipline { return sched.NewCreditGated(window) }, window, window, 3)
+}
+
+// TestAdaptiveCreditWindowNeverExceededConcurrent: the per-destination
+// adaptive windows grow and shrink during the run, but no destination's
+// in-flight bytes may ever exceed the adaptation ceiling (Max).
+func TestAdaptiveCreditWindowNeverExceededConcurrent(t *testing.T) {
+	const initial = 1 << 12
+	const dests = 3
+	probe := sched.NewAdaptiveCredit(initial)
+	// Windows are per destination: the global total may legitimately reach
+	// the sum of every destination's ceiling, but no single destination may
+	// exceed its own.
+	driveCreditWindow(t, func() sched.Discipline { return sched.NewAdaptiveCredit(initial) }, dests*probe.Max, probe.Max, dests)
+}

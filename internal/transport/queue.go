@@ -20,10 +20,11 @@ type SendQueue struct {
 	closed bool
 }
 
-// frameItem is the scheduler-visible view of a frame: the wire priority and
-// the payload size.
+// frameItem is the scheduler-visible view of a frame: the wire priority,
+// the payload size, and the destination endpoint (the flow key of
+// per-destination disciplines such as credit-adaptive).
 func frameItem(f *Frame) sched.Item {
-	return sched.Item{Priority: f.Priority, Bytes: 4 * int64(len(f.Values))}
+	return sched.Item{Priority: f.Priority, Bytes: 4 * int64(len(f.Values)), Dest: int32(f.Dst)}
 }
 
 // NewSendQueue creates a queue ordered by d. d must be a fresh discipline

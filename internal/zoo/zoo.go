@@ -12,6 +12,7 @@ package zoo
 
 import (
 	"fmt"
+	"strings"
 
 	"p3/internal/model"
 )
@@ -19,22 +20,32 @@ import (
 // Names of the available models, in the order the paper presents them.
 var Names = []string{"resnet50", "inception3", "vgg19", "sockeye"}
 
-// ByName returns the named model. It panics on an unknown name; use Names
-// for the valid set.
+// ByName returns the named model. It panics on an unknown name; use Lookup
+// for user-supplied names and Names for the valid set.
 func ByName(name string) *model.Model {
+	m, err := Lookup(name)
+	if err != nil {
+		panic(err.Error())
+	}
+	return m
+}
+
+// Lookup returns the named model, or an error listing the valid names —
+// the validation front door for names arriving from CLI flags.
+func Lookup(name string) (*model.Model, error) {
 	switch name {
 	case "resnet50":
-		return ResNet50()
+		return ResNet50(), nil
 	case "inception3", "inceptionv3":
-		return InceptionV3()
+		return InceptionV3(), nil
 	case "vgg19":
-		return VGG19()
+		return VGG19(), nil
 	case "sockeye":
-		return Sockeye()
+		return Sockeye(), nil
 	case "resnet110":
-		return ResNet110()
+		return ResNet110(), nil
 	}
-	panic(fmt.Sprintf("zoo: unknown model %q", name))
+	return nil, fmt.Errorf("zoo: unknown model %q (want %s|resnet110)", name, strings.Join(Names, "|"))
 }
 
 // All returns the four paper models.
