@@ -8,9 +8,14 @@
 //	p3sim -model vgg19 -strategy p3 -bw 15 -machines 4 -slice 50000 -trace
 //
 // The -sched flag re-runs any strategy under a different queue discipline
-// from the internal/sched registry (fifo, p3, rr, smallest, credit:<bytes>):
+// from the internal/sched registry (fifo, p3, rr, smallest, credit:<bytes>),
+// and -preempt enables resumable egress transmission: serialization happens
+// in segments of the given byte quantum and a strictly more urgent message
+// preempts an in-flight one at the next segment boundary — the
+// true-preemption upper bound that the paper's slicing approximates:
 //
 //	p3sim -model vgg19 -strategy slicing -sched credit:1048576 -bw 15
+//	p3sim -model vgg19 -strategy p3 -bw 1.5 -preempt 65536
 package main
 
 import (
@@ -30,6 +35,7 @@ func main() {
 	modelName := flag.String("model", "resnet50", "model: resnet50|inception3|vgg19|sockeye|resnet110")
 	stratName := flag.String("strategy", "p3", "strategy: baseline|tensorflow|wfbp|slicing|p3|asgd")
 	schedName := flag.String("sched", "", "override the strategy's queue discipline: "+strings.Join(sched.Names(), "|")+" (also credit:<bytes>)")
+	preempt := flag.Int64("preempt", 0, "egress preemption quantum in wire bytes (0 = off: in-flight messages always finish)")
 	bw := flag.Float64("bw", 10, "per-direction NIC bandwidth in Gbps")
 	machines := flag.Int("machines", 4, "cluster size (workers == servers == machines)")
 	slice := flag.Int64("slice", 0, "max slice size in parameters (0 = paper default 50k; slicing/p3 only)")
@@ -67,18 +73,24 @@ func main() {
 		rec = trace.NewRecorder(*machines, 0)
 	}
 	r := cluster.Run(cluster.Config{
-		Model:         m,
-		Machines:      *machines,
-		Strategy:      st,
-		BandwidthGbps: *bw,
-		WarmupIters:   *warmup,
-		MeasureIters:  *iters,
-		Seed:          *seed,
-		Recorder:      rec,
+		Model:          m,
+		Machines:       *machines,
+		Strategy:       st,
+		BandwidthGbps:  *bw,
+		PreemptQuantum: *preempt,
+		WarmupIters:    *warmup,
+		MeasureIters:   *iters,
+		Seed:           *seed,
+		Recorder:       rec,
 	})
 
+	preemptDesc := "off"
+	if *preempt > 0 {
+		preemptDesc = fmt.Sprintf("%d B", *preempt)
+	}
 	fmt.Printf("model:       %s (%s)\n", m.Name, m)
-	fmt.Printf("strategy:    %s  sched: %s  machines: %d  bandwidth: %g Gbps\n", st.Name, st.Discipline(), r.Machines, r.BandwidthGbps)
+	fmt.Printf("strategy:    %s  sched: %s  preempt: %s  machines: %d  bandwidth: %g Gbps\n",
+		st.Name, st.Discipline(), preemptDesc, r.Machines, r.BandwidthGbps)
 	fmt.Printf("throughput:  %.1f %s/s aggregate (%.1f per machine)\n",
 		r.Throughput, m.SampleUnit, r.Throughput/float64(r.Machines))
 	fmt.Printf("iteration:   %.2f ms mean (pure compute %.2f ms, comm overhead %.2f ms)\n",

@@ -39,6 +39,7 @@ func main() {
 	iters := flag.Int("iters", 20, "iterations to run")
 	warmup := flag.Int("warmup", 3, "warm-up iterations excluded from stats")
 	schedName := flag.String("sched", "p3", "send-queue discipline: "+strings.Join(sched.Names(), "|")+" (p3 = paper, fifo = baseline)")
+	preempt := flag.Int("preempt", 0, "write quantum in bytes for preemptive transmission (0 = whole frames)")
 	gbps := flag.Float64("gbps", 10, "estimated wire rate (Gbps) for the tictac timing profile's transfer estimates")
 	batch := flag.Int("batch", 32, "nominal batch size (throughput accounting only)")
 	flag.Parse()
@@ -58,10 +59,17 @@ func main() {
 
 	recv := make(chan struct{}, plan.NumChunks()+8)
 	profile := strategy.ComputeProfile(m, *gbps)
-	worker, err := pstcp.DialWorkerProfile(*id, addrs, *schedName, profile, func(f *transport.Frame) {
-		if f.Type == transport.TypeData {
-			recv <- struct{}{}
-		}
+	worker, err := pstcp.DialWorkerCfg(pstcp.WorkerConfig{
+		ID:           *id,
+		Servers:      addrs,
+		Sched:        *schedName,
+		Profile:      profile,
+		PreemptBytes: *preempt,
+		Handler: func(f *transport.Frame) {
+			if f.Type == transport.TypeData {
+				recv <- struct{}{}
+			}
+		},
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "p3worker:", err)

@@ -56,6 +56,12 @@ type Config struct {
 	// it is derived from BandwidthGbps via netsim.DefaultConfig. The
 	// Egress discipline is always forced from the strategy's Sched name.
 	Net *netsim.Config
+	// PreemptQuantum > 0 makes NIC egress transmission resumable in
+	// segments of this many wire bytes (netsim.Config.PreemptQuantum): a
+	// strictly more urgent message preempts an in-flight one at the next
+	// segment boundary — the true-preemption upper bound that the paper's
+	// slicing approximates. 0 keeps message-granularity preemption.
+	PreemptQuantum int64
 	// UpdateRateGBps is the server-side per-byte processing rate in
 	// gigabytes per second: deserializing a received gradient, accumulating
 	// it, and (on the last push) applying the SGD update. ps-lite servers
@@ -155,6 +161,9 @@ type Result struct {
 	Events    uint64
 	Msgs      int64
 	WireBytes int64
+	// Preemptions counts egress transmissions parked mid-flight for a more
+	// urgent message (0 unless Config.PreemptQuantum > 0).
+	Preemptions int64
 }
 
 // TotalStall sums the per-layer forward stalls of worker 0 over the
@@ -346,6 +355,9 @@ func newClusterSim(cfg Config) *clusterSim {
 		netCfg.BandwidthGbps = cfg.BandwidthGbps
 	}
 	netCfg.Egress = cfg.Strategy.Discipline()
+	if cfg.PreemptQuantum > 0 {
+		netCfg.PreemptQuantum = cfg.PreemptQuantum
+	}
 	// Model-aware disciplines (tictac) see the same timing the simulator
 	// runs on; model-blind disciplines ignore the profile entirely.
 	prof := strategy.ComputeProfile(m, netCfg.BandwidthGbps)
@@ -710,5 +722,6 @@ func (cs *clusterSim) result() Result {
 		Events:          cs.eng.Processed(),
 		Msgs:            cs.net.MsgsDelivered,
 		WireBytes:       cs.net.BytesDelivered,
+		Preemptions:     cs.net.Preemptions,
 	}
 }

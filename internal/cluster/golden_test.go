@@ -166,6 +166,57 @@ var goldens15 = []golden{
 	},
 }
 
+// runGolden executes one golden configuration; preempt > 0 exercises the
+// segmented egress path.
+func runGolden(t *testing.T, name string, gbps float64, preempt int64) Result {
+	t.Helper()
+	st, err := strategy.ByName(name)
+	if err != nil {
+		t.Fatalf("strategy %q: %v", name, err)
+	}
+	return Run(Config{
+		Model:          zoo.ByName("resnet110"),
+		Machines:       4,
+		Strategy:       st,
+		BandwidthGbps:  gbps,
+		PreemptQuantum: preempt,
+		WarmupIters:    2,
+		MeasureIters:   4,
+		Seed:           1,
+	})
+}
+
+// checkGolden asserts r matches g bit-for-bit.
+func checkGolden(t *testing.T, g golden, gbps float64, r Result) {
+	t.Helper()
+	if got := math.Float64bits(r.Throughput); got != g.ThroughputBits {
+		t.Errorf("%s@%g: throughput bits %#x, want %#x (%.6f vs %.6f)",
+			g.Strategy, gbps, got, g.ThroughputBits,
+			r.Throughput, math.Float64frombits(g.ThroughputBits))
+	}
+	if r.MeanIterTime != g.MeanIterTime {
+		t.Errorf("%s@%g: mean iter %d, want %d", g.Strategy, gbps, r.MeanIterTime, g.MeanIterTime)
+	}
+	if r.ComputeIterTime != g.ComputeIterTime {
+		t.Errorf("%s@%g: compute iter %d, want %d", g.Strategy, gbps, r.ComputeIterTime, g.ComputeIterTime)
+	}
+	if len(r.IterTimes) != len(g.IterTimes) {
+		t.Fatalf("%s@%g: %d iter times, want %d", g.Strategy, gbps, len(r.IterTimes), len(g.IterTimes))
+	}
+	for i := range g.IterTimes {
+		if r.IterTimes[i] != g.IterTimes[i] {
+			t.Errorf("%s@%g: iter %d time %d, want %d", g.Strategy, gbps, i, r.IterTimes[i], g.IterTimes[i])
+		}
+	}
+	if r.Events != g.Events || r.Msgs != g.Msgs || r.WireBytes != g.WireBytes {
+		t.Errorf("%s@%g: events/msgs/bytes %d/%d/%d, want %d/%d/%d",
+			g.Strategy, gbps, r.Events, r.Msgs, r.WireBytes, g.Events, g.Msgs, g.WireBytes)
+	}
+	if r.TotalStall() != g.TotalStall {
+		t.Errorf("%s@%g: total stall %d, want %d", g.Strategy, gbps, r.TotalStall(), g.TotalStall)
+	}
+}
+
 // TestGoldenParityWithSeed asserts that every pre-existing strategy produces
 // bit-identical Results through the sched.Discipline path that it produced
 // through the seed's hardcoded bool/enum ordering — the refactor moved the
@@ -180,45 +231,33 @@ func TestGoldenParityWithSeed(t *testing.T) {
 	}
 	for _, c := range cases {
 		for _, g := range c.goldens {
-			st, err := strategy.ByName(g.Strategy)
-			if err != nil {
-				t.Fatalf("strategy %q: %v", g.Strategy, err)
+			checkGolden(t, g, c.gbps, runGolden(t, g.Strategy, c.gbps, 0))
+		}
+	}
+}
+
+// TestGoldenParityPreemptiveDispatchPath pins the new dispatch machinery
+// against the same pre-refactor goldens: with PreemptQuantum set to more
+// than any message's wire size, every transmission is a single segment of
+// the resumable egress path — per-flow subqueues, parked-transmission
+// bookkeeping, telescoped segment timing and all — and must reproduce the
+// seed Results bit-identically for every strategy at both bandwidths. The
+// refactor may only change behaviour when a preemption actually fires.
+func TestGoldenParityPreemptiveDispatchPath(t *testing.T) {
+	cases := []struct {
+		gbps    float64
+		goldens []golden
+	}{
+		{10, goldens10},
+		{1.5, goldens15},
+	}
+	for _, c := range cases {
+		for _, g := range c.goldens {
+			r := runGolden(t, g.Strategy, c.gbps, 1<<30) // larger than any message: one segment each
+			if r.Preemptions != 0 {
+				t.Errorf("%s@%g: %d preemptions with an over-size quantum", g.Strategy, c.gbps, r.Preemptions)
 			}
-			r := Run(Config{
-				Model:         zoo.ByName("resnet110"),
-				Machines:      4,
-				Strategy:      st,
-				BandwidthGbps: c.gbps,
-				WarmupIters:   2,
-				MeasureIters:  4,
-				Seed:          1,
-			})
-			if got := math.Float64bits(r.Throughput); got != g.ThroughputBits {
-				t.Errorf("%s@%g: throughput bits %#x, want %#x (%.6f vs %.6f)",
-					g.Strategy, c.gbps, got, g.ThroughputBits,
-					r.Throughput, math.Float64frombits(g.ThroughputBits))
-			}
-			if r.MeanIterTime != g.MeanIterTime {
-				t.Errorf("%s@%g: mean iter %d, want %d", g.Strategy, c.gbps, r.MeanIterTime, g.MeanIterTime)
-			}
-			if r.ComputeIterTime != g.ComputeIterTime {
-				t.Errorf("%s@%g: compute iter %d, want %d", g.Strategy, c.gbps, r.ComputeIterTime, g.ComputeIterTime)
-			}
-			if len(r.IterTimes) != len(g.IterTimes) {
-				t.Fatalf("%s@%g: %d iter times, want %d", g.Strategy, c.gbps, len(r.IterTimes), len(g.IterTimes))
-			}
-			for i := range g.IterTimes {
-				if r.IterTimes[i] != g.IterTimes[i] {
-					t.Errorf("%s@%g: iter %d time %d, want %d", g.Strategy, c.gbps, i, r.IterTimes[i], g.IterTimes[i])
-				}
-			}
-			if r.Events != g.Events || r.Msgs != g.Msgs || r.WireBytes != g.WireBytes {
-				t.Errorf("%s@%g: events/msgs/bytes %d/%d/%d, want %d/%d/%d",
-					g.Strategy, c.gbps, r.Events, r.Msgs, r.WireBytes, g.Events, g.Msgs, g.WireBytes)
-			}
-			if r.TotalStall() != g.TotalStall {
-				t.Errorf("%s@%g: total stall %d, want %d", g.Strategy, c.gbps, r.TotalStall(), g.TotalStall)
-			}
+			checkGolden(t, g, c.gbps, r)
 		}
 	}
 }

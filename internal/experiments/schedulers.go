@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"p3/internal/netsim"
 	"p3/internal/ring"
 	"p3/internal/sched"
 	"p3/internal/strategy"
@@ -24,8 +25,8 @@ const (
 	PathRing    = "ring"
 )
 
-// SchedulerRow is one (model, path, discipline) cell of the scheduler
-// ablation.
+// SchedulerRow is one (model, path, discipline, preemption) cell of the
+// scheduler ablation.
 type SchedulerRow struct {
 	Model         string
 	BandwidthGbps float64
@@ -33,26 +34,34 @@ type SchedulerRow struct {
 	// (all-reduce).
 	Path  string
 	Sched string
+	// Preempt is the egress preemption quantum in wire bytes (0 = off:
+	// an in-flight message always finishes — the paper's semantics).
+	// Non-zero rows model true sub-message preemption, the upper bound
+	// that parameter slicing approximates. Preemption is inert by
+	// construction for fifo (nothing is ever more urgent) and rr (stride
+	// rank is a dispatch position, not urgency), so those rows pin the
+	// segmented path's bit-parity instead of measuring a policy.
+	Preempt int64
 	// PerMachine is the per-machine training throughput (samples/sec).
 	PerMachine float64
 	// IterMs is the mean iteration makespan in milliseconds.
 	IterMs float64
-	// TTCSpeedup is the time-to-convergence speedup over fifo on the same
-	// path. Synchronous SGD's convergence trajectory is identical under
-	// every discipline (the wire order changes, the math does not), so
-	// time-to-convergence scales exactly with iteration time:
-	// fifo_iter / sched_iter.
+	// TTCSpeedup is the time-to-convergence speedup over non-preemptive
+	// fifo on the same path. Synchronous SGD's convergence trajectory is
+	// identical under every discipline (the wire order changes, the math
+	// does not), so time-to-convergence scales exactly with iteration
+	// time: fifo_iter / sched_iter.
 	TTCSpeedup float64
 }
 
-// SchedulerAblation compares every registered queue discipline on the zoo
-// models at their headline bandwidths, on both aggregation paths — the
-// payoff of extracting internal/sched: the paper's p3-vs-fifo comparison
-// becomes one row pair in a sweep that also covers round-robin fairness,
-// shortest-job-first, ByteScheduler-style credit windows, TicTac
-// critical-path ranking, and per-destination adaptive credit, with no
-// changes outside the strategy's Sched name.
-func SchedulerAblation(o Options) []SchedulerRow {
+// schedCases returns the (model, bandwidth) grid of the ablation: each
+// sweep model at its paper-headline bandwidth, plus every zoo model at the
+// 1.5 Gbps bottleneck where ordering (and preemption) dominates. Fast mode
+// trims the low-bandwidth axis to the cheapest model.
+func schedCases(o Options) []struct {
+	model string
+	gbps  float64
+} {
 	cases := []struct {
 		model string
 		gbps  float64
@@ -61,12 +70,37 @@ func SchedulerAblation(o Options) []SchedulerRow {
 		{"vgg19", 15},
 		{"sockeye", 4},
 	}
+	if o.Fast {
+		return append(cases, struct {
+			model string
+			gbps  float64
+		}{"resnet110", 1.5})
+	}
+	for _, m := range []string{"resnet50", "inception3", "vgg19", "sockeye", "resnet110"} {
+		cases = append(cases, struct {
+			model string
+			gbps  float64
+		}{m, 1.5})
+	}
+	return cases
+}
+
+// SchedulerAblation compares every registered queue discipline on the zoo
+// models, on both aggregation paths and with egress preemption off and on —
+// the payoff of extracting internal/sched: the paper's p3-vs-fifo
+// comparison becomes one row pair in a sweep that also covers round-robin
+// fairness, shortest-job-first, ByteScheduler-style credit windows, TicTac
+// critical-path ranking, per-destination adaptive credit, and the
+// true-preemption upper bound (netsim.DefaultPreemptQuantum segments) that
+// parameter slicing approximates, with no changes outside the strategy's
+// Sched name and the network's preemption quantum.
+func SchedulerAblation(o Options) []SchedulerRow {
 	warm, measure := o.iters()
 	var rows []SchedulerRow
-	for _, c := range cases {
+	for _, c := range schedCases(o) {
 		m := zoo.ByName(c.model)
 		for _, path := range []string{PathCluster, PathRing} {
-			measureRow := func(name string) SchedulerRow {
+			measureRow := func(name string, preempt int64) SchedulerRow {
 				st, err := strategy.SlicingOnly(0).WithSched(name)
 				if err != nil {
 					panic(err) // SchedDisciplines() only holds registered names
@@ -77,33 +111,37 @@ func SchedulerAblation(o Options) []SchedulerRow {
 					BandwidthGbps: c.gbps,
 					Path:          path,
 					Sched:         name,
+					Preempt:       preempt,
 				}
 				if path == PathRing {
 					r := ring.Run(ring.Config{
 						Model: m, Machines: 4, Strategy: st, BandwidthGbps: c.gbps,
-						WarmupIters: warm, MeasureIters: measure, Seed: o.Seed + 1,
+						PreemptQuantum: preempt,
+						WarmupIters:    warm, MeasureIters: measure, Seed: o.Seed + 1,
 					})
 					row.PerMachine = r.Throughput / float64(r.Machines)
 					row.IterMs = r.MeanIterTime.Millis()
 				} else {
-					r := run(m, st, 4, c.gbps, o, nil)
+					r := runPreempt(m, st, 4, c.gbps, preempt, o)
 					row.PerMachine = r.Throughput / float64(r.Machines)
 					row.IterMs = r.MeanIterTime.Millis()
 				}
 				return row
 			}
-			// The fifo reference runs once, up front, so TTCSpeedup does not
-			// depend on SchedDisciplines' ordering.
-			fifo := measureRow("fifo")
+			// The non-preemptive fifo reference runs once, up front, so
+			// TTCSpeedup does not depend on SchedDisciplines' ordering.
+			fifo := measureRow("fifo", 0)
 			fifo.TTCSpeedup = 1
 			for _, name := range SchedDisciplines() {
-				if name == "fifo" {
-					rows = append(rows, fifo)
-					continue
+				for _, preempt := range []int64{0, netsim.DefaultPreemptQuantum} {
+					if name == "fifo" && preempt == 0 {
+						rows = append(rows, fifo)
+						continue
+					}
+					row := measureRow(name, preempt)
+					row.TTCSpeedup = fifo.IterMs / row.IterMs
+					rows = append(rows, row)
 				}
-				row := measureRow(name)
-				row.TTCSpeedup = fifo.IterMs / row.IterMs
-				rows = append(rows, row)
 			}
 		}
 	}
@@ -111,12 +149,16 @@ func SchedulerAblation(o Options) []SchedulerRow {
 }
 
 // SchedulerTable renders the ablation, one line per (model, path,
-// discipline).
+// discipline, preemption) cell.
 func SchedulerTable(rows []SchedulerRow) string {
-	out := "model\tGbps\tpath\tsched\tsamples/s/machine\titer_ms\tttc_speedup_vs_fifo\n"
+	out := "model\tGbps\tpath\tsched\tpreempt\tsamples/s/machine\titer_ms\tttc_speedup_vs_fifo\n"
 	for _, r := range rows {
-		out += fmt.Sprintf("%s\t%g\t%s\t%s\t%.1f\t%.2f\t%.3fx\n",
-			r.Model, r.BandwidthGbps, r.Path, r.Sched, r.PerMachine, r.IterMs, r.TTCSpeedup)
+		preempt := "off"
+		if r.Preempt > 0 {
+			preempt = fmt.Sprintf("%dKiB", r.Preempt>>10)
+		}
+		out += fmt.Sprintf("%s\t%g\t%s\t%s\t%s\t%.1f\t%.2f\t%.3fx\n",
+			r.Model, r.BandwidthGbps, r.Path, r.Sched, preempt, r.PerMachine, r.IterMs, r.TTCSpeedup)
 	}
 	return out
 }

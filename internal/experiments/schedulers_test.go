@@ -7,16 +7,19 @@ import (
 )
 
 // TestSchedulerAblation checks the shape of the sweep and its headline
-// claims: every registered discipline appears on both aggregation paths,
-// the p3 discipline beats fifo on time-to-convergence for every zoo model
-// at its paper bandwidth, and the model-aware disciplines (tictac,
-// credit-adaptive) land close to p3 rather than collapsing.
+// claims: every registered discipline appears on both aggregation paths
+// with the preemption axis off and on, the p3 discipline beats fifo on
+// time-to-convergence for every sweep model at its paper bandwidth, and the
+// model-aware disciplines (tictac, credit-adaptive) land close to p3 rather
+// than collapsing.
 func TestSchedulerAblation(t *testing.T) {
-	rows := SchedulerAblation(Options{Fast: true})
-	const models = 3
+	o := Options{Fast: true}
+	rows := SchedulerAblation(o)
+	cases := len(schedCases(o))
 	const paths = 2
-	if len(rows) != models*paths*len(SchedDisciplines()) {
-		t.Fatalf("%d rows, want %d", len(rows), models*paths*len(SchedDisciplines()))
+	const preempts = 2
+	if len(rows) != cases*paths*len(SchedDisciplines())*preempts {
+		t.Fatalf("%d rows, want %d", len(rows), cases*paths*len(SchedDisciplines())*preempts)
 	}
 	for _, name := range []string{"tictac", "credit-adaptive"} {
 		found := false
@@ -29,37 +32,52 @@ func TestSchedulerAblation(t *testing.T) {
 			t.Fatalf("SchedDisciplines %v misses %q", SchedDisciplines(), name)
 		}
 	}
-	byCell := map[string]map[string]SchedulerRow{}
+	type cellKey struct {
+		model string
+		gbps  float64
+		path  string
+	}
+	byCell := map[cellKey]map[string]SchedulerRow{}
 	for _, r := range rows {
-		key := r.Model + "/" + r.Path
+		key := cellKey{r.Model, r.BandwidthGbps, r.Path}
 		if byCell[key] == nil {
 			byCell[key] = map[string]SchedulerRow{}
 		}
-		byCell[key][r.Sched] = r
+		if r.Preempt == 0 {
+			byCell[key][r.Sched] = r
+		}
 	}
-	if len(byCell) != models*paths {
-		t.Fatalf("%d (model, path) cells, want %d", len(byCell), models*paths)
+	if len(byCell) != cases*paths {
+		t.Fatalf("%d (model, bandwidth, path) cells, want %d", len(byCell), cases*paths)
 	}
 	for cell, per := range byCell {
 		if len(per) != len(sched.Names()) {
-			t.Errorf("%s: %d disciplines, want every registered one (%d)", cell, len(per), len(sched.Names()))
+			t.Errorf("%v: %d disciplines, want every registered one (%d)", cell, len(per), len(sched.Names()))
 		}
 		fifo, p3 := per["fifo"], per["p3"]
-		if !(p3.IterMs < fifo.IterMs) {
-			t.Errorf("%s: p3 iter %.2f ms not below fifo %.2f ms", cell, p3.IterMs, fifo.IterMs)
-		}
-		if !(p3.TTCSpeedup > 1.0) {
-			t.Errorf("%s: p3 time-to-convergence speedup %.3f <= 1", cell, p3.TTCSpeedup)
+		// At the paper-headline bandwidths ordering is the bottleneck and
+		// p3 must win outright; the added 1.5 Gbps rows are so saturated
+		// that some models pin to the wire for every discipline, so there
+		// p3 only has to not lose.
+		if cell.gbps > 1.5 {
+			if !(p3.IterMs < fifo.IterMs) {
+				t.Errorf("%v: p3 iter %.2f ms not below fifo %.2f ms", cell, p3.IterMs, fifo.IterMs)
+			}
+			if !(p3.TTCSpeedup > 1.0) {
+				t.Errorf("%v: p3 time-to-convergence speedup %.3f <= 1", cell, p3.TTCSpeedup)
+			}
+		} else if p3.IterMs > fifo.IterMs {
+			t.Errorf("%v: p3 iter %.2f ms above fifo %.2f ms", cell, p3.IterMs, fifo.IterMs)
 		}
 		if fifo.TTCSpeedup != 1.0 {
-			t.Errorf("%s: fifo speedup %.3f, want exactly 1", cell, fifo.TTCSpeedup)
+			t.Errorf("%v: fifo speedup %.3f, want exactly 1", cell, fifo.TTCSpeedup)
 		}
 		// The credit window approximates p3 (it is p3 plus a bounded
 		// in-flight budget), so it must land within a few percent; the
 		// adaptive variant converges toward the same regime.
 		for _, name := range []string{"credit", "credit-adaptive"} {
 			if r := per[name]; r.IterMs > p3.IterMs*1.05 {
-				t.Errorf("%s: %s iter %.2f ms >5%% above p3 %.2f ms", cell, name, r.IterMs, p3.IterMs)
+				t.Errorf("%v: %s iter %.2f ms >5%% above p3 %.2f ms", cell, name, r.IterMs, p3.IterMs)
 			}
 		}
 		// tictac's timing-derived order coincides with layer order for
@@ -67,15 +85,29 @@ func TestSchedulerAblation(t *testing.T) {
 		// TicTac vs P3), so it must track p3 closely — a large gap means
 		// the slack ranking inverted something structural.
 		if tt := per["tictac"]; tt.IterMs > p3.IterMs*1.10 {
-			t.Errorf("%s: tictac iter %.2f ms >10%% above p3 %.2f ms", cell, tt.IterMs, p3.IterMs)
+			t.Errorf("%v: tictac iter %.2f ms >10%% above p3 %.2f ms", cell, tt.IterMs, p3.IterMs)
 		}
 		// Every discipline still moves the same bytes to the same places:
 		// throughput may differ, but nothing should collapse below fifo by
 		// more than a third (a wedged schedule would).
 		for name, r := range per {
 			if r.PerMachine < fifo.PerMachine*0.66 {
-				t.Errorf("%s/%s: throughput %.1f collapsed vs fifo %.1f", cell, name, r.PerMachine, fifo.PerMachine)
+				t.Errorf("%v/%s: throughput %.1f collapsed vs fifo %.1f", cell, name, r.PerMachine, fifo.PerMachine)
 			}
+		}
+	}
+	// The preemption axis: fifo never preempts (nothing is ever more
+	// urgent) and neither does rr (stride rank is a dispatch position, not
+	// urgency), so their preemptive rows must reproduce the non-preemptive
+	// numbers exactly — segment timing telescopes.
+	for _, r := range rows {
+		if (r.Sched != "fifo" && r.Sched != "rr") || r.Preempt == 0 {
+			continue
+		}
+		base := byCell[cellKey{r.Model, r.BandwidthGbps, r.Path}][r.Sched]
+		if r.IterMs != base.IterMs || r.PerMachine != base.PerMachine {
+			t.Errorf("%s/%g/%s: preemptive %s (%.4f ms) != %s (%.4f ms); preemption must be inert",
+				r.Model, r.BandwidthGbps, r.Path, r.Sched, r.IterMs, r.Sched, base.IterMs)
 		}
 	}
 }

@@ -10,12 +10,19 @@
 // The egress queue discipline is pluggable (Config.Egress names a
 // sched.Discipline): "fifo" reproduces the baseline strategies, "p3" the
 // worker-side producer/consumer mechanism of Section 4.2 — the
-// highest-priority queued message is always transmitted next, and an
-// in-flight message finishes before the next choice is made (preemption at
-// message granularity). Credit-gated disciplines see the true transmission
-// window: a message is charged in flight from the moment its serialization
-// starts until it is fully delivered at the receiver, so "credit:<bytes>"
-// bounds the bytes in the pipe per NIC, ByteScheduler-style.
+// highest-priority queued message is always transmitted next, and by
+// default an in-flight message finishes before the next choice is made
+// (preemption at message granularity). Config.PreemptQuantum makes egress
+// transmission resumable below message granularity: an express message may
+// park the in-flight transfer at a segment boundary and the remainder
+// resumes later with progress retained — the true-preemption "what-if"
+// upper bound that the paper's slicing approximates. Credit-gated
+// disciplines see the true transmission window: a message is charged in
+// flight from the moment its serialization starts until it is fully
+// delivered at the receiver, so "credit:<bytes>" bounds the bytes in the
+// pipe per NIC, ByteScheduler-style; the per-flow egress queue dispatches
+// the most urgent admissible head, so one credit-starved destination never
+// blocks traffic for the others.
 package netsim
 
 import (
@@ -53,7 +60,29 @@ type Config struct {
 	// Profile optionally supplies model timing to profile-aware egress
 	// disciplines (tictac); nil leaves them model-blind.
 	Profile *sched.Profile
+	// PreemptQuantum > 0 makes egress transmission resumable: serialization
+	// is charged in segments of at most this many wire bytes, and at each
+	// segment boundary a strictly more urgent admissible queued message no
+	// larger than the quantum (an "express" message) that is also smaller
+	// than the in-flight remainder preempts the in-flight transmission,
+	// which parks with its progress retained and resumes — ahead of its own
+	// class, via priority inheritance — once the displacing burst drains
+	// (the per-message overhead is charged only once). This models true
+	// sub-message preemption, the upper bound that P3's slicing
+	// approximates; 0 keeps the paper's semantics: an in-flight message
+	// always finishes before the next scheduling choice. Segment timing
+	// telescopes exactly, so a run in which no preemption fires is
+	// bit-identical to PreemptQuantum 0.
+	PreemptQuantum int64
 }
+
+// DefaultPreemptQuantum is the segment size used by the preemption ablation
+// when preemptive transmission is enabled without an explicit quantum:
+// 64 KiB is about a third of a default 50k-parameter slice, i.e. roughly
+// 0.35 ms of serialization at the paper's 1.5 Gbps bottleneck bandwidth —
+// the scheduling slack within which preemptive and non-preemptive timings
+// of an already-sliced strategy are indistinguishable.
+const DefaultPreemptQuantum = 64 << 10
 
 // DefaultConfig returns the interconnect constants used for every experiment
 // (DESIGN.md §5), with the bandwidth left for the caller to set.
@@ -83,7 +112,8 @@ type Message struct {
 }
 
 // msgItem is the scheduler-visible view of a message; the receiving machine
-// is the destination key of per-destination disciplines.
+// is the destination key of per-destination disciplines, making each
+// (sender, receiver) pair one flow of the egress queue.
 func msgItem(m Message) sched.Item {
 	return sched.Item{Priority: m.Priority, Bytes: m.Bytes, Dest: int32(m.To)}
 }
@@ -91,9 +121,47 @@ func msgItem(m Message) sched.Item {
 // Handler receives fully delivered messages.
 type Handler func(Message)
 
+// txState is one resumable egress transmission: the message plus how much
+// of its wire size (payload and header) has been serialized. With
+// preemption disabled it is popped once and transmitted whole; with a
+// quantum a preempted transmission is parked on its NIC carrying its
+// progress and resumes from where it stopped.
+type txState struct {
+	msg Message
+	// pri is the effective urgency class: it starts at msg.Priority and is
+	// raised to the displacing class each time the transmission is parked
+	// or passed over (priority inheritance). The inherited class is what
+	// the resume rule compares against, so a parked tail yields only to
+	// traffic strictly more urgent than what last displaced it — without
+	// inheritance it would defer behind every future more-urgent arrival
+	// (backward passes generate ever more urgent classes), and under a
+	// comm-bound backlog that starves exactly the late-layer bulk tails
+	// whose stalls already bind the iteration, inverting the "preemption
+	// as upper bound" claim this models.
+	pri  int32
+	wire int64 // total wire bytes: payload + header
+	sent int64 // wire bytes already serialized
+}
+
+// txItem is the scheduler-visible view of a transmission. It reads only
+// fields that never change while the element is queued (pri is raised only
+// while the element is parked outside the queue), so the view stays pure.
+func txItem(t *txState) sched.Item {
+	return sched.Item{Priority: t.pri, Bytes: t.msg.Bytes, Dest: int32(t.msg.To)}
+}
+
 type nic struct {
-	egress     *sched.Queue[Message]
+	egress     *sched.Queue[*txState]
 	egressBusy bool
+	// parked holds preempted transmissions, most recently parked last. Each
+	// entry was displaced by traffic strictly more urgent than its
+	// (inherited) class, so the stack is always ordered by urgency with the
+	// most urgent on top. Parked transmissions stay charged against any
+	// credit window — their bytes are partially on the wire — and resume
+	// before every queued element that is not strictly more urgent than
+	// the class that displaced them: preemption costs a tail exactly the
+	// displacing burst, never its position within its own class.
+	parked     []*txState
 	ingress    *pq.Queue[Message]
 	ingressBsy bool
 }
@@ -111,6 +179,9 @@ type Network struct {
 	BytesSent      int64
 	MsgsDelivered  int64
 	BytesDelivered int64
+	// Preemptions counts in-flight transmissions parked for a more urgent
+	// message (always 0 with PreemptQuantum 0).
+	Preemptions int64
 }
 
 // New creates a network of n machines on the given engine. handler is invoked
@@ -132,7 +203,7 @@ func New(eng *sim.Engine, n int, cfg Config, handler Handler, rec *trace.Recorde
 	nw.nics = make([]nic, n)
 	for i := range nw.nics {
 		nw.nics[i] = nic{
-			egress:  sched.NewQueue(sched.ApplyProfile(sched.MustByName(cfg.Egress), cfg.Profile), msgItem),
+			egress:  sched.NewQueue(sched.ApplyProfile(sched.MustByName(cfg.Egress), cfg.Profile), txItem),
 			ingress: pq.New(fifoLess),
 		}
 	}
@@ -165,7 +236,7 @@ func (nw *Network) Send(m Message) {
 		})
 		return
 	}
-	nw.nics[m.From].egress.Push(m)
+	nw.nics[m.From].egress.Push(&txState{msg: m, pri: m.Priority, wire: m.Bytes + nw.cfg.HeaderBytes})
 	nw.pumpEgress(m.From)
 }
 
@@ -174,22 +245,115 @@ func (nw *Network) pumpEgress(machine int) {
 	if n.egressBusy {
 		return
 	}
-	// PopReady respects a credit-gated discipline's transmission window: a
-	// refused head stays queued until a delivery returns credit (see
-	// pumpIngress), which repumps this egress.
-	m, ok := n.egress.PopReady()
+	// A parked (preempted) transmission resumes before anything that is
+	// not strictly more urgent than the class that displaced it. The
+	// resume path never consults the credit gate, so a parked tail cannot
+	// wedge: when the window refuses everything queued, the tail — whose
+	// bytes are already charged in flight — is what makes progress.
+	if k := len(n.parked); k > 0 {
+		tail := n.parked[k-1]
+		if !n.egress.Preempts(tail) {
+			n.parked = n.parked[:k-1]
+			n.egressBusy = true
+			nw.pumpSegment(machine, tail)
+			return
+		}
+		// Deferred again: re-inherit the displacing class, so the tail
+		// resumes after this burst too instead of deferring to every later
+		// (ever more urgent) arrival. Urgency is the discipline's order —
+		// under tictac a numerically larger class can be strictly more
+		// urgent, and a raw integer comparison here would skip the
+		// inheritance and reopen the unbounded-deferral starvation.
+		if h, ok := n.egress.Peek(); ok && n.egress.Discipline().Less(txItem(h), txItem(tail)) {
+			tail.pri = h.pri
+		}
+	}
+	// PopReady respects a credit-gated discipline's transmission window (a
+	// refused head stays queued until a delivery returns credit — see
+	// pumpIngress, which repumps this egress) and skips a credit-blocked
+	// flow's head in favour of the most urgent admissible other flow.
+	tx, ok := n.egress.PopReady()
 	if !ok {
 		return
 	}
 	n.egressBusy = true
+	if nw.cfg.PreemptQuantum > 0 {
+		nw.pumpSegment(machine, tx)
+		return
+	}
+	m := tx.msg
 	start := nw.eng.Now()
-	tx := nw.wireTime(m.Bytes)
-	nw.eng.After(tx, func() {
-		nw.rec.AddRange(machine, trace.Out, start, start+tx, m.Bytes+nw.cfg.HeaderBytes)
+	dur := nw.wireTime(m.Bytes)
+	nw.eng.After(dur, func() {
+		nw.rec.AddRange(machine, trace.Out, start, start+dur, m.Bytes+nw.cfg.HeaderBytes)
 		n.egressBusy = false
 		// Hand off to the receiver after propagation.
 		nw.eng.After(nw.cfg.PropDelay, func() { nw.arrive(m) })
 		nw.pumpEgress(machine)
+	})
+}
+
+// pumpSegment serializes tx's next segment of at most PreemptQuantum wire
+// bytes. Segment boundaries are computed from cumulative byte offsets
+// (serial time of sent+seg minus serial time of sent), so the durations
+// telescope: a transmission that is never preempted completes at exactly
+// the tick the whole-message path would produce, bit-identical for any
+// quantum, and preemption changes only the interleaving, never the total
+// serialization cost (the per-message overhead is charged once, on the
+// first segment).
+//
+// At each segment boundary the most urgent admissible queued message
+// preempts when it wins the exchange outright: it must be strictly more
+// urgent than the in-flight transmission AND shorter than the
+// transmission's remaining wire bytes. The second condition is the
+// shortest-remaining-first test that makes preemption a genuine upper
+// bound: the urgent message saves up to the whole remainder while the
+// parked tail loses only the preemptor's (smaller) service time.
+// Preempting for an equal-or-larger message — e.g. one uniform parameter
+// slice overtaking another — trades a delay for an equal delay and only
+// churns the schedule, so slices that P3 has already cut to the preemption
+// scale pass untouched: slicing itself is the approximation of preemption,
+// which is the paper's claim.
+func (nw *Network) pumpSegment(machine int, tx *txState) {
+	n := &nw.nics[machine]
+	seg := tx.wire - tx.sent
+	if seg > nw.cfg.PreemptQuantum {
+		seg = nw.cfg.PreemptQuantum
+	}
+	serialAt := func(sent int64) sim.Time {
+		return sim.Time(float64(sent) * 8 / nw.cfg.BandwidthGbps)
+	}
+	dur := serialAt(tx.sent+seg) - serialAt(tx.sent)
+	if tx.sent == 0 {
+		dur = nw.cfg.PerMsgOverhead + dur
+	}
+	start := nw.eng.Now()
+	nw.eng.After(dur, func() {
+		nw.rec.AddRange(machine, trace.Out, start, start+dur, seg)
+		tx.sent += seg
+		if tx.sent == tx.wire {
+			n.egressBusy = false
+			m := tx.msg
+			nw.eng.After(nw.cfg.PropDelay, func() { nw.arrive(m) })
+			nw.pumpEgress(machine)
+			return
+		}
+		d := n.egress.Discipline()
+		if pre, ok := n.egress.PopReadyIf(func(c *txState) bool {
+			return d.Less(txItem(c), txItem(tx)) &&
+				c.wire <= nw.cfg.PreemptQuantum && c.wire < tx.wire-tx.sent
+		}); ok {
+			// Inherit the displacing class unconditionally: pre is strictly
+			// more urgent than tx by the discipline's order (the preemption
+			// condition), which under tictac need not mean a numerically
+			// smaller class.
+			tx.pri = pre.pri
+			n.parked = append(n.parked, tx)
+			nw.Preemptions++
+			nw.pumpSegment(machine, pre)
+			return
+		}
+		nw.pumpSegment(machine, tx)
 	})
 }
 
@@ -215,7 +379,9 @@ func (nw *Network) pumpIngress(machine int) {
 		nw.BytesDelivered += m.Bytes
 		// Full delivery closes the sender's transmission window for this
 		// message: return its credit and let the sender's egress continue.
-		nw.nics[m.From].egress.Done(m)
+		// (The throwaway txState is fine: the credit refund only reads the
+		// Bytes and Dest of the Item view, which the message determines.)
+		nw.nics[m.From].egress.Done(&txState{msg: m, pri: m.Priority})
 		nw.pumpEgress(m.From)
 		nw.deliver(m)
 		nw.pumpIngress(machine)

@@ -60,7 +60,13 @@ type ServerConfig struct {
 	// returns data only on explicit Pull. False selects P3's immediate
 	// broadcast (Section 4.2).
 	NotifyPull bool
-	Updater    Updater
+	// PreemptBytes > 0 enables preemptive transmission on the send side:
+	// frames larger than this many wire bytes are written in bounded
+	// segments, and strictly more urgent frames bound for other workers
+	// overtake at segment boundaries (see transport.SendLoop). 0 writes
+	// whole frames — preemption only at frame granularity, as in the paper.
+	PreemptBytes int
+	Updater      Updater
 }
 
 type aggState struct {
@@ -92,10 +98,7 @@ type Server struct {
 
 type connWriter struct {
 	conn net.Conn
-	w    interface {
-		Flush() error
-		Write(p []byte) (int, error)
-	}
+	w    transport.FlushWriter
 }
 
 // NewServer creates a server. A nil Updater defaults to SGD with lr 0.1.
@@ -302,43 +305,22 @@ func (s *Server) handlePull(f *transport.Frame) {
 	})
 }
 
-// sendLoop is the consumer of the send queue: one blocking write at a time,
-// most urgent admitted frame first. Credit is returned at flush, so a
-// credit-gated discipline bounds the buffered-but-unflushed backlog; the
-// loop flushes whenever nothing is admitted (queue drained or window full).
+// sendLoop is the consumer of the send queue: transport.SendLoop writes one
+// admitted frame (or, with PreemptBytes, frame segment) at a time, most
+// urgent first, flow-aware across the per-worker connections. Credit is
+// returned at flush, so a credit-gated discipline bounds the
+// buffered-but-unflushed backlog.
 func (s *Server) sendLoop() {
 	defer s.wg.Done()
-	dirty := make(map[uint8]*connWriter)
-	var pending []*transport.Frame // written, not yet flushed/acked
-	flushAll := func() {
-		for id, cw := range dirty {
-			cw.w.Flush()
-			delete(dirty, id)
-		}
-		for _, f := range pending {
-			s.sendQ.Done(f)
-		}
-		pending = pending[:0]
-	}
-	for {
-		f, ok := s.sendQ.TryPop()
-		if !ok {
-			flushAll()
-			if f, ok = s.sendQ.Pop(); !ok {
-				flushAll()
-				return
-			}
-		}
+	transport.SendLoop(s.sendQ, func(f *transport.Frame) transport.FlushWriter {
 		s.mu.Lock()
 		cw := s.writers[f.Dst]
 		s.mu.Unlock()
-		if cw != nil {
-			if err := transport.WriteFrame(cw.w, f); err == nil {
-				dirty[f.Dst] = cw
-			}
+		if cw == nil {
+			return nil
 		}
-		pending = append(pending, f)
-	}
+		return cw.w
+	}, s.cfg.PreemptBytes)
 }
 
 // ErrClosed is returned by operations on a closed worker.

@@ -21,6 +21,7 @@ type Worker struct {
 	conns   []net.Conn
 	sendQ   *transport.SendQueue
 	handler Handler
+	preempt int
 
 	wg     sync.WaitGroup
 	readWG sync.WaitGroup
@@ -29,34 +30,59 @@ type Worker struct {
 	closed bool
 }
 
-// DialWorker connects worker id to every server address. schedName names
-// the send-queue discipline from the sched registry ("p3" for the paper's
-// priority ordering, "fifo" or empty for the baseline). handler runs on a
-// receive goroutine for every Data frame; it must be safe for concurrent
-// calls when multiple servers are used.
+// WorkerConfig configures DialWorkerCfg.
+type WorkerConfig struct {
+	// ID is the worker's unique id (0..255).
+	ID int
+	// Servers are the parameter-server addresses, one connection each; a
+	// frame's Dst indexes this list.
+	Servers []string
+	// Sched names the send-queue discipline (sched registry): "p3" for the
+	// paper's priority ordering, "fifo" or empty for the baseline.
+	Sched string
+	// Profile optionally supplies model timing to profile-aware disciplines
+	// (tictac ranks gradient slices by slack to consumption instead of
+	// layer index); nil degrades them to their model-blind order.
+	Profile *sched.Profile
+	// PreemptBytes > 0 enables preemptive transmission: frames larger than
+	// this many wire bytes are written in bounded segments, and strictly
+	// more urgent frames bound for other servers overtake at segment
+	// boundaries (see transport.SendLoop). 0 writes whole frames.
+	PreemptBytes int
+	// Handler runs on a receive goroutine for every Data/Notify frame; it
+	// must be safe for concurrent calls when multiple servers are used.
+	Handler Handler
+}
+
+// DialWorker connects worker id to every server address with the default
+// options (no profile, no preemption).
 func DialWorker(id int, addrs []string, schedName string, handler Handler) (*Worker, error) {
-	return DialWorkerProfile(id, addrs, schedName, nil, handler)
+	return DialWorkerCfg(WorkerConfig{ID: id, Servers: addrs, Sched: schedName, Handler: handler})
 }
 
 // DialWorkerProfile is DialWorker with a model timing profile for
-// profile-aware send-queue disciplines (tictac ranks gradient slices by
-// slack to consumption instead of layer index). profile may be nil, in
-// which case such disciplines degrade to their model-blind order.
+// profile-aware send-queue disciplines.
 func DialWorkerProfile(id int, addrs []string, schedName string, profile *sched.Profile, handler Handler) (*Worker, error) {
-	if id < 0 || id > 255 {
-		return nil, fmt.Errorf("pstcp: worker id %d out of range", id)
+	return DialWorkerCfg(WorkerConfig{ID: id, Servers: addrs, Sched: schedName, Profile: profile, Handler: handler})
+}
+
+// DialWorkerCfg connects a worker to every configured server.
+func DialWorkerCfg(cfg WorkerConfig) (*Worker, error) {
+	if cfg.ID < 0 || cfg.ID > 255 {
+		return nil, fmt.Errorf("pstcp: worker id %d out of range", cfg.ID)
 	}
-	disc, err := sched.ByName(schedName)
+	disc, err := sched.ByName(cfg.Sched)
 	if err != nil {
 		return nil, fmt.Errorf("pstcp: %w", err)
 	}
-	sched.ApplyProfile(disc, profile)
+	sched.ApplyProfile(disc, cfg.Profile)
 	w := &Worker{
-		id:      uint8(id),
+		id:      uint8(cfg.ID),
 		sendQ:   transport.NewSendQueue(disc),
-		handler: handler,
+		handler: cfg.Handler,
+		preempt: cfg.PreemptBytes,
 	}
-	for _, addr := range addrs {
+	for _, addr := range cfg.Servers {
 		conn, err := net.Dial("tcp", addr)
 		if err != nil {
 			w.Close()
@@ -145,47 +171,23 @@ func (w *Worker) readLoop(conn net.Conn) {
 	}
 }
 
-// sendLoop is the consumer thread of Section 4.2: it polls the most urgent
-// admitted frame and performs the blocking network call, so transmission
-// order always tracks the discipline at frame granularity. A frame's credit
-// is returned only when its bytes are flushed to the socket, so a
-// credit-gated discipline bounds the buffered-but-unflushed backlog: once
-// the window fills, the loop flushes and acknowledges before popping more.
+// sendLoop is the consumer thread of Section 4.2: transport.SendLoop polls
+// the most urgent admitted frame (skipping credit-blocked destinations in
+// favour of admissible ones) and performs the blocking network call; with
+// PreemptBytes set, bulk frames are written in segments that strictly more
+// urgent frames for other servers may overtake. A frame's credit is
+// returned only when its bytes are flushed to the socket, so a credit-gated
+// discipline bounds the buffered-but-unflushed backlog.
 func (w *Worker) sendLoop() {
 	defer w.wg.Done()
-	writers := make([]*connWriter, len(w.conns))
+	writers := make([]transport.FlushWriter, len(w.conns))
 	for i, c := range w.conns {
-		writers[i] = &connWriter{conn: c, w: transport.NewFrameWriter(c)}
+		writers[i] = transport.NewFrameWriter(c)
 	}
-	dirty := make(map[int]bool)
-	var pending []*transport.Frame // written, not yet flushed/acked
-	flushAll := func() {
-		for i := range dirty {
-			writers[i].w.Flush()
-			delete(dirty, i)
-		}
-		for _, f := range pending {
-			w.sendQ.Done(f)
-		}
-		pending = pending[:0]
-	}
-	for {
-		f, ok := w.sendQ.TryPop()
-		if !ok {
-			// Nothing admitted right now — either the queue is empty or
-			// the credit window is full of unflushed frames. Flush, return
-			// their credit, then block for the next admitted frame.
-			flushAll()
-			if f, ok = w.sendQ.Pop(); !ok {
-				flushAll()
-				return
-			}
-		}
+	transport.SendLoop(w.sendQ, func(f *transport.Frame) transport.FlushWriter {
 		if int(f.Dst) < len(writers) {
-			if err := transport.WriteFrame(writers[f.Dst].w, f); err == nil {
-				dirty[int(f.Dst)] = true
-			}
+			return writers[f.Dst]
 		}
-		pending = append(pending, f)
-	}
+		return nil
+	}, w.preempt)
 }

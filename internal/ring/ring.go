@@ -40,6 +40,11 @@ type Config struct {
 	Strategy strategy.Strategy
 	// BandwidthGbps is the per-direction NIC rate.
 	BandwidthGbps float64
+	// PreemptQuantum > 0 makes NIC egress transmission resumable in
+	// segments of this many wire bytes (netsim.Config.PreemptQuantum); an
+	// urgent ring segment then preempts an in-flight bulk one at the next
+	// boundary. 0 keeps message-granularity preemption.
+	PreemptQuantum int64
 	// ReduceRateGBps is the local cost of summing one received segment into
 	// the accumulator (and, on the final round, applying the update).
 	ReduceRateGBps float64
@@ -148,6 +153,7 @@ func newRingSim(cfg Config) *ringSim {
 	eng := &sim.Engine{}
 	netCfg := netsim.DefaultConfig(cfg.BandwidthGbps)
 	netCfg.Egress = cfg.Strategy.Discipline()
+	netCfg.PreemptQuantum = cfg.PreemptQuantum
 	prof := strategy.ComputeProfile(cfg.Model, netCfg.BandwidthGbps)
 	netCfg.Profile = prof
 

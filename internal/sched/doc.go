@@ -1,0 +1,96 @@
+// Package sched is the pluggable scheduling subsystem behind every
+// send/processing queue in the tree: the simulator's NIC egress queues and
+// endpoint processing pools (internal/netsim, internal/cluster,
+// internal/ring) and the real TCP transport's producer/consumer queues
+// (internal/transport, internal/pstcp) all order their work through a
+// sched.Discipline.
+//
+// P3's core contribution (Section 4.2 of the paper) is an ordering
+// discipline on parameter-chunk traffic; the related systems differ mainly
+// in which discipline they apply to the same queues — ByteScheduler gates a
+// credit window, TicTac derives a DAG order, Parameter Hub schedules at rack
+// scale. Making the discipline a first-class value turns every queue into an
+// experiment knob: a strategy (internal/strategy) names its discipline, the
+// registry resolves it, and each queue instantiates a fresh copy so stateful
+// disciplines never share state across queues.
+//
+// # Contracts
+//
+// A Discipline is a named comparator: Less reports which of two Items is
+// more urgent, and equal items always dequeue in insertion order, which
+// keeps the discrete-event simulator reproducible and matches the paper's
+// implementation (slices of one layer go out in order). Three optional
+// interfaces extend it:
+//
+//   - Ranker: assigns an ordering key at enqueue time, for stateful orders
+//     a pure comparator cannot express (rr's stride scheduling). Rank is
+//     called exactly once per item, before insertion.
+//   - Dispatcher: observes dequeues (OnDispatch), e.g. to advance a
+//     virtual clock.
+//   - Admitter: gates dispatch with a credit window. Admit is consulted
+//     before an item may start; OnStart/OnDone bracket its in-flight
+//     interval; an Admitter must admit at least one item when nothing is
+//     in flight, or the queue would wedge. Admit doubles as an adaptation
+//     signal (a refusal is congestion evidence to credit-adaptive), so it
+//     belongs inside the dispatch loop's cadence, never in a free-standing
+//     poll. Canceler refines an Admitter: OnCancel refunds an admission
+//     the caller backed out of without feeding the adaptation.
+//
+// Profiled disciplines (tictac) additionally consume a Profile — the model
+// timing that strategies derive via strategy.ComputeProfile — through
+// ApplyProfile; without one they must degrade to a model-blind order.
+//
+// # Flows
+//
+// Queue, the building block behind every scheduling site, is per-flow:
+// elements are bucketed into subqueues keyed by Item.Dest (the receiving
+// machine, worker id, or server connection — 0 when the caller has no
+// meaningful destination), and the dispatcher selects among the flow heads
+// by discipline order, global insertion order on ties. For plain
+// disciplines this is indistinguishable from one priority heap — fifo, p3,
+// rr, smallest and tictac dequeue bit-identically to a single queue. The
+// structure pays off under an Admitter: PopReady consults flow heads in
+// urgency order and dispatches the first one admitted, so a destination
+// whose credit window is exhausted never blocks admissible traffic bound
+// for other destinations (flow-aware head skipping). Cancel refunds route
+// by the element's own Dest, so a skipped flow can never absorb another
+// flow's refund.
+//
+// # Preemption
+//
+// Two primitives support preemptive transmitters, which charge
+// serialization in segments and re-decide at segment boundaries:
+//
+//   - Preempts(hold) reports whether PopReady would dispatch something
+//     strictly more urgent than the in-flight element — ties never
+//     preempt, preserving insertion order within a priority class.
+//     internal/netsim uses it (with PopReadyIf for its size gates) to park
+//     an in-flight message, retaining partial progress, whenever an
+//     express message can win the exchange outright.
+//   - PopPreempting(hold) pops the most urgent admissible element that is
+//     strictly more urgent than hold AND belongs to a different flow —
+//     the rule of the real transport's send loop, where the in-flight
+//     frame occupies its destination's TCP stream and only other
+//     connections can be served mid-frame (transport.SendLoop).
+//
+// # Registry
+//
+// ByName resolves a discipline name, optionally parameterized as
+// "name:arg", to a fresh instance; the empty name resolves to fifo and
+// Register installs new factories at init time. The built-ins (aliases in
+// parentheses):
+//
+//   - fifo (baseline): insertion order — the MXNet/ps-lite wire behaviour.
+//   - p3 (priority, p3priority): strict priority, lower Item.Priority
+//     first — the paper's mechanism.
+//   - rr (roundrobin): round-robin across priority classes via stride
+//     scheduling — layers share the wire instead of starving each other.
+//   - smallest (sjf): smallest payload first — the model-blind foil for
+//     slicing experiments.
+//   - tictac (dag, criticalpath): critical-path order from the timing
+//     Profile — per-layer slack to consumption; p3 without a profile.
+//   - credit[:bytes] (bytescheduler): ByteScheduler-style credit gate —
+//     priority order plus one bounded in-flight window per queue.
+//   - credit-adaptive[:bytes] (adaptive): one credit window per
+//     destination, each tuned by AIMD from the admit/ack pattern.
+package sched

@@ -1,12 +1,27 @@
 package sched
 
-import "p3/internal/pq"
+import (
+	"sort"
+
+	"p3/internal/pq"
+)
 
 // Queue is a deterministic, non-thread-safe queue of T ordered by a
 // Discipline. It is the building block behind every scheduling site: the
 // discrete-event simulator uses it directly (single-threaded on the virtual
 // clock), and transport.SendQueue wraps it with a mutex/condvar for the real
 // concurrent transport.
+//
+// Internally the queue is per-flow: elements are bucketed into subqueues
+// keyed by their Item.Dest, each subqueue ordered by the discipline, and the
+// dispatcher (Pop/PopReady) selects among the flow heads — discipline order
+// first, global insertion order on ties. For plain disciplines this is
+// indistinguishable from one priority heap (the most urgent flow head IS the
+// global minimum), so fifo, p3, rr, smallest and tictac dequeue bit-identically
+// to a single queue. The structure pays off under an Admitter: when a flow's
+// head is refused by its credit window, PopReady skips to the most urgent
+// admissible head of another flow instead of blocking every destination
+// behind one starved one (flow-aware head skipping).
 //
 // The view function projects an element into the scheduler-visible Item;
 // it must be pure (the queue may call it more than once per element).
@@ -16,22 +31,32 @@ type Queue[T any] struct {
 	disp Dispatcher // non-nil iff d tracks dispatches
 	adm  Admitter   // non-nil iff d gates with a credit window
 	view func(T) Item
-	q    *pq.Queue[entry[T]]
+
+	flows   map[int32]*flow[T]
+	order   []*flow[T] // creation order: deterministic iteration
+	scratch []*flow[T] // reusable head-selection buffer
+	seq     uint64     // global insertion counter (cross-flow tie-break)
+	n       int
+}
+
+type flow[T any] struct {
+	key int32
+	q   *pq.Queue[entry[T]]
 }
 
 type entry[T any] struct {
-	v  T
-	it Item
+	v   T
+	it  Item
+	seq uint64
 }
 
 // NewQueue builds a queue ordered by d. d must be a fresh instance not
 // shared with any other queue (stateful disciplines carry per-queue state).
 func NewQueue[T any](d Discipline, view func(T) Item) *Queue[T] {
-	q := &Queue[T]{d: d, view: view}
+	q := &Queue[T]{d: d, view: view, flows: make(map[int32]*flow[T])}
 	q.rank, _ = d.(Ranker)
 	q.disp, _ = d.(Dispatcher)
 	q.adm, _ = d.(Admitter)
-	q.q = pq.New(func(a, b entry[T]) bool { return d.Less(a.it, b.it) })
 	return q
 }
 
@@ -39,21 +64,98 @@ func NewQueue[T any](d Discipline, view func(T) Item) *Queue[T] {
 func (q *Queue[T]) Discipline() Discipline { return q.d }
 
 // Len reports the number of queued elements.
-func (q *Queue[T]) Len() int { return q.q.Len() }
+func (q *Queue[T]) Len() int { return q.n }
 
-// Push enqueues v.
+// Push enqueues v into its flow's subqueue.
 func (q *Queue[T]) Push(v T) {
 	it := q.view(v)
 	if q.rank != nil {
 		q.rank.Rank(&it)
 	}
-	q.q.Push(entry[T]{v: v, it: it})
+	q.seq++
+	f := q.flows[it.Dest]
+	if f == nil {
+		f = &flow[T]{key: it.Dest}
+		f.q = pq.New(func(a, b entry[T]) bool { return q.d.Less(a.it, b.it) })
+		q.flows[it.Dest] = f
+		q.order = append(q.order, f)
+	}
+	f.q.Push(entry[T]{v: v, it: it, seq: q.seq})
+	q.n++
 }
 
-// Peek returns the most urgent element without removing it.
+// before reports whether entry a precedes b in the global dispatch order:
+// discipline order first, global insertion order on ties. Sequence numbers
+// are unique, so this is a strict total order and selection is deterministic
+// regardless of flow iteration order.
+func (q *Queue[T]) before(a, b entry[T]) bool {
+	if q.d.Less(a.it, b.it) {
+		return true
+	}
+	if q.d.Less(b.it, a.it) {
+		return false
+	}
+	return a.seq < b.seq
+}
+
+// best returns the flow holding the globally most urgent head, or nil when
+// the queue is empty. Admission is not consulted.
+func (q *Queue[T]) best() *flow[T] {
+	var bf *flow[T]
+	var bh entry[T]
+	for _, f := range q.order {
+		h, ok := f.q.Peek()
+		if !ok {
+			continue
+		}
+		if bf == nil || q.before(h, bh) {
+			bf, bh = f, h
+		}
+	}
+	return bf
+}
+
+// heads returns the non-empty flows sorted by the urgency of their heads,
+// most urgent first. The returned slice is reused across calls.
+func (q *Queue[T]) heads() []*flow[T] {
+	hs := q.scratch[:0]
+	for _, f := range q.order {
+		if f.q.Len() > 0 {
+			hs = append(hs, f)
+		}
+	}
+	sort.Slice(hs, func(i, j int) bool {
+		a, _ := hs[i].q.Peek()
+		b, _ := hs[j].q.Peek()
+		return q.before(a, b)
+	})
+	q.scratch = hs
+	return hs
+}
+
+// take pops f's head and runs the dispatch bookkeeping.
+func (q *Queue[T]) take(f *flow[T]) T {
+	e := f.q.Pop()
+	q.n--
+	if q.adm != nil {
+		q.adm.OnStart(e.it)
+	}
+	if q.disp != nil {
+		q.disp.OnDispatch(e.it)
+	}
+	return e.v
+}
+
+// Peek returns the most urgent element without removing it, ignoring any
+// credit gate.
 func (q *Queue[T]) Peek() (T, bool) {
-	e, ok := q.q.Peek()
-	return e.v, ok
+	f := q.best()
+	if f == nil {
+		var zero T
+		return zero, false
+	}
+	e, _ := f.q.Peek()
+	return e.v, true
 }
 
 // Pop removes and returns the most urgent element, bypassing the Admit
@@ -62,42 +164,134 @@ func (q *Queue[T]) Peek() (T, bool) {
 // stays balanced whether the element came from Pop or PopReady. The second
 // result is false when the queue is empty.
 func (q *Queue[T]) Pop() (T, bool) {
-	if q.q.Len() == 0 {
+	f := q.best()
+	if f == nil {
 		var zero T
 		return zero, false
 	}
-	e := q.q.Pop()
-	if q.adm != nil {
-		q.adm.OnStart(e.it)
-	}
-	if q.disp != nil {
-		q.disp.OnDispatch(e.it)
-	}
-	return e.v, true
+	return q.take(f), true
 }
 
-// PopReady removes and returns the most urgent element if the discipline
-// admits it now. The second result is false when the queue is empty or the
-// head is blocked by the credit window. An admitted element is charged
-// in-flight (OnStart); release it with Done once it completes.
+// PopReady removes and returns the most urgent admissible element: flow
+// heads are consulted in urgency order and the first one the discipline
+// admits dispatches, so a credit-blocked flow never delays an admissible
+// item bound for another destination. Disciplines without an Admitter
+// always admit their global head, making PopReady identical to Pop. The
+// second result is false when the queue is empty or every flow head is
+// refused by the credit window. An admitted element is charged in-flight
+// (OnStart); release it with Done once it completes.
 func (q *Queue[T]) PopReady() (T, bool) {
-	e, ok := q.q.Peek()
-	if !ok {
-		var zero T
+	if q.adm == nil {
+		return q.Pop()
+	}
+	for _, f := range q.heads() {
+		e, _ := f.q.Peek()
+		if !q.adm.Admit(e.it) {
+			continue
+		}
+		return q.take(f), true
+	}
+	var zero T
+	return zero, false
+}
+
+// Preempts reports whether PopReady would dispatch an element strictly more
+// urgent than hold (discipline order; ties never preempt, preserving the
+// insertion-order guarantee within a priority class). It is the
+// segment-boundary check of preemptive transmitters: hold is the in-flight
+// element, and a true result means the caller should park it (Cancel +
+// Push, progress retained) and re-dispatch. Like Blocked, it consults the
+// discipline's Admit and so belongs inside the dispatch loop's cadence.
+//
+// hold is compared through the raw view, without a Ranker pass: under a
+// rank-at-enqueue discipline (rr) an in-flight element holds its dispatch
+// position in virtual time and nothing queued ever outranks it, so Ranker
+// disciplines never preempt — stride scheduling expresses fairness, not
+// urgency, and there is no "more urgent" to preempt for.
+func (q *Queue[T]) Preempts(hold T) bool {
+	if q.n == 0 {
+		return false
+	}
+	ht := q.view(hold)
+	if q.adm == nil {
+		f := q.best()
+		e, _ := f.q.Peek()
+		return q.d.Less(e.it, ht)
+	}
+	for _, f := range q.heads() {
+		e, _ := f.q.Peek()
+		if !q.d.Less(e.it, ht) {
+			return false // heads are urgency-ordered: no candidate remains
+		}
+		if q.adm.Admit(e.it) {
+			return true
+		}
+	}
+	return false
+}
+
+// PopReadyIf is PopReady with a caller veto: it selects the element
+// PopReady would dispatch — the most urgent admissible flow head — but
+// pops it only when keep approves it, leaving the queue untouched (and
+// returning false) otherwise. It is the single-walk primitive behind
+// conditional dispatch such as netsim's preemption rule, where the
+// candidate must beat the in-flight transmission on more than urgency;
+// skipping a vetoed candidate for a less urgent one would reorder the
+// discipline, so the veto ends the walk.
+func (q *Queue[T]) PopReadyIf(keep func(T) bool) (T, bool) {
+	var zero T
+	if q.adm == nil {
+		f := q.best()
+		if f == nil {
+			return zero, false
+		}
+		e, _ := f.q.Peek()
+		if !keep(e.v) {
+			return zero, false
+		}
+		return q.take(f), true
+	}
+	for _, f := range q.heads() {
+		e, _ := f.q.Peek()
+		if !q.adm.Admit(e.it) {
+			continue
+		}
+		if !keep(e.v) {
+			return zero, false
+		}
+		return q.take(f), true
+	}
+	return zero, false
+}
+
+// PopPreempting pops the most urgent admissible element that is strictly
+// more urgent than hold AND belongs to a different flow than hold. It is the
+// preemption primitive of senders whose in-flight element occupies its
+// flow's channel (one TCP stream cannot interleave two frames): traffic for
+// other destinations may overtake at a segment boundary, same-destination
+// traffic must wait for hold to finish. The second result is false when no
+// such element exists. As with Preempts, Ranker disciplines never preempt
+// (hold's unranked view precedes every queued rank).
+func (q *Queue[T]) PopPreempting(hold T) (T, bool) {
+	var zero T
+	if q.n == 0 {
 		return zero, false
 	}
-	if q.adm != nil && !q.adm.Admit(e.it) {
-		var zero T
-		return zero, false
+	ht := q.view(hold)
+	for _, f := range q.heads() {
+		e, _ := f.q.Peek()
+		if !q.d.Less(e.it, ht) {
+			break // heads are urgency-ordered: no candidate remains
+		}
+		if f.key == ht.Dest {
+			continue
+		}
+		if q.adm != nil && !q.adm.Admit(e.it) {
+			continue
+		}
+		return q.take(f), true
 	}
-	q.q.Pop()
-	if q.adm != nil {
-		q.adm.OnStart(e.it)
-	}
-	if q.disp != nil {
-		q.disp.OnDispatch(e.it)
-	}
-	return e.v, true
+	return zero, false
 }
 
 // Done releases v's in-flight charge (a no-op for disciplines without a
@@ -110,9 +304,12 @@ func (q *Queue[T]) Done(v T) {
 
 // Cancel releases v's in-flight charge without signalling a completion:
 // use it when the caller backs out of work it popped (e.g. re-queueing an
-// item deferred on a serialization constraint), so adaptive disciplines do
-// not tune their windows on bytes that were never actually processed.
-// Falls back to Done semantics for disciplines without a cancel path.
+// item deferred on a serialization constraint, or parking a preempted
+// transmission), so adaptive disciplines do not tune their windows on bytes
+// that were never actually processed. The refund is routed by v's own Item
+// view — v carries its destination, so a flow skipped at dispatch can never
+// absorb another flow's refund. Falls back to Done semantics for
+// disciplines without a cancel path.
 func (q *Queue[T]) Cancel(v T) {
 	if q.adm == nil {
 		return
@@ -124,12 +321,20 @@ func (q *Queue[T]) Cancel(v T) {
 	q.adm.OnDone(q.view(v))
 }
 
-// Blocked reports whether the head exists but is currently refused by the
-// credit window — i.e. a Done call is required before progress. It consults
-// the discipline's Admit, which for adaptive disciplines records the
-// refusal as a congestion signal — treat Blocked as part of the dispatch
-// loop, not a free-standing query to poll.
+// Blocked reports whether elements are queued but every flow head is
+// currently refused by the credit window — i.e. a Done call is required
+// before progress. It consults the discipline's Admit, which for adaptive
+// disciplines records each refusal as a congestion signal — treat Blocked
+// as part of the dispatch loop, not a free-standing query to poll.
 func (q *Queue[T]) Blocked() bool {
-	e, ok := q.q.Peek()
-	return ok && q.adm != nil && !q.adm.Admit(e.it)
+	if q.adm == nil || q.n == 0 {
+		return false
+	}
+	for _, f := range q.heads() {
+		e, _ := f.q.Peek()
+		if q.adm.Admit(e.it) {
+			return false
+		}
+	}
+	return true
 }

@@ -1,45 +1,3 @@
-// Package sched is the pluggable scheduling subsystem behind every
-// send/processing queue in the tree: the simulator's NIC egress queues and
-// endpoint processing pools (internal/netsim, internal/cluster,
-// internal/ring) and the real TCP transport's producer/consumer queues
-// (internal/transport, internal/pstcp) all order their work through a
-// sched.Discipline.
-//
-// P3's core contribution (Section 4.2 of the paper) is an ordering
-// discipline on parameter-chunk traffic; the related systems differ mainly
-// in which discipline they apply to the same queues — ByteScheduler gates a
-// credit window, TicTac derives a DAG order, Parameter Hub schedules at rack
-// scale. Making the discipline a first-class value turns every queue into an
-// experiment knob: a strategy (internal/strategy) names its discipline, the
-// registry resolves it, and each queue instantiates a fresh copy so stateful
-// disciplines never share state across queues.
-//
-// The built-in disciplines:
-//
-//   - fifo: insertion order (the MXNet/ps-lite baseline).
-//   - p3: strict priority, lower Item.Priority first (the paper's
-//     mechanism; ties dequeue in insertion order).
-//   - rr: round-robin across priority classes via stride scheduling —
-//     layers share the wire instead of starving each other.
-//   - smallest: smallest payload first (shortest-job-first; a natural
-//     foil for slicing experiments).
-//   - credit / credit:<bytes>: ByteScheduler-style credit gate — strict
-//     priority order, but at most <bytes> of traffic may be in flight
-//     (popped and not yet acknowledged via Done), bounding how much
-//     lower-priority data can delay a newly urgent item.
-//   - tictac: TicTac-style critical-path order — given a Profile (the
-//     model's forward timing), items are ranked by slack to consumption:
-//     time until the forward pass needs the layer minus the estimated
-//     transfer time. Without a profile it degrades to p3.
-//   - credit-adaptive / credit-adaptive:<bytes>: per-destination credit
-//     windows (the plain credit gate shares one window per queue) that
-//     adapt by AIMD from the admit/ack pattern the queue observes — a
-//     window that drains dry while refusing traffic grows additively, one
-//     that never binds shrinks multiplicatively.
-//
-// Disciplines are deliberately deterministic: equal items dequeue in
-// insertion order, which keeps the discrete-event simulator reproducible and
-// matches the paper's implementation (slices of one layer go out in order).
 package sched
 
 import (

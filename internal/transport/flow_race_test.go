@@ -1,0 +1,101 @@
+package transport
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"p3/internal/sched"
+)
+
+// TestBlockedFlowNeverDelaysAdmissibleFlow is the concurrency property of
+// flow-aware head skipping, run under -race in CI: with per-destination
+// credit windows, a destination whose window is exhausted (its frames are
+// popped but never acknowledged) must never delay admissible frames bound
+// for an unblocked destination — the consumer keeps draining destination B
+// at full rate while destination A sits credit-blocked at higher urgency.
+func TestBlockedFlowNeverDelaysAdmissibleFlow(t *testing.T) {
+	const (
+		frameVals = 64 // 256 bytes/frame
+		window    = 512
+		bFrames   = 200
+	)
+	q := NewSendQueue(sched.NewAdaptiveCredit(window))
+
+	// Exhaust destination A's window with two unacknowledged frames that
+	// are MORE urgent than anything destination B will ever send.
+	for i := 0; i < 2; i++ {
+		q.Push(&Frame{Type: TypePush, Priority: 0, Dst: 1, Values: make([]float32, frameVals)})
+		f, ok := q.TryPop()
+		if !ok || f.Dst != 1 {
+			t.Fatalf("setup pop %d failed: (%+v, %v)", i, f, ok)
+		}
+		// Never Done(f): A's window stays full.
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // producer: urgent traffic for blocked A, bulk for open B
+		defer wg.Done()
+		for i := 0; i < bFrames; i++ {
+			q.Push(&Frame{Type: TypePush, Priority: 0, Dst: 1, Values: make([]float32, frameVals)})
+			q.Push(&Frame{Type: TypePush, Priority: 9, Dst: 2, Values: make([]float32, frameVals)})
+		}
+	}()
+
+	done := make(chan struct{})
+	var got int
+	go func() { // consumer: every admitted frame must be for B
+		defer close(done)
+		for got < bFrames {
+			f, ok := q.Pop()
+			if !ok {
+				t.Errorf("queue closed with %d/%d B frames drained", got, bFrames)
+				return
+			}
+			if f.Dst != 2 {
+				t.Errorf("credit-blocked destination 1 dispatched (priority %d) ahead of admissible destination 2", f.Priority)
+				return
+			}
+			got++
+			q.Done(f)
+		}
+	}()
+
+	wg.Wait()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatalf("consumer wedged: %d/%d admissible frames drained while a flow was credit-blocked", got, bFrames)
+	}
+	// A's frames are all still queued, untouched.
+	if n := q.Len(); n != bFrames {
+		t.Fatalf("blocked flow retained %d frames, want %d", n, bFrames)
+	}
+}
+
+// TestSendQueueCancelAfterHeadSkip mirrors the sched-level regression at
+// the transport layer: a frame popped by skipping a blocked flow and then
+// cancelled refunds its own destination's window.
+func TestSendQueueCancelAfterHeadSkip(t *testing.T) {
+	a := sched.NewAdaptiveCredit(256)
+	q := NewSendQueue(a)
+	blockA := &Frame{Priority: 0, Dst: 1, Values: make([]float32, 60)} // 240 B
+	q.Push(blockA)
+	if f, ok := q.TryPop(); !ok || f != blockA {
+		t.Fatal("setup pop failed")
+	}
+	forB := &Frame{Priority: 5, Dst: 2, Values: make([]float32, 30)}
+	q.Push(forB)
+	f, ok := q.TryPop()
+	if !ok || f != forB {
+		t.Fatalf("head skip failed: (%+v, %v)", f, ok)
+	}
+	q.Cancel(f)
+	if got := a.InFlight(2); got != 0 {
+		t.Fatalf("dest 2 in-flight after cancel = %d, want 0", got)
+	}
+	if got := a.InFlight(1); got != 240 {
+		t.Fatalf("dest 1 in-flight = %d, want 240", got)
+	}
+}

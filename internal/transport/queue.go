@@ -13,6 +13,12 @@ import (
 // credit gating — comes from the sched.Discipline supplied at construction:
 // fifo reproduces the baseline, p3 the paper's priority mechanism, credit a
 // ByteScheduler-style bounded preemption window.
+//
+// The underlying sched.Queue is per-flow (keyed by Frame.Dst), so under a
+// credit-gated discipline a destination whose window is exhausted never
+// blocks admissible frames bound for other destinations: Pop and TryPop
+// dispatch the most urgent admissible flow head (flow-aware head skipping),
+// all under the queue's one mutex/condvar.
 type SendQueue struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
@@ -66,7 +72,7 @@ func (s *SendQueue) Pop() (*Frame, bool) {
 }
 
 // TryPop pops without blocking; the second result is false if nothing is
-// queued or the discipline refuses to admit the head right now.
+// queued or the discipline refuses to admit every flow head right now.
 func (s *SendQueue) TryPop() (*Frame, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -76,6 +82,22 @@ func (s *SendQueue) TryPop() (*Frame, bool) {
 	return s.q.PopReady()
 }
 
+// TryPopPreempting pops, without blocking, the most urgent admitted frame
+// that is strictly more urgent than hold AND bound for a different
+// destination — the segment-boundary primitive of a preemptive send loop,
+// whose in-flight frame occupies hold's connection (one TCP stream cannot
+// interleave two frames). The second result is false when no such frame is
+// queued, the queue is closed (the drain path finishes in-flight frames
+// first), or every candidate is refused by the credit window.
+func (s *SendQueue) TryPopPreempting(hold *Frame) (*Frame, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, false
+	}
+	return s.q.PopPreempting(hold)
+}
+
 // Done releases f's in-flight credit (a no-op for ungated disciplines) and
 // wakes a consumer that may now be admitted. Call it once per popped frame
 // after the blocking write completes.
@@ -83,6 +105,18 @@ func (s *SendQueue) Done(f *Frame) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.q.Done(f)
+	s.cond.Signal()
+}
+
+// Cancel releases f's in-flight credit without signalling a completion —
+// the caller backed out of the write (the frame was never put on the wire),
+// so adaptive disciplines must not tune their windows on it. The refund is
+// routed by f's own destination, so a flow skipped at dispatch never
+// absorbs another flow's refund.
+func (s *SendQueue) Cancel(f *Frame) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.q.Cancel(f)
 	s.cond.Signal()
 }
 
