@@ -9,6 +9,7 @@ package p3_test
 import (
 	"testing"
 
+	"p3/internal/benchmarks"
 	"p3/internal/cluster"
 	"p3/internal/data"
 	"p3/internal/experiments"
@@ -19,6 +20,16 @@ import (
 	"p3/internal/train"
 	"p3/internal/zoo"
 )
+
+// BenchmarkDispatch runs the shared dispatch microbenchmark suite
+// (internal/benchmarks): the same code `p3bench bench` renders and the CI
+// regression gate measures against ci/bench_baseline.json, so `go test
+// -bench Dispatch` and the gate can never drift apart.
+func BenchmarkDispatch(b *testing.B) {
+	for _, n := range benchmarks.Dispatch() {
+		b.Run(n.Name, n.Bench)
+	}
+}
 
 // runSim is one simulated configuration with test-friendly iteration counts.
 func runSim(b *testing.B, model string, s strategy.Strategy, machines int, gbps float64, rec *trace.Recorder) cluster.Result {
@@ -177,6 +188,15 @@ func BenchmarkFig15ASGDvsP3(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		runSim(b, "resnet110", strategy.P3(0), 4, 1, nil)
 		runSim(b, "resnet110", strategy.ASGDStrategy(), 4, 1, nil)
+	}
+}
+
+// Scale axis (beyond the paper): the 64-machine comm-bound configuration
+// that the O(log F) dispatch rewrite made practical — every egress queue
+// holds one flow per peer, and event volume grows ~N^2.
+func BenchmarkScale64Machines(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runSim(b, "resnet50", strategy.P3(0), 64, 1.5, nil)
 	}
 }
 

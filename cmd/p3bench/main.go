@@ -4,26 +4,41 @@
 //
 // Usage:
 //
-//	p3bench [-fast] [-seed N] [-plot] [fig5 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 headline | all]
+//	p3bench [-fast] [-seed N] [-plot] [-json] [-baseline FILE] \
+//	        [fig5 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 \
+//	         headline ablation sched scale allreduce tta compression \
+//	         sensitivity bench | all]
 //
 // The throughput/utilization experiments (fig5, fig7-10, fig12-14, headline)
-// run on the discrete-event simulator and take seconds. The convergence
-// experiments (fig11, fig15) train real networks and take minutes without
-// -fast.
+// run on the discrete-event simulator and take seconds; multi-configuration
+// sweeps (sched, scale, headline, ablation, fig7, fig10) spread their cells
+// over GOMAXPROCS workers. The convergence experiments (fig11, fig15) train
+// real networks and take minutes without -fast.
+//
+// bench runs the dispatch-path microbenchmarks (ns/op + allocs/op for the
+// scheduler queue, transport queue and event engine) plus the zoo-simulation
+// timings. -json additionally writes the measurements as the next BENCH_<n>.json
+// perf-trajectory artifact in the current directory. -baseline FILE compares
+// the microbenchmarks against a checked-in artifact and exits non-zero when
+// any dispatch path allocates at steady state or regresses ns/op by more
+// than 25% (calibration-scaled) — the CI regression gate.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
+	"p3/internal/benchmarks"
 	"p3/internal/experiments"
 )
 
 var figOrder = []string{
 	"fig5", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
-	"headline", "ablation", "sched", "allreduce", "tta", "compression", "sensitivity",
+	"headline", "ablation", "sched", "scale", "allreduce", "tta", "compression", "sensitivity",
 }
 
 func main() {
@@ -31,8 +46,10 @@ func main() {
 	seed := flag.Int64("seed", 0, "workload seed")
 	plot := flag.Bool("plot", true, "render ASCII plots")
 	tsv := flag.Bool("tsv", true, "print TSV series")
+	jsonOut := flag.Bool("json", false, "write benchmark results as the next BENCH_<n>.json artifact (implies the bench target)")
+	baseline := flag.String("baseline", "", "compare dispatch microbenchmarks against this artifact; exit 1 on regression (implies the bench target)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: p3bench [flags] [%s|all]...\n", strings.Join(figOrder, "|"))
+		fmt.Fprintf(os.Stderr, "usage: p3bench [flags] [%s|bench|all]...\n", strings.Join(figOrder, "|"))
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -40,6 +57,15 @@ func main() {
 	targets := flag.Args()
 	if len(targets) == 0 || (len(targets) == 1 && targets[0] == "all") {
 		targets = figOrder
+	}
+	if *jsonOut || *baseline != "" {
+		hasBench := false
+		for _, t := range targets {
+			hasBench = hasBench || t == "bench"
+		}
+		if !hasBench {
+			targets = append(targets, "bench")
+		}
 	}
 
 	o := experiments.Options{Fast: *fast, Seed: *seed}
@@ -71,6 +97,10 @@ func main() {
 			fmt.Println("== Scheduler ablation: every queue discipline on the sliced strategy (internal/sched) ==")
 			fmt.Print(experiments.SchedulerTable(experiments.SchedulerAblation(o)))
 			fmt.Println()
+		case t == "scale":
+			fmt.Println("== Scale axis: cluster sizes past the paper's testbed (resnet50 @1.5Gbps, sliced strategy) ==")
+			fmt.Print(experiments.ScaleTable(experiments.Scale(o)))
+			fmt.Println()
 		case t == "compression":
 			fmt.Println("== Extension: compression family (related work, Section 6) vs dense exchange ==")
 			fmt.Print(experiments.CompressionTable(experiments.ExtCompression(o)))
@@ -83,6 +113,8 @@ func main() {
 			fmt.Println("== Extension: time-to-accuracy (ResNet-110 profile @1Gbps iteration times x substitute-task convergence) ==")
 			fmt.Print(experiments.TimeToAccuracyTable(experiments.TimeToAccuracy(o)))
 			fmt.Println()
+		case t == "bench":
+			runBench(*jsonOut, *baseline, *fast)
 		case runners[t] != nil:
 			for _, fig := range runners[t](o) {
 				if *plot {
@@ -96,6 +128,89 @@ func main() {
 			fmt.Fprintf(os.Stderr, "p3bench: unknown target %q\n", t)
 			flag.Usage()
 			os.Exit(2)
+		}
+	}
+}
+
+// runBench measures the dispatch microbenchmarks (and, unless gating only,
+// the zoo simulation timings), prints them, optionally writes the BENCH_<n>
+// artifact, and optionally enforces the regression gate.
+func runBench(writeJSON bool, baselinePath string, fast bool) {
+	// The CI gate (baseline set, no artifact) skips the zoo sims: the gate's
+	// thresholds cover only the microbenchmarks, and the sims add minutes.
+	withSims := writeJSON || baselinePath == ""
+	if fast {
+		withSims = false
+	}
+	fmt.Println("== Dispatch microbenchmarks (ns/op, allocs/op) and zoo sim timings ==")
+	art := benchmarks.Collect(withSims)
+	fmt.Printf("go\t%s\tGOMAXPROCS\t%d\tcalib_ns\t%.2f\n", art.GoVersion, art.GOMAXPROCS, art.CalibNs)
+	fmt.Println("benchmark\tns/op\tallocs/op\tB/op")
+	for _, r := range art.Dispatch {
+		fmt.Printf("%s\t%.1f\t%d\t%d\n", r.Name, r.NsPerOp, r.AllocsPerOp, r.BytesPerOp)
+	}
+	if len(art.Sims) > 0 {
+		fmt.Println("sim\tmachines\titer_ms\twall_ms\tevents")
+		for _, s := range art.Sims {
+			fmt.Printf("%s\t%d\t%.2f\t%.1f\t%d\n", s.Name, s.Machines, s.IterMs, s.WallMs, s.Events)
+		}
+	}
+	fmt.Println()
+
+	if writeJSON {
+		path, err := nextBenchPath(".")
+		if err == nil {
+			var buf []byte
+			buf, err = json.MarshalIndent(art, "", "  ")
+			if err == nil {
+				err = os.WriteFile(path, append(buf, '\n'), 0o644)
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "p3bench: writing artifact: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n\n", path)
+	}
+
+	if baselinePath != "" {
+		buf, err := os.ReadFile(baselinePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "p3bench: reading baseline: %v\n", err)
+			os.Exit(1)
+		}
+		var base benchmarks.Artifact
+		if err := json.Unmarshal(buf, &base); err != nil {
+			fmt.Fprintf(os.Stderr, "p3bench: parsing baseline %s: %v\n", baselinePath, err)
+			os.Exit(1)
+		}
+		violations := benchmarks.Check(art, &base, 0.25)
+		if len(violations) > 0 {
+			fmt.Fprintf(os.Stderr, "p3bench: dispatch benchmarks regressed against %s:\n", baselinePath)
+			for _, v := range violations {
+				fmt.Fprintf(os.Stderr, "  %s\n", v)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("benchmark gate passed against %s (tolerance 25%%, allocs/op must be 0)\n\n", baselinePath)
+	}
+}
+
+// nextBenchPath returns the first unused BENCH_<n>.json path in dir, so
+// successive runs accumulate a perf trajectory instead of overwriting it.
+func nextBenchPath(dir string) (string, error) {
+	existing, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return "", err
+	}
+	used := make(map[string]bool, len(existing))
+	for _, p := range existing {
+		used[filepath.Base(p)] = true
+	}
+	for n := 0; ; n++ {
+		name := fmt.Sprintf("BENCH_%d.json", n)
+		if !used[name] {
+			return filepath.Join(dir, name), nil
 		}
 	}
 }

@@ -1,0 +1,41 @@
+package cluster
+
+import (
+	"testing"
+
+	"p3/internal/strategy"
+	"p3/internal/zoo"
+)
+
+// TestRun64Machines is the cluster-path scale smoke: the protocol must
+// complete at 64 machines (a wedge panics inside Run), with every worker's
+// traffic accounted for. The paper's testbed stops at 16; this size is the
+// regime the O(log F) egress dispatch exists for — each NIC's send queue
+// holds one flow per peer machine.
+func TestRun64Machines(t *testing.T) {
+	if testing.Short() {
+		t.Skip("64-machine run in -short mode")
+	}
+	for _, sched := range []string{"p3", "credit-adaptive"} {
+		st, err := strategy.SlicingOnly(0).WithSched(sched)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := Run(Config{
+			Model: zoo.ByName("resnet110"), Machines: 64, Strategy: st,
+			BandwidthGbps: 10, WarmupIters: 1, MeasureIters: 2, Seed: 3,
+		})
+		if r.Machines != 64 || r.Throughput <= 0 {
+			t.Fatalf("%s: degenerate 64-machine result: %+v", sched, r)
+		}
+		if r.MeanIterTime <= 0 || r.MeanIterTime < r.ComputeIterTime {
+			t.Fatalf("%s: iteration time %v below compute floor %v", sched, r.MeanIterTime, r.ComputeIterTime)
+		}
+		// Every one of the 64 workers pushes and receives every chunk every
+		// iteration: the message volume must reflect all of them (loopback
+		// pairs included), or some worker silently dropped out.
+		if r.Msgs < int64(64*3) {
+			t.Fatalf("%s: implausibly few messages at 64 machines: %d", sched, r.Msgs)
+		}
+	}
+}

@@ -39,21 +39,29 @@ func Ablation(o Options) []AblationRow {
 		Name: "priority-shards", Granularity: strategy.Shards,
 		Sched: "p3", Pull: strategy.Immediate,
 	}
+	// The 15 (model, design point) cells are independent pure simulations:
+	// fill a flat grid on the worker pool, then assemble rows in case order.
+	strategies := []strategy.Strategy{
+		strategy.Baseline(), strategy.WFBP(), strategy.SlicingOnly(0),
+		priorityShards, strategy.P3(0),
+	}
+	grid := make([]float64, len(cases)*len(strategies))
+	parEach(len(grid), func(i int) {
+		c := cases[i/len(strategies)]
+		r := run(zoo.ByName(c.model), strategies[i%len(strategies)], 4, c.gbps, o, nil)
+		grid[i] = r.Throughput / float64(r.Machines)
+	})
 	rows := make([]AblationRow, 0, len(cases))
-	for _, c := range cases {
-		m := zoo.ByName(c.model)
-		perMachine := func(s strategy.Strategy) float64 {
-			r := run(m, s, 4, c.gbps, o, nil)
-			return r.Throughput / float64(r.Machines)
-		}
+	for ci, c := range cases {
+		g := grid[ci*len(strategies):]
 		rows = append(rows, AblationRow{
 			Model:         c.model,
 			BandwidthGbps: c.gbps,
-			Baseline:      perMachine(strategy.Baseline()),
-			ImmediateOnly: perMachine(strategy.WFBP()),
-			SlicingOnly:   perMachine(strategy.SlicingOnly(0)),
-			PriorityOnly:  perMachine(priorityShards),
-			FullP3:        perMachine(strategy.P3(0)),
+			Baseline:      g[0],
+			ImmediateOnly: g[1],
+			SlicingOnly:   g[2],
+			PriorityOnly:  g[3],
+			FullP3:        g[4],
 		})
 	}
 	return rows

@@ -160,13 +160,16 @@ func Fig7(o Options) []*Figure {
 			YLabel: fmt.Sprintf("throughput (%s/sec per machine)", m.SampleUnit),
 			Notes:  []string{notes[name]},
 		}
-		for _, s := range strategies {
-			series := Series{Name: s.Name}
-			for _, bw := range grid {
-				r := run(m, s, 4, bw, o, nil)
-				series.X = append(series.X, bw)
-				series.Y = append(series.Y, r.Throughput/float64(r.Machines))
-			}
+		// The (strategy, bandwidth) cells are independent pure simulations:
+		// fill a flat grid on the worker pool, then slice it into series.
+		ys := make([]float64, len(strategies)*len(grid))
+		parEach(len(ys), func(i int) {
+			r := run(zoo.ByName(name), strategies[i/len(grid)], 4, grid[i%len(grid)], o, nil)
+			ys[i] = r.Throughput / float64(r.Machines)
+		})
+		for si, s := range strategies {
+			series := Series{Name: s.Name, X: append([]float64(nil), grid...)}
+			series.Y = ys[si*len(grid) : (si+1)*len(grid)]
 			fig.Series = append(fig.Series, series)
 		}
 		figs = append(figs, fig)
@@ -284,12 +287,17 @@ func Fig10(o Options) []*Figure {
 			YLabel: fmt.Sprintf("aggregate throughput (%s/sec)", m.SampleUnit),
 			Notes:  []string{notes[name]},
 		}
-		for _, s := range []strategy.Strategy{strategy.Baseline(), strategy.P3(0)} {
+		strategies := []strategy.Strategy{strategy.Baseline(), strategy.P3(0)}
+		ys := make([]float64, len(strategies)*len(sizes))
+		parEach(len(ys), func(i int) {
+			r := run(awsModel(zoo.ByName(name)), strategies[i/len(sizes)], sizes[i%len(sizes)], 10, o, nil)
+			ys[i] = r.Throughput
+		})
+		for si, s := range strategies {
 			series := Series{Name: s.Name}
-			for _, n := range sizes {
-				r := run(m, s, n, 10, o, nil)
+			for ni, n := range sizes {
 				series.X = append(series.X, float64(n))
-				series.Y = append(series.Y, r.Throughput)
+				series.Y = append(series.Y, ys[si*len(sizes)+ni])
 			}
 			fig.Series = append(fig.Series, series)
 		}
@@ -371,12 +379,19 @@ func Headline(o Options) []HeadlineRow {
 		{"vgg19", 15, 66},
 		{"sockeye", 4, 38},
 	}
+	// All 12 (model, strategy) runs are independent pure simulations: fill a
+	// flat grid on the worker pool, then assemble rows in case order.
+	strategies := []strategy.Strategy{strategy.Baseline(), strategy.SlicingOnly(0), strategy.P3(0)}
+	grid := make([]cluster.Result, len(cases)*len(strategies))
+	parEach(len(grid), func(i int) {
+		c := cases[i/len(strategies)]
+		grid[i] = run(zoo.ByName(c.model), strategies[i%len(strategies)], 4, c.gbps, o, nil)
+	})
 	rows := make([]HeadlineRow, 0, len(cases))
-	for _, c := range cases {
-		m := zoo.ByName(c.model)
-		base := run(m, strategy.Baseline(), 4, c.gbps, o, nil)
-		slic := run(m, strategy.SlicingOnly(0), 4, c.gbps, o, nil)
-		p3 := run(m, strategy.P3(0), 4, c.gbps, o, nil)
+	for ci, c := range cases {
+		base := grid[ci*len(strategies)+0]
+		slic := grid[ci*len(strategies)+1]
+		p3 := grid[ci*len(strategies)+2]
 		rows = append(rows, HeadlineRow{
 			Model:         c.model,
 			BandwidthGbps: c.gbps,

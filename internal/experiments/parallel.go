@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// parEach runs fn(i) for every i in [0, n) on a worker pool sized to
+// GOMAXPROCS, and returns once all calls completed. Every simulated
+// configuration in this package is a pure function of its config (own
+// engine, own network, own discipline instances; the zoo builds a fresh
+// model per call), so sweeps parallelize freely: callers pre-build a flat
+// cell list, let parEach fill one result slot per index, and keep their
+// output order — and therefore every table and golden — bit-identical to
+// the serial sweep. Work is handed out by an atomic counter rather than
+// pre-sliced ranges because cell costs vary wildly (a 64-machine cell costs
+// ~100x a 4-machine one); the counter keeps every core busy until the tail.
+//
+// On a single-core runner (GOMAXPROCS=1) it degrades to a plain loop with
+// no goroutines at all, so serial debugging and deterministic profiling
+// stay trivial.
+func parEach(n int, fn func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

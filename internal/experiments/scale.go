@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"p3/internal/cluster"
+	"p3/internal/ring"
+	"p3/internal/strategy"
+	"p3/internal/zoo"
+)
+
+// ScaleRow is one cell of the cluster-size scale axis: a model at the
+// 1.5 Gbps bottleneck bandwidth (where ordering dominates), swept well past
+// the paper's 4-16 machines on both aggregation paths. WallMs records the
+// simulator's own cost for the cell — the number the dispatch-path
+// optimization is accountable to — and Events its discrete-event volume.
+type ScaleRow struct {
+	Model    string
+	Machines int
+	// Path is the aggregation path: "cluster" (parameter server) or "ring"
+	// (all-reduce).
+	Path  string
+	Sched string
+	// PerMachine is per-machine training throughput (samples/sec); the
+	// paper's scalability claim is that it stays flat as machines grow.
+	PerMachine float64
+	IterMs     float64
+	// Events is the discrete-event count of the run; at 64 machines the
+	// cluster path multiplies traffic ~250x over 4 machines.
+	Events uint64
+	// WallMs is the wall-clock cost of simulating the cell, measured while
+	// the other cells of the sweep share the machine (the sweep runs on the
+	// parEach pool), so on a multi-core runner it is an upper bound on the
+	// cell's serial cost. The serial perf-trajectory numbers live in the
+	// BENCH_<n>.json artifacts, whose sims run one at a time.
+	WallMs float64
+}
+
+// scaleSizes returns the machine-count axis. 64 machines was impractical
+// before the O(log F) dispatch rewrite: every egress queue holds one flow
+// per peer, so each pop paid a 64-flow linear scan (sorted in full under a
+// credit gate), inside simulations whose event volume itself grows ~N^2.
+func scaleSizes(path string, fast bool) []int {
+	if fast && path == PathRing {
+		// The 64-machine ring (2(N-1) rounds x N machines per chunk) costs
+		// ~40M events per cell; the trimmed sweep keeps CI fast and leaves
+		// the full axis to `p3bench scale`.
+		return []int{4, 16}
+	}
+	if fast {
+		return []int{4, 64}
+	}
+	return []int{4, 16, 64}
+}
+
+// Scale sweeps cluster sizes past the paper's testbed (Figure 10 stops at
+// 16 machines): the sliced strategy under fifo vs p3 ordering, parameter
+// server and ring all-reduce, at the bottleneck bandwidth. Cells run on the
+// parEach worker pool — each is a pure simulation — so the sweep's
+// wall-clock is bounded by its slowest cell on a multi-core runner.
+func Scale(o Options) []ScaleRow {
+	warm, measure := o.iters()
+	const model = "resnet50"
+	const gbps = 1.5
+	type cell struct {
+		path     string
+		machines int
+		sched    string
+	}
+	var cells []cell
+	for _, path := range []string{PathCluster, PathRing} {
+		for _, n := range scaleSizes(path, o.Fast) {
+			for _, sched := range []string{"fifo", "p3"} {
+				cells = append(cells, cell{path, n, sched})
+			}
+		}
+	}
+	rows := make([]ScaleRow, len(cells))
+	parEach(len(cells), func(i int) {
+		c := cells[i]
+		st, err := strategy.SlicingOnly(0).WithSched(c.sched)
+		if err != nil {
+			panic(err)
+		}
+		st.Name = "sliced+" + c.sched
+		row := ScaleRow{Model: model, Machines: c.machines, Path: c.path, Sched: c.sched}
+		t0 := time.Now()
+		if c.path == PathRing {
+			r := ring.Run(ring.Config{
+				Model: zoo.ByName(model), Machines: c.machines, Strategy: st,
+				BandwidthGbps: gbps,
+				WarmupIters:   warm, MeasureIters: measure, Seed: o.Seed + 1,
+			})
+			row.PerMachine = r.Throughput / float64(r.Machines)
+			row.IterMs = r.MeanIterTime.Millis()
+			row.Events = r.Events
+		} else {
+			r := cluster.Run(cluster.Config{
+				Model: zoo.ByName(model), Machines: c.machines, Strategy: st,
+				BandwidthGbps: gbps,
+				WarmupIters:   warm, MeasureIters: measure, Seed: o.Seed + 1,
+			})
+			row.PerMachine = r.Throughput / float64(r.Machines)
+			row.IterMs = r.MeanIterTime.Millis()
+			row.Events = r.Events
+		}
+		row.WallMs = float64(time.Since(t0).Microseconds()) / 1000
+		rows[i] = row
+	})
+	return rows
+}
+
+// ScaleTable renders the scale axis, one line per (path, machines, sched).
+func ScaleTable(rows []ScaleRow) string {
+	out := "model\tpath\tmachines\tsched\tsamples/s/machine\titer_ms\tevents\tsim_wall_ms\n"
+	for _, r := range rows {
+		out += fmt.Sprintf("%s\t%s\t%d\t%s\t%.1f\t%.2f\t%d\t%.1f\n",
+			r.Model, r.Path, r.Machines, r.Sched, r.PerMachine, r.IterMs, r.Events, r.WallMs)
+	}
+	return out
+}

@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestScaleSweep runs the trimmed scale axis end to end: every cell must
+// complete (a wedged 64-machine protocol panics inside cluster.Run), report
+// sane throughput, and show the event volume actually growing with the
+// cluster — the regime the O(log F) dispatcher exists for.
+func TestScaleSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("64-machine sweep in -short mode")
+	}
+	rows := Scale(Options{Fast: true, Seed: 1})
+	if len(rows) == 0 {
+		t.Fatal("no scale rows")
+	}
+	events := map[int]uint64{}
+	var saw64 bool
+	for _, r := range rows {
+		if r.PerMachine <= 0 || r.IterMs <= 0 {
+			t.Fatalf("degenerate row: %+v", r)
+		}
+		if r.Path == PathCluster && r.Sched == "p3" {
+			events[r.Machines] = r.Events
+		}
+		if r.Machines == 64 {
+			saw64 = true
+		}
+	}
+	if !saw64 {
+		t.Fatal("fast sweep lost the 64-machine cell")
+	}
+	if events[64] <= events[4] {
+		t.Fatalf("64-machine run should dwarf 4-machine event volume: %d vs %d", events[64], events[4])
+	}
+	table := ScaleTable(rows)
+	if !strings.Contains(table, "cluster\t64\tp3") {
+		t.Fatalf("table missing the 64-machine p3 cell:\n%s", table)
+	}
+}

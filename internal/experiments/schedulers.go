@@ -96,54 +96,75 @@ func schedCases(o Options) []struct {
 // Sched name and the network's preemption quantum.
 func SchedulerAblation(o Options) []SchedulerRow {
 	warm, measure := o.iters()
-	var rows []SchedulerRow
+	// Flatten the sweep into independent cells first, then fill every cell
+	// on the parEach worker pool: each cell is one pure simulation, so the
+	// table comes out bit-identical to the serial sweep, only bounded by
+	// the slowest core instead of the sum of all cells. The non-preemptive
+	// fifo cell doubles as the TTCSpeedup reference of its (model, path)
+	// group, resolved in a serial pass after the measurements land.
+	type cell struct {
+		model   string
+		gbps    float64
+		path    string
+		sched   string
+		preempt int64
+	}
+	var cells []cell
 	for _, c := range schedCases(o) {
-		m := zoo.ByName(c.model)
 		for _, path := range []string{PathCluster, PathRing} {
-			measureRow := func(name string, preempt int64) SchedulerRow {
-				st, err := strategy.SlicingOnly(0).WithSched(name)
-				if err != nil {
-					panic(err) // SchedDisciplines() only holds registered names
-				}
-				st.Name = "sliced+" + name
-				row := SchedulerRow{
-					Model:         c.model,
-					BandwidthGbps: c.gbps,
-					Path:          path,
-					Sched:         name,
-					Preempt:       preempt,
-				}
-				if path == PathRing {
-					r := ring.Run(ring.Config{
-						Model: m, Machines: 4, Strategy: st, BandwidthGbps: c.gbps,
-						PreemptQuantum: preempt,
-						WarmupIters:    warm, MeasureIters: measure, Seed: o.Seed + 1,
-					})
-					row.PerMachine = r.Throughput / float64(r.Machines)
-					row.IterMs = r.MeanIterTime.Millis()
-				} else {
-					r := runPreempt(m, st, 4, c.gbps, preempt, o)
-					row.PerMachine = r.Throughput / float64(r.Machines)
-					row.IterMs = r.MeanIterTime.Millis()
-				}
-				return row
-			}
-			// The non-preemptive fifo reference runs once, up front, so
-			// TTCSpeedup does not depend on SchedDisciplines' ordering.
-			fifo := measureRow("fifo", 0)
-			fifo.TTCSpeedup = 1
 			for _, name := range SchedDisciplines() {
 				for _, preempt := range []int64{0, netsim.DefaultPreemptQuantum} {
-					if name == "fifo" && preempt == 0 {
-						rows = append(rows, fifo)
-						continue
-					}
-					row := measureRow(name, preempt)
-					row.TTCSpeedup = fifo.IterMs / row.IterMs
-					rows = append(rows, row)
+					cells = append(cells, cell{c.model, c.gbps, path, name, preempt})
 				}
 			}
 		}
+	}
+	rows := make([]SchedulerRow, len(cells))
+	parEach(len(cells), func(i int) {
+		c := cells[i]
+		st, err := strategy.SlicingOnly(0).WithSched(c.sched)
+		if err != nil {
+			panic(err) // SchedDisciplines() only holds registered names
+		}
+		st.Name = "sliced+" + c.sched
+		m := zoo.ByName(c.model) // fresh model per cell: nothing shared across goroutines
+		row := SchedulerRow{
+			Model:         c.model,
+			BandwidthGbps: c.gbps,
+			Path:          c.path,
+			Sched:         c.sched,
+			Preempt:       c.preempt,
+		}
+		if c.path == PathRing {
+			r := ring.Run(ring.Config{
+				Model: m, Machines: 4, Strategy: st, BandwidthGbps: c.gbps,
+				PreemptQuantum: c.preempt,
+				WarmupIters:    warm, MeasureIters: measure, Seed: o.Seed + 1,
+			})
+			row.PerMachine = r.Throughput / float64(r.Machines)
+			row.IterMs = r.MeanIterTime.Millis()
+		} else {
+			r := runPreempt(m, st, 4, c.gbps, c.preempt, o)
+			row.PerMachine = r.Throughput / float64(r.Machines)
+			row.IterMs = r.MeanIterTime.Millis()
+		}
+		rows[i] = row
+	})
+	// Resolve TTCSpeedup against each (model, bandwidth, path) group's
+	// non-preemptive fifo row (a model appears at several bandwidths).
+	type group struct {
+		model string
+		gbps  float64
+		path  string
+	}
+	fifoIter := make(map[group]float64)
+	for i := range rows {
+		if rows[i].Sched == "fifo" && rows[i].Preempt == 0 {
+			fifoIter[group{rows[i].Model, rows[i].BandwidthGbps, rows[i].Path}] = rows[i].IterMs
+		}
+	}
+	for i := range rows {
+		rows[i].TTCSpeedup = fifoIter[group{rows[i].Model, rows[i].BandwidthGbps, rows[i].Path}] / rows[i].IterMs
 	}
 	return rows
 }

@@ -182,6 +182,13 @@ type Network struct {
 	// Preemptions counts in-flight transmissions parked for a more urgent
 	// message (always 0 with PreemptQuantum 0).
 	Preemptions int64
+
+	// doneScratch is the reusable txState behind delivery-time credit
+	// refunds (see pumpIngress): Done only reads the Item view, so one
+	// scratch value serves every delivery instead of allocating a throwaway
+	// per message. Safe because the engine is single-threaded and Done does
+	// not retain its argument.
+	doneScratch txState
 }
 
 // New creates a network of n machines on the given engine. handler is invoked
@@ -379,9 +386,10 @@ func (nw *Network) pumpIngress(machine int) {
 		nw.BytesDelivered += m.Bytes
 		// Full delivery closes the sender's transmission window for this
 		// message: return its credit and let the sender's egress continue.
-		// (The throwaway txState is fine: the credit refund only reads the
+		// (The scratch txState is fine: the credit refund only reads the
 		// Bytes and Dest of the Item view, which the message determines.)
-		nw.nics[m.From].egress.Done(&txState{msg: m, pri: m.Priority})
+		nw.doneScratch = txState{msg: m, pri: m.Priority}
+		nw.nics[m.From].egress.Done(&nw.doneScratch)
 		nw.pumpEgress(m.From)
 		nw.deliver(m)
 		nw.pumpIngress(machine)

@@ -1,0 +1,183 @@
+package pq
+
+import (
+	"math/rand/v2"
+	"sort"
+	"testing"
+)
+
+// tracked is an Indexed element whose heap position is recorded by the move
+// callback, the way sched.Queue's flows record theirs.
+type tracked struct {
+	key int
+	seq int
+	idx int
+}
+
+func newTrackedHeap() *Indexed[*tracked] {
+	return NewIndexed(
+		func(a, b *tracked) bool {
+			if a.key != b.key {
+				return a.key < b.key
+			}
+			return a.seq < b.seq // unique: strict total order
+		},
+		func(x *tracked, i int) { x.idx = i },
+	)
+}
+
+// verifyIndex checks that every element's recorded position is its actual
+// slab position — the invariant Fix and Remove address by.
+func verifyIndex(t *testing.T, h *Indexed[*tracked]) {
+	t.Helper()
+	for i, x := range h.items {
+		if x.idx != i {
+			t.Fatalf("element %v recorded idx %d, actually at %d", x, x.idx, i)
+		}
+	}
+}
+
+func TestIndexedOrdering(t *testing.T) {
+	h := newTrackedHeap()
+	var want []int
+	for i, k := range []int{5, 3, 8, 1, 9, 2, 7, 3, 5} {
+		h.Push(&tracked{key: k, seq: i})
+		want = append(want, k)
+		verifyIndex(t, h)
+	}
+	sort.Ints(want)
+	for _, w := range want {
+		if got := h.Pop(); got.key != w {
+			t.Fatalf("pop = %d, want %d", got.key, w)
+		}
+		verifyIndex(t, h)
+	}
+	if h.Len() != 0 {
+		t.Fatalf("drained heap has Len %d", h.Len())
+	}
+}
+
+func TestIndexedPopReportsDeparture(t *testing.T) {
+	h := newTrackedHeap()
+	x := &tracked{key: 1}
+	h.Push(x)
+	if x.idx != 0 {
+		t.Fatalf("pushed element at idx %d", x.idx)
+	}
+	h.Pop()
+	if x.idx != -1 {
+		t.Fatalf("popped element still reports idx %d, want -1", x.idx)
+	}
+}
+
+// TestIndexedPopClearsSlot pins the slab-hygiene contract: a popped slot must
+// not keep the old element reachable from the backing array.
+func TestIndexedPopClearsSlot(t *testing.T) {
+	h := newTrackedHeap()
+	h.Push(&tracked{key: 1})
+	h.Push(&tracked{key: 2})
+	h.Pop()
+	if got := h.items[:cap(h.items)][1]; got != nil {
+		t.Fatalf("vacated slab slot still holds %v", got)
+	}
+}
+
+// TestIndexedFixAndRemove drives random push/pop/fix/remove interleavings
+// against a sorted-slice mirror.
+func TestIndexedFixAndRemove(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 11))
+	h := newTrackedHeap()
+	var live []*tracked
+	seq := 0
+	popMin := func() *tracked {
+		sort.Slice(live, func(i, j int) bool {
+			if live[i].key != live[j].key {
+				return live[i].key < live[j].key
+			}
+			return live[i].seq < live[j].seq
+		})
+		m := live[0]
+		live = live[1:]
+		return m
+	}
+	for step := 0; step < 4000; step++ {
+		switch op := rng.IntN(5); {
+		case op <= 1 || h.Len() == 0: // push
+			x := &tracked{key: rng.IntN(50), seq: seq}
+			seq++
+			h.Push(x)
+			live = append(live, x)
+		case op == 2: // pop
+			want := popMin()
+			if got := h.Pop(); got != want {
+				t.Fatalf("step %d: pop %v, want %v", step, got, want)
+			}
+		case op == 3: // fix: re-key a random element in place
+			x := live[rng.IntN(len(live))]
+			x.key = rng.IntN(50)
+			x.seq = seq // re-keying also refreshes the tie-break
+			seq++
+			h.Fix(x.idx)
+		default: // remove a random element from the middle
+			i := rng.IntN(len(live))
+			x := live[i]
+			live = append(live[:i], live[i+1:]...)
+			if got := h.Remove(x.idx); got != x {
+				t.Fatalf("step %d: removed %v, want %v", step, got, x)
+			}
+			if x.idx != -1 {
+				t.Fatalf("step %d: removed element reports idx %d", step, x.idx)
+			}
+		}
+		verifyIndex(t, h)
+		if h.Len() != len(live) {
+			t.Fatalf("step %d: heap Len %d, mirror %d", step, h.Len(), len(live))
+		}
+	}
+}
+
+// TestQueuePopClearsSlot pins the same slab hygiene on the FIFO-tie queue:
+// the vacated backing slot of a Pop must not pin the popped value.
+func TestQueuePopClearsSlot(t *testing.T) {
+	q := New(func(a, b *tracked) bool { return a.key < b.key })
+	q.Push(&tracked{key: 1})
+	q.Push(&tracked{key: 2})
+	q.Pop()
+	if got := q.items[:cap(q.items)][1].value; got != nil {
+		t.Fatalf("vacated slab slot still holds %v", got)
+	}
+}
+
+// TestQueueSteadyStateAllocs pins the allocation contract of the rewrite:
+// once the slab has grown, balanced Push/Pop cycles allocate nothing (the
+// container/heap implementation this replaced boxed every Push).
+func TestQueueSteadyStateAllocs(t *testing.T) {
+	q := New(intLess)
+	for i := 0; i < 256; i++ {
+		q.Push(i)
+	}
+	avg := testing.AllocsPerRun(1000, func() {
+		q.Push(42)
+		q.Pop()
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state Push/Pop allocates %.1f per op, want 0", avg)
+	}
+}
+
+func TestIndexedSteadyStateAllocs(t *testing.T) {
+	h := newTrackedHeap()
+	pool := make([]*tracked, 256)
+	for i := range pool {
+		pool[i] = &tracked{key: i % 37, seq: i}
+		h.Push(pool[i])
+	}
+	avg := testing.AllocsPerRun(1000, func() {
+		x := h.Pop()
+		h.Push(x)
+		h.Fix(x.idx)
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state Pop/Push/Fix allocates %.1f per op, want 0", avg)
+	}
+}

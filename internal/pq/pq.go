@@ -1,21 +1,31 @@
-// Package pq provides a deterministic priority queue used throughout the
+// Package pq provides the deterministic priority queues used throughout the
 // library: by the P3 scheduler (worker- and server-side producer/consumer
 // loops), by the network simulator's priority egress discipline, and by the
 // TCP transport's sender goroutine.
 //
-// Lower Less() values are dequeued first. Elements that compare equal are
-// dequeued in insertion order (FIFO), which both matches the behaviour of the
-// paper's implementation (slices of the same layer are sent in order) and
-// keeps the discrete-event simulation deterministic.
+// Lower Less() values are dequeued first. Queue breaks ties in insertion
+// order (FIFO), which both matches the behaviour of the paper's
+// implementation (slices of the same layer are sent in order) and keeps the
+// discrete-event simulation deterministic. Indexed is the position-tracking
+// variant behind O(log n) hand-off structures such as sched.Queue's
+// flow-head dispatcher.
+//
+// Both types store elements by value in one contiguous backing slice (a
+// slab) and sift with monomorphic code rather than container/heap, whose
+// interface methods box every pushed element into an `any` — one heap
+// allocation per Push. Steady-state Push/Pop cycles here allocate nothing
+// once the slab has grown to the working-set size, and popped slots are
+// cleared so the slab never pins dead elements (closures, frames) for the
+// garbage collector.
 package pq
-
-import "container/heap"
 
 // Queue is a min-queue over T ordered by the less function supplied at
 // construction, with FIFO tie-breaking. The zero value is not usable; call
 // New.
 type Queue[T any] struct {
-	h inner[T]
+	items []item[T]
+	less  func(a, b T) bool
+	seq   uint64
 }
 
 type item[T any] struct {
@@ -23,39 +33,54 @@ type item[T any] struct {
 	seq   uint64
 }
 
-type inner[T any] struct {
-	items []item[T]
-	less  func(a, b T) bool
-	seq   uint64
-}
-
 // New returns an empty queue ordered by less (true means a dequeues before b).
 func New[T any](less func(a, b T) bool) *Queue[T] {
-	return &Queue[T]{h: inner[T]{less: less}}
+	return &Queue[T]{less: less}
 }
 
 // Len reports the number of queued elements.
-func (q *Queue[T]) Len() int { return len(q.h.items) }
+func (q *Queue[T]) Len() int { return len(q.items) }
 
-// Push adds v to the queue.
+// before is the heap order: less first, insertion order on ties.
+func (q *Queue[T]) before(a, b item[T]) bool {
+	if q.less(a.value, b.value) {
+		return true
+	}
+	if q.less(b.value, a.value) {
+		return false
+	}
+	return a.seq < b.seq
+}
+
+// Push adds v to the queue in O(log n), allocating only when the backing
+// slab must grow.
 func (q *Queue[T]) Push(v T) {
-	q.h.seq++
-	heap.Push(&q.h, item[T]{value: v, seq: q.h.seq})
+	q.seq++
+	q.items = append(q.items, item[T]{value: v, seq: q.seq})
+	q.siftUp(len(q.items) - 1)
 }
 
 // Pop removes and returns the minimum element. It panics on an empty queue.
 func (q *Queue[T]) Pop() T {
-	return heap.Pop(&q.h).(item[T]).value
+	top := q.items[0]
+	n := len(q.items) - 1
+	q.items[0] = q.items[n]
+	q.items[n] = item[T]{} // clear the vacated slot: the slab must not pin dead values
+	q.items = q.items[:n]
+	if n > 0 {
+		q.siftDown(0)
+	}
+	return top.value
 }
 
 // Peek returns the minimum element without removing it. The second result is
 // false if the queue is empty.
 func (q *Queue[T]) Peek() (T, bool) {
-	if len(q.h.items) == 0 {
+	if len(q.items) == 0 {
 		var zero T
 		return zero, false
 	}
-	return q.h.items[0].value, true
+	return q.items[0].value, true
 }
 
 // Drain removes all elements in priority order and returns them.
@@ -67,27 +92,146 @@ func (q *Queue[T]) Drain() []T {
 	return out
 }
 
-func (h *inner[T]) Len() int { return len(h.items) }
-
-func (h *inner[T]) Less(i, j int) bool {
-	a, b := h.items[i], h.items[j]
-	if h.less(a.value, b.value) {
-		return true
+func (q *Queue[T]) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.before(q.items[i], q.items[parent]) {
+			return
+		}
+		q.items[i], q.items[parent] = q.items[parent], q.items[i]
+		i = parent
 	}
-	if h.less(b.value, a.value) {
-		return false
-	}
-	return a.seq < b.seq
 }
 
-func (h *inner[T]) Swap(i, j int) { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (q *Queue[T]) siftDown(i int) {
+	n := len(q.items)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		min := left
+		if right := left + 1; right < n && q.before(q.items[right], q.items[left]) {
+			min = right
+		}
+		if !q.before(q.items[min], q.items[i]) {
+			return
+		}
+		q.items[i], q.items[min] = q.items[min], q.items[i]
+		i = min
+	}
+}
 
-func (h *inner[T]) Push(x any) { h.items = append(h.items, x.(item[T])) }
+// Indexed is a min-heap over T that reports every element's current heap
+// position through a callback, so elements can be re-prioritized (Fix) or
+// removed (Remove) from the middle in O(log n) — the structure behind
+// sched.Queue's flow-head dispatcher, where each flow must know its slot so
+// a head change costs one sift instead of a linear rescan.
+//
+// Unlike Queue, Indexed does not tie-break internally: less must be a strict
+// weak order, and callers that need determinism (every caller in this
+// repository) must make it total, e.g. by comparing a unique sequence number
+// last. The zero value is not usable; call NewIndexed.
+type Indexed[T any] struct {
+	items []T
+	less  func(a, b T) bool
+	move  func(x T, i int)
+}
 
-func (h *inner[T]) Pop() any {
-	old := h.items
-	n := len(old)
-	it := old[n-1]
-	h.items = old[:n-1]
-	return it
+// NewIndexed returns an empty indexed heap ordered by less. move is invoked
+// with an element's new position every time it lands in a slot — including
+// on Push — and with -1 when the element leaves the heap (Pop, Remove);
+// callers record it to address Fix and Remove. move must not touch the heap.
+func NewIndexed[T any](less func(a, b T) bool, move func(x T, i int)) *Indexed[T] {
+	return &Indexed[T]{less: less, move: move}
+}
+
+// Len reports the number of held elements.
+func (h *Indexed[T]) Len() int { return len(h.items) }
+
+// Peek returns the minimum element without removing it. The second result is
+// false if the heap is empty.
+func (h *Indexed[T]) Peek() (T, bool) {
+	if len(h.items) == 0 {
+		var zero T
+		return zero, false
+	}
+	return h.items[0], true
+}
+
+// Push adds x in O(log n), allocating only when the backing slab must grow.
+func (h *Indexed[T]) Push(x T) {
+	i := len(h.items)
+	h.items = append(h.items, x)
+	h.move(x, i)
+	h.siftUp(i)
+}
+
+// Pop removes and returns the minimum element. It panics on an empty heap.
+func (h *Indexed[T]) Pop() T {
+	return h.Remove(0)
+}
+
+// Remove deletes and returns the element at position i (as last reported by
+// move) in O(log n). The removed element receives a final move(x, -1).
+func (h *Indexed[T]) Remove(i int) T {
+	x := h.items[i]
+	n := len(h.items) - 1
+	if i != n {
+		h.items[i] = h.items[n]
+		h.move(h.items[i], i)
+	}
+	var zero T
+	h.items[n] = zero // clear the vacated slot: the slab must not pin dead values
+	h.items = h.items[:n]
+	if i != n {
+		h.Fix(i)
+	}
+	h.move(x, -1)
+	return x
+}
+
+// Fix restores the heap order after the element at position i changed its
+// key (e.g. a flow's head changed), in O(log n).
+func (h *Indexed[T]) Fix(i int) {
+	if !h.siftDown(i) {
+		h.siftUp(i)
+	}
+}
+
+func (h *Indexed[T]) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(h.items[i], h.items[parent]) {
+			return
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		h.move(h.items[i], i)
+		h.move(h.items[parent], parent)
+		i = parent
+	}
+}
+
+// siftDown reports whether it moved the element at i.
+func (h *Indexed[T]) siftDown(i int) bool {
+	moved := false
+	n := len(h.items)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return moved
+		}
+		min := left
+		if right := left + 1; right < n && h.less(h.items[right], h.items[left]) {
+			min = right
+		}
+		if !h.less(h.items[min], h.items[i]) {
+			return moved
+		}
+		h.items[i], h.items[min] = h.items[min], h.items[i]
+		h.move(h.items[i], i)
+		h.move(h.items[min], min)
+		i = min
+		moved = true
+	}
 }

@@ -1,0 +1,30 @@
+package ring
+
+import (
+	"testing"
+
+	"p3/internal/strategy"
+	"p3/internal/zoo"
+)
+
+// TestRunScaledRing is the all-reduce scale smoke: a 16-machine ring runs
+// 2(N-1) = 30 rounds per chunk with every machine's reduce queue holding
+// one flow per peer — the many-flow regime of the indexed-heap dispatcher.
+// (The full 64-machine ring cell lives in `p3bench scale`; its ~40M events
+// are too slow for the -race unit suite.)
+func TestRunScaledRing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaled ring in -short mode")
+	}
+	st := strategy.Strategy{Name: "ar-p3", Granularity: strategy.Slices, Sched: "p3"}
+	r := Run(Config{
+		Model: zoo.ByName("resnet110"), Machines: 16, Strategy: st,
+		BandwidthGbps: 10, WarmupIters: 1, MeasureIters: 2, Seed: 3,
+	})
+	if r.Machines != 16 || r.Throughput <= 0 {
+		t.Fatalf("degenerate 16-machine ring result: %+v", r)
+	}
+	if r.MeanIterTime <= 0 || r.MeanIterTime < r.ComputeIter {
+		t.Fatalf("iteration time %v below compute floor %v", r.MeanIterTime, r.ComputeIter)
+	}
+}

@@ -56,6 +56,34 @@
 // by the element's own Dest, so a skipped flow can never absorb another
 // flow's refund.
 //
+// # Complexity and allocation contract
+//
+// Queue's dispatcher keeps the non-empty flows in an indexed min-heap
+// (pq.Indexed) ordered by head urgency, so no primitive ever scans the flow
+// set linearly. With F non-empty flows, n_f elements in the touched flow,
+// and k the number of flow heads the admission walk visits before its
+// verdict (k = 1 whenever the most urgent head is admitted — the common
+// case — and k never exceeds F):
+//
+//   - Push: O(log F + log n_f)
+//   - Peek: O(1)
+//   - Pop: O(log F + log n_f)
+//   - PopReady, PopReadyIf, PopPreempting, Preempts, Blocked:
+//     O(k log F + log n_f); ungated disciplines pin k = 1
+//   - Done, Cancel, Len, Discipline: O(1)
+//
+// Steady-state operation allocates nothing: elements, flow heads and the
+// admission walk all live in reusable slabs, a drained flow is evicted from
+// the flow map immediately (a long-running queue holds memory proportional
+// to its current flow set, not its historical one) and its shell is
+// recycled through a free list for the next flow that appears. Allocation
+// occurs only while a slab or the flow map is still growing toward the
+// working-set high-water mark. The CI benchmark gate (`p3bench -baseline`)
+// enforces both halves of this contract — allocs/op must be zero and ns/op
+// may not regress — and TestDispatchMatchesLinearScanReference pins the
+// dispatcher bit-identical to the retained linear-scan reference
+// implementation.
+//
 // # Preemption
 //
 // Two primitives support preemptive transmitters, which charge

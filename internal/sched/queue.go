@@ -1,8 +1,6 @@
 package sched
 
 import (
-	"sort"
-
 	"p3/internal/pq"
 )
 
@@ -23,6 +21,17 @@ import (
 // admissible head of another flow instead of blocking every destination
 // behind one starved one (flow-aware head skipping).
 //
+// The flow heads live in an indexed min-heap (pq.Indexed) ordered by the
+// same strict total order the dispatcher uses, so selecting, re-ranking or
+// evicting a flow costs O(log F) in the flow count F — never a linear scan —
+// and the admission walk visits heads in urgency order by popping the heap,
+// restoring the skipped prefix afterwards. A flow whose subqueue drains is
+// evicted immediately and its storage recycled through a free list, so a
+// long-running queue (the pstcp server's send queues live for the process
+// lifetime) holds memory proportional to its current, not historical, flow
+// set, and steady-state operation allocates nothing. See doc.go for the
+// per-operation complexity contract.
+//
 // The view function projects an element into the scheduler-visible Item;
 // it must be pure (the queue may call it more than once per element).
 type Queue[T any] struct {
@@ -32,15 +41,19 @@ type Queue[T any] struct {
 	adm  Admitter   // non-nil iff d gates with a credit window
 	view func(T) Item
 
-	flows   map[int32]*flow[T]
-	order   []*flow[T] // creation order: deterministic iteration
-	scratch []*flow[T] // reusable head-selection buffer
-	seq     uint64     // global insertion counter (cross-flow tie-break)
-	n       int
+	flows map[int32]*flow[T] // non-empty flows only, keyed by Item.Dest
+	heads *pq.Indexed[*flow[T]]
+	walk  []*flow[T] // reusable admission-walk buffer (skipped prefix)
+	free  []*flow[T] // drained flow shells kept for reuse
+	seq   uint64     // global insertion counter (cross-flow tie-break)
+	n     int
 }
 
+// flow is one destination's subqueue plus its position in the head heap
+// (maintained by the heap's move callback; -1 while evicted).
 type flow[T any] struct {
 	key int32
+	idx int
 	q   *pq.Queue[entry[T]]
 }
 
@@ -57,6 +70,14 @@ func NewQueue[T any](d Discipline, view func(T) Item) *Queue[T] {
 	q.rank, _ = d.(Ranker)
 	q.disp, _ = d.(Dispatcher)
 	q.adm, _ = d.(Admitter)
+	q.heads = pq.NewIndexed(
+		func(a, b *flow[T]) bool {
+			ea, _ := a.q.Peek()
+			eb, _ := b.q.Peek()
+			return q.before(ea, eb)
+		},
+		func(f *flow[T], i int) { f.idx = i },
+	)
 	return q
 }
 
@@ -66,28 +87,39 @@ func (q *Queue[T]) Discipline() Discipline { return q.d }
 // Len reports the number of queued elements.
 func (q *Queue[T]) Len() int { return q.n }
 
-// Push enqueues v into its flow's subqueue.
+// Push enqueues v into its flow's subqueue in O(log F) (plus O(log n_f) in
+// the flow's own depth), allocating only when a slab must grow.
 func (q *Queue[T]) Push(v T) {
 	it := q.view(v)
 	if q.rank != nil {
-		q.rank.Rank(&it)
+		it = q.rank.Rank(it)
 	}
 	q.seq++
 	f := q.flows[it.Dest]
 	if f == nil {
-		f = &flow[T]{key: it.Dest}
-		f.q = pq.New(func(a, b entry[T]) bool { return q.d.Less(a.it, b.it) })
+		if k := len(q.free); k > 0 {
+			f = q.free[k-1]
+			q.free[k-1] = nil
+			q.free = q.free[:k-1]
+			f.key = it.Dest
+		} else {
+			f = &flow[T]{key: it.Dest}
+			f.q = pq.New(func(a, b entry[T]) bool { return q.d.Less(a.it, b.it) })
+		}
 		q.flows[it.Dest] = f
-		q.order = append(q.order, f)
+		f.q.Push(entry[T]{v: v, it: it, seq: q.seq})
+		q.heads.Push(f)
+	} else {
+		f.q.Push(entry[T]{v: v, it: it, seq: q.seq})
+		q.heads.Fix(f.idx) // the flow's head may have changed
 	}
-	f.q.Push(entry[T]{v: v, it: it, seq: q.seq})
 	q.n++
 }
 
 // before reports whether entry a precedes b in the global dispatch order:
 // discipline order first, global insertion order on ties. Sequence numbers
-// are unique, so this is a strict total order and selection is deterministic
-// regardless of flow iteration order.
+// are unique, so this is a strict total order and both the head heap and the
+// dispatcher are deterministic regardless of internal layout.
 func (q *Queue[T]) before(a, b entry[T]) bool {
 	if q.d.Less(a.it, b.it) {
 		return true
@@ -98,45 +130,22 @@ func (q *Queue[T]) before(a, b entry[T]) bool {
 	return a.seq < b.seq
 }
 
-// best returns the flow holding the globally most urgent head, or nil when
-// the queue is empty. Admission is not consulted.
-func (q *Queue[T]) best() *flow[T] {
-	var bf *flow[T]
-	var bh entry[T]
-	for _, f := range q.order {
-		h, ok := f.q.Peek()
-		if !ok {
-			continue
-		}
-		if bf == nil || q.before(h, bh) {
-			bf, bh = f, h
-		}
-	}
-	return bf
-}
-
-// heads returns the non-empty flows sorted by the urgency of their heads,
-// most urgent first. The returned slice is reused across calls.
-func (q *Queue[T]) heads() []*flow[T] {
-	hs := q.scratch[:0]
-	for _, f := range q.order {
-		if f.q.Len() > 0 {
-			hs = append(hs, f)
-		}
-	}
-	sort.Slice(hs, func(i, j int) bool {
-		a, _ := hs[i].q.Peek()
-		b, _ := hs[j].q.Peek()
-		return q.before(a, b)
-	})
-	q.scratch = hs
-	return hs
-}
-
-// take pops f's head and runs the dispatch bookkeeping.
+// take pops f's head, evicts f if that drained it, and runs the dispatch
+// bookkeeping. f must currently be in the head heap.
 func (q *Queue[T]) take(f *flow[T]) T {
 	e := f.q.Pop()
 	q.n--
+	if f.q.Len() == 0 {
+		// Evict immediately: an empty flow must not linger in the map (that
+		// leak grew without bound on long-running transport queues) nor in
+		// the heap (its comparator has no head to read). The shell is
+		// recycled so a flow that reappears costs no allocation.
+		q.heads.Remove(f.idx)
+		delete(q.flows, f.key)
+		q.free = append(q.free, f)
+	} else {
+		q.heads.Fix(f.idx)
+	}
 	if q.adm != nil {
 		q.adm.OnStart(e.it)
 	}
@@ -146,11 +155,22 @@ func (q *Queue[T]) take(f *flow[T]) T {
 	return e.v
 }
 
+// restoreWalk pushes the admission walk's popped prefix back into the head
+// heap. Heap layout after restoration may differ, but dispatch order cannot:
+// the order is the comparator's strict total order, not the layout.
+func (q *Queue[T]) restoreWalk() {
+	for i, f := range q.walk {
+		q.heads.Push(f)
+		q.walk[i] = nil
+	}
+	q.walk = q.walk[:0]
+}
+
 // Peek returns the most urgent element without removing it, ignoring any
 // credit gate.
 func (q *Queue[T]) Peek() (T, bool) {
-	f := q.best()
-	if f == nil {
+	f, ok := q.heads.Peek()
+	if !ok {
 		var zero T
 		return zero, false
 	}
@@ -164,8 +184,8 @@ func (q *Queue[T]) Peek() (T, bool) {
 // stays balanced whether the element came from Pop or PopReady. The second
 // result is false when the queue is empty.
 func (q *Queue[T]) Pop() (T, bool) {
-	f := q.best()
-	if f == nil {
+	f, ok := q.heads.Peek()
+	if !ok {
 		var zero T
 		return zero, false
 	}
@@ -184,15 +204,22 @@ func (q *Queue[T]) PopReady() (T, bool) {
 	if q.adm == nil {
 		return q.Pop()
 	}
-	for _, f := range q.heads() {
+	var chosen *flow[T]
+	for q.heads.Len() > 0 {
+		f := q.heads.Pop()
+		q.walk = append(q.walk, f)
 		e, _ := f.q.Peek()
-		if !q.adm.Admit(e.it) {
-			continue
+		if q.adm.Admit(e.it) {
+			chosen = f
+			break
 		}
-		return q.take(f), true
 	}
-	var zero T
-	return zero, false
+	q.restoreWalk()
+	if chosen == nil {
+		var zero T
+		return zero, false
+	}
+	return q.take(chosen), true
 }
 
 // Preempts reports whether PopReady would dispatch an element strictly more
@@ -214,20 +241,25 @@ func (q *Queue[T]) Preempts(hold T) bool {
 	}
 	ht := q.view(hold)
 	if q.adm == nil {
-		f := q.best()
+		f, _ := q.heads.Peek()
 		e, _ := f.q.Peek()
 		return q.d.Less(e.it, ht)
 	}
-	for _, f := range q.heads() {
+	found := false
+	for q.heads.Len() > 0 {
+		f := q.heads.Pop()
+		q.walk = append(q.walk, f)
 		e, _ := f.q.Peek()
 		if !q.d.Less(e.it, ht) {
-			return false // heads are urgency-ordered: no candidate remains
+			break // heads are urgency-ordered: no candidate remains
 		}
 		if q.adm.Admit(e.it) {
-			return true
+			found = true
+			break
 		}
 	}
-	return false
+	q.restoreWalk()
+	return found
 }
 
 // PopReadyIf is PopReady with a caller veto: it selects the element
@@ -238,11 +270,15 @@ func (q *Queue[T]) Preempts(hold T) bool {
 // candidate must beat the in-flight transmission on more than urgency;
 // skipping a vetoed candidate for a less urgent one would reorder the
 // discipline, so the veto ends the walk.
+//
+// keep must not touch the queue (no Push/Pop/Done/Cancel): it runs while
+// the head heap is mid-walk, exactly like pq.NewIndexed's move callback
+// must not touch its heap. It should be a pure predicate of the candidate.
 func (q *Queue[T]) PopReadyIf(keep func(T) bool) (T, bool) {
 	var zero T
 	if q.adm == nil {
-		f := q.best()
-		if f == nil {
+		f, ok := q.heads.Peek()
+		if !ok {
 			return zero, false
 		}
 		e, _ := f.q.Peek()
@@ -251,17 +287,24 @@ func (q *Queue[T]) PopReadyIf(keep func(T) bool) (T, bool) {
 		}
 		return q.take(f), true
 	}
-	for _, f := range q.heads() {
+	var chosen *flow[T]
+	for q.heads.Len() > 0 {
+		f := q.heads.Pop()
+		q.walk = append(q.walk, f)
 		e, _ := f.q.Peek()
 		if !q.adm.Admit(e.it) {
 			continue
 		}
-		if !keep(e.v) {
-			return zero, false
+		if keep(e.v) {
+			chosen = f
 		}
-		return q.take(f), true
+		break
 	}
-	return zero, false
+	q.restoreWalk()
+	if chosen == nil {
+		return zero, false
+	}
+	return q.take(chosen), true
 }
 
 // PopPreempting pops the most urgent admissible element that is strictly
@@ -278,7 +321,10 @@ func (q *Queue[T]) PopPreempting(hold T) (T, bool) {
 		return zero, false
 	}
 	ht := q.view(hold)
-	for _, f := range q.heads() {
+	var chosen *flow[T]
+	for q.heads.Len() > 0 {
+		f := q.heads.Pop()
+		q.walk = append(q.walk, f)
 		e, _ := f.q.Peek()
 		if !q.d.Less(e.it, ht) {
 			break // heads are urgency-ordered: no candidate remains
@@ -289,9 +335,14 @@ func (q *Queue[T]) PopPreempting(hold T) (T, bool) {
 		if q.adm != nil && !q.adm.Admit(e.it) {
 			continue
 		}
-		return q.take(f), true
+		chosen = f
+		break
 	}
-	return zero, false
+	q.restoreWalk()
+	if chosen == nil {
+		return zero, false
+	}
+	return q.take(chosen), true
 }
 
 // Done releases v's in-flight charge (a no-op for disciplines without a
@@ -330,11 +381,16 @@ func (q *Queue[T]) Blocked() bool {
 	if q.adm == nil || q.n == 0 {
 		return false
 	}
-	for _, f := range q.heads() {
+	admissible := false
+	for q.heads.Len() > 0 {
+		f := q.heads.Pop()
+		q.walk = append(q.walk, f)
 		e, _ := f.q.Peek()
 		if q.adm.Admit(e.it) {
-			return false
+			admissible = true
+			break
 		}
 	}
-	return true
+	q.restoreWalk()
+	return !admissible
 }

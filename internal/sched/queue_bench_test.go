@@ -1,0 +1,24 @@
+package sched_test
+
+import (
+	"strings"
+	"testing"
+
+	"p3/internal/benchmarks"
+)
+
+// BenchmarkQueueManyFlows prices one dispatch with the queue spread over
+// many flows (64 and 256) — the regime the paper's 50k-parameter slicing
+// and a 64-machine cluster put every egress queue in. The benchmark bodies
+// live in internal/benchmarks so that `go test -bench`, `p3bench bench` and
+// the CI regression gate all measure the SAME code; this driver runs the
+// queue-level entries of that suite. The linear head scan the indexed heap
+// replaced was O(F) per pop (O(F log F) under a credit gate); every entry
+// here must be O(log F) and allocation-free at steady state.
+func BenchmarkQueueManyFlows(b *testing.B) {
+	for _, n := range benchmarks.Dispatch() {
+		if strings.HasPrefix(n.Name, "queue/") {
+			b.Run(strings.TrimPrefix(n.Name, "queue/"), n.Bench)
+		}
+	}
+}

@@ -43,9 +43,12 @@ type Discipline interface {
 
 // Ranker is implemented by disciplines that assign an ordering key at
 // enqueue time (stateful orders that a pure comparator cannot express, such
-// as round-robin). Rank is called exactly once per item, before insertion.
+// as round-robin). Rank is called exactly once per item, before insertion,
+// and returns the stamped item. (Value-in/value-out rather than a pointer:
+// passing a stack Item's address through the interface would force every
+// enqueue — under every discipline — to heap-allocate the view.)
 type Ranker interface {
-	Rank(it *Item)
+	Rank(it Item) Item
 }
 
 // Dispatcher is implemented by disciplines that track dequeues (e.g. to
@@ -164,13 +167,14 @@ func (*RoundRobinLayer) Name() string { return "rr" }
 
 func (r *RoundRobinLayer) Less(a, b Item) bool { return a.rank < b.rank }
 
-func (r *RoundRobinLayer) Rank(it *Item) {
+func (r *RoundRobinLayer) Rank(it Item) Item {
 	p := r.pass[it.Priority]
 	if p < r.virtual {
 		p = r.virtual
 	}
 	it.rank = p
 	r.pass[it.Priority] = p + 1
+	return it
 }
 
 func (r *RoundRobinLayer) OnDispatch(it Item) {

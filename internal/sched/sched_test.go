@@ -454,10 +454,10 @@ func TestByNameReturnsFreshInstances(t *testing.T) {
 	a := MustByName("rr").(*RoundRobinLayer)
 	b := MustByName("rr").(*RoundRobinLayer)
 	ita := Item{Priority: 7}
-	a.Rank(&ita)
-	a.Rank(&ita)
+	ita = a.Rank(ita)
+	ita = a.Rank(ita)
 	itb := Item{Priority: 7}
-	b.Rank(&itb)
+	itb = b.Rank(itb)
 	if itb.rank != 0 {
 		t.Fatal("rr instances share pass state across queues")
 	}

@@ -10,7 +10,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 )
 
@@ -42,23 +41,63 @@ type event struct {
 	fn  func()
 }
 
+// eventHeap is a slab-backed binary min-heap of events ordered by (at, seq):
+// all pending events live by value in one contiguous slice that is reused
+// across the run, and the sift code is monomorphic — container/heap, which
+// this replaced, boxed every scheduled event into an `any` and so cost one
+// heap allocation per event on top of the caller's closure. pop clears the
+// vacated slot, so the slab never pins a fired event's closure (and the
+// whole object graph it captures) for the garbage collector.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) before(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() (popped any) {
-	old := *h
-	n := len(old)
-	popped = old[n-1]
-	*h = old[:n-1]
-	return
+
+// push appends ev to the slab and sifts it up.
+func (h *eventHeap) push(ev event) {
+	*h = append(*h, ev)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.before(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the earliest event, clearing the vacated slot.
+func (h *eventHeap) pop() event {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = event{} // the slab must not pin the fired closure
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		min := left
+		if right := left + 1; right < n && s.before(right, left) {
+			min = right
+		}
+		if !s.before(min, i) {
+			break
+		}
+		s[i], s[min] = s[min], s[i]
+		i = min
+	}
+	return top
 }
 
 // Engine is a discrete-event scheduler. The zero value is ready to use.
@@ -83,7 +122,7 @@ func (e *Engine) At(t Time, fn func()) {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
 	e.seq++
-	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
+	e.events.push(event{at: t, seq: e.seq, fn: fn})
 }
 
 // After schedules fn to run d nanoseconds from now. Negative d panics.
@@ -97,7 +136,7 @@ func (e *Engine) Stop() { e.stopped = true }
 func (e *Engine) Run() Time {
 	e.stopped = false
 	for len(e.events) > 0 && !e.stopped {
-		ev := heap.Pop(&e.events).(event)
+		ev := e.events.pop()
 		e.now = ev.at
 		e.nRun++
 		ev.fn()
@@ -113,7 +152,7 @@ func (e *Engine) RunUntil(deadline Time) Time {
 		if e.events[0].at > deadline {
 			break
 		}
-		ev := heap.Pop(&e.events).(event)
+		ev := e.events.pop()
 		e.now = ev.at
 		e.nRun++
 		ev.fn()

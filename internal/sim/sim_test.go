@@ -175,17 +175,48 @@ func TestDeterminism(t *testing.T) {
 	}
 }
 
-func BenchmarkEngine(b *testing.B) {
+// The engine's scheduling benchmark (engine/event) lives in
+// internal/benchmarks, shared with `p3bench bench` and the CI regression
+// gate, and runs under go test via the root BenchmarkDispatch driver.
+
+// TestPoppedEventSlotCleared pins the slab-hygiene fix: once an event has
+// fired, the heap's backing array must not keep its closure reachable — a
+// long-lived engine (the zoo sweeps reuse one per run) would otherwise pin
+// every dead closure and whatever it captured until the slab shrank.
+func TestPoppedEventSlotCleared(t *testing.T) {
 	var eng Engine
-	n := 0
-	var tick func()
-	tick = func() {
-		n++
-		if n < b.N {
-			eng.After(10, tick)
+	eng.At(1, func() {})
+	eng.At(2, func() {})
+	eng.Run()
+	slab := eng.events[:cap(eng.events)]
+	for i, ev := range slab {
+		if ev.fn != nil {
+			t.Fatalf("slab slot %d still pins a fired event's closure", i)
 		}
 	}
-	eng.After(10, tick)
-	b.ResetTimer()
-	eng.Run()
+}
+
+// TestEngineSteadyStateAllocs pins the scheduling cost: re-arming an event
+// from within an event (the simulator's universal pattern) must not allocate
+// once the slab has grown — container/heap boxed every push into an `any`,
+// one heap allocation per event on top of the caller's closure.
+func TestEngineSteadyStateAllocs(t *testing.T) {
+	var eng Engine
+	var tick func()
+	n := 0
+	tick = func() {
+		n++
+		if n%2 == 0 {
+			eng.After(10, tick) // re-arm with the SAME closure value: no capture alloc
+		} else {
+			eng.After(5, tick)
+		}
+	}
+	eng.After(1, tick)
+	avg := testing.AllocsPerRun(500, func() {
+		eng.RunUntil(eng.Now() + 100)
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state event scheduling allocates %.2f per 100-tick window, want 0", avg)
+	}
 }

@@ -20,10 +20,12 @@ import (
 // dispatch the most urgent admissible flow head (flow-aware head skipping),
 // all under the queue's one mutex/condvar.
 type SendQueue struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	q      *sched.Queue[*Frame]
-	closed bool
+	mu      sync.Mutex
+	cond    *sync.Cond
+	q       *sched.Queue[*Frame]
+	gated   bool // the discipline has an Admitter: Done/Cancel can unblock a consumer
+	waiters int  // consumers parked in cond.Wait
+	closed  bool
 }
 
 // frameItem is the scheduler-visible view of a frame: the wire priority,
@@ -38,8 +40,18 @@ func frameItem(f *Frame) sched.Item {
 // sched.ByName.
 func NewSendQueue(d sched.Discipline) *SendQueue {
 	s := &SendQueue{q: sched.NewQueue(d, frameItem)}
+	_, s.gated = d.(sched.Admitter)
 	s.cond = sync.NewCond(&s.mu)
 	return s
+}
+
+// signal wakes one parked consumer, if any. Tracking the waiter count keeps
+// the producer fast path free of the condvar's notify list when the consumer
+// is keeping up (the common case under load); callers must hold s.mu.
+func (s *SendQueue) signal() {
+	if s.waiters > 0 {
+		s.cond.Signal()
+	}
 }
 
 // Push enqueues a frame. Pushing to a closed queue is a no-op.
@@ -50,7 +62,7 @@ func (s *SendQueue) Push(f *Frame) {
 		return
 	}
 	s.q.Push(f)
-	s.cond.Signal()
+	s.signal()
 }
 
 // Pop blocks until a frame is admitted by the discipline or the queue is
@@ -64,7 +76,9 @@ func (s *SendQueue) Pop() (*Frame, bool) {
 		if f, ok := s.q.PopReady(); ok {
 			return f, true
 		}
+		s.waiters++
 		s.cond.Wait()
+		s.waiters--
 	}
 	// Closed: drain without the credit gate — the consumer is shutting
 	// down and acknowledgements may never come.
@@ -98,14 +112,19 @@ func (s *SendQueue) TryPopPreempting(hold *Frame) (*Frame, bool) {
 	return s.q.PopPreempting(hold)
 }
 
-// Done releases f's in-flight credit (a no-op for ungated disciplines) and
-// wakes a consumer that may now be admitted. Call it once per popped frame
-// after the blocking write completes.
+// Done releases f's in-flight credit and wakes a consumer that may now be
+// admitted. Call it once per popped frame after the blocking write
+// completes. For a discipline without a credit window the release is a
+// no-op and nothing new can become admissible, so ungated queues skip the
+// lock round-trip entirely — Done costs nothing on the fifo/p3 hot path.
 func (s *SendQueue) Done(f *Frame) {
+	if !s.gated {
+		return
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.q.Done(f)
-	s.cond.Signal()
+	s.signal()
 }
 
 // Cancel releases f's in-flight credit without signalling a completion —
@@ -114,10 +133,13 @@ func (s *SendQueue) Done(f *Frame) {
 // routed by f's own destination, so a flow skipped at dispatch never
 // absorbs another flow's refund.
 func (s *SendQueue) Cancel(f *Frame) {
+	if !s.gated {
+		return
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.q.Cancel(f)
-	s.cond.Signal()
+	s.signal()
 }
 
 // Len reports the queued frame count.

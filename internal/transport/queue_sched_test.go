@@ -124,6 +124,12 @@ func BenchmarkSendQueue(b *testing.B) {
 		})
 	}
 
+	// The serial many-destination dispatch benchmarks (sendqueue/*/64dests)
+	// live in internal/benchmarks, shared with `p3bench bench` and the CI
+	// regression gate, and run under go test via the root BenchmarkDispatch
+	// driver; the sub-benchmarks here cover what that suite cannot — real
+	// producer/consumer concurrency on the mutex/condvar path.
+
 	// blocked-flow: the hot path of flow-aware head skipping. Destination 1
 	// sits permanently credit-blocked at the most urgent priority; every
 	// dispatch must skip over it to destination 2's admissible frames, so
