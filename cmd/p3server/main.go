@@ -31,9 +31,10 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:9700", "listen address")
 	id := flag.Int("id", 0, "server id")
 	workers := flag.Int("workers", 4, "worker count (pushes per update)")
-	schedName := flag.String("sched", "p3", "queue discipline: "+strings.Join(sched.Names(), "|")+" (p3 = paper, fifo = baseline)")
+	schedName := flag.String("sched", "p3", "queue discipline: "+strings.Join(sched.Usage(), "|")+" (p3 = paper, fifo = baseline)")
 	modelName := flag.String("model", "", "zoo model supplying the timing profile for model-aware disciplines (tictac); empty = none")
 	gbps := flag.Float64("gbps", 10, "estimated wire rate (Gbps) for the timing profile's transfer estimates")
+	stallsIn := flag.String("stalls", "", "calibrated mode: build the timing profile from this measured stall file (p3sim -stallsout) instead of static timing alone; requires -model")
 	preempt := flag.Int("preempt", 0, "write quantum in bytes for preemptive transmission (0 = whole frames)")
 	notifyPull := flag.Bool("notifypull", false, "stock KVStore notify+pull instead of immediate broadcast")
 	lr := flag.Float64("lr", 0.1, "server-side SGD learning rate")
@@ -52,7 +53,20 @@ func main() {
 			fmt.Fprintln(os.Stderr, "p3server:", err)
 			os.Exit(2)
 		}
-		profile = strategy.ComputeProfile(m, *gbps)
+		if *stallsIn != "" {
+			stalls, err := strategy.ReadStallFile(*stallsIn)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "p3server:", err)
+				os.Exit(2)
+			}
+			profile = strategy.CalibrateProfile(m, *gbps, stalls)
+			fmt.Printf("p3server %d: timing profile calibrated from measured stalls in %s\n", *id, *stallsIn)
+		} else {
+			profile = strategy.ComputeProfile(m, *gbps)
+		}
+	} else if *stallsIn != "" {
+		fmt.Fprintln(os.Stderr, "p3server: -stalls requires -model (the stall profile is per-layer)")
+		os.Exit(2)
 	} else if _, wantsProfile := disc.(sched.Profiled); wantsProfile {
 		fmt.Fprintf(os.Stderr, "p3server: warning: -sched %s without -model has no timing profile and degrades to p3 ordering\n", *schedName)
 	}

@@ -16,6 +16,16 @@
 //
 //	p3sim -model vgg19 -strategy slicing -sched credit:1048576 -bw 15
 //	p3sim -model vgg19 -strategy p3 -bw 1.5 -preempt 65536
+//
+// The calibrated mode closes the stall-feedback loop: -calibrate runs two
+// passes — the first on the static FLOP-derived timing profile, the second
+// on a profile rebuilt from the first pass's measured per-layer stalls —
+// and reports both. -stallsout writes the measured stall profile for a
+// later p3server/p3worker run; -stalls starts from one instead of the
+// static profile:
+//
+//	p3sim -model vgg19 -strategy tictac -bw 1.5 -calibrate -stallsout vgg19.stalls
+//	p3sim -model vgg19 -strategy tictac -bw 1.5 -stalls vgg19.stalls
 package main
 
 import (
@@ -34,7 +44,7 @@ import (
 func main() {
 	modelName := flag.String("model", "resnet50", "model: resnet50|inception3|vgg19|sockeye|resnet110")
 	stratName := flag.String("strategy", "p3", "strategy: baseline|tensorflow|wfbp|slicing|p3|asgd")
-	schedName := flag.String("sched", "", "override the strategy's queue discipline: "+strings.Join(sched.Names(), "|")+" (also credit:<bytes>)")
+	schedName := flag.String("sched", "", "override the strategy's queue discipline: "+strings.Join(sched.Usage(), "|"))
 	preempt := flag.Int64("preempt", 0, "egress preemption quantum in wire bytes (0 = off: in-flight messages always finish)")
 	bw := flag.Float64("bw", 10, "per-direction NIC bandwidth in Gbps")
 	machines := flag.Int("machines", 4, "cluster size (workers == servers == machines)")
@@ -44,6 +54,9 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload seed")
 	showTrace := flag.Bool("trace", false, "print machine 0's 10ms utilization trace")
 	showLayers := flag.Bool("layers", false, "print the model's per-tensor table (Figure 5 data) and exit")
+	calibrate := flag.Bool("calibrate", false, "two-pass calibrated mode: re-run with the profile rebuilt from the first pass's measured stalls and report both")
+	stallsIn := flag.String("stalls", "", "run against a measured stall profile (file written by -stallsout) instead of the static timing")
+	stallsOut := flag.String("stallsout", "", "write the run's measured per-layer mean stalls to this file")
 	flag.Parse()
 
 	st, err := strategy.ByName(*stratName)
@@ -72,7 +85,7 @@ func main() {
 	if *showTrace {
 		rec = trace.NewRecorder(*machines, 0)
 	}
-	r := cluster.Run(cluster.Config{
+	cfg := cluster.Config{
 		Model:          m,
 		Machines:       *machines,
 		Strategy:       st,
@@ -82,7 +95,42 @@ func main() {
 		MeasureIters:   *iters,
 		Seed:           *seed,
 		Recorder:       rec,
-	})
+	}
+	if *stallsIn != "" {
+		stalls, err := strategy.ReadStallFile(*stallsIn)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "p3sim:", err)
+			os.Exit(2)
+		}
+		cfg.Profile = strategy.CalibrateProfile(m, *bw, stalls)
+	}
+	var r cluster.Result
+	if *calibrate {
+		// Two passes by hand rather than cluster.RunCalibrated so the
+		// utilization recorder (and any -stallsout artifact) reflects only
+		// the calibrated pass.
+		first := cfg
+		first.Recorder = nil
+		static := cluster.Run(first)
+		cfg.Profile = strategy.CalibrateProfile(m, *bw, static.MeanLayerStalls())
+		r = cluster.Run(cfg)
+		firstLabel := "static"
+		if *stallsIn != "" {
+			firstLabel = "stall-file" // the first pass already ran on -stalls
+		}
+		fmt.Printf("calibrated:  %s pass %.2f ms/iter (stall %.2f ms) -> measured-profile pass %.2f ms/iter (stall %.2f ms)\n",
+			firstLabel, static.MeanIterTime.Millis(), static.TotalStall().Millis(),
+			r.MeanIterTime.Millis(), r.TotalStall().Millis())
+	} else {
+		r = cluster.Run(cfg)
+	}
+	if *stallsOut != "" {
+		if err := strategy.WriteStallFile(*stallsOut, r.MeanLayerStalls()); err != nil {
+			fmt.Fprintln(os.Stderr, "p3sim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote measured stall profile to %s\n", *stallsOut)
+	}
 
 	preemptDesc := "off"
 	if *preempt > 0 {

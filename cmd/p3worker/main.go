@@ -21,11 +21,13 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"sync"
 	"time"
 
 	"p3/internal/core"
 	"p3/internal/pstcp"
 	"p3/internal/sched"
+	"p3/internal/sim"
 	"p3/internal/strategy"
 	"p3/internal/transport"
 	"p3/internal/zoo"
@@ -38,12 +40,18 @@ func main() {
 	slice := flag.Int64("slice", 0, "max slice size in parameters (0 = paper default 50k)")
 	iters := flag.Int("iters", 20, "iterations to run")
 	warmup := flag.Int("warmup", 3, "warm-up iterations excluded from stats")
-	schedName := flag.String("sched", "p3", "send-queue discipline: "+strings.Join(sched.Names(), "|")+" (p3 = paper, fifo = baseline)")
+	schedName := flag.String("sched", "p3", "send-queue discipline: "+strings.Join(sched.Usage(), "|")+" (p3 = paper, fifo = baseline)")
 	preempt := flag.Int("preempt", 0, "write quantum in bytes for preemptive transmission (0 = whole frames)")
 	gbps := flag.Float64("gbps", 10, "estimated wire rate (Gbps) for the tictac timing profile's transfer estimates")
 	batch := flag.Int("batch", 32, "nominal batch size (throughput accounting only)")
+	stallsIn := flag.String("stalls", "", "calibrated mode: build the timing profile from this measured stall file (p3sim -stallsout) instead of static timing alone")
+	calibrate := flag.Bool("calibrate", false, "live calibrated mode: after the warm-up iterations, rebuild the timing profile from this worker's own measured per-layer stalls and re-rank subsequent sends against it")
 	flag.Parse()
 
+	if *calibrate && *warmup < 1 {
+		fmt.Fprintln(os.Stderr, "p3worker: -calibrate needs at least one warm-up iteration to measure (-warmup >= 1)")
+		os.Exit(2)
+	}
 	addrs := strings.Split(*serverList, ",")
 	m := zoo.ByName(*modelName)
 	plan := core.PartitionSlices(m, *slice, len(addrs))
@@ -59,6 +67,24 @@ func main() {
 
 	recv := make(chan struct{}, plan.NumChunks()+8)
 	profile := strategy.ComputeProfile(m, *gbps)
+	if *stallsIn != "" {
+		stalls, err := strategy.ReadStallFile(*stallsIn)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "p3worker:", err)
+			os.Exit(2)
+		}
+		profile = strategy.CalibrateProfile(m, *gbps, stalls)
+		fmt.Printf("p3worker %d: timing profile calibrated from measured stalls in %s\n", *id, *stallsIn)
+	}
+
+	// Live calibration state: the handler records, per layer, when the
+	// layer's last updated slice arrived relative to the iteration start;
+	// after warm-up the mean overshoot past the static deadline becomes the
+	// measured stall profile.
+	var calMu sync.Mutex
+	var iterStart time.Time
+	layerLast := make([]time.Duration, len(m.Layers))
+
 	worker, err := pstcp.DialWorkerCfg(pstcp.WorkerConfig{
 		ID:           *id,
 		Servers:      addrs,
@@ -67,6 +93,15 @@ func main() {
 		PreemptBytes: *preempt,
 		Handler: func(f *transport.Frame) {
 			if f.Type == transport.TypeData {
+				if *calibrate {
+					if l := plan.Chunks[f.Key].Layer; l < len(layerLast) {
+						calMu.Lock()
+						if d := time.Since(iterStart); d > layerLast[l] {
+							layerLast[l] = d
+						}
+						calMu.Unlock()
+					}
+				}
 				recv <- struct{}{}
 			}
 		},
@@ -85,8 +120,15 @@ func main() {
 	}
 
 	var measured []time.Duration
+	stallSum := make([]sim.Time, len(m.Layers))
 	for it := 0; it < *warmup+*iters; it++ {
 		start := time.Now()
+		calMu.Lock()
+		iterStart = start
+		for l := range layerLast {
+			layerLast[l] = 0
+		}
+		calMu.Unlock()
 		// Gradient generation order: backpropagation walks the layers from
 		// last to first; priorities (forward order) are what reorder the
 		// wire under -priority.
@@ -98,6 +140,28 @@ func main() {
 		}
 		for n := 0; n < plan.NumChunks(); n++ {
 			<-recv
+		}
+		if *calibrate && it < *warmup {
+			// Overshoot past the static consumption deadline is the measured
+			// stall the calibrated profile feeds back.
+			calMu.Lock()
+			for l := range layerLast {
+				if over := layerLast[l].Nanoseconds() - profile.NeedAtNs[l]; over > 0 {
+					stallSum[l] += sim.Time(over)
+				}
+			}
+			calMu.Unlock()
+		}
+		if *calibrate && it == *warmup-1 {
+			stalls := make([]sim.Time, len(stallSum))
+			var total sim.Time
+			for l, s := range stallSum {
+				stalls[l] = s / sim.Time(*warmup)
+				total += stalls[l]
+			}
+			worker.SetProfile(strategy.CalibrateProfile(m, *gbps, stalls))
+			fmt.Printf("p3worker %d: recalibrated timing profile from %d warm-up iterations (%.2f ms measured stall/iter)\n",
+				*id, *warmup, total.Millis())
 		}
 		if it >= *warmup {
 			measured = append(measured, time.Since(start))

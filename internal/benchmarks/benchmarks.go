@@ -186,11 +186,13 @@ func Dispatch() []Named {
 	return []Named{
 		{"queue/p3/64flows", queueBench("p3", 64)},
 		{"queue/p3/256flows", queueBench("p3", 256)},
+		{"queue/damped/64flows", queueBench("damped", 64)},
 		{"queue/tictac/64flows", queueBench("tictac", 64)},
 		{"queue/credit-adaptive/64flows", queueBench("credit-adaptive:1048576", 64)},
 		{"queue/credit-adaptive/256flows", queueBench("credit-adaptive:1048576", 256)},
 		{"queue/blocked-flow/64flows", blockedFlowBench(64)},
 		{"sendqueue/p3/64dests", sendQueueBench("p3")},
+		{"sendqueue/damped/64dests", sendQueueBench("damped")},
 		{"sendqueue/credit-adaptive/64dests", sendQueueBench("credit-adaptive:1048576")},
 		{"engine/event", engineBench},
 	}

@@ -56,6 +56,12 @@ type Config struct {
 	// it is derived from BandwidthGbps via netsim.DefaultConfig. The
 	// Egress discipline is always forced from the strategy's Sched name.
 	Net *netsim.Config
+	// Profile optionally overrides the static FLOP-derived timing profile
+	// handed to model-aware disciplines (tictac) — the hook behind the
+	// calibrated two-pass mode (RunCalibrated), which re-runs with a
+	// profile rebuilt from a prior run's measured stalls. nil selects the
+	// static strategy.ComputeProfile.
+	Profile *sched.Profile
 	// PreemptQuantum > 0 makes NIC egress transmission resumable in
 	// segments of this many wire bytes (netsim.Config.PreemptQuantum): a
 	// strictly more urgent message preempts an in-flight one at the next
@@ -153,9 +159,13 @@ type Result struct {
 	// WarmupEnd is the virtual time at which measurement began (for
 	// trimming utilization traces).
 	WarmupEnd sim.Time
+	// MeasuredIters is the measured iteration count (the divisor of
+	// MeanLayerStalls).
+	MeasuredIters int
 	// LayerStalls[l] is worker 0's cumulative measured-window time spent
 	// blocked at layer l waiting for its parameters — the queueing-delay
-	// mechanism Figures 1 and 4 of the paper illustrate.
+	// mechanism Figures 1 and 4 of the paper illustrate, and the measured
+	// signal the calibrated profile mode feeds back into scheduling.
 	LayerStalls []sim.Time
 
 	Events    uint64
@@ -174,6 +184,12 @@ func (r Result) TotalStall() sim.Time {
 		t += s
 	}
 	return t
+}
+
+// MeanLayerStalls returns the per-iteration mean of LayerStalls, the form
+// strategy.CalibrateProfile consumes.
+func (r Result) MeanLayerStalls() []sim.Time {
+	return strategy.MeanStalls(r.LayerStalls, r.MeasuredIters)
 }
 
 // Speedup returns r's throughput relative to base.
@@ -328,6 +344,26 @@ type clusterSim struct {
 	hostRate float64     // bytes per nanosecond
 }
 
+// RunCalibrated is the two-pass calibrated mode: the first pass runs cfg as
+// given (static FLOP-derived profile unless cfg.Profile overrides it) and
+// records the per-layer consumption stalls it actually observed; the second
+// pass re-runs with the profile rebuilt from those measured stalls
+// (strategy.CalibrateProfile), so model-aware disciplines rank against the
+// iteration timeline the cluster really produces instead of the idealized
+// compute-only one. Both results are returned, first the static pass.
+func RunCalibrated(cfg Config) (static, calibrated Result) {
+	static = Run(cfg)
+	// Profile at the same wire rate the runs use: BandwidthGbps when set,
+	// else the rate of an explicit Net override (mirroring newClusterSim).
+	gbps := cfg.BandwidthGbps
+	if gbps <= 0 && cfg.Net != nil {
+		gbps = cfg.Net.BandwidthGbps
+	}
+	cfg.Profile = strategy.CalibrateProfile(cfg.Model, gbps, static.MeanLayerStalls())
+	calibrated = Run(cfg)
+	return static, calibrated
+}
+
 // Run executes one simulated training run and returns its Result.
 func Run(cfg Config) Result {
 	cfg = cfg.withDefaults()
@@ -359,8 +395,12 @@ func newClusterSim(cfg Config) *clusterSim {
 		netCfg.PreemptQuantum = cfg.PreemptQuantum
 	}
 	// Model-aware disciplines (tictac) see the same timing the simulator
-	// runs on; model-blind disciplines ignore the profile entirely.
-	prof := strategy.ComputeProfile(m, netCfg.BandwidthGbps)
+	// runs on unless a calibrated profile overrides it; model-blind
+	// disciplines ignore the profile entirely.
+	prof := cfg.Profile
+	if prof == nil {
+		prof = strategy.ComputeProfile(m, netCfg.BandwidthGbps)
+	}
 	netCfg.Profile = prof
 
 	cs := &clusterSim{
@@ -377,18 +417,22 @@ func newClusterSim(cfg Config) *clusterSim {
 
 	// Every processing pool runs the strategy's discipline on a fresh
 	// instance; the item view exposes the chunk's wire priority and size,
-	// with the originating worker as the flow key of per-destination gates.
+	// with the originating worker as the flow key of per-destination gates
+	// (and the axis damped's epoch rank interleaves same-layer items
+	// across). The owning machine's index seeds source-aware disciplines.
 	itemView := func(it procItem) sched.Item {
 		return sched.Item{Priority: it.priority, Bytes: cs.plan.Chunks[it.chunk].Bytes(), Dest: it.src}
 	}
-	newQueue := func() *sched.Queue[procItem] {
-		return sched.NewQueue(sched.ApplyProfile(sched.MustByName(cfg.Strategy.Discipline()), prof), itemView)
+	newQueue := func(owner int) *sched.Queue[procItem] {
+		disc := sched.ApplyProfile(sched.MustByName(cfg.Strategy.Discipline()), prof)
+		sched.ApplySource(disc, int32(owner))
+		return sched.NewQueue(disc, itemView)
 	}
 	cs.servers = make([]serverState, cfg.Servers)
 	for s := range cs.servers {
 		srv := s
 		cs.servers[s] = serverState{
-			proc:     newProcPool(cfg.ServerThreads, cfg.UpdateOverhead, cfg.UpdateRateGBps, newQueue()),
+			proc:     newProcPool(cfg.ServerThreads, cfg.UpdateOverhead, cfg.UpdateRateGBps, newQueue(s)),
 			agg:      make([]chunkAgg, cs.plan.NumChunks()),
 			lastDone: make([]int32, cs.plan.NumChunks()),
 			pending:  make(map[int32][]pendingPull),
@@ -411,7 +455,7 @@ func newClusterSim(cfg Config) *clusterSim {
 		ws.notifyCount = make([]int, cs.layers)
 		ws.bwdDone = make([]sim.Time, cs.total)
 		ws.layerStall = make([]sim.Time, cs.layers)
-		ws.proc = newProcPool(cfg.HostThreads, cfg.HostOverhead, cfg.HostRateGBps, newQueue())
+		ws.proc = newProcPool(cfg.HostThreads, cfg.HostOverhead, cfg.HostRateGBps, newQueue(w))
 		wk := w
 		ws.proc.done = func(it procItem) { cs.installChunk(wk, it.chunk, it.iter) }
 	}
@@ -718,6 +762,7 @@ func (cs *clusterSim) result() Result {
 		IterTimes:       iterTimes,
 		ComputeIterTime: cs.timing.IterCompute,
 		WarmupEnd:       warmEnd,
+		MeasuredIters:   cs.cfg.MeasureIters,
 		LayerStalls:     cs.workers[0].layerStall,
 		Events:          cs.eng.Processed(),
 		Msgs:            cs.net.MsgsDelivered,

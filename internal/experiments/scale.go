@@ -22,6 +22,11 @@ type ScaleRow struct {
 	// (all-reduce).
 	Path  string
 	Sched string
+	// Profile is the timing profile the discipline ranked against:
+	// "static" (FLOP-derived), "measured" (the two-pass calibrated mode,
+	// rebuilt from the first pass's observed stalls), or "-" for
+	// model-blind disciplines.
+	Profile string
 	// PerMachine is per-machine training throughput (samples/sec); the
 	// paper's scalability claim is that it stays flat as machines grow.
 	PerMachine float64
@@ -32,8 +37,9 @@ type ScaleRow struct {
 	// WallMs is the wall-clock cost of simulating the cell, measured while
 	// the other cells of the sweep share the machine (the sweep runs on the
 	// parEach pool), so on a multi-core runner it is an upper bound on the
-	// cell's serial cost. The serial perf-trajectory numbers live in the
-	// BENCH_<n>.json artifacts, whose sims run one at a time.
+	// cell's serial cost; a calibrated cell pays for both of its passes.
+	// The serial perf-trajectory numbers live in the BENCH_<n>.json
+	// artifacts, whose sims run one at a time.
 	WallMs float64
 }
 
@@ -54,11 +60,39 @@ func scaleSizes(path string, fast bool) []int {
 	return []int{4, 16, 64}
 }
 
+// scaleVariant is one scheduling variant of the scale sweep.
+type scaleVariant struct {
+	sched      string
+	calibrated bool
+}
+
+// scaleVariants returns the discipline axis: the original fifo-vs-p3 pair,
+// the damped wrapper that fixes the 64-machine p3-vs-fifo inversion, tictac
+// under both the static and the measured (two-pass calibrated) profile, and
+// the damped+calibrated composition. The last two pin the sweep's second
+// finding: at 64 machines stall feedback under STRICT priority diverges
+// (stretching a starved layer's deadline makes it still less urgent — the
+// feedback chases its own tail), while under the damped rank, which bounds
+// any class's deferral, the same feedback converges and beats fifo.
+func scaleVariants() []scaleVariant {
+	return []scaleVariant{
+		{sched: "fifo"},
+		{sched: "p3"},
+		{sched: "damped"},
+		{sched: "tictac"},
+		{sched: "tictac", calibrated: true},
+		{sched: "damped:tictac", calibrated: true},
+	}
+}
+
 // Scale sweeps cluster sizes past the paper's testbed (Figure 10 stops at
-// 16 machines): the sliced strategy under fifo vs p3 ordering, parameter
-// server and ring all-reduce, at the bottleneck bandwidth. Cells run on the
-// parEach worker pool — each is a pure simulation — so the sweep's
-// wall-clock is bounded by its slowest cell on a multi-core runner.
+// 16 machines): the sliced strategy under fifo, p3, damped-p3 and
+// static/calibrated tictac ordering, parameter server and ring all-reduce,
+// at the bottleneck bandwidth. The damped and calibrated columns pin the
+// 64-machine result: strict p3 inverts against fifo at high fan-in, the
+// damped rank does not. Cells run on the parEach worker pool — each is a
+// pure simulation — so the sweep's wall-clock is bounded by its slowest
+// cell on a multi-core runner.
 func Scale(o Options) []ScaleRow {
 	warm, measure := o.iters()
 	const model = "resnet50"
@@ -66,41 +100,61 @@ func Scale(o Options) []ScaleRow {
 	type cell struct {
 		path     string
 		machines int
-		sched    string
+		variant  scaleVariant
 	}
 	var cells []cell
 	for _, path := range []string{PathCluster, PathRing} {
 		for _, n := range scaleSizes(path, o.Fast) {
-			for _, sched := range []string{"fifo", "p3"} {
-				cells = append(cells, cell{path, n, sched})
+			for _, v := range scaleVariants() {
+				cells = append(cells, cell{path, n, v})
 			}
 		}
 	}
 	rows := make([]ScaleRow, len(cells))
 	parEach(len(cells), func(i int) {
 		c := cells[i]
-		st, err := strategy.SlicingOnly(0).WithSched(c.sched)
+		st, err := strategy.SlicingOnly(0).WithSched(c.variant.sched)
 		if err != nil {
 			panic(err)
 		}
-		st.Name = "sliced+" + c.sched
-		row := ScaleRow{Model: model, Machines: c.machines, Path: c.path, Sched: c.sched}
+		st.Name = "sliced+" + c.variant.sched
+		row := ScaleRow{Model: model, Machines: c.machines, Path: c.path, Sched: c.variant.sched}
+		switch {
+		case c.variant.calibrated:
+			row.Profile = "measured"
+		case c.variant.sched == "tictac":
+			row.Profile = "static"
+		default:
+			row.Profile = "-"
+		}
 		t0 := time.Now()
 		if c.path == PathRing {
-			r := ring.Run(ring.Config{
+			cfg := ring.Config{
 				Model: zoo.ByName(model), Machines: c.machines, Strategy: st,
 				BandwidthGbps: gbps,
 				WarmupIters:   warm, MeasureIters: measure, Seed: o.Seed + 1,
-			})
+			}
+			var r ring.Result
+			if c.variant.calibrated {
+				_, r = ring.RunCalibrated(cfg)
+			} else {
+				r = ring.Run(cfg)
+			}
 			row.PerMachine = r.Throughput / float64(r.Machines)
 			row.IterMs = r.MeanIterTime.Millis()
 			row.Events = r.Events
 		} else {
-			r := cluster.Run(cluster.Config{
+			cfg := cluster.Config{
 				Model: zoo.ByName(model), Machines: c.machines, Strategy: st,
 				BandwidthGbps: gbps,
 				WarmupIters:   warm, MeasureIters: measure, Seed: o.Seed + 1,
-			})
+			}
+			var r cluster.Result
+			if c.variant.calibrated {
+				_, r = cluster.RunCalibrated(cfg)
+			} else {
+				r = cluster.Run(cfg)
+			}
 			row.PerMachine = r.Throughput / float64(r.Machines)
 			row.IterMs = r.MeanIterTime.Millis()
 			row.Events = r.Events
@@ -111,12 +165,13 @@ func Scale(o Options) []ScaleRow {
 	return rows
 }
 
-// ScaleTable renders the scale axis, one line per (path, machines, sched).
+// ScaleTable renders the scale axis, one line per (path, machines, sched,
+// profile).
 func ScaleTable(rows []ScaleRow) string {
-	out := "model\tpath\tmachines\tsched\tsamples/s/machine\titer_ms\tevents\tsim_wall_ms\n"
+	out := "model\tpath\tmachines\tsched\tprofile\tsamples/s/machine\titer_ms\tevents\tsim_wall_ms\n"
 	for _, r := range rows {
-		out += fmt.Sprintf("%s\t%s\t%d\t%s\t%.1f\t%.2f\t%d\t%.1f\n",
-			r.Model, r.Path, r.Machines, r.Sched, r.PerMachine, r.IterMs, r.Events, r.WallMs)
+		out += fmt.Sprintf("%s\t%s\t%d\t%s\t%s\t%.1f\t%.2f\t%d\t%.1f\n",
+			r.Model, r.Path, r.Machines, r.Sched, r.Profile, r.PerMachine, r.IterMs, r.Events, r.WallMs)
 	}
 	return out
 }

@@ -113,7 +113,9 @@ type Message struct {
 
 // msgItem is the scheduler-visible view of a message; the receiving machine
 // is the destination key of per-destination disciplines, making each
-// (sender, receiver) pair one flow of the egress queue.
+// (sender, receiver) pair one flow of the egress queue. (The sending
+// machine needs no field: an egress queue belongs to one NIC, whose index
+// is injected into source-aware disciplines via sched.ApplySource.)
 func msgItem(m Message) sched.Item {
 	return sched.Item{Priority: m.Priority, Bytes: m.Bytes, Dest: int32(m.To)}
 }
@@ -209,8 +211,13 @@ func New(eng *sim.Engine, n int, cfg Config, handler Handler, rec *trace.Recorde
 	fifoLess := func(a, b Message) bool { return false }
 	nw.nics = make([]nic, n)
 	for i := range nw.nics {
+		disc := sched.ApplyProfile(sched.MustByName(cfg.Egress), cfg.Profile)
+		// The owning machine's index seeds source-aware disciplines
+		// (damped): every NIC resolves equal-rank ties toward a different
+		// destination, de-synchronizing otherwise identical schedules.
+		sched.ApplySource(disc, int32(i))
 		nw.nics[i] = nic{
-			egress:  sched.NewQueue(sched.ApplyProfile(sched.MustByName(cfg.Egress), cfg.Profile), txItem),
+			egress:  sched.NewQueue(disc, txItem),
 			ingress: pq.New(fifoLess),
 		}
 	}
@@ -261,6 +268,9 @@ func (nw *Network) pumpEgress(machine int) {
 		tail := n.parked[k-1]
 		if !n.egress.Preempts(tail) {
 			n.parked = n.parked[:k-1]
+			// Re-charge the resumed remainder against its flow's window
+			// (a Parker discipline stopped counting it while parked).
+			n.egress.Resume(tail)
 			n.egressBusy = true
 			nw.pumpSegment(machine, tail)
 			return
@@ -356,6 +366,9 @@ func (nw *Network) pumpSegment(machine int, tx *txState) {
 			// smaller class.
 			tx.pri = pre.pri
 			n.parked = append(n.parked, tx)
+			// A Parker discipline stops counting the parked remainder
+			// against its flow's admission window until it resumes.
+			n.egress.Park(tx)
 			nw.Preemptions++
 			nw.pumpSegment(machine, pre)
 			return

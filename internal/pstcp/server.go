@@ -111,10 +111,17 @@ func NewServer(cfg ServerConfig) *Server {
 	if cfg.Updater == nil {
 		cfg.Updater = SGDUpdater(0.1)
 	}
+	newQ := func() *transport.SendQueue {
+		// The server's id seeds source-aware disciplines (damped), so a
+		// fleet of servers does not resolve equal-rank ties identically.
+		disc := sched.ApplyProfile(sched.MustByName(cfg.Sched), cfg.Profile)
+		sched.ApplySource(disc, int32(cfg.ID))
+		return transport.NewSendQueue(disc)
+	}
 	return &Server{
 		cfg:     cfg,
-		recvQ:   transport.NewSendQueue(sched.ApplyProfile(sched.MustByName(cfg.Sched), cfg.Profile)),
-		sendQ:   transport.NewSendQueue(sched.ApplyProfile(sched.MustByName(cfg.Sched), cfg.Profile)),
+		recvQ:   newQ(),
+		sendQ:   newQ(),
 		writers: make(map[uint8]*connWriter),
 		params:  make(map[uint64][]float32),
 		agg:     make(map[uint64]*aggState),
@@ -150,6 +157,17 @@ func (s *Server) Close() {
 	s.recvQ.Close()
 	s.sendQ.Close()
 	s.wg.Wait()
+}
+
+// SetProfile swaps the timing profile of the server's receive and send
+// queues at runtime — the calibrated mode's feedback hook: run a pass on
+// the static profile, measure the real per-layer stalls, rebuild the
+// profile (strategy.CalibrateProfile) and apply it here without restarting
+// the server. Queued frames re-order under the new profile; a no-op for
+// profile-blind disciplines.
+func (s *Server) SetProfile(p *sched.Profile) {
+	s.recvQ.SetProfile(p)
+	s.sendQ.SetProfile(p)
 }
 
 // Stats returns (pushes processed, updates applied).

@@ -76,6 +76,9 @@ func DialWorkerCfg(cfg WorkerConfig) (*Worker, error) {
 		return nil, fmt.Errorf("pstcp: %w", err)
 	}
 	sched.ApplyProfile(disc, cfg.Profile)
+	// The worker's id seeds source-aware disciplines (damped), so a fleet
+	// of workers does not resolve equal-rank ties identically.
+	sched.ApplySource(disc, int32(cfg.ID))
 	w := &Worker{
 		id:      uint8(cfg.ID),
 		sendQ:   transport.NewSendQueue(disc),
@@ -139,6 +142,13 @@ func (w *Worker) Pull(server int, key uint64, iter int32, priority int32) {
 
 // QueuedSends reports the number of frames waiting in the send queue.
 func (w *Worker) QueuedSends() int { return w.sendQ.Len() }
+
+// SetProfile swaps the send queue's timing profile at runtime — the
+// calibrated mode's feedback hook (see Server.SetProfile): after measuring
+// its real per-layer sync stalls a worker re-ranks subsequent pushes
+// against the observed timeline instead of the static one. A no-op for
+// profile-blind disciplines.
+func (w *Worker) SetProfile(p *sched.Profile) { w.sendQ.SetProfile(p) }
 
 // Close tears down the connections and waits for the worker's goroutines.
 func (w *Worker) Close() {

@@ -45,6 +45,12 @@ type Config struct {
 	// urgent ring segment then preempts an in-flight bulk one at the next
 	// boundary. 0 keeps message-granularity preemption.
 	PreemptQuantum int64
+	// Profile optionally overrides the static FLOP-derived timing profile
+	// handed to model-aware disciplines (tictac) — the hook behind the
+	// calibrated two-pass mode (RunCalibrated), which re-runs with a
+	// profile rebuilt from a prior run's measured stalls. nil selects the
+	// static strategy.ComputeProfile.
+	Profile *sched.Profile
 	// ReduceRateGBps is the local cost of summing one received segment into
 	// the accumulator (and, on the final round, applying the update).
 	ReduceRateGBps float64
@@ -84,7 +90,21 @@ type Result struct {
 	Throughput    float64 // aggregate samples/sec
 	MeanIterTime  sim.Time
 	ComputeIter   sim.Time
-	Events        uint64
+	// MeasuredIters is the measured iteration count (the divisor of
+	// MeanLayerStalls).
+	MeasuredIters int
+	// LayerStalls[l] is machine 0's cumulative measured-window time spent
+	// blocked at layer l waiting for its all-reduce to complete — the same
+	// consumption-stall profile the cluster simulator reports, for feeding
+	// measured timing back into a calibrated sched.Profile.
+	LayerStalls []sim.Time
+	Events      uint64
+}
+
+// MeanLayerStalls returns the per-iteration mean of LayerStalls, the form
+// strategy.CalibrateProfile consumes.
+func (r Result) MeanLayerStalls() []sim.Time {
+	return strategy.MeanStalls(r.LayerStalls, r.MeasuredIters)
 }
 
 func (r Result) String() string {
@@ -104,8 +124,10 @@ type workerState struct {
 	chunksDone []int // per layer: chunks fully reduced this iteration
 	fwdLayer   int
 	waitingFwd bool
+	waitSince  sim.Time
 	curIter    int32
 	bwdDone    []sim.Time
+	layerStall []sim.Time // cumulative forward stall per layer
 
 	reduce *sched.Queue[redItem]
 	busy   bool
@@ -133,6 +155,20 @@ type ringSim struct {
 	redRate float64
 }
 
+// RunCalibrated is the two-pass calibrated mode: the first pass runs cfg as
+// given (static FLOP-derived profile unless cfg.Profile overrides it) and
+// records the per-layer consumption stalls it actually observed; the second
+// pass re-runs with the profile rebuilt from those measured stalls
+// (strategy.CalibrateProfile), so model-aware disciplines rank against the
+// iteration timeline the cluster really produces instead of the idealized
+// compute-only one. Both results are returned, first the static pass.
+func RunCalibrated(cfg Config) (static, calibrated Result) {
+	static = Run(cfg)
+	cfg.Profile = strategy.CalibrateProfile(cfg.Model, cfg.BandwidthGbps, static.MeanLayerStalls())
+	calibrated = Run(cfg)
+	return static, calibrated
+}
+
 // Run executes one all-reduce training simulation.
 func Run(cfg Config) Result {
 	cfg = cfg.withDefaults()
@@ -154,7 +190,10 @@ func newRingSim(cfg Config) *ringSim {
 	netCfg := netsim.DefaultConfig(cfg.BandwidthGbps)
 	netCfg.Egress = cfg.Strategy.Discipline()
 	netCfg.PreemptQuantum = cfg.PreemptQuantum
-	prof := strategy.ComputeProfile(cfg.Model, netCfg.BandwidthGbps)
+	prof := cfg.Profile
+	if prof == nil {
+		prof = strategy.ComputeProfile(cfg.Model, netCfg.BandwidthGbps)
+	}
 	netCfg.Profile = prof
 
 	rs := &ringSim{
@@ -189,7 +228,10 @@ func newRingSim(cfg Config) *ringSim {
 		}
 		ws.chunksDone = make([]int, rs.layers)
 		ws.bwdDone = make([]sim.Time, rs.total)
-		ws.reduce = sched.NewQueue(sched.ApplyProfile(sched.MustByName(cfg.Strategy.Discipline()), prof), redView)
+		ws.layerStall = make([]sim.Time, rs.layers)
+		disc := sched.ApplyProfile(sched.MustByName(cfg.Strategy.Discipline()), prof)
+		sched.ApplySource(disc, int32(w)) // owner seed for source-aware disciplines
+		ws.reduce = sched.NewQueue(disc, redView)
 	}
 
 	rs.jitter = make([][]float64, n)
@@ -229,10 +271,18 @@ func (rs *ringSim) advanceForward(w int) {
 	}
 	l := ws.fwdLayer
 	if ws.readyIter[l] < ws.curIter-1 {
-		ws.waitingFwd = true
+		if !ws.waitingFwd {
+			ws.waitingFwd = true
+			ws.waitSince = rs.eng.Now()
+		}
 		return
 	}
-	ws.waitingFwd = false
+	if ws.waitingFwd {
+		ws.waitingFwd = false
+		if ws.curIter >= int32(rs.cfg.WarmupIters) {
+			ws.layerStall[l] += rs.eng.Now() - ws.waitSince
+		}
+	}
 	rs.eng.After(rs.scaled(w, ws.curIter, rs.timing.Fwd[l]), func() {
 		ws.fwdLayer = l + 1
 		rs.advanceForward(w)
@@ -377,6 +427,8 @@ func (rs *ringSim) result() Result {
 		Throughput:    samples / (last - warmEnd).Seconds(),
 		MeanIterTime:  (last - warmEnd) / sim.Time(rs.cfg.MeasureIters),
 		ComputeIter:   rs.timing.IterCompute,
+		MeasuredIters: rs.cfg.MeasureIters,
+		LayerStalls:   rs.workers[0].layerStall,
 		Events:        rs.eng.Processed(),
 	}
 }

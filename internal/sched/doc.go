@@ -23,8 +23,8 @@
 // interfaces extend it:
 //
 //   - Ranker: assigns an ordering key at enqueue time, for stateful orders
-//     a pure comparator cannot express (rr's stride scheduling). Rank is
-//     called exactly once per item, before insertion.
+//     a pure comparator cannot express (rr's stride scheduling, damped's
+//     epoch rank). Rank is called exactly once per item, before insertion.
 //   - Dispatcher: observes dequeues (OnDispatch), e.g. to advance a
 //     virtual clock.
 //   - Admitter: gates dispatch with a credit window. Admit is consulted
@@ -34,11 +34,54 @@
 //     signal (a refusal is congestion evidence to credit-adaptive), so it
 //     belongs inside the dispatch loop's cadence, never in a free-standing
 //     poll. Canceler refines an Admitter: OnCancel refunds an admission
-//     the caller backed out of without feeding the adaptation.
+//     the caller backed out of without feeding the adaptation. Parker
+//     refines it further for preemptive transmitters: OnPark moves a
+//     preempted element's remaining bytes out of the admission window
+//     (they are off the wire, and a window full of parked bytes is not
+//     congestion evidence), OnResume re-charges them; Queue.Park/Resume
+//     route the calls and are no-ops for disciplines without the
+//     interface, which simply keep parked bytes charged.
 //
-// Profiled disciplines (tictac) additionally consume a Profile — the model
-// timing that strategies derive via strategy.ComputeProfile — through
-// ApplyProfile; without one they must degrade to a model-blind order.
+// Profiled disciplines (tictac, damped over a profiled base) additionally
+// consume a Profile — the model timing that strategies derive via
+// strategy.ComputeProfile — through ApplyProfile; without one they must
+// degrade to a model-blind order, never panic.
+//
+// # Damped rank
+//
+// Damped ("damped[:base[@weight]]") composes over a priority-ordered base
+// (p3 by default; tictac and the credit gates compose too) and re-ranks
+// every item to (arrival epoch + weight x class): between classes the base's
+// urgency order holds only within a bounded horizon — an urgent item may
+// overtake at most weight x Δclass earlier arrivals, so aging guarantees
+// every class progress — and rank ties resolve by the per-source rotation
+// Dest XOR source seed (the queue owner's identity, ApplySource/Sourced),
+// which de-synchronizes the otherwise identical schedules of N machines.
+// The schedule is a permutation of the base's (same items, bounded
+// displacement, no starvation). This is the fan-in-aware damping
+// that fixes the 64-machine p3-vs-fifo inversion: at high fan-in strict
+// priority lets every machine defer its gradient-push tail behind fresher
+// urgent broadcasts in lockstep, and the aggregation barrier turns the
+// shared deferral into idle ingest windows (66% wire utilization vs fifo's
+// 86%, 34% slower at 64 machines/1.5 Gbps); damping restores the pipeline
+// while keeping strict-priority behaviour through shallow queues.
+//
+// # Calibrated profiles
+//
+// A Profile may be built from measured stalls instead of static timing:
+// strategy.CalibrateProfile shifts each layer's consumption deadline by the
+// observed per-layer forward stalls of a prior run (cluster/ring
+// Result.MeanLayerStalls), so slack ranking follows the iteration timeline
+// the system actually produced — the closed-loop form of TicTac's
+// observed-timing priorities. The simulators expose it as a two-pass mode
+// (cluster.RunCalibrated, ring.RunCalibrated), the real transport as
+// runtime hooks (transport.SendQueue.SetProfile, pstcp Server/Worker.
+// SetProfile — safe mid-traffic: Queue.SetProfile rebuilds the heaps so
+// queued elements re-order under the new profile), and the CLIs as
+// -calibrate/-stalls/-stallsout. Caveat, pinned by
+// the scale sweep: under STRICT priority at saturation the feedback
+// diverges (stretching a starved layer's deadline makes it less urgent
+// still); under the damped rank it converges — compose them.
 //
 // # Flows
 //
@@ -121,4 +164,12 @@
 //     priority order plus one bounded in-flight window per queue.
 //   - credit-adaptive[:bytes] (adaptive): one credit window per
 //     destination, each tuned by AIMD from the admit/ack pattern.
+//   - damped[:base[@weight]] (damp): fan-in-aware priority damping over a
+//     priority-ordered base (default p3, weight 8): bounded-horizon
+//     urgency plus per-source tie rotation. Rejects bases that rank at
+//     enqueue (rr, damped) or order by something other than priority
+//     (fifo, smallest).
+//
+// ByName's unknown-name diagnostic (and Usage) spells the parameterized
+// grammar for each of these.
 package sched

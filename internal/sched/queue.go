@@ -1,6 +1,8 @@
 package sched
 
 import (
+	"sort"
+
 	"p3/internal/pq"
 )
 
@@ -370,6 +372,67 @@ func (q *Queue[T]) Cancel(v T) {
 		return
 	}
 	q.adm.OnDone(q.view(v))
+}
+
+// SetProfile applies a (re)calibrated timing profile to the queue's
+// discipline (ApplyProfile) and, when elements are queued, rebuilds the
+// queue under the new order: a comparator-ranked discipline (tictac) reads
+// the profile inside Less, so swapping it under a populated heap would
+// break the heap invariant and dispatch in neither the old nor the new
+// order. Queued elements are re-enqueued in their original insertion order
+// — Ranker disciplines re-rank them, and in-flight credit charges are
+// untouched (they belong to popped elements). O(n log n); intended for the
+// rare recalibration point, not a hot path. A no-op profile-wise for
+// profile-blind disciplines, but the rebuild still runs so a Ranker
+// wrapper over a profiled base (damped:tictac) re-ranks consistently.
+func (q *Queue[T]) SetProfile(p *Profile) {
+	ApplyProfile(q.d, p)
+	if q.n == 0 {
+		return
+	}
+	ents := make([]entry[T], 0, q.n)
+	for _, f := range q.flows {
+		for f.q.Len() > 0 {
+			ents = append(ents, f.q.Pop())
+		}
+		q.free = append(q.free, f) // drained shell, reusable
+	}
+	sort.Slice(ents, func(i, j int) bool { return ents[i].seq < ents[j].seq })
+	q.flows = make(map[int32]*flow[T], len(q.flows))
+	q.heads = pq.NewIndexed(
+		func(a, b *flow[T]) bool {
+			ea, _ := a.q.Peek()
+			eb, _ := b.q.Peek()
+			return q.before(ea, eb)
+		},
+		func(f *flow[T], i int) { f.idx = i },
+	)
+	q.n = 0
+	for _, e := range ents {
+		q.Push(e.v)
+	}
+}
+
+// Park tells a Parker discipline that v — popped earlier and still
+// unfinished — has been preempted and parked outside the queue: its
+// remaining bytes are off the wire and must stop counting against its
+// flow's admission window, without feeding the discipline's adaptation.
+// For disciplines that do not track parked bytes it is a no-op (the
+// element simply stays charged, the conservative pre-Parker behaviour).
+// Balance every Park with a Resume before the element's Done.
+func (q *Queue[T]) Park(v T) {
+	if p, ok := q.adm.(Parker); ok {
+		p.OnPark(q.view(v))
+	}
+}
+
+// Resume re-charges a parked element when its transmission continues; the
+// caller's eventual Done then balances as usual. A no-op for disciplines
+// without a Parker, mirroring Park.
+func (q *Queue[T]) Resume(v T) {
+	if p, ok := q.adm.(Parker); ok {
+		p.OnResume(q.view(v))
+	}
 }
 
 // Blocked reports whether elements are queued but every flow head is

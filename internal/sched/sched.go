@@ -24,6 +24,15 @@ type Item struct {
 	// id, ...); per-destination disciplines (credit-adaptive) key their
 	// windows on it. Callers without a meaningful destination leave it 0,
 	// which collapses those disciplines to a single shared window.
+	//
+	// Item deliberately has no Src twin: the element's origin is a
+	// property of the QUEUE (a NIC egress queue belongs to one machine, a
+	// transport send queue to one worker), injected once per discipline
+	// via ApplySource/Sourced. Keeping Item at four fields also keeps a
+	// Less(a, b Item) interface call inside the amd64 ABI's nine integer
+	// argument registers — a fifth field spills both arguments to the
+	// stack and costs the dispatch hot path ~45% (measured on
+	// BenchmarkQueueManyFlows/p3).
 	Dest int32
 	// rank is a discipline-assigned ordering key, set by a Ranker at
 	// enqueue time (e.g. the stride-scheduling pass of rr).
@@ -81,6 +90,21 @@ type Canceler interface {
 	OnCancel(it Item)
 }
 
+// Parker is implemented by Admitters that distinguish a parked (preempted)
+// transmission's bytes from bytes genuinely in flight. A preemptive
+// transmitter that parks an element calls OnPark: the element's remaining
+// bytes are off the wire, so they must stop counting against the flow's
+// admission window, and the transition must not feed the discipline's
+// adaptation — a window that looks full of parked bytes is not congestion
+// evidence. OnResume re-charges the element when transmission continues;
+// the eventual OnDone then balances as usual. An Admitter without Parker
+// keeps parked bytes charged (the pre-Parker behaviour), which is safe but
+// lets a long-parked tail spuriously bind its flow's window.
+type Parker interface {
+	OnPark(it Item)
+	OnResume(it Item)
+}
+
 // Profile carries the model timing knowledge that model-aware disciplines
 // consume: for each priority class p (a layer's forward-pass index, the
 // value carried in Item.Priority), NeedAtNs[p] is the compute time from the
@@ -120,6 +144,27 @@ func ApplyProfile(d Discipline, p *Profile) Discipline {
 		if pd, ok := d.(Profiled); ok {
 			pd.SetProfile(p)
 		}
+	}
+	return d
+}
+
+// Sourced is implemented by disciplines that de-synchronize otherwise
+// identical schedules across queue owners (damped): the source seed — the
+// machine or endpoint the queue belongs to — rotates equal-rank decisions
+// differently on every owner, so N machines running the same discipline do
+// not collapse their urgent traffic onto the same receiver window. A queue
+// site that knows its owner applies it with ApplySource right after
+// resolving the discipline; disciplines must behave sensibly (rotation 0)
+// without it.
+type Sourced interface {
+	SetSource(src int32)
+}
+
+// ApplySource hands the queue owner's identity to d when d is
+// source-aware, and returns d for chaining around NewQueue.
+func ApplySource(d Discipline, src int32) Discipline {
+	if sd, ok := d.(Sourced); ok {
+		sd.SetSource(src)
 	}
 	return d
 }
@@ -352,6 +397,7 @@ type AdaptiveCredit struct {
 type destWindow struct {
 	credit   int64
 	inFlight int64
+	parked   int64 // bytes of parked (preempted) transmissions, off the wire
 	refused  bool  // the gate refused an item in the current busy period
 	sinceRef int   // completions since the gate last refused
 	clean    int64 // bytes acked since the gate last bound (or last adjust)
@@ -472,6 +518,37 @@ func (a *AdaptiveCredit) OnCancel(it Item) {
 	}
 }
 
+// OnPark moves a preempted transmission's bytes out of the admission
+// window (Parker): the remainder is off the wire while parked, so leaving
+// it charged would refuse admissible traffic and feed those refusals to
+// the AIMD as if the destination were stalled on credit — preemption would
+// spuriously tune the window. Like OnCancel, a drain by parking discards
+// pending refusal evidence instead of interpreting it.
+func (a *AdaptiveCredit) OnPark(it Item) {
+	w := a.win(it.Dest)
+	w.inFlight -= it.Bytes
+	w.parked += it.Bytes
+	if w.inFlight < 0 {
+		panic(fmt.Sprintf("sched: credit-adaptive underflow on park (dest %d, %d bytes)", it.Dest, w.inFlight))
+	}
+	if w.inFlight == 0 {
+		w.refused = false
+		w.sinceRef = 0
+	}
+}
+
+// OnResume re-charges a parked transmission when it continues; the
+// eventual OnDone balances the charge. Resuming is not an admission and
+// feeds no adaptation signal.
+func (a *AdaptiveCredit) OnResume(it Item) {
+	w := a.win(it.Dest)
+	w.parked -= it.Bytes
+	w.inFlight += it.Bytes
+	if w.parked < 0 {
+		panic(fmt.Sprintf("sched: credit-adaptive resume without park (dest %d, %d bytes)", it.Dest, w.parked))
+	}
+}
+
 // Window reports dst's current credit window (Initial if never used).
 func (a *AdaptiveCredit) Window(dst int32) int64 {
 	if w := a.wins[dst]; w != nil {
@@ -484,6 +561,15 @@ func (a *AdaptiveCredit) Window(dst int32) int64 {
 func (a *AdaptiveCredit) InFlight(dst int32) int64 {
 	if w := a.wins[dst]; w != nil {
 		return w.inFlight
+	}
+	return 0
+}
+
+// Parked reports the bytes of dst's transmissions currently parked
+// (preempted), which do not count against the admission window.
+func (a *AdaptiveCredit) Parked(dst int32) int64 {
+	if w := a.wins[dst]; w != nil {
+		return w.parked
 	}
 	return 0
 }
@@ -586,9 +672,30 @@ func ByName(name string) (Discipline, error) {
 	f, ok := registry[base]
 	regMu.RUnlock()
 	if !ok {
-		return nil, fmt.Errorf("sched: unknown discipline %q (want %s)", name, strings.Join(Names(), "|"))
+		return nil, fmt.Errorf("sched: unknown discipline %q (want %s)", name, strings.Join(Usage(), "|"))
 	}
 	return f(arg)
+}
+
+// usageArgs annotates the parameterized registry names with their argument
+// grammar, so ByName's error text (and the CLI -sched help strings built
+// from it) documents how to invoke them, not just that they exist.
+var usageArgs = map[string]string{
+	"credit":          "credit[:bytes]",
+	"credit-adaptive": "credit-adaptive[:bytes]",
+	"damped":          "damped[:base[@weight]]",
+}
+
+// Usage returns the canonical discipline names with argument grammar
+// ("credit[:bytes]", "damped[:base[@weight]]"), sorted like Names.
+func Usage() []string {
+	names := Names()
+	for i, n := range names {
+		if u, ok := usageArgs[n]; ok {
+			names[i] = u
+		}
+	}
+	return names
 }
 
 // MustByName is ByName for statically known names; it panics on error.

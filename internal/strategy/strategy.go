@@ -32,10 +32,13 @@ package strategy
 
 import (
 	"fmt"
+	"os"
+	"strings"
 
 	"p3/internal/core"
 	"p3/internal/model"
 	"p3/internal/sched"
+	"p3/internal/sim"
 )
 
 // Granularity selects the partitioning scheme.
@@ -199,6 +202,89 @@ func ComputeProfile(m *model.Model, gbps float64) *sched.Profile {
 		bytes[i] = m.Layers[i].Bytes()
 	}
 	return &sched.Profile{NeedAtNs: need, LayerBytes: bytes, GbpsEstimate: gbps}
+}
+
+// CalibrateProfile rebuilds the sched.Profile from measured stalls instead
+// of static timing: stalls[l] is the observed mean per-iteration time the
+// forward pass spent blocked at layer l (cluster/ring Result.
+// MeanLayerStalls). The static profile assumes the forward pass reaches
+// layer l after exactly the preceding layers' compute; in a measured
+// iteration it reaches l only after their compute AND their stalls, so each
+// observed stall pushes every later layer's consumption deadline out by the
+// same amount. Model-aware disciplines ranking against the calibrated
+// deadlines therefore spend their urgency where the measured iteration
+// actually blocked — a stalling layer keeps its deadline while everything
+// after it gains slack — which is the closed-loop form of TicTac's
+// observed-timing priorities. Extra stall entries beyond the model's layers
+// are ignored; missing ones count as zero; a nil stalls slice reproduces
+// ComputeProfile exactly.
+func CalibrateProfile(m *model.Model, gbps float64, stalls []sim.Time) *sched.Profile {
+	t := model.NewTiming(m)
+	need := make([]int64, len(t.Fwd))
+	bytes := make([]int64, len(m.Layers))
+	var acc int64
+	for i, f := range t.Fwd {
+		need[i] = acc
+		acc += int64(f)
+		if i < len(stalls) && stalls[i] > 0 {
+			acc += int64(stalls[i])
+		}
+		bytes[i] = m.Layers[i].Bytes()
+	}
+	return &sched.Profile{NeedAtNs: need, LayerBytes: bytes, GbpsEstimate: gbps}
+}
+
+// MeanStalls divides cumulative per-layer stalls by the iteration count
+// they were accumulated over — the normalization both simulators' Result.
+// MeanLayerStalls apply before feeding CalibrateProfile. Returns nil when
+// iters is not positive.
+func MeanStalls(stalls []sim.Time, iters int) []sim.Time {
+	if iters <= 0 {
+		return nil
+	}
+	out := make([]sim.Time, len(stalls))
+	for i, s := range stalls {
+		out[i] = s / sim.Time(iters)
+	}
+	return out
+}
+
+// WriteStallFile serializes a measured per-layer stall profile (mean
+// nanoseconds per iteration, one layer per line) so a later process — a
+// p3server/p3worker pass, or a re-run of p3sim — can run calibrated against
+// it. The format is trivially diffable: "<layer>\t<stall_ns>\n".
+func WriteStallFile(path string, stalls []sim.Time) error {
+	var b strings.Builder
+	for l, s := range stalls {
+		fmt.Fprintf(&b, "%d\t%d\n", l, int64(s))
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}
+
+// ReadStallFile parses a WriteStallFile artifact back into per-layer mean
+// stalls.
+func ReadStallFile(path string) ([]sim.Time, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var stalls []sim.Time
+	for ln, line := range strings.Split(string(buf), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		var layer int
+		var ns int64
+		if _, err := fmt.Sscanf(line, "%d\t%d", &layer, &ns); err != nil || layer < 0 {
+			return nil, fmt.Errorf("strategy: stall file %s line %d: %q", path, ln+1, line)
+		}
+		for len(stalls) <= layer {
+			stalls = append(stalls, 0)
+		}
+		stalls[layer] = sim.Time(ns)
+	}
+	return stalls, nil
 }
 
 // WithSched returns a copy of s running under the named discipline — the

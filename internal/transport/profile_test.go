@@ -1,0 +1,62 @@
+package transport
+
+import (
+	"testing"
+
+	"p3/internal/sched"
+)
+
+// TestSendQueueSetProfile pins the runtime recalibration hook: a tictac
+// queue created without a profile ranks by raw priority (the documented p3
+// fallback); after SetProfile installs timing whose slack order inverts the
+// raw order, frames pushed afterwards dispatch by slack. This is the
+// mechanism behind the calibrated mode of pstcp (Server/Worker.SetProfile):
+// measure a pass, rebuild the profile from its stalls, swap it in live.
+func TestSendQueueSetProfile(t *testing.T) {
+	q := NewSendQueue(sched.MustByName("tictac"))
+	defer q.Close()
+
+	push := func(pri int32) {
+		q.Push(&Frame{Type: TypePush, Priority: pri, Values: make([]float32, 4)})
+	}
+	popPri := func() int32 {
+		f, ok := q.TryPop()
+		if !ok {
+			t.Fatal("queue unexpectedly empty")
+		}
+		q.Done(f)
+		return f.Priority
+	}
+
+	// Profile-less tictac degrades to p3: class 0 first.
+	push(1)
+	push(0)
+	if got := popPri(); got != 0 {
+		t.Fatalf("profile-less tictac popped class %d first, want 0", got)
+	}
+	popPri()
+
+	// Install a profile whose slack ranks class 1 more urgent than class 0
+	// (heavy transfer against an early deadline) — with frames ALREADY
+	// queued, which must re-order under the rebuilt heaps.
+	push(0)
+	push(1)
+	q.SetProfile(&sched.Profile{
+		NeedAtNs:     []int64{5000, 6000},
+		LayerBytes:   []int64{100, 1_000_000},
+		GbpsEstimate: 1,
+	})
+	if got := popPri(); got != 1 {
+		t.Fatalf("calibrated tictac popped class %d first, want the negative-slack class 1", got)
+	}
+	popPri()
+
+	// On a profile-blind discipline the hook is a harmless no-op.
+	p := NewSendQueue(sched.MustByName("p3"))
+	defer p.Close()
+	p.SetProfile(&sched.Profile{NeedAtNs: []int64{1}, GbpsEstimate: 1})
+	p.Push(&Frame{Type: TypePush, Priority: 3})
+	if f, ok := p.TryPop(); !ok || f.Priority != 3 {
+		t.Fatal("p3 queue disturbed by SetProfile")
+	}
+}

@@ -30,7 +30,9 @@ type SendQueue struct {
 
 // frameItem is the scheduler-visible view of a frame: the wire priority,
 // the payload size, and the destination endpoint (the flow key of
-// per-destination disciplines such as credit-adaptive).
+// per-destination disciplines such as credit-adaptive). The sending
+// endpoint is a property of the whole queue, injected into source-aware
+// disciplines via sched.ApplySource by the queue's owner (pstcp).
 func frameItem(f *Frame) sched.Item {
 	return sched.Item{Priority: f.Priority, Bytes: 4 * int64(len(f.Values)), Dest: int32(f.Dst)}
 }
@@ -139,6 +141,21 @@ func (s *SendQueue) Cancel(f *Frame) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.q.Cancel(f)
+	s.signal()
+}
+
+// SetProfile installs a (re)calibrated timing profile on the queue's
+// discipline when it is profile-aware (tictac, damped:tictac); a no-op
+// otherwise. It is the runtime hook of the calibrated mode: a worker or
+// server that has measured its real per-layer stalls swaps in the profile
+// rebuilt from them (strategy.CalibrateProfile) without tearing the queue
+// down. Frames already queued are re-ordered under the new profile
+// (sched.Queue.SetProfile rebuilds the heaps, so the swap is safe
+// mid-traffic); in-flight credit is untouched.
+func (s *SendQueue) SetProfile(p *sched.Profile) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.q.SetProfile(p)
 	s.signal()
 }
 
