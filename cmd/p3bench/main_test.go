@@ -1,0 +1,43 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestNextBenchPath pins the artifact-numbering contract: successive -json
+// runs accumulate BENCH_0, BENCH_1, ... and a run never overwrites an
+// existing artifact — the next free index is probed, including holes left by
+// deleted artifacts.
+func TestNextBenchPath(t *testing.T) {
+	dir := t.TempDir()
+	touch := func(name string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("{}\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := func(name string) {
+		t.Helper()
+		got, err := nextBenchPath(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != filepath.Join(dir, name) {
+			t.Fatalf("nextBenchPath = %q, want %q", got, filepath.Join(dir, name))
+		}
+	}
+
+	want("BENCH_0.json") // empty dir starts the trajectory
+	touch("BENCH_0.json")
+	want("BENCH_1.json") // next free index
+	touch("BENCH_1.json")
+	touch("BENCH_2.json")
+	want("BENCH_3.json") // skips everything taken
+	touch("BENCH_5.json")
+	want("BENCH_3.json") // first hole wins; BENCH_5 is not clobbered either way
+	touch("BENCH_3.json")
+	touch("BENCH_4.json")
+	want("BENCH_6.json")
+}

@@ -32,9 +32,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"p3/internal/cluster"
+	"p3/internal/netsim"
 	"p3/internal/sched"
 	"p3/internal/strategy"
 	"p3/internal/trace"
@@ -57,6 +59,9 @@ func main() {
 	calibrate := flag.Bool("calibrate", false, "two-pass calibrated mode: re-run with the profile rebuilt from the first pass's measured stalls and report both")
 	stallsIn := flag.String("stalls", "", "run against a measured stall profile (file written by -stallsout) instead of the static timing")
 	stallsOut := flag.String("stallsout", "", "write the run's measured per-layer mean stalls to this file")
+	shards := flag.Int("shards", runtime.GOMAXPROCS(0), "simulation shards for the conservative-lookahead parallel engine (1 = legacy single-heap engine; results are bit-identical either way)")
+	rackSize := flag.Int("racksize", 0, "machines per rack (0 = flat network; >0 adds per-rack ToR uplinks and an oversubscribable core)")
+	oversub := flag.Float64("oversub", 1, "core oversubscription ratio for -racksize topologies (1 = non-blocking core)")
 	flag.Parse()
 
 	st, err := strategy.ByName(*stratName)
@@ -85,6 +90,22 @@ func main() {
 	if *showTrace {
 		rec = trace.NewRecorder(*machines, 0)
 	}
+	// The sharded engine cannot serve the utilization recorder (shared
+	// buckets) or credit-gated egress disciplines (delivery-time refunds are
+	// zero-latency cross-shard edges); both fall back to the legacy engine,
+	// which produces the identical Result.
+	nShards := *shards
+	if nShards > *machines {
+		nShards = *machines
+	}
+	if rec != nil {
+		nShards = 1
+	}
+	if d, derr := sched.ByName(st.Discipline()); derr == nil {
+		if _, gated := d.(sched.Admitter); gated {
+			nShards = 1
+		}
+	}
 	cfg := cluster.Config{
 		Model:          m,
 		Machines:       *machines,
@@ -95,6 +116,10 @@ func main() {
 		MeasureIters:   *iters,
 		Seed:           *seed,
 		Recorder:       rec,
+		Shards:         nShards,
+	}
+	if *rackSize > 0 {
+		cfg.Topology = netsim.Topology{RackSize: *rackSize, CoreOversub: *oversub}
 	}
 	if *stallsIn != "" {
 		stalls, err := strategy.ReadStallFile(*stallsIn)
@@ -136,9 +161,14 @@ func main() {
 	if *preempt > 0 {
 		preemptDesc = fmt.Sprintf("%d B", *preempt)
 	}
+	topoDesc := "flat"
+	if *rackSize > 0 {
+		topoDesc = fmt.Sprintf("racks of %d, core %g:1", *rackSize, *oversub)
+	}
 	fmt.Printf("model:       %s (%s)\n", m.Name, m)
 	fmt.Printf("strategy:    %s  sched: %s  preempt: %s  machines: %d  bandwidth: %g Gbps\n",
 		st.Name, st.Discipline(), preemptDesc, r.Machines, r.BandwidthGbps)
+	fmt.Printf("engine:      %d shard(s)  topology: %s\n", nShards, topoDesc)
 	fmt.Printf("throughput:  %.1f %s/s aggregate (%.1f per machine)\n",
 		r.Throughput, m.SampleUnit, r.Throughput/float64(r.Machines))
 	fmt.Printf("iteration:   %.2f ms mean (pure compute %.2f ms, comm overhead %.2f ms)\n",

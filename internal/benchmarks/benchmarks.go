@@ -181,6 +181,44 @@ func calibBench(b *testing.B) {
 
 var sinkU64 uint64
 
+// xshardBench prices the parallel executor's per-event window machinery: a
+// two-shard ping-pong where each event's only effect is a cross-shard send,
+// so every window carries both shards' handoff (coordinator -> worker
+// channel, barrier wait, canonical outbox injection) and nothing else. The
+// closures and outbox/scratch/heap slabs are all reused, so steady state
+// must stay allocation-free like the rest of the dispatch suite.
+func xshardBench(b *testing.B) {
+	const look = sim.Time(10)
+	p, err := sim.NewParallel(2, []int{0, 1}, look)
+	if err != nil {
+		b.Fatal(err)
+	}
+	half := b.N / 2
+	if half == 0 {
+		half = 1
+	}
+	proc0, proc1 := p.Proc(0), p.Proc(1)
+	n0, n1 := 0, 0
+	var fn0, fn1 func()
+	fn0 = func() {
+		n0++
+		if n0 < half {
+			p.Cross(0, 1, proc0.Now()+look, fn1)
+		}
+	}
+	fn1 = func() {
+		n1++
+		if n1 < half {
+			p.Cross(1, 0, proc1.Now()+look, fn0)
+		}
+	}
+	proc0.At(0, fn0)
+	proc1.At(0, fn1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	p.Run()
+}
+
 // Dispatch returns the dispatch microbenchmark suite, in stable order.
 func Dispatch() []Named {
 	return []Named{
@@ -195,6 +233,7 @@ func Dispatch() []Named {
 		{"sendqueue/damped/64dests", sendQueueBench("damped")},
 		{"sendqueue/credit-adaptive/64dests", sendQueueBench("credit-adaptive:1048576")},
 		{"engine/event", engineBench},
+		{"engine/xshard", xshardBench},
 	}
 }
 
@@ -206,7 +245,7 @@ func Dispatch() []Named {
 // spin-loop calibration cannot see (cache and memory-bandwidth contention).
 // allocs/op is taken as the maximum: it is deterministic at steady state,
 // and any repetition observing an allocation is a real contract violation.
-const benchReps = 3
+const benchReps = 5
 
 // RunDispatch measures the dispatch suite with testing.Benchmark, best of
 // benchReps repetitions per benchmark.
@@ -261,12 +300,17 @@ func RunSims() []SimResult {
 		machines int
 		gbps     float64
 		path     string
+		shards   int
 	}{
-		{"cluster/resnet50/p3@4G", "resnet50", 4, 4, "cluster"},
-		{"cluster/vgg19/p3@15G", "vgg19", 4, 15, "cluster"},
-		{"cluster/sockeye/p3@4G", "sockeye", 4, 4, "cluster"},
-		{"cluster/resnet50/p3@1.5G/64m", "resnet50", 64, 1.5, "cluster"},
-		{"ring/resnet50/p3@1.5G/16m", "resnet50", 16, 1.5, "ring"},
+		{"cluster/resnet50/p3@4G", "resnet50", 4, 4, "cluster", 0},
+		{"cluster/vgg19/p3@15G", "vgg19", 4, 15, "cluster", 0},
+		{"cluster/sockeye/p3@4G", "sockeye", 4, 4, "cluster", 0},
+		{"cluster/resnet50/p3@1.5G/64m", "resnet50", 64, 1.5, "cluster", 0},
+		// The 256-machine cell runs on the sharded engine (4 shards
+		// regardless of host parallelism — the Result is bit-identical
+		// either way, and WallMs then tracks the parallel executor's cost).
+		{"cluster/resnet50/p3@1.5G/256m/shards4", "resnet50", 256, 1.5, "cluster", 4},
+		{"ring/resnet50/p3@1.5G/16m", "resnet50", 16, 1.5, "ring", 0},
 	}
 	out := make([]SimResult, 0, len(cases))
 	for _, c := range cases {
@@ -284,6 +328,7 @@ func RunSims() []SimResult {
 			r := cluster.Run(cluster.Config{
 				Model: zoo.ByName(c.model), Machines: c.machines, Strategy: strategy.P3(0),
 				BandwidthGbps: c.gbps, WarmupIters: 1, MeasureIters: 3, Seed: 1,
+				Shards: c.shards,
 			})
 			iterMs, events = r.MeanIterTime.Millis(), r.Events
 		}

@@ -98,7 +98,29 @@ type Config struct {
 	// sequence lengths). Runs are deterministic for a fixed seed.
 	Seed int64
 	// Recorder, if non-nil, captures per-machine NIC utilization.
+	// Incompatible with Shards >= 2 (the buckets are shared across
+	// machines).
 	Recorder *trace.Recorder
+	// Shards selects the engine: 0 or 1 runs the exact legacy single-heap
+	// engine (bit-identical to earlier releases), >= 2 runs the
+	// conservative-lookahead parallel engine with that many shards —
+	// producing, by the sim package's determinism contract, the same
+	// Result. Values above the machine count are clamped.
+	Shards int
+	// Engine optionally supplies a reusable single-shard engine: it is
+	// Reset and used in place of a fresh one, so sweep workers keep one
+	// grown event slab across configurations. Ignored when Shards >= 2.
+	Engine *sim.Engine
+	// Topology optionally arranges machines into racks behind an
+	// oversubscribed core (netsim.Topology); the zero value keeps the flat
+	// non-blocking switch.
+	Topology netsim.Topology
+	// ServerMachines optionally places parameter server s on machine
+	// ServerMachines[s] (len must equal the server count; entries must be
+	// distinct). nil keeps the default co-location: server s on machine s.
+	// With a rack topology this is the PS-placement axis: spread servers
+	// across racks or pack them into one.
+	ServerMachines []int
 }
 
 func (c *Config) withDefaults() Config {
@@ -233,13 +255,15 @@ type procPool struct {
 	chunkBusy map[int32]bool
 	waiting   map[int32][]procItem
 	overhead  sim.Time
-	rate      float64 // bytes per nanosecond
+	rate      float64  // bytes per nanosecond
+	proc      sim.Proc // the owning machine's timeline
 	done      func(procItem)
 }
 
 // newProcPool builds a pool ordered by queue, which must wrap a fresh
-// discipline instance (pools never share scheduler state).
-func newProcPool(threads int, overhead sim.Time, rate float64, queue *sched.Queue[procItem]) *procPool {
+// discipline instance (pools never share scheduler state). proc is the
+// owning machine's scheduling handle — pool events belong to that LP.
+func newProcPool(threads int, overhead sim.Time, rate float64, queue *sched.Queue[procItem], proc sim.Proc) *procPool {
 	return &procPool{
 		threads:   threads,
 		queue:     queue,
@@ -247,6 +271,7 @@ func newProcPool(threads int, overhead sim.Time, rate float64, queue *sched.Queu
 		waiting:   make(map[int32][]procItem),
 		overhead:  overhead,
 		rate:      rate,
+		proc:      proc,
 	}
 }
 
@@ -281,7 +306,7 @@ func (p *procPool) start(cs *clusterSim, it procItem) {
 	p.chunkBusy[it.chunk] = true
 	p.inFlight++
 	cost := p.overhead + sim.Time(float64(cs.plan.Chunks[it.chunk].Bytes())/p.rate)
-	cs.eng.After(cost, func() {
+	p.proc.After(cost, func() {
 		p.inFlight--
 		delete(p.chunkBusy, it.chunk)
 		p.queue.Done(it)
@@ -330,12 +355,19 @@ type workerState struct {
 
 type clusterSim struct {
 	cfg    Config
-	eng    *sim.Engine
+	exec   sim.Exec
+	procs  []sim.Proc // one per machine
 	net    *netsim.Network
 	plan   *core.Plan
 	timing *model.Timing
 	layers int
 	total  int32 // iterations to run
+
+	// srvMachine[s] is the machine hosting server s; machineSrv is the
+	// inverse (-1 on machines without a server). Identity by default —
+	// the paper's co-located deployment.
+	srvMachine []int
+	machineSrv []int
 
 	workers  []workerState
 	servers  []serverState
@@ -372,14 +404,13 @@ func Run(cfg Config) Result {
 	}
 	cs := newClusterSim(cfg)
 	cs.start()
-	cs.eng.Run()
+	cs.exec.Run()
 	return cs.result()
 }
 
 func newClusterSim(cfg Config) *clusterSim {
 	m := cfg.Model
 	n := cfg.Machines
-	eng := &sim.Engine{}
 
 	var netCfg netsim.Config
 	if cfg.Net != nil {
@@ -394,6 +425,9 @@ func newClusterSim(cfg Config) *clusterSim {
 	if cfg.PreemptQuantum > 0 {
 		netCfg.PreemptQuantum = cfg.PreemptQuantum
 	}
+	if cfg.Topology.RackSize > 0 {
+		netCfg.Topology = cfg.Topology
+	}
 	// Model-aware disciplines (tictac) see the same timing the simulator
 	// runs on unless a calibrated profile overrides it; model-blind
 	// disciplines ignore the profile entirely.
@@ -403,15 +437,74 @@ func newClusterSim(cfg Config) *clusterSim {
 	}
 	netCfg.Profile = prof
 
+	// Engine selection: the exact legacy single-heap engine for Shards
+	// <= 1 (optionally a caller-supplied reusable one), the
+	// conservative-lookahead parallel engine above that. The lookahead is
+	// the topology's minimum cross-LP latency; shard assignment is
+	// rack-aligned so only the core hop crosses shards.
+	shards := cfg.Shards
+	if shards > n {
+		shards = n
+	}
+	var exec sim.Exec
+	if shards >= 2 {
+		if cfg.Recorder != nil {
+			panic("cluster: Recorder needs Shards <= 1 (shared utilization buckets)")
+		}
+		p, err := sim.NewParallel(shards, netCfg.LPShards(n, shards), netCfg.Lookahead())
+		if err != nil {
+			panic(fmt.Sprintf("cluster: %v", err))
+		}
+		exec = p
+	} else {
+		eng := cfg.Engine
+		if eng != nil {
+			eng.Reset()
+		} else {
+			eng = &sim.Engine{}
+		}
+		exec = sim.Single{Eng: eng}
+	}
+
 	cs := &clusterSim{
 		cfg:    cfg,
-		eng:    eng,
+		exec:   exec,
 		plan:   cfg.Strategy.Partition(m, cfg.Servers),
 		timing: model.NewTiming(m),
 		layers: len(m.Layers),
 		total:  int32(cfg.WarmupIters + cfg.MeasureIters),
 	}
-	cs.net = netsim.New(eng, n, netCfg, cs.deliver, cfg.Recorder)
+	cs.procs = make([]sim.Proc, n)
+	for i := range cs.procs {
+		cs.procs[i] = exec.Proc(i)
+	}
+
+	// Server placement: identity (server s co-located on machine s) unless
+	// ServerMachines overrides it.
+	cs.srvMachine = make([]int, cfg.Servers)
+	cs.machineSrv = make([]int, n)
+	for i := range cs.machineSrv {
+		cs.machineSrv[i] = -1
+	}
+	if cfg.ServerMachines != nil && len(cfg.ServerMachines) != cfg.Servers {
+		panic(fmt.Sprintf("cluster: %d ServerMachines for %d servers", len(cfg.ServerMachines), cfg.Servers))
+	}
+	for s := range cs.srvMachine {
+		mach := s
+		if cfg.ServerMachines != nil {
+			mach = cfg.ServerMachines[s]
+		}
+		if mach < 0 || mach >= n {
+			panic(fmt.Sprintf("cluster: server %d placed on machine %d of %d", s, mach, n))
+		}
+		if cs.machineSrv[mach] != -1 {
+			panic(fmt.Sprintf("cluster: servers %d and %d both placed on machine %d", cs.machineSrv[mach], s, mach))
+		}
+		cs.srvMachine[s] = mach
+		cs.machineSrv[mach] = s
+	}
+
+	cs.net = netsim.NewOnExec(exec, n, netCfg, cs.deliver, cfg.Recorder)
 	cs.updRate = cfg.UpdateRateGBps // GB/s == bytes/ns
 	cs.hostRate = cfg.HostRateGBps  // GB/s == bytes/ns
 
@@ -432,7 +525,7 @@ func newClusterSim(cfg Config) *clusterSim {
 	for s := range cs.servers {
 		srv := s
 		cs.servers[s] = serverState{
-			proc:     newProcPool(cfg.ServerThreads, cfg.UpdateOverhead, cfg.UpdateRateGBps, newQueue(s)),
+			proc:     newProcPool(cfg.ServerThreads, cfg.UpdateOverhead, cfg.UpdateRateGBps, newQueue(s), cs.procs[cs.srvMachine[s]]),
 			agg:      make([]chunkAgg, cs.plan.NumChunks()),
 			lastDone: make([]int32, cs.plan.NumChunks()),
 			pending:  make(map[int32][]pendingPull),
@@ -455,7 +548,7 @@ func newClusterSim(cfg Config) *clusterSim {
 		ws.notifyCount = make([]int, cs.layers)
 		ws.bwdDone = make([]sim.Time, cs.total)
 		ws.layerStall = make([]sim.Time, cs.layers)
-		ws.proc = newProcPool(cfg.HostThreads, cfg.HostOverhead, cfg.HostRateGBps, newQueue(w))
+		ws.proc = newProcPool(cfg.HostThreads, cfg.HostOverhead, cfg.HostRateGBps, newQueue(w), cs.procs[w])
 		wk := w
 		ws.proc.done = func(it procItem) { cs.installChunk(wk, it.chunk, it.iter) }
 	}
@@ -503,17 +596,17 @@ func (cs *clusterSim) advanceForward(w int) {
 	if ws.readyIter[l] < ws.curIter-1 {
 		if !ws.waitingFwd {
 			ws.waitingFwd = true
-			ws.waitSince = cs.eng.Now()
+			ws.waitSince = cs.procs[w].Now()
 		}
 		return
 	}
 	if ws.waitingFwd {
 		ws.waitingFwd = false
 		if ws.curIter >= int32(cs.cfg.WarmupIters) {
-			ws.layerStall[l] += cs.eng.Now() - ws.waitSince
+			ws.layerStall[l] += cs.procs[w].Now() - ws.waitSince
 		}
 	}
-	cs.eng.After(cs.scaled(w, ws.curIter, cs.timing.Fwd[l]), func() {
+	cs.procs[w].After(cs.scaled(w, ws.curIter, cs.timing.Fwd[l]), func() {
 		ws.fwdLayer = l + 1
 		cs.advanceForward(w)
 	})
@@ -525,7 +618,7 @@ func (cs *clusterSim) startBackward(w int) {
 
 func (cs *clusterSim) stepBackward(w, l int) {
 	ws := &cs.workers[w]
-	cs.eng.After(cs.scaled(w, ws.curIter, cs.timing.Bwd[l]), func() {
+	cs.procs[w].After(cs.scaled(w, ws.curIter, cs.timing.Bwd[l]), func() {
 		cs.pushLayer(w, l)
 		if l > 0 {
 			cs.stepBackward(w, l-1)
@@ -540,7 +633,7 @@ func (cs *clusterSim) pushLayer(w, l int) {
 	for _, id := range cs.plan.LayerChunks(l) {
 		c := cs.plan.Chunks[id]
 		cs.net.Send(netsim.Message{
-			From: w, To: c.Server, Bytes: c.Bytes(), Priority: int32(c.Priority),
+			From: w, To: cs.srvMachine[c.Server], Bytes: c.Bytes(), Priority: int32(c.Priority),
 			Kind: kPush, Chunk: int32(id), Iter: ws.curIter, Src: int32(w),
 		})
 	}
@@ -548,14 +641,14 @@ func (cs *clusterSim) pushLayer(w, l int) {
 
 func (cs *clusterSim) backwardDone(w int) {
 	ws := &cs.workers[w]
-	ws.bwdDone[ws.curIter] = cs.eng.Now()
+	ws.bwdDone[ws.curIter] = cs.procs[w].Now()
 	if cs.cfg.Strategy.Pull == strategy.DeferredPull {
 		// TensorFlow semantics: the next graph execution begins now and
 		// issues receive ops for every parameter at once.
 		for id := range cs.plan.Chunks {
 			c := cs.plan.Chunks[id]
 			cs.net.Send(netsim.Message{
-				From: w, To: c.Server, Bytes: ctlBytes, Priority: int32(c.Priority),
+				From: w, To: cs.srvMachine[c.Server], Bytes: ctlBytes, Priority: int32(c.Priority),
 				Kind: kPull, Chunk: int32(id), Iter: ws.curIter, Src: int32(w),
 			})
 		}
@@ -587,7 +680,7 @@ func (cs *clusterSim) deliver(m netsim.Message) {
 // ---- server side ----
 
 func (cs *clusterSim) onPush(m netsim.Message) {
-	cs.servers[m.To].proc.add(cs, procItem{chunk: m.Chunk, iter: m.Iter, src: m.Src, priority: m.Priority})
+	cs.servers[cs.machineSrv[m.To]].proc.add(cs, procItem{chunk: m.Chunk, iter: m.Iter, src: m.Src, priority: m.Priority})
 }
 
 // pushProcessed runs when the server finishes aggregating one worker's push
@@ -621,14 +714,14 @@ func (cs *clusterSim) onUpdated(srv int, chunk, iter int32) {
 	case strategy.Immediate:
 		for w := 0; w < cs.cfg.Machines; w++ {
 			cs.net.Send(netsim.Message{
-				From: srv, To: w, Bytes: c.Bytes(), Priority: int32(c.Priority),
+				From: cs.srvMachine[srv], To: w, Bytes: c.Bytes(), Priority: int32(c.Priority),
 				Kind: kData, Chunk: chunk, Iter: iter, Src: int32(srv),
 			})
 		}
 	case strategy.NotifyPull:
 		for w := 0; w < cs.cfg.Machines; w++ {
 			cs.net.Send(netsim.Message{
-				From: srv, To: w, Bytes: ctlBytes, Priority: int32(c.Priority),
+				From: cs.srvMachine[srv], To: w, Bytes: ctlBytes, Priority: int32(c.Priority),
 				Kind: kNotify, Chunk: chunk, Iter: iter, Src: int32(srv),
 			})
 		}
@@ -658,17 +751,18 @@ func (cs *clusterSim) onUpdated(srv int, chunk, iter int32) {
 func (cs *clusterSim) sendData(srv int, chunk, iter int32, dst int) {
 	c := cs.plan.Chunks[chunk]
 	cs.net.Send(netsim.Message{
-		From: srv, To: dst, Bytes: c.Bytes(), Priority: int32(c.Priority),
+		From: cs.srvMachine[srv], To: dst, Bytes: c.Bytes(), Priority: int32(c.Priority),
 		Kind: kData, Chunk: chunk, Iter: iter, Src: int32(srv),
 	})
 }
 
 func (cs *clusterSim) onPull(m netsim.Message) {
-	s := &cs.servers[m.To]
+	srv := cs.machineSrv[m.To]
+	s := &cs.servers[srv]
 	if s.lastDone[m.Chunk] >= m.Iter {
 		// The requested (or a newer) update already landed: answer with
 		// the current value, as a real key-value store does.
-		cs.sendData(m.To, m.Chunk, m.Iter, int(m.Src))
+		cs.sendData(srv, m.Chunk, m.Iter, int(m.Src))
 		return
 	}
 	s.pending[m.Chunk] = append(s.pending[m.Chunk], pendingPull{iter: m.Iter, src: int(m.Src)})
@@ -689,7 +783,7 @@ func (cs *clusterSim) onNotify(m netsim.Message) {
 	for _, id := range cs.plan.LayerChunks(l) {
 		c := cs.plan.Chunks[id]
 		cs.net.Send(netsim.Message{
-			From: w, To: c.Server, Bytes: ctlBytes, Priority: int32(c.Priority),
+			From: w, To: cs.srvMachine[c.Server], Bytes: ctlBytes, Priority: int32(c.Priority),
 			Kind: kPull, Chunk: int32(id), Iter: m.Iter, Src: int32(w),
 		})
 	}
@@ -764,9 +858,9 @@ func (cs *clusterSim) result() Result {
 		WarmupEnd:       warmEnd,
 		MeasuredIters:   cs.cfg.MeasureIters,
 		LayerStalls:     cs.workers[0].layerStall,
-		Events:          cs.eng.Processed(),
-		Msgs:            cs.net.MsgsDelivered,
-		WireBytes:       cs.net.BytesDelivered,
-		Preemptions:     cs.net.Preemptions,
+		Events:          cs.exec.Processed(),
+		Msgs:            cs.net.MsgsDelivered(),
+		WireBytes:       cs.net.BytesDelivered(),
+		Preemptions:     cs.net.Preemptions(),
 	}
 }

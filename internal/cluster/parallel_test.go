@@ -1,0 +1,184 @@
+package cluster
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"p3/internal/netsim"
+	"p3/internal/sim"
+	"p3/internal/strategy"
+	"p3/internal/trace"
+)
+
+// shardedCfg builds the config used by the shard-equality property: the
+// sliced strategy under the named discipline at the bottleneck bandwidth,
+// small iteration counts, on the hand-sized model.
+func shardedCfg(t *testing.T, n int, sched string) Config {
+	t.Helper()
+	st, err := strategy.SlicingOnly(0).WithSched(sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Name = "sliced+" + sched
+	return Config{
+		Model: smallModel(), Machines: n, Strategy: st, BandwidthGbps: 1.5,
+		WarmupIters: 1, MeasureIters: 2, Seed: 1,
+	}
+}
+
+// TestShardedMatchesSingleResult is the simulator's determinism contract at
+// cluster level: an N-shard conservative-lookahead run produces the same
+// Result — same floats, same event count, same message count — as the
+// single-engine run, for every discipline of the scale sweep, at several
+// shard counts, on both the flat and the rack topology. 64 machines is left
+// to the non-race CI step; under the race detector the sharded runs are an
+// order of magnitude slower.
+func TestShardedMatchesSingleResult(t *testing.T) {
+	sizes := []int{4, 16}
+	if !raceEnabled && !testing.Short() {
+		sizes = append(sizes, 64)
+	}
+	topos := []struct {
+		name string
+		topo netsim.Topology
+	}{
+		{"flat", netsim.Topology{}},
+		{"racks", netsim.Topology{RackSize: 8, CoreOversub: 4}},
+	}
+	for _, n := range sizes {
+		for _, tp := range topos {
+			if tp.topo.RackSize > 0 && n < 2*tp.topo.RackSize {
+				continue // a single rack is just the flat switch with extra hops
+			}
+			for _, sched := range []string{"fifo", "p3", "damped", "tictac"} {
+				base := shardedCfg(t, n, sched)
+				base.Topology = tp.topo
+				want := Run(base)
+				for _, shards := range []int{2, 4, 8} {
+					cfg := base
+					cfg.Shards = shards
+					got := Run(cfg)
+					if !reflect.DeepEqual(got, want) {
+						t.Errorf("%d machines/%s/%s/shards=%d diverges from single engine:\n got %+v\nwant %+v",
+							n, tp.name, sched, shards, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestShardedEngineFieldIgnored pins that a caller-supplied reusable Engine
+// does not leak into a sharded run (it belongs to the single path only).
+func TestShardedEngineFieldIgnored(t *testing.T) {
+	base := shardedCfg(t, 4, "p3")
+	want := Run(base)
+	cfg := base
+	cfg.Shards = 2
+	cfg.Engine = &sim.Engine{}
+	if got := Run(cfg); !reflect.DeepEqual(got, want) {
+		t.Errorf("sharded run with Engine set diverges:\n got %+v\nwant %+v", got, want)
+	}
+	// And the single path actually reuses it across runs.
+	cfg.Shards = 0
+	if got := Run(cfg); !reflect.DeepEqual(got, want) {
+		t.Errorf("first run on a reusable engine diverges:\n got %+v\nwant %+v", got, want)
+	}
+	if got := Run(cfg); !reflect.DeepEqual(got, want) {
+		t.Errorf("second run on a reused engine diverges:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestZeroLookaheadRejected pins the failure mode of a latency-free
+// topology: conservative parallel execution has no safe window, and the
+// run must refuse loudly instead of deadlocking.
+func TestZeroLookaheadRejected(t *testing.T) {
+	cfg := shardedCfg(t, 4, "fifo")
+	net := netsim.DefaultConfig(cfg.BandwidthGbps)
+	net.PropDelay = 0
+	cfg.Net = &net
+	cfg.Shards = 2
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("sharded run on a zero-latency topology did not panic")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "lookahead") {
+			t.Fatalf("unhelpful zero-lookahead panic: %v", r)
+		}
+	}()
+	Run(cfg)
+}
+
+// TestShardedRecorderRejected pins that utilization tracing (shared
+// time-bucket state) refuses to run sharded.
+func TestShardedRecorderRejected(t *testing.T) {
+	cfg := shardedCfg(t, 4, "fifo")
+	cfg.Recorder = trace.NewRecorder(4, 10*1000*1000)
+	cfg.Shards = 2
+	defer func() {
+		if recover() == nil {
+			t.Fatal("sharded run with a Recorder did not panic")
+		}
+	}()
+	Run(cfg)
+}
+
+// TestShardedGatedDisciplineRejected pins that credit-gated egress (whose
+// delivery-time credit refund is a zero-lookahead feedback edge) refuses to
+// run sharded instead of silently changing semantics.
+func TestShardedGatedDisciplineRejected(t *testing.T) {
+	cfg := shardedCfg(t, 4, "credit")
+	cfg.Shards = 2
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("sharded run with a credit-gated discipline did not panic")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "shards=1") {
+			t.Fatalf("unhelpful gated-discipline panic: %v", r)
+		}
+	}()
+	Run(cfg)
+}
+
+// TestServerPlacement pins the ServerMachines axis: an explicit identity
+// placement is bit-identical to the default, a spread placement still
+// completes and conserves protocol traffic, and invalid placements fail
+// loudly.
+func TestServerPlacement(t *testing.T) {
+	base := shardedCfg(t, 8, "p3")
+	base.Servers = 2
+	want := Run(base)
+
+	identity := base
+	identity.ServerMachines = []int{0, 1}
+	if got := Run(identity); !reflect.DeepEqual(got, want) {
+		t.Errorf("explicit identity placement diverges from default:\n got %+v\nwant %+v", got, want)
+	}
+
+	spread := base
+	spread.ServerMachines = []int{3, 6}
+	r := Run(spread)
+	if r.Msgs != want.Msgs {
+		t.Errorf("spread placement changed protocol traffic: %d msgs, want %d", r.Msgs, want.Msgs)
+	}
+
+	for name, bad := range map[string][]int{
+		"wrong length": {0},
+		"out of range": {0, 8},
+		"duplicate":    {3, 3},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s placement did not panic", name)
+				}
+			}()
+			cfg := base
+			cfg.ServerMachines = bad
+			Run(cfg)
+		}()
+	}
+}

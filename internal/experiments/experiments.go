@@ -39,6 +39,13 @@ type Options struct {
 	Fast bool
 	// Seed for workload jitter; runs are deterministic per seed.
 	Seed int64
+	// Shards selects the cluster simulator's engine: <= 1 runs the legacy
+	// single-heap engine, >= 2 the conservative-lookahead parallel engine
+	// with that many shards. Results are bit-identical either way (the
+	// determinism contract in internal/sim); shards only buy wall-clock on
+	// multi-core runners, and recorder-backed utilization figures always
+	// run single-shard.
+	Shards int
 }
 
 func (o Options) iters() (warm, measure int) {
@@ -51,6 +58,10 @@ func (o Options) iters() (warm, measure int) {
 // run executes one simulated configuration.
 func run(m *model.Model, s strategy.Strategy, machines int, gbps float64, o Options, rec *trace.Recorder) cluster.Result {
 	warm, measure := o.iters()
+	shards := o.Shards
+	if rec != nil {
+		shards = 0 // utilization buckets need the single-shard engine
+	}
 	return cluster.Run(cluster.Config{
 		Model:         m,
 		Machines:      machines,
@@ -60,6 +71,7 @@ func run(m *model.Model, s strategy.Strategy, machines int, gbps float64, o Opti
 		MeasureIters:  measure,
 		Seed:          o.Seed + 1,
 		Recorder:      rec,
+		Shards:        shards,
 	})
 }
 

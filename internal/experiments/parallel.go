@@ -4,6 +4,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"p3/internal/sim"
 )
 
 // parEach runs fn(i) for every i in [0, n) on a worker pool sized to
@@ -21,13 +23,24 @@ import (
 // no goroutines at all, so serial debugging and deterministic profiling
 // stay trivial.
 func parEach(n int, fn func(i int)) {
+	parEachEngine(n, func(i int, _ *sim.Engine) { fn(i) })
+}
+
+// parEachEngine is parEach with one reusable simulation engine per worker:
+// fn receives the engine owned by the worker running it, to hand to
+// cluster.Config.Engine / ring.Config.Engine. The simulator resets the
+// engine (retaining its event slab) at the start of every run, so a sweep
+// grows each worker's heap once instead of re-growing it for every cell.
+// The engine must not outlive the call that received it.
+func parEachEngine(n int, fn func(i int, eng *sim.Engine)) {
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
+		eng := &sim.Engine{}
 		for i := 0; i < n; i++ {
-			fn(i)
+			fn(i, eng)
 		}
 		return
 	}
@@ -37,12 +50,13 @@ func parEach(n int, fn func(i int)) {
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
+			eng := &sim.Engine{}
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				fn(i)
+				fn(i, eng)
 			}
 		}()
 	}

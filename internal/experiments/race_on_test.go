@@ -1,0 +1,8 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports whether the race detector instruments this build;
+// multi-million-event simulations are an order of magnitude slower under it
+// and are left to the dedicated non-race CI step.
+const raceEnabled = true

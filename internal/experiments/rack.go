@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"p3/internal/cluster"
+	"p3/internal/netsim"
+	"p3/internal/sim"
+	"p3/internal/strategy"
+	"p3/internal/zoo"
+)
+
+// RackRow is one cell of the rack-scale sweep: a multi-rack topology with
+// an oversubscribed core, with parameter-server placement as a swept axis.
+type RackRow struct {
+	Model    string
+	Machines int
+	RackSize int
+	// Oversub is the core oversubscription ratio (1 = non-blocking core).
+	Oversub float64
+	// Placement is the parameter-server placement policy: "spread" puts one
+	// server in every rack (pulls fan out of each rack once), "packed"
+	// crowds every server into rack 0 (all push/pull traffic squeezes
+	// through one rack's uplink and downlink).
+	Placement string
+	Sched     string
+	// PerMachine is per-machine training throughput (samples/sec).
+	PerMachine float64
+	IterMs     float64
+	Events     uint64
+	WallMs     float64
+}
+
+// rackPlacement builds the ServerMachines vector for a placement policy.
+func rackPlacement(policy string, servers, rackSize int) []int {
+	out := make([]int, servers)
+	for s := range out {
+		if policy == "spread" {
+			out[s] = s * rackSize // server s at the head of rack s
+		} else {
+			out[s] = s // all servers in rack 0
+		}
+	}
+	return out
+}
+
+// Rack sweeps the rack-scale regime the paper's flat 4-16 machine testbed
+// never reaches: machines in racks behind an oversubscribed core (the
+// dominant constraint Parameter Hub identifies for rack-scale training),
+// with the scale sweep's discipline axis and server placement as the
+// second axis. The non-blocking (1:1) column isolates placement effects
+// from core contention; the oversubscribed column is where the two
+// interact. Cells run on the parEachEngine pool with o.Shards threaded
+// through, like the scale sweep.
+func Rack(o Options) []RackRow {
+	warm, measure := o.iters()
+	const model = "resnet50"
+	const gbps = 1.5
+	machines, rackSize, servers := 256, 32, 8
+	oversubs := []float64{1, 4}
+	scheds := []string{"fifo", "p3", "damped", "tictac"}
+	if o.Fast {
+		// Same experiment, CI-sized: still multi-rack, still oversubscribed,
+		// still one server per rack when spread.
+		machines, rackSize, servers = 64, 16, 4
+		oversubs = []float64{4}
+		scheds = []string{"fifo", "damped"}
+	}
+	type cell struct {
+		oversub   float64
+		placement string
+		sched     string
+	}
+	var cells []cell
+	for _, ov := range oversubs {
+		for _, pl := range []string{"spread", "packed"} {
+			for _, sc := range scheds {
+				cells = append(cells, cell{ov, pl, sc})
+			}
+		}
+	}
+	rows := make([]RackRow, len(cells))
+	parEachEngine(len(cells), func(i int, eng *sim.Engine) {
+		c := cells[i]
+		st, err := strategy.SlicingOnly(0).WithSched(c.sched)
+		if err != nil {
+			panic(err)
+		}
+		st.Name = "sliced+" + c.sched
+		t0 := time.Now()
+		r := cluster.Run(cluster.Config{
+			Model: zoo.ByName(model), Machines: machines, Servers: servers,
+			Strategy: st, BandwidthGbps: gbps,
+			WarmupIters: warm, MeasureIters: measure, Seed: o.Seed + 1,
+			Topology:       netsim.Topology{RackSize: rackSize, CoreOversub: c.oversub},
+			ServerMachines: rackPlacement(c.placement, servers, rackSize),
+			Engine:         eng, Shards: o.Shards,
+		})
+		rows[i] = RackRow{
+			Model: model, Machines: machines, RackSize: rackSize,
+			Oversub: c.oversub, Placement: c.placement, Sched: c.sched,
+			PerMachine: r.Throughput / float64(r.Machines),
+			IterMs:     r.MeanIterTime.Millis(),
+			Events:     r.Events,
+			WallMs:     float64(time.Since(t0).Microseconds()) / 1000,
+		}
+	})
+	return rows
+}
+
+// RackTable renders the rack sweep, one line per (oversub, placement,
+// sched).
+func RackTable(rows []RackRow) string {
+	out := "model\tmachines\track\toversub\tplacement\tsched\tsamples/s/machine\titer_ms\tevents\tsim_wall_ms\n"
+	for _, r := range rows {
+		out += fmt.Sprintf("%s\t%d\t%d\t%g:1\t%s\t%s\t%.1f\t%.2f\t%d\t%.1f\n",
+			r.Model, r.Machines, r.RackSize, r.Oversub, r.Placement, r.Sched,
+			r.PerMachine, r.IterMs, r.Events, r.WallMs)
+	}
+	return out
+}

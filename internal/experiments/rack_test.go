@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"p3/internal/cluster"
+	"p3/internal/netsim"
+	"p3/internal/strategy"
+	"p3/internal/zoo"
+)
+
+// TestRackSweepFast runs the CI-sized rack sweep end to end: every cell
+// completes with sane throughput, the event volume is placement- and
+// discipline-independent (the protocol sends the same messages; only their
+// timing moves), and the table renders both placements.
+func TestRackSweepFast(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-rack sweep in -short mode")
+	}
+	rows := Rack(Options{Fast: true, Seed: 1})
+	if len(rows) == 0 {
+		t.Fatal("no rack rows")
+	}
+	var events uint64
+	for _, r := range rows {
+		if r.PerMachine <= 0 || r.IterMs <= 0 {
+			t.Fatalf("degenerate row: %+v", r)
+		}
+		if events == 0 {
+			events = r.Events
+		} else if r.Events != events {
+			t.Errorf("event volume should not depend on placement or discipline: %+v has %d, want %d", r, r.Events, events)
+		}
+	}
+	table := RackTable(rows)
+	for _, want := range []string{"spread", "packed", "4:1"} {
+		if !strings.Contains(table, want) {
+			t.Fatalf("rack table missing %q:\n%s", want, table)
+		}
+	}
+}
+
+// rackFindingRun is one cell of the pinned 256-machine finding, at the
+// same topology the full Rack sweep uses but with smoke-test iteration
+// counts.
+func rackFindingRun(t *testing.T, sched, placement string) cluster.Result {
+	t.Helper()
+	st, err := strategy.SlicingOnly(0).WithSched(sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Name = "sliced+" + sched
+	return cluster.Run(cluster.Config{
+		Model: zoo.ByName("resnet50"), Machines: 256, Servers: 8,
+		Strategy: st, BandwidthGbps: 1.5,
+		WarmupIters: 1, MeasureIters: 2, Seed: 2,
+		Topology:       netsim.Topology{RackSize: 32, CoreOversub: 4},
+		ServerMachines: rackPlacement(placement, 8, 32),
+	})
+}
+
+// TestRackOversubDampingFinding pins the 256-machine multi-rack result,
+// measured on this tree: under a 4:1 oversubscribed core the damped rank
+// does NOT carry its flat-network win over fifo (the PR-5 inversion fix).
+// With the bottleneck moved from the end-host NICs to the priority-blind
+// FIFO core links, reordering at host egress cannot expedite anything —
+// the core serializes in arrival order regardless — while damped's bounded
+// deferral still delays bulk traffic's entry into the core pipeline. fifo
+// beat damped by ~33% under the spread placement (1.57 vs 1.05
+// samples/s/machine) and ~3% under packed (1.54 vs 1.49) when this was
+// captured. The assertion is directional (fifo strictly faster), not
+// bit-pinned, so unrelated timing changes don't thrash it; if a future
+// core-aware discipline closes the gap, re-measure and re-pin.
+func TestRackOversubDampingFinding(t *testing.T) {
+	if raceEnabled || testing.Short() {
+		t.Skip("256-machine cells are for the non-race suite")
+	}
+	for _, placement := range []string{"spread", "packed"} {
+		fifo := rackFindingRun(t, "fifo", placement)
+		damped := rackFindingRun(t, "damped", placement)
+		if damped.Throughput >= fifo.Throughput {
+			t.Errorf("%s: damped %.2f >= fifo %.2f samples/s — damping now beats fifo under the 4:1 core; the rack finding flipped, re-pin it",
+				placement, damped.Throughput/256, fifo.Throughput/256)
+		}
+	}
+}
+
+// TestScale1024Smoke drives the largest cell of the extended scale axis —
+// 1024 machines on the parameter-server path — through a minimal run: the
+// protocol must complete (cluster.Run panics if any worker wedges) with
+// sane throughput. ~17M events; kept out of -short and the race-detector
+// suite.
+func TestScale1024Smoke(t *testing.T) {
+	if raceEnabled || testing.Short() {
+		t.Skip("1024-machine smoke is for the non-race suite")
+	}
+	st, err := strategy.SlicingOnly(0).WithSched("fifo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Name = "sliced+fifo"
+	r := cluster.Run(cluster.Config{
+		Model: zoo.ByName("resnet50"), Machines: 1024, Strategy: st,
+		BandwidthGbps: 1.5, WarmupIters: 1, MeasureIters: 1, Seed: 2,
+	})
+	if r.Throughput <= 0 || r.MeanIterTime <= 0 {
+		t.Fatalf("degenerate 1024-machine result: %+v", r)
+	}
+	if r.Events < 10_000_000 {
+		t.Fatalf("1024-machine run processed only %d events — the cell shrank", r.Events)
+	}
+}

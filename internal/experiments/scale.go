@@ -6,6 +6,7 @@ import (
 
 	"p3/internal/cluster"
 	"p3/internal/ring"
+	"p3/internal/sim"
 	"p3/internal/strategy"
 	"p3/internal/zoo"
 )
@@ -47,17 +48,28 @@ type ScaleRow struct {
 // before the O(log F) dispatch rewrite: every egress queue holds one flow
 // per peer, so each pop paid a 64-flow linear scan (sorted in full under a
 // credit gate), inside simulations whose event volume itself grows ~N^2.
+// 256 and 1024 came within reach with the sharded engine: parameter-server
+// event volume grows roughly linearly in machines, so the big cells are
+// wide rather than deep and the conservative-lookahead shards (plus the
+// reused per-worker engines) keep them tractable. The ring axis stays
+// capped at 64: every collective is 2(N-1) rounds of N transmissions per
+// chunk, ~N^2 events — a 256-machine ring cell alone would cost ~16x the
+// whole 64-machine sweep — and its global per-collective launch barrier
+// pins it to the single-shard engine besides.
 func scaleSizes(path string, fast bool) []int {
-	if fast && path == PathRing {
-		// The 64-machine ring (2(N-1) rounds x N machines per chunk) costs
-		// ~40M events per cell; the trimmed sweep keeps CI fast and leaves
-		// the full axis to `p3bench scale`.
-		return []int{4, 16}
+	if path == PathRing {
+		if fast {
+			// The 64-machine ring costs ~40M events per cell; the trimmed
+			// sweep keeps CI fast and leaves the full axis to `p3bench
+			// scale`.
+			return []int{4, 16}
+		}
+		return []int{4, 16, 64}
 	}
 	if fast {
 		return []int{4, 64}
 	}
-	return []int{4, 16, 64}
+	return []int{4, 16, 64, 256, 1024}
 }
 
 // scaleVariant is one scheduling variant of the scale sweep.
@@ -106,12 +118,18 @@ func Scale(o Options) []ScaleRow {
 	for _, path := range []string{PathCluster, PathRing} {
 		for _, n := range scaleSizes(path, o.Fast) {
 			for _, v := range scaleVariants() {
+				if n > 64 && v.calibrated {
+					// The calibrated variants pay for two full passes per
+					// cell; past 64 machines the sweep keeps the
+					// single-pass fifo/p3/damped/tictac axis.
+					continue
+				}
 				cells = append(cells, cell{path, n, v})
 			}
 		}
 	}
 	rows := make([]ScaleRow, len(cells))
-	parEach(len(cells), func(i int) {
+	parEachEngine(len(cells), func(i int, eng *sim.Engine) {
 		c := cells[i]
 		st, err := strategy.SlicingOnly(0).WithSched(c.variant.sched)
 		if err != nil {
@@ -133,6 +151,7 @@ func Scale(o Options) []ScaleRow {
 				Model: zoo.ByName(model), Machines: c.machines, Strategy: st,
 				BandwidthGbps: gbps,
 				WarmupIters:   warm, MeasureIters: measure, Seed: o.Seed + 1,
+				Engine: eng,
 			}
 			var r ring.Result
 			if c.variant.calibrated {
@@ -148,6 +167,7 @@ func Scale(o Options) []ScaleRow {
 				Model: zoo.ByName(model), Machines: c.machines, Strategy: st,
 				BandwidthGbps: gbps,
 				WarmupIters:   warm, MeasureIters: measure, Seed: o.Seed + 1,
+				Engine: eng, Shards: o.Shards,
 			}
 			var r cluster.Result
 			if c.variant.calibrated {

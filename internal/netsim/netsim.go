@@ -60,6 +60,11 @@ type Config struct {
 	// Profile optionally supplies model timing to profile-aware egress
 	// disciplines (tictac); nil leaves them model-blind.
 	Profile *sched.Profile
+	// Topology optionally arranges the machines into racks behind an
+	// oversubscribed core. The zero value keeps the flat non-blocking
+	// switch of the paper's testbed (every path bit-identical to earlier
+	// releases).
+	Topology Topology
 	// PreemptQuantum > 0 makes egress transmission resumable: serialization
 	// is charged in segments of at most this many wire bytes, and at each
 	// segment boundary a strictly more urgent admissible queued message no
@@ -74,6 +79,88 @@ type Config struct {
 	// telescopes exactly, so a run in which no preemption fires is
 	// bit-identical to PreemptQuantum 0.
 	PreemptQuantum int64
+}
+
+// Topology describes a multi-rack interconnect: racks of RackSize machines
+// on non-blocking ToR switches, joined by a core whose capacity is the
+// rack's aggregate NIC rate divided by CoreOversub — the oversubscribed
+// regime Parameter Hub identifies as the dominant constraint of rack-scale
+// training. An inter-rack message serializes through its source rack's
+// uplink and its destination rack's downlink (FIFO, store-and-forward, no
+// per-message software overhead: switch ports, not hosts); intra-rack
+// traffic never touches the core.
+type Topology struct {
+	// RackSize is the number of machines per rack; 0 disables the rack
+	// model entirely (flat single switch). The last rack may be partial.
+	RackSize int
+	// CoreOversub is the core oversubscription ratio: each rack's
+	// uplink/downlink serializes at RackSize*BandwidthGbps/CoreOversub.
+	// Values <= 1 (including 0) mean a non-blocking core — the rack hop
+	// then only adds latency and per-port serialization.
+	CoreOversub float64
+	// CoreDelay is the one-way propagation latency of the core hop
+	// (uplink to downlink); 0 defaults to the machine-level PropDelay.
+	CoreDelay sim.Time
+}
+
+// coreDelay resolves the CoreDelay default against the machine-level
+// propagation delay.
+func (t Topology) coreDelay(propDelay sim.Time) sim.Time {
+	if t.CoreDelay > 0 {
+		return t.CoreDelay
+	}
+	return propDelay
+}
+
+// rackOf maps a machine to its rack.
+func (t Topology) rackOf(machine int) int { return machine / t.RackSize }
+
+// numRacks is the rack count for n machines (the last rack may be partial).
+func (t Topology) numRacks(n int) int { return (n + t.RackSize - 1) / t.RackSize }
+
+// NumLPs returns the logical-process count of the topology over n
+// machines: one LP per machine, plus an uplink and a downlink LP per rack.
+func (c Config) NumLPs(n int) int {
+	if c.Topology.RackSize <= 0 {
+		return n
+	}
+	return n + 2*c.Topology.numRacks(n)
+}
+
+// Lookahead returns the minimum cross-LP latency of the topology — the
+// conservative-execution bound to hand sim.NewParallel.
+func (c Config) Lookahead() sim.Time {
+	look := c.PropDelay
+	if c.Topology.RackSize > 0 {
+		if cd := c.Topology.coreDelay(c.PropDelay); cd < look {
+			look = cd
+		}
+	}
+	return look
+}
+
+// LPShards returns the LP-to-shard assignment for n machines over the
+// given shard count: machines in contiguous blocks, rack-aligned when the
+// topology has racks (a rack's machines and its uplink/downlink LPs share
+// a shard, so only the core hop crosses shards).
+func (c Config) LPShards(n, shards int) []int {
+	lp := make([]int, c.NumLPs(n))
+	if c.Topology.RackSize <= 0 {
+		for m := 0; m < n; m++ {
+			lp[m] = m * shards / n
+		}
+		return lp
+	}
+	racks := c.Topology.numRacks(n)
+	for m := 0; m < n; m++ {
+		lp[m] = c.Topology.rackOf(m) * shards / racks
+	}
+	for r := 0; r < racks; r++ {
+		s := r * shards / racks
+		lp[n+2*r] = s
+		lp[n+2*r+1] = s
+	}
+	return lp
 }
 
 // DefaultPreemptQuantum is the segment size used by the preemption ablation
@@ -152,6 +239,18 @@ func txItem(t *txState) sched.Item {
 	return sched.Item{Priority: t.pri, Bytes: t.msg.Bytes, Dest: int32(t.msg.To)}
 }
 
+// nicStats are one machine's transfer counters. They live on the nic —
+// not globally — so that under the sharded engine each shard increments
+// only counters it owns; Network's accessor methods sum them once the run
+// is over.
+type nicStats struct {
+	msgsSent       int64
+	bytesSent      int64
+	msgsDelivered  int64
+	bytesDelivered int64
+	preemptions    int64
+}
+
 type nic struct {
 	egress     *sched.Queue[*txState]
 	egressBusy bool
@@ -166,31 +265,131 @@ type nic struct {
 	parked     []*txState
 	ingress    *pq.Queue[Message]
 	ingressBsy bool
+	stats      nicStats
+}
+
+// coreLink is one rack's uplink or downlink: a FIFO store-and-forward
+// queue serializing at the oversubscribed core rate, owned by its own LP.
+type coreLink struct {
+	lp   int
+	up   bool    // uplink (towards the core) or downlink (towards the rack)
+	rate float64 // Gbps, i.e. bits per nanosecond
+	busy bool
+	q    []Message
+	head int
 }
 
 // Network simulates the interconnect for n machines.
 type Network struct {
-	eng     *sim.Engine
+	exec    sim.Exec
+	procs   []sim.Proc // one per LP: machines, then rack up/down links
 	cfg     Config
+	n       int // machines
 	nics    []nic
+	ups     []coreLink // per rack (empty without a rack topology)
+	downs   []coreLink
 	deliver Handler
 	rec     *trace.Recorder // optional
-
-	// Stats, for conservation checks and reporting.
-	MsgsSent       int64
-	BytesSent      int64
-	MsgsDelivered  int64
-	BytesDelivered int64
-	// Preemptions counts in-flight transmissions parked for a more urgent
-	// message (always 0 with PreemptQuantum 0).
-	Preemptions int64
+	sharded bool            // exec has >1 shard: no cross-LP credit feedback, no recorder
 
 	// doneScratch is the reusable txState behind delivery-time credit
 	// refunds (see pumpIngress): Done only reads the Item view, so one
 	// scratch value serves every delivery instead of allocating a throwaway
-	// per message. Safe because the engine is single-threaded and Done does
-	// not retain its argument.
+	// per message. Safe because the single-shard engine is single-threaded
+	// and Done does not retain its argument (the refund path is skipped
+	// entirely under the sharded engine).
 	doneScratch txState
+
+	// mail is the single-shard path's canonical cross-LP mailbox: one heap
+	// per destination LP ordered by (time, source LP, per-source send
+	// order) — the same key the sharded engine's barrier injection sorts
+	// by. Hop handoffs are buffered here and drained by one flush event per
+	// transfer, so same-instant deliveries from different sources land in a
+	// source-canonical order instead of global scheduling order, and an
+	// N-shard run reproduces the 1-shard Result bit for bit. nil when
+	// sharded (the engine itself injects canonically).
+	mail     []arrivalHeap
+	sendSeq  []uint64 // per source LP
+	flushFns []func() // per destination LP, preallocated (hot path)
+}
+
+// arrival is one buffered cross-LP hop handoff awaiting canonical delivery.
+type arrival struct {
+	at  sim.Time
+	src int32
+	seq uint64
+	fn  func()
+}
+
+// arrivalHeap is a binary min-heap of arrivals keyed by (at, src, seq).
+type arrivalHeap []arrival
+
+func arrivalLess(a, b arrival) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.src != b.src {
+		return a.src < b.src
+	}
+	return a.seq < b.seq
+}
+
+func (h *arrivalHeap) push(a arrival) {
+	*h = append(*h, a)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !arrivalLess(s[i], s[parent]) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *arrivalHeap) pop() arrival {
+	s := *h
+	top := s[0]
+	last := len(s) - 1
+	s[0] = s[last]
+	s[last] = arrival{} // release the buffered closure
+	s = s[:last]
+	*h = s
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < len(s) && arrivalLess(s[l], s[min]) {
+			min = l
+		}
+		if r < len(s) && arrivalLess(s[r], s[min]) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		s[i], s[min] = s[min], s[i]
+		i = min
+	}
+	return top
+}
+
+// xfer carries one hop handoff from LP src to LP dst, delivering fn on
+// dst's timeline at the absolute time at. Under a sharded exec the engine's
+// barrier injection orders same-instant handoffs canonically; on the
+// single-shard path the mailbox imposes the identical order, so the two
+// paths agree bit for bit. Every hop goes through here — even same-shard
+// and same-machine pairs — precisely to keep that tie order engine-
+// independent.
+func (nw *Network) xfer(src, dst int, at sim.Time, fn func()) {
+	if nw.sharded {
+		nw.exec.Cross(src, dst, at, fn)
+		return
+	}
+	nw.sendSeq[src]++
+	nw.mail[dst].push(arrival{at: at, src: int32(src), seq: nw.sendSeq[src], fn: fn})
+	nw.procs[dst].At(at, nw.flushFns[dst])
 }
 
 // New creates a network of n machines on the given engine. handler is invoked
@@ -198,13 +397,27 @@ type Network struct {
 // It panics on an unknown egress discipline name — validate names from user
 // input with sched.ByName first.
 func New(eng *sim.Engine, n int, cfg Config, handler Handler, rec *trace.Recorder) *Network {
+	return NewOnExec(sim.Single{Eng: eng}, n, cfg, handler, rec)
+}
+
+// NewOnExec creates a network of n machines on an Exec: machine i is LP i,
+// and a rack topology adds an uplink LP (n+2r) and downlink LP (n+2r+1)
+// per rack r, matching Config.LPShards. On a sharded exec it rejects
+// credit-gated egress disciplines — their transmission window closes on a
+// delivery-time refund to the sender, a zero-latency cross-shard edge the
+// conservative engine cannot honor — and trace recorders, whose buckets
+// are shared across machines.
+func NewOnExec(x sim.Exec, n int, cfg Config, handler Handler, rec *trace.Recorder) *Network {
 	if cfg.BandwidthGbps <= 0 {
 		panic(fmt.Sprintf("netsim: bandwidth %v Gbps", cfg.BandwidthGbps))
 	}
 	if cfg.LocalBandwidthGbps <= 0 {
 		cfg.LocalBandwidthGbps = 160
 	}
-	nw := &Network{eng: eng, cfg: cfg, deliver: handler, rec: rec}
+	nw := &Network{exec: x, cfg: cfg, n: n, deliver: handler, rec: rec, sharded: x.Shards() > 1}
+	if nw.sharded && rec != nil {
+		panic("netsim: a trace.Recorder needs the single-shard engine (shared utilization buckets)")
+	}
 	// Ingress stays store-and-forward FIFO: reordering happens at the
 	// sender, exactly as in the real system (the receiver drains the socket
 	// in arrival order).
@@ -216,12 +429,81 @@ func New(eng *sim.Engine, n int, cfg Config, handler Handler, rec *trace.Recorde
 		// (damped): every NIC resolves equal-rank ties toward a different
 		// destination, de-synchronizing otherwise identical schedules.
 		sched.ApplySource(disc, int32(i))
+		q := sched.NewQueue(disc, txItem)
+		if nw.sharded && q.Gated() {
+			panic(fmt.Sprintf("netsim: credit-gated egress discipline %q needs the single-shard engine (delivery-time credit refunds are zero-latency cross-shard edges); run with shards=1", cfg.Egress))
+		}
 		nw.nics[i] = nic{
-			egress:  sched.NewQueue(disc, txItem),
+			egress:  q,
 			ingress: pq.New(fifoLess),
 		}
 	}
+	nw.procs = make([]sim.Proc, cfg.NumLPs(n))
+	for lp := range nw.procs {
+		nw.procs[lp] = x.Proc(lp)
+	}
+	if !nw.sharded {
+		nLP := len(nw.procs)
+		nw.mail = make([]arrivalHeap, nLP)
+		nw.sendSeq = make([]uint64, nLP)
+		nw.flushFns = make([]func(), nLP)
+		for lp := 0; lp < nLP; lp++ {
+			lp := lp
+			nw.flushFns[lp] = func() { nw.mail[lp].pop().fn() }
+		}
+	}
+	if t := cfg.Topology; t.RackSize > 0 {
+		rate := float64(t.RackSize) * cfg.BandwidthGbps
+		if t.CoreOversub > 1 {
+			rate /= t.CoreOversub
+		}
+		racks := t.numRacks(n)
+		nw.ups = make([]coreLink, racks)
+		nw.downs = make([]coreLink, racks)
+		for r := 0; r < racks; r++ {
+			nw.ups[r] = coreLink{lp: n + 2*r, up: true, rate: rate}
+			nw.downs[r] = coreLink{lp: n + 2*r + 1, rate: rate}
+		}
+	}
 	return nw
+}
+
+// Stats accessors: totals over the per-machine counters. Only meaningful
+// from the simulation's own events or after Run returns (under the sharded
+// engine the counters are written by concurrent shards mid-run).
+
+// MsgsSent is the number of messages handed to Send.
+func (nw *Network) MsgsSent() int64 {
+	return nw.sumStats(func(s *nicStats) int64 { return s.msgsSent })
+}
+
+// BytesSent is the payload volume handed to Send.
+func (nw *Network) BytesSent() int64 {
+	return nw.sumStats(func(s *nicStats) int64 { return s.bytesSent })
+}
+
+// MsgsDelivered is the number of fully delivered messages.
+func (nw *Network) MsgsDelivered() int64 {
+	return nw.sumStats(func(s *nicStats) int64 { return s.msgsDelivered })
+}
+
+// BytesDelivered is the payload volume fully delivered.
+func (nw *Network) BytesDelivered() int64 {
+	return nw.sumStats(func(s *nicStats) int64 { return s.bytesDelivered })
+}
+
+// Preemptions counts in-flight transmissions parked for a more urgent
+// message (always 0 with PreemptQuantum 0).
+func (nw *Network) Preemptions() int64 {
+	return nw.sumStats(func(s *nicStats) int64 { return s.preemptions })
+}
+
+func (nw *Network) sumStats(f func(*nicStats) int64) int64 {
+	var t int64
+	for i := range nw.nics {
+		t += f(&nw.nics[i].stats)
+	}
+	return t
 }
 
 // wireTime is the serialization time of a message in one direction.
@@ -240,12 +522,13 @@ func (nw *Network) localTime(bytes int64) sim.Time {
 // NIC entirely, as a co-located worker and server communicate through shared
 // memory in the real system.
 func (nw *Network) Send(m Message) {
-	nw.MsgsSent++
-	nw.BytesSent += m.Bytes
+	st := &nw.nics[m.From].stats
+	st.msgsSent++
+	st.bytesSent += m.Bytes
 	if m.From == m.To {
-		nw.eng.After(nw.localTime(m.Bytes), func() {
-			nw.MsgsDelivered++
-			nw.BytesDelivered += m.Bytes
+		nw.procs[m.From].After(nw.localTime(m.Bytes), func() {
+			st.msgsDelivered++
+			st.bytesDelivered += m.Bytes
 			nw.deliver(m)
 		})
 		return
@@ -254,8 +537,61 @@ func (nw *Network) Send(m Message) {
 	nw.pumpEgress(m.From)
 }
 
+// forward hands a fully serialized message from machine `from` to the next
+// hop: directly to the receiver's ingress after the propagation delay, or
+// — for inter-rack traffic under a rack topology — into the source rack's
+// uplink. Cross carries every hop, even when both LPs share a shard, so
+// same-instant arrival order stays canonical for any shard count.
+func (nw *Network) forward(from int, m Message) {
+	now := nw.procs[from].Now()
+	if t := nw.cfg.Topology; t.RackSize > 0 && t.rackOf(from) != t.rackOf(m.To) {
+		l := &nw.ups[t.rackOf(from)]
+		nw.xfer(from, l.lp, now+nw.cfg.PropDelay, func() { nw.coreEnqueue(l, m) })
+		return
+	}
+	nw.xfer(from, m.To, now+nw.cfg.PropDelay, func() { nw.arrive(m) })
+}
+
+// coreEnqueue appends m to a rack link's FIFO and pumps it.
+func (nw *Network) coreEnqueue(l *coreLink, m Message) {
+	l.q = append(l.q, m)
+	nw.pumpCore(l)
+}
+
+// pumpCore serializes the link's queue head at the oversubscribed core
+// rate and forwards it: an uplink hands off to the destination rack's
+// downlink across the core, a downlink to the destination machine's
+// ingress. Switch ports pay no per-message software overhead; header bytes
+// still serialize.
+func (nw *Network) pumpCore(l *coreLink) {
+	if l.busy || l.head == len(l.q) {
+		return
+	}
+	m := l.q[l.head]
+	l.head++
+	if l.head == len(l.q) {
+		l.q = l.q[:0]
+		l.head = 0
+	}
+	l.busy = true
+	p := nw.procs[l.lp]
+	bits := float64(m.Bytes+nw.cfg.HeaderBytes) * 8
+	p.After(sim.Time(bits/l.rate), func() {
+		l.busy = false
+		if l.up {
+			t := nw.cfg.Topology
+			dst := &nw.downs[t.rackOf(m.To)]
+			nw.xfer(l.lp, dst.lp, p.Now()+t.coreDelay(nw.cfg.PropDelay), func() { nw.coreEnqueue(dst, m) })
+		} else {
+			nw.xfer(l.lp, m.To, p.Now()+nw.cfg.PropDelay, func() { nw.arrive(m) })
+		}
+		nw.pumpCore(l)
+	})
+}
+
 func (nw *Network) pumpEgress(machine int) {
 	n := &nw.nics[machine]
+	p := nw.procs[machine]
 	if n.egressBusy {
 		return
 	}
@@ -299,13 +635,13 @@ func (nw *Network) pumpEgress(machine int) {
 		return
 	}
 	m := tx.msg
-	start := nw.eng.Now()
+	start := p.Now()
 	dur := nw.wireTime(m.Bytes)
-	nw.eng.After(dur, func() {
+	p.After(dur, func() {
 		nw.rec.AddRange(machine, trace.Out, start, start+dur, m.Bytes+nw.cfg.HeaderBytes)
 		n.egressBusy = false
-		// Hand off to the receiver after propagation.
-		nw.eng.After(nw.cfg.PropDelay, func() { nw.arrive(m) })
+		// Hand off to the next hop after propagation.
+		nw.forward(machine, m)
 		nw.pumpEgress(machine)
 	})
 }
@@ -333,6 +669,7 @@ func (nw *Network) pumpEgress(machine int) {
 // which is the paper's claim.
 func (nw *Network) pumpSegment(machine int, tx *txState) {
 	n := &nw.nics[machine]
+	p := nw.procs[machine]
 	seg := tx.wire - tx.sent
 	if seg > nw.cfg.PreemptQuantum {
 		seg = nw.cfg.PreemptQuantum
@@ -344,14 +681,14 @@ func (nw *Network) pumpSegment(machine int, tx *txState) {
 	if tx.sent == 0 {
 		dur = nw.cfg.PerMsgOverhead + dur
 	}
-	start := nw.eng.Now()
-	nw.eng.After(dur, func() {
+	start := p.Now()
+	p.After(dur, func() {
 		nw.rec.AddRange(machine, trace.Out, start, start+dur, seg)
 		tx.sent += seg
 		if tx.sent == tx.wire {
 			n.egressBusy = false
 			m := tx.msg
-			nw.eng.After(nw.cfg.PropDelay, func() { nw.arrive(m) })
+			nw.forward(machine, m)
 			nw.pumpEgress(machine)
 			return
 		}
@@ -369,7 +706,7 @@ func (nw *Network) pumpSegment(machine int, tx *txState) {
 			// A Parker discipline stops counting the parked remainder
 			// against its flow's admission window until it resumes.
 			n.egress.Park(tx)
-			nw.Preemptions++
+			n.stats.preemptions++
 			nw.pumpSegment(machine, pre)
 			return
 		}
@@ -390,20 +727,28 @@ func (nw *Network) pumpIngress(machine int) {
 	}
 	m := n.ingress.Pop()
 	n.ingressBsy = true
-	start := nw.eng.Now()
+	p := nw.procs[machine]
+	start := p.Now()
 	rx := nw.wireTime(m.Bytes)
-	nw.eng.After(rx, func() {
+	p.After(rx, func() {
 		nw.rec.AddRange(machine, trace.In, start, start+rx, m.Bytes+nw.cfg.HeaderBytes)
 		n.ingressBsy = false
-		nw.MsgsDelivered++
-		nw.BytesDelivered += m.Bytes
-		// Full delivery closes the sender's transmission window for this
-		// message: return its credit and let the sender's egress continue.
-		// (The scratch txState is fine: the credit refund only reads the
-		// Bytes and Dest of the Item view, which the message determines.)
-		nw.doneScratch = txState{msg: m, pri: m.Priority}
-		nw.nics[m.From].egress.Done(&nw.doneScratch)
-		nw.pumpEgress(m.From)
+		n.stats.msgsDelivered++
+		n.stats.bytesDelivered += m.Bytes
+		if !nw.sharded {
+			// Full delivery closes the sender's transmission window for
+			// this message: return its credit and let the sender's egress
+			// continue. (The scratch txState is fine: the credit refund
+			// only reads the Bytes and Dest of the Item view, which the
+			// message determines.) Under the sharded engine the sender
+			// lives on another shard at zero latency — NewOnExec rejects
+			// credit-gated disciplines there, and for ungated ones both
+			// the refund and the pump are no-ops (an ungated egress never
+			// idles with queued work), so skipping them changes nothing.
+			nw.doneScratch = txState{msg: m, pri: m.Priority}
+			nw.nics[m.From].egress.Done(&nw.doneScratch)
+			nw.pumpEgress(m.From)
+		}
 		nw.deliver(m)
 		nw.pumpIngress(machine)
 	})

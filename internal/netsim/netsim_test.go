@@ -193,11 +193,11 @@ func TestByteConservation(t *testing.T) {
 	if delivered != sent {
 		t.Fatalf("delivered %d bytes, sent %d", delivered, sent)
 	}
-	if nw.BytesDelivered != sent || nw.BytesSent != sent {
-		t.Fatalf("stats: sent %d delivered %d, want %d", nw.BytesSent, nw.BytesDelivered, sent)
+	if nw.BytesDelivered() != sent || nw.BytesSent() != sent {
+		t.Fatalf("stats: sent %d delivered %d, want %d", nw.BytesSent(), nw.BytesDelivered(), sent)
 	}
-	if nw.MsgsDelivered != 100 {
-		t.Fatalf("msgs delivered = %d", nw.MsgsDelivered)
+	if nw.MsgsDelivered() != 100 {
+		t.Fatalf("msgs delivered = %d", nw.MsgsDelivered())
 	}
 }
 
@@ -363,7 +363,7 @@ func TestPreemptionConservesBytes(t *testing.T) {
 	if delivered != sent {
 		t.Fatalf("delivered %d bytes, sent %d", delivered, sent)
 	}
-	if nw.Preemptions == 0 {
+	if nw.Preemptions() == 0 {
 		t.Fatal("urgent arrivals against a 50 KB bulk transfer never preempted")
 	}
 }

@@ -1,0 +1,152 @@
+package netsim
+
+import (
+	"slices"
+	"testing"
+
+	"p3/internal/sim"
+)
+
+// rackCfg is cleanCfg (8 Gbps = 1 byte/ns, zero delays and overheads) over
+// racks of two machines, so hop costs are exact round numbers: host NICs
+// serialize 1000 bytes in 1000 ns, a rack's uplink/downlink port runs at
+// the rack-aggregate 16 Gbps divided by the oversubscription ratio.
+func rackCfg(oversub float64) Config {
+	cfg := cleanCfg("fifo")
+	cfg.Topology = Topology{RackSize: 2, CoreOversub: oversub}
+	return cfg
+}
+
+// TestRackInterRackTiming pins the four-hop store-and-forward path of an
+// inter-rack message: host egress, source-rack uplink, destination-rack
+// downlink, host ingress — with the two core ports serializing at the
+// oversubscribed rate.
+func TestRackInterRackTiming(t *testing.T) {
+	for _, tc := range []struct {
+		oversub float64
+		want    sim.Time
+	}{
+		// Non-blocking core: 1000 (egress) + 500 (uplink at 2 B/ns) +
+		// 500 (downlink) + 1000 (ingress).
+		{1, 3000},
+		// 4:1 core: the two port hops slow to 0.5 B/ns, 2000 ns each.
+		{4, 6000},
+	} {
+		got := runNet(t, rackCfg(tc.oversub), 4, func(nw *Network) {
+			nw.Send(Message{From: 0, To: 2, Bytes: 1000})
+		})
+		if len(got) != 1 {
+			t.Fatalf("oversub %g: %d deliveries", tc.oversub, len(got))
+		}
+		if got[0].at != tc.want {
+			t.Errorf("oversub %g: inter-rack delivery at %v ns, want %v", tc.oversub, got[0].at, tc.want)
+		}
+	}
+}
+
+// TestRackIntraRackMatchesFlat pins that intra-rack traffic never touches
+// the core: same-rack delivery times are identical to the flat network no
+// matter how oversubscribed the core is.
+func TestRackIntraRackMatchesFlat(t *testing.T) {
+	flat := runNet(t, cleanCfg("fifo"), 4, func(nw *Network) {
+		nw.Send(Message{From: 0, To: 1, Bytes: 1000})
+	})
+	racked := runNet(t, rackCfg(4), 4, func(nw *Network) {
+		nw.Send(Message{From: 0, To: 1, Bytes: 1000})
+	})
+	if flat[0].at != racked[0].at {
+		t.Errorf("intra-rack delivery at %v ns, flat network %v — the core leaked into a rack-local path", racked[0].at, flat[0].at)
+	}
+	if flat[0].at != 2000 {
+		t.Errorf("flat delivery at %v ns, want 2000", flat[0].at)
+	}
+}
+
+// TestRackCoreFIFOSerializes pins the contention the oversubscribed core
+// creates and host-egress scheduling cannot see: two hosts in one rack
+// send concurrently to the other rack, and both transit the shared uplink
+// in FIFO order regardless of NIC-level parallelism. It also pins the
+// canonical arrival order: the simultaneous uplink arrivals are served in
+// source-LP order.
+func TestRackCoreFIFOSerializes(t *testing.T) {
+	got := runNet(t, rackCfg(4), 4, func(nw *Network) {
+		nw.Send(Message{From: 0, To: 2, Bytes: 1000})
+		nw.Send(Message{From: 1, To: 3, Bytes: 1000})
+	})
+	if len(got) != 2 {
+		t.Fatalf("%d deliveries", len(got))
+	}
+	// Both egresses finish at 1000 and reach the uplink together; the
+	// uplink serializes them back to back (2000 ns each at 0.5 B/ns), the
+	// downlink likewise, and each host ingress adds 1000: machine 0's
+	// message (lower source LP) lands at 6000, machine 1's at 8000.
+	if got[0].m.From != 0 || got[0].at != 6000 {
+		t.Errorf("first delivery from %d at %v, want from 0 at 6000", got[0].m.From, got[0].at)
+	}
+	if got[1].m.From != 1 || got[1].at != 8000 {
+		t.Errorf("second delivery from %d at %v, want from 1 at 8000", got[1].m.From, got[1].at)
+	}
+}
+
+// TestRackConservation pins that the rack path loses and duplicates
+// nothing: every byte sent across an all-to-all burst is delivered, with
+// the stats agreeing between sent and delivered.
+func TestRackConservation(t *testing.T) {
+	var eng sim.Engine
+	delivered := 0
+	cfg := rackCfg(4)
+	nw := New(&eng, 6, cfg, func(m Message) { delivered++ }, nil)
+	sent := 0
+	for from := 0; from < 6; from++ {
+		for to := 0; to < 6; to++ {
+			if from != to {
+				nw.Send(Message{From: from, To: to, Bytes: 1000 + int64(from)*10})
+				sent++
+			}
+		}
+	}
+	eng.Run()
+	if delivered != sent {
+		t.Fatalf("delivered %d of %d messages", delivered, sent)
+	}
+	if nw.MsgsDelivered() != int64(sent) || nw.BytesDelivered() != nw.BytesSent() {
+		t.Fatalf("stats disagree: %d/%d msgs, %d/%d bytes",
+			nw.MsgsDelivered(), sent, nw.BytesDelivered(), nw.BytesSent())
+	}
+}
+
+// TestRackLookaheadAndLPs pins the sharding contract of the topology: the
+// lookahead is the minimum cross-LP latency (prop delay vs core delay),
+// the LP count includes one uplink and one downlink per rack, and the
+// shard assignment keeps a rack's machines and its two core ports on one
+// shard so only the core hop crosses shards.
+func TestRackLookaheadAndLPs(t *testing.T) {
+	cfg := cleanCfg("fifo")
+	cfg.PropDelay = 500
+
+	if got := cfg.Lookahead(); got != 500 {
+		t.Errorf("flat lookahead %v, want 500", got)
+	}
+	if got := cfg.NumLPs(5); got != 5 {
+		t.Errorf("flat NumLPs(5) = %d, want 5", got)
+	}
+
+	cfg.Topology = Topology{RackSize: 2, CoreOversub: 4}
+	if got := cfg.Lookahead(); got != 500 {
+		t.Errorf("rack lookahead %v, want 500 (core delay defaults to prop delay)", got)
+	}
+	cfg.Topology.CoreDelay = 100
+	if got := cfg.Lookahead(); got != 100 {
+		t.Errorf("rack lookahead %v, want 100 (core hop is the tighter bound)", got)
+	}
+	// 5 machines in racks of 2 -> 3 racks (last partial), 2 port LPs each.
+	if got := cfg.NumLPs(5); got != 11 {
+		t.Errorf("rack NumLPs(5) = %d, want 11", got)
+	}
+
+	got := cfg.LPShards(4, 2)
+	want := []int{0, 0, 1, 1 /* machines */, 0, 0 /* rack 0 ports */, 1, 1 /* rack 1 ports */}
+	if !slices.Equal(got, want) {
+		t.Errorf("LPShards(4, 2) = %v, want %v", got, want)
+	}
+}

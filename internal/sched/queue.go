@@ -86,6 +86,13 @@ func NewQueue[T any](d Discipline, view func(T) Item) *Queue[T] {
 // Discipline returns the queue's discipline.
 func (q *Queue[T]) Discipline() Discipline { return q.d }
 
+// Gated reports whether the discipline gates dispatch with a credit window
+// (implements Admitter, possibly under wrappers). Gated queues need
+// completion feedback (Done) from the consumer; execution modes that cannot
+// deliver it synchronously (the sharded engine's cross-shard deliveries)
+// use this to reject the combination up front.
+func (q *Queue[T]) Gated() bool { return q.adm != nil }
+
 // Len reports the number of queued elements.
 func (q *Queue[T]) Len() int { return q.n }
 

@@ -1,0 +1,291 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"slices"
+	"sync"
+	"sync/atomic"
+)
+
+// Proc is the scheduling handle of one logical process: a local clock and
+// the ability to schedule events on it. *Engine satisfies Proc, so
+// single-engine code and LP-aware code share one vocabulary.
+type Proc interface {
+	Now() Time
+	At(t Time, fn func())
+	After(d Time, fn func())
+}
+
+// Exec abstracts the execution engine behind logical processes. Single is
+// the exact legacy single-heap engine; Parallel shards LPs over goroutines
+// under conservative lookahead (see the package comment for the contract).
+type Exec interface {
+	// Proc returns the scheduling handle of LP lp. Handles may be shared
+	// between LPs on the same shard; callers should cache them.
+	Proc(lp int) Proc
+	// Cross schedules fn on dst's timeline at absolute time at, from an
+	// event currently executing on src's timeline. On a Parallel exec, at
+	// must be at least src's clock plus the lookahead.
+	Cross(src, dst int, at Time, fn func())
+	// Shards reports the parallelism: 1 for Single. Models use it to gate
+	// semantics that only a single-threaded run can provide (credit
+	// feedback across LPs, trace recording).
+	Shards() int
+	Run() Time
+	Stop()
+	Processed() uint64
+}
+
+// Single adapts one Engine to the Exec interface: every LP shares the
+// engine, and Cross is plain At. It is the bit-identical legacy path — the
+// adapter adds no state and reorders nothing.
+type Single struct{ Eng *Engine }
+
+func (s Single) Proc(int) Proc                      { return s.Eng }
+func (s Single) Cross(_, _ int, at Time, fn func()) { s.Eng.At(at, fn) }
+func (s Single) Shards() int                        { return 1 }
+func (s Single) Run() Time                          { return s.Eng.Run() }
+func (s Single) Stop()                              { s.Eng.Stop() }
+func (s Single) Processed() uint64                  { return s.Eng.Processed() }
+
+// xmsg is one buffered cross-shard message awaiting barrier injection. src
+// (the sending LP) and the per-source append order are the canonical tie
+// keys that make injection order independent of shard count and goroutine
+// interleaving.
+type xmsg struct {
+	at  Time
+	src int32
+	fn  func()
+}
+
+// pshard is one shard: an event heap, a local clock, and per-destination
+// outboxes for cross-shard sends. Shards are allocated individually so two
+// shards' hot fields never share a cache line.
+type pshard struct {
+	heap   eventHeap
+	now    Time
+	seq    uint64
+	nRun   uint64
+	outbox [][]xmsg  // indexed by destination shard; owned by this shard's goroutine during a window
+	work   chan Time // window horizons from the coordinator
+}
+
+func (s *pshard) runWindow(horizon Time, stopped *atomic.Bool) {
+	// Strictly before the horizon: an event at the horizon itself may need
+	// to be ordered against cross messages injected at this window's
+	// barrier, so it belongs to a later window.
+	for len(s.heap) > 0 && s.heap[0].at < horizon && !stopped.Load() {
+		ev := s.heap.pop()
+		s.now = ev.at
+		s.nRun++
+		ev.fn()
+	}
+}
+
+// shardProc is the Proc handle shared by every LP of one shard.
+type shardProc struct{ s *pshard }
+
+func (p shardProc) Now() Time { return p.s.now }
+
+func (p shardProc) At(t Time, fn func()) {
+	if t < p.s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, p.s.now))
+	}
+	p.s.seq++
+	p.s.heap.push(event{at: t, seq: p.s.seq, fn: fn})
+}
+
+func (p shardProc) After(d Time, fn func()) { p.At(p.s.now+d, fn) }
+
+// Parallel is a conservative-lookahead parallel discrete-event executor:
+// LPs are partitioned over shards, each shard runs its events on its own
+// goroutine within barrier-synchronous windows of width lookahead, and
+// cross-shard sends are buffered and injected at the barrier in canonical
+// (timestamp, source LP, send order). See the package comment for the
+// determinism contract.
+type Parallel struct {
+	shards  []*pshard
+	procs   []shardProc // per shard
+	lpShard []int32     // LP -> shard
+	look    Time
+	stopped atomic.Bool
+	windowW sync.WaitGroup // open window dispatches
+	scratch []xmsg         // barrier injection staging, reused
+}
+
+// NewParallel builds a Parallel executor over len(lpShard) logical
+// processes: lpShard[lp] names the shard (in [0, shards)) that owns LP lp.
+// lookahead must be positive — it is the minimum latency of every Cross
+// send, and the width of the safe execution window; a zero-lookahead
+// topology admits no safe window and is rejected rather than left to
+// deadlock.
+func NewParallel(shards int, lpShard []int, lookahead Time) (*Parallel, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("sim: %d shards", shards)
+	}
+	if lookahead <= 0 {
+		return nil, fmt.Errorf("sim: conservative parallel execution needs a positive lookahead, got %v (a zero-lookahead topology has no safe window and would deadlock)", lookahead)
+	}
+	p := &Parallel{
+		shards:  make([]*pshard, shards),
+		procs:   make([]shardProc, shards),
+		lpShard: make([]int32, len(lpShard)),
+		look:    lookahead,
+	}
+	for i := range p.shards {
+		p.shards[i] = &pshard{outbox: make([][]xmsg, shards)}
+		p.procs[i] = shardProc{s: p.shards[i]}
+	}
+	for lp, s := range lpShard {
+		if s < 0 || s >= shards {
+			return nil, fmt.Errorf("sim: LP %d assigned to shard %d of %d", lp, s, shards)
+		}
+		p.lpShard[lp] = int32(s)
+	}
+	return p, nil
+}
+
+// Proc returns the scheduling handle of LP lp (shared by the LPs of a
+// shard).
+func (p *Parallel) Proc(lp int) Proc { return p.procs[p.lpShard[lp]] }
+
+// Shards reports the shard count.
+func (p *Parallel) Shards() int { return len(p.shards) }
+
+// Cross buffers fn for injection into dst's shard at time at. It must be
+// called from an event executing on src's shard (that shard's outbox row is
+// written without synchronization) and at must respect the lookahead.
+func (p *Parallel) Cross(src, dst int, at Time, fn func()) {
+	ss := p.shards[p.lpShard[src]]
+	if at < ss.now+p.look {
+		panic(fmt.Sprintf("sim: cross-shard send at %v from now %v violates lookahead %v", at, ss.now, p.look))
+	}
+	ds := p.lpShard[dst]
+	ss.outbox[ds] = append(ss.outbox[ds], xmsg{at: at, src: int32(src), fn: fn})
+}
+
+// Stop makes Run return once every shard finishes its current event. Which
+// pending events have fired when a Stop lands mid-window depends on the
+// goroutine interleaving — Stop is a shutdown hatch, not a measurement
+// point.
+func (p *Parallel) Stop() { p.stopped.Store(true) }
+
+// Processed reports how many events have fired across all shards. Only
+// meaningful once Run has returned.
+func (p *Parallel) Processed() uint64 {
+	var n uint64
+	for _, s := range p.shards {
+		n += s.nRun
+	}
+	return n
+}
+
+// Run processes events until every heap drains or Stop is called, and
+// returns the final virtual time (the maximum over shards). Worker
+// goroutines live only for the duration of the call.
+func (p *Parallel) Run() Time {
+	p.stopped.Store(false)
+	var workers sync.WaitGroup
+	workers.Add(len(p.shards))
+	for _, s := range p.shards {
+		s.work = make(chan Time, 1)
+		go func(s *pshard) {
+			defer workers.Done()
+			for horizon := range s.work {
+				s.runWindow(horizon, &p.stopped)
+				p.windowW.Done()
+			}
+		}(s)
+	}
+
+	const inf = Time(math.MaxInt64)
+	for !p.stopped.Load() {
+		tmin := inf
+		for _, s := range p.shards {
+			if len(s.heap) > 0 && s.heap[0].at < tmin {
+				tmin = s.heap[0].at
+			}
+		}
+		if tmin == inf {
+			break
+		}
+		horizon := tmin + p.look
+		nActive := 0
+		var only *pshard
+		for _, s := range p.shards {
+			if len(s.heap) > 0 && s.heap[0].at < horizon {
+				nActive++
+				only = s
+			}
+		}
+		if nActive == 1 {
+			// A one-shard window needs no handoff; running it inline keeps
+			// sparse phases (one machine computing while the rest wait) at
+			// sequential-engine cost.
+			only.runWindow(horizon, &p.stopped)
+		} else {
+			p.windowW.Add(nActive)
+			for _, s := range p.shards {
+				if len(s.heap) > 0 && s.heap[0].at < horizon {
+					s.work <- horizon
+				}
+			}
+			p.windowW.Wait()
+		}
+		p.inject()
+	}
+	for _, s := range p.shards {
+		close(s.work)
+	}
+	workers.Wait()
+
+	var end Time
+	for _, s := range p.shards {
+		if s.now > end {
+			end = s.now
+		}
+	}
+	return end
+}
+
+// inject drains every outbox into the destination heaps in canonical order:
+// ascending (timestamp, source LP), ties within one source resolved by send
+// order (the stable sort preserves each source's append order). The order
+// is a function of the simulation alone — not of the shard count or of
+// which goroutine ran when — which is what makes an N-shard run reproduce
+// the 1-shard Result.
+func (p *Parallel) inject() {
+	for ds, dst := range p.shards {
+		sc := p.scratch[:0]
+		for _, src := range p.shards {
+			box := src.outbox[ds]
+			sc = append(sc, box...)
+			clear(box) // release the buffered closures
+			src.outbox[ds] = box[:0]
+		}
+		if len(sc) > 1 {
+			slices.SortStableFunc(sc, func(a, b xmsg) int {
+				if a.at != b.at {
+					if a.at < b.at {
+						return -1
+					}
+					return 1
+				}
+				if a.src != b.src {
+					if a.src < b.src {
+						return -1
+					}
+					return 1
+				}
+				return 0
+			})
+		}
+		for i := range sc {
+			dst.seq++
+			dst.heap.push(event{at: sc[i].at, seq: dst.seq, fn: sc[i].fn})
+		}
+		clear(sc)
+		p.scratch = sc[:0]
+	}
+}

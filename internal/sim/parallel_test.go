@@ -1,0 +1,235 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// lockstepTrace runs a deterministic multi-LP workload on the given exec
+// and returns each LP's observed (time, tag) sequence. Every LP relays a
+// token around the ring with a per-hop delay of at least the lookahead, and
+// at staggered points fans a burst out to every other LP at one shared
+// timestamp — the same-instant multi-source delivery that exercises the
+// canonical tie order.
+func lockstepTrace(t *testing.T, mk func(nLP int, look Time) Exec) [][]string {
+	t.Helper()
+	const (
+		nLP  = 6
+		look = Time(40)
+		hops = 120
+	)
+	x := mk(nLP, look)
+	traces := make([][]string, nLP)
+	procs := make([]Proc, nLP)
+	for lp := 0; lp < nLP; lp++ {
+		procs[lp] = x.Proc(lp)
+	}
+	var relay func(lp, hop int) func()
+	relay = func(lp, hop int) func() {
+		return func() {
+			traces[lp] = append(traces[lp], fmt.Sprintf("%d@%d", hop, procs[lp].Now()))
+			if hop >= hops {
+				return
+			}
+			next := (lp + 1) % nLP
+			// Per-hop jitter derived from the inputs alone.
+			d := look + Time((lp*7+hop*13)%29)
+			x.Cross(lp, next, procs[lp].Now()+d, relay(next, hop+1))
+			if hop%10 == lp {
+				// Fan a burst out to every LP at one shared instant:
+				// same-timestamp arrivals from one source at many
+				// destinations, and (across bursting LPs) at the same
+				// destination.
+				at := procs[lp].Now() + 4*look
+				for dst := 0; dst < nLP; dst++ {
+					if dst == lp {
+						continue
+					}
+					dst := dst
+					x.Cross(lp, dst, at, func() {
+						traces[dst] = append(traces[dst], fmt.Sprintf("burst%d@%d", lp, procs[dst].Now()))
+					})
+				}
+			}
+		}
+	}
+	for lp := 0; lp < nLP; lp++ {
+		procs[lp].At(Time(lp), relay(lp, 0))
+	}
+	x.Run()
+	return traces
+}
+
+// TestParallelMatchesSingleTrace pins the determinism contract at the
+// engine level: per-LP event sequences of a sharded run equal the
+// single-engine run's, for several shard counts, including the
+// same-instant multi-source bursts.
+func TestParallelMatchesSingleTrace(t *testing.T) {
+	want := lockstepTrace(t, func(nLP int, look Time) Exec {
+		return Single{Eng: &Engine{}}
+	})
+	for _, shards := range []int{2, 3, 4, 6} {
+		got := lockstepTrace(t, func(nLP int, look Time) Exec {
+			lpShard := make([]int, nLP)
+			for lp := range lpShard {
+				lpShard[lp] = lp * shards / nLP
+			}
+			p, err := NewParallel(shards, lpShard, look)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return p
+		})
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%d-shard trace diverges from single-engine trace:\n got %v\nwant %v", shards, got, want)
+		}
+	}
+}
+
+func TestParallelZeroLookaheadRejected(t *testing.T) {
+	_, err := NewParallel(2, []int{0, 1}, 0)
+	if err == nil {
+		t.Fatal("NewParallel accepted a zero lookahead")
+	}
+	if !strings.Contains(err.Error(), "lookahead") {
+		t.Fatalf("unhelpful zero-lookahead error: %v", err)
+	}
+	if _, err := NewParallel(2, []int{0, 2}, 10); err == nil {
+		t.Fatal("NewParallel accepted an out-of-range shard assignment")
+	}
+}
+
+func TestParallelCrossBelowLookaheadPanics(t *testing.T) {
+	p, err := NewParallel(2, []int{0, 1}, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Proc(0).At(100, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("cross-shard send below the lookahead did not panic")
+			}
+			p.Stop()
+		}()
+		p.Cross(0, 1, p.Proc(0).Now()+10, func() {})
+	})
+	p.Run()
+}
+
+// TestParallelStopFromShardEvent pins that Stop called from inside a shard
+// event halts the run without deadlocking the barrier protocol, and leaves
+// unfired events pending.
+func TestParallelStopFromShardEvent(t *testing.T) {
+	const nLP = 4
+	lpShard := []int{0, 1, 2, 3}
+	p, err := NewParallel(4, lpShard, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fired := 0
+	var relay func(lp, hop int) func()
+	relay = func(lp, hop int) func() {
+		return func() {
+			// Only LP 0's chain counts and stops, so the counter stays
+			// unshared; the other chains just keep the shards busy.
+			if lp == 0 {
+				fired++
+				if fired == 5 {
+					p.Stop()
+					return
+				}
+			}
+			p.Cross(lp, lp, p.Proc(lp).Now()+25, relay(lp, hop+1))
+		}
+	}
+	for lp := 0; lp < nLP; lp++ {
+		p.Proc(lp).At(0, relay(lp, 0))
+	}
+	p.Run()
+	if fired != 5 {
+		t.Fatalf("Stop did not halt the run promptly: %d counted events fired", fired)
+	}
+}
+
+// TestParallelConcurrentCrossSends floods the outboxes from every shard at
+// once — the -race exercise for the barrier protocol: shards write only
+// their own outbox rows during a window, the coordinator drains them only
+// at the barrier.
+func TestParallelConcurrentCrossSends(t *testing.T) {
+	const (
+		nLP    = 8
+		shards = 8
+		rounds = 200
+	)
+	lpShard := make([]int, nLP)
+	for lp := range lpShard {
+		lpShard[lp] = lp % shards
+	}
+	p, err := NewParallel(shards, lpShard, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	received := make([]int, nLP) // per-LP, shard-owned
+	var step func(lp, round int) func()
+	step = func(lp, round int) func() {
+		return func() {
+			received[lp]++
+			if round >= rounds {
+				return
+			}
+			// Each chain relays to a rotating destination at one shared
+			// instant: every window has all shards executing and all
+			// outbox rows in use simultaneously.
+			dst := (lp + round + 1) % nLP
+			p.Cross(lp, dst, p.Proc(lp).Now()+10, step(dst, round+1))
+		}
+	}
+	for lp := 0; lp < nLP; lp++ {
+		p.Proc(lp).At(0, step(lp, 0))
+	}
+	p.Run()
+	total := 0
+	for _, n := range received {
+		total += n
+	}
+	if want := nLP * (rounds + 1); total != want {
+		t.Fatalf("received %d events, want %d", total, want)
+	}
+	if uint64(total) != p.Processed() {
+		t.Fatalf("received %d events, engine processed %d", total, p.Processed())
+	}
+}
+
+func TestEngineReset(t *testing.T) {
+	var eng Engine
+	for i := 0; i < 100; i++ {
+		eng.At(Time(i), func() {})
+	}
+	eng.RunUntil(50)
+	grown := cap(eng.events)
+	eng.Reset()
+	if eng.Pending() != 0 || eng.Now() != 0 || eng.Processed() != 0 {
+		t.Fatalf("Reset left state: pending %d now %v processed %d", eng.Pending(), eng.Now(), eng.Processed())
+	}
+	if cap(eng.events) != grown {
+		t.Fatalf("Reset dropped the slab: cap %d, want %d", cap(eng.events), grown)
+	}
+	slab := eng.events[:cap(eng.events)]
+	for i, ev := range slab {
+		if ev.fn != nil {
+			t.Fatalf("Reset left slab slot %d pinning a closure", i)
+		}
+	}
+	// The engine is fully reusable: a fresh schedule runs as on a new engine.
+	var fired []Time
+	for _, at := range []Time{5, 1, 3} {
+		at := at
+		eng.At(at, func() { fired = append(fired, at) })
+	}
+	eng.Run()
+	if len(fired) != 3 || fired[0] != 1 || fired[2] != 5 {
+		t.Fatalf("post-Reset run fired %v", fired)
+	}
+}

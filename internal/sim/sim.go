@@ -2,11 +2,42 @@
 // every timing experiment in this repository. The engine substitutes for the
 // paper's physical four-machine GPU cluster: compute phases, NIC
 // serialization, parameter-server processing and scheduling decisions are all
-// expressed as events on a single virtual clock.
+// expressed as events on a virtual clock.
 //
 // Determinism: events scheduled for the same instant fire in scheduling
 // order, so a run is a pure function of its inputs (and of any explicitly
 // seeded randomness in the workload).
+//
+// # Parallel execution, lookahead and the determinism contract
+//
+// The Exec interface abstracts the engine behind logical processes (LPs):
+// Single runs every LP on one Engine — the exact legacy semantics — while
+// Parallel shards LPs over goroutines, each shard with its own event heap
+// and local clock, synchronized by conservative lookahead. A Parallel run
+// remains a pure function of its inputs when the model obeys three rules:
+//
+//  1. State discipline: an event scheduled on LP p (Proc(p).At/After)
+//     touches only state owned by p's shard. Interaction between LPs on
+//     different shards goes through Cross.
+//  2. Lookahead: every Cross(src, dst, at, fn) satisfies
+//     at >= now(src) + lookahead, where lookahead is the minimum cross-LP
+//     latency declared at construction (the link propagation delay in this
+//     repository's network models). Parallel panics on a violating send and
+//     NewParallel rejects a non-positive lookahead outright — a
+//     zero-lookahead topology admits no safe window and would otherwise
+//     deadlock or corrupt causality silently.
+//  3. Canonical cross ties: shards advance in barrier-synchronous windows
+//     [Tmin, Tmin+lookahead); rule 2 guarantees every cross message lands
+//     at or past the window's horizon, so no shard can see an event it
+//     should have influenced. At each barrier the buffered cross messages
+//     are injected into the destination heaps ordered by
+//     (timestamp, source LP, per-source send order) — an order independent
+//     of the shard count and of goroutine interleaving. Same-instant
+//     delivery ties therefore resolve identically for every shard count,
+//     which is what pins an N-shard run's Result to the 1-shard run's.
+//
+// Within one shard, same-instant events still fire in scheduling order,
+// exactly as on a Single engine.
 package sim
 
 import (
@@ -165,3 +196,16 @@ func (e *Engine) RunUntil(deadline Time) Time {
 
 // Pending reports the number of queued events.
 func (e *Engine) Pending() int { return len(e.events) }
+
+// Reset returns the engine to its zero state while retaining the event
+// slab's capacity, so a long-lived engine (the sweep worker pools reuse one
+// per worker) does not reallocate and regrow the heap on every run. Pending
+// events are dropped and their closures released.
+func (e *Engine) Reset() {
+	clear(e.events) // drop pending closures; the slab must not pin them
+	e.events = e.events[:0]
+	e.now = 0
+	e.seq = 0
+	e.stopped = false
+	e.nRun = 0
+}
