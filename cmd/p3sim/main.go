@@ -36,7 +36,6 @@ import (
 	"strings"
 
 	"p3/internal/cluster"
-	"p3/internal/netsim"
 	"p3/internal/sched"
 	"p3/internal/strategy"
 	"p3/internal/trace"
@@ -61,7 +60,9 @@ func main() {
 	stallsOut := flag.String("stallsout", "", "write the run's measured per-layer mean stalls to this file")
 	shards := flag.Int("shards", runtime.GOMAXPROCS(0), "simulation shards for the conservative-lookahead parallel engine (1 = legacy single-heap engine; results are bit-identical either way)")
 	rackSize := flag.Int("racksize", 0, "machines per rack (0 = flat network; >0 adds per-rack ToR uplinks and an oversubscribable core)")
-	oversub := flag.Float64("oversub", 1, "core oversubscription ratio for -racksize topologies (1 = non-blocking core)")
+	oversub := flag.Float64("oversub", 1, "core oversubscription ratio for -racksize topologies (1 = non-blocking core, values in (0,1) undersubscribe)")
+	coreSched := flag.String("coresched", "", "queue discipline for the ToR core ports (requires -racksize; empty = blind FIFO ports)")
+	rackAgg := flag.Bool("rackagg", false, "in-rack gradient aggregation: reduce pushes at each rack's ToR and fan broadcasts out there (requires -racksize)")
 	flag.Parse()
 
 	st, err := strategy.ByName(*stratName)
@@ -118,8 +119,14 @@ func main() {
 		Recorder:       rec,
 		Shards:         nShards,
 	}
-	if *rackSize > 0 {
-		cfg.Topology = netsim.Topology{RackSize: *rackSize, CoreOversub: *oversub}
+	topo, useTopo, err := topologyFromFlags(*machines, *rackSize, *oversub, *coreSched, *rackAgg, st.Async)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "p3sim:", err)
+		os.Exit(2)
+	}
+	if useTopo {
+		cfg.Topology = topo
+		cfg.RackAggregation = *rackAgg
 	}
 	if *stallsIn != "" {
 		stalls, err := strategy.ReadStallFile(*stallsIn)
@@ -162,8 +169,14 @@ func main() {
 		preemptDesc = fmt.Sprintf("%d B", *preempt)
 	}
 	topoDesc := "flat"
-	if *rackSize > 0 {
+	if useTopo {
 		topoDesc = fmt.Sprintf("racks of %d, core %g:1", *rackSize, *oversub)
+		if *coreSched != "" {
+			topoDesc += ", core sched " + *coreSched
+		}
+		if *rackAgg {
+			topoDesc += ", in-rack aggregation"
+		}
 	}
 	fmt.Printf("model:       %s (%s)\n", m.Name, m)
 	fmt.Printf("strategy:    %s  sched: %s  preempt: %s  machines: %d  bandwidth: %g Gbps\n",

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"fmt"
+
+	"p3/internal/netsim"
+)
+
+// topologyFromFlags cross-checks the rack-topology flag group and builds
+// the netsim.Topology. It rejects the silently-meaningless combinations
+// the flags otherwise permit: -oversub/-coresched/-rackagg without a rack
+// topology, a rack size exceeding the machine count, a non-positive
+// oversubscription ratio, and -rackagg under asynchronous SGD, which has
+// no aggregation barrier to fold into the rack. useTopo reports whether a
+// rack topology was requested at all.
+func topologyFromFlags(machines, rackSize int, oversub float64, coreSched string, rackAgg, async bool) (topo netsim.Topology, useTopo bool, err error) {
+	if rackSize < 0 {
+		return topo, false, fmt.Errorf("-racksize %d: must be >= 0", rackSize)
+	}
+	if rackSize == 0 {
+		if oversub != 1 {
+			return topo, false, fmt.Errorf("-oversub %g without -racksize: a flat network has no core to oversubscribe", oversub)
+		}
+		if coreSched != "" {
+			return topo, false, fmt.Errorf("-coresched %s without -racksize: a flat network has no core ports to schedule", coreSched)
+		}
+		if rackAgg {
+			return topo, false, fmt.Errorf("-rackagg without -racksize: a flat network has no racks to aggregate in")
+		}
+		return topo, false, nil
+	}
+	if rackSize > machines {
+		return topo, false, fmt.Errorf("-racksize %d exceeds -machines %d", rackSize, machines)
+	}
+	if oversub <= 0 {
+		return topo, false, fmt.Errorf("-oversub %g: must be positive (values in (0,1) undersubscribe the core)", oversub)
+	}
+	if rackAgg && async {
+		return topo, false, fmt.Errorf("-rackagg with an asynchronous strategy: ASGD has no synchronous reduction to aggregate")
+	}
+	topo = netsim.Topology{RackSize: rackSize, CoreOversub: oversub, CoreSched: coreSched}
+	if err := topo.Validate(); err != nil {
+		return netsim.Topology{}, false, err
+	}
+	return topo, true, nil
+}

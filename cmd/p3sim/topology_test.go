@@ -1,0 +1,43 @@
+package main
+
+import "testing"
+
+func TestTopologyFromFlags(t *testing.T) {
+	for _, tc := range []struct {
+		name      string
+		machines  int
+		rackSize  int
+		oversub   float64
+		coreSched string
+		rackAgg   bool
+		async     bool
+		wantTopo  bool
+		wantErr   bool
+	}{
+		{name: "flat default", machines: 4, oversub: 1},
+		{name: "racks", machines: 8, rackSize: 4, oversub: 4, wantTopo: true},
+		{name: "undersubscribed", machines: 8, rackSize: 4, oversub: 0.5, wantTopo: true},
+		{name: "core sched and agg", machines: 8, rackSize: 4, oversub: 4, coreSched: "p3", rackAgg: true, wantTopo: true},
+		{name: "oversub without racks", machines: 4, oversub: 4, wantErr: true},
+		{name: "coresched without racks", machines: 4, oversub: 1, coreSched: "p3", wantErr: true},
+		{name: "rackagg without racks", machines: 4, oversub: 1, rackAgg: true, wantErr: true},
+		{name: "racksize over machines", machines: 4, rackSize: 8, oversub: 1, wantErr: true},
+		{name: "negative racksize", machines: 4, rackSize: -1, oversub: 1, wantErr: true},
+		{name: "zero oversub", machines: 8, rackSize: 4, oversub: 0, wantErr: true},
+		{name: "negative oversub", machines: 8, rackSize: 4, oversub: -2, wantErr: true},
+		{name: "unknown coresched", machines: 8, rackSize: 4, oversub: 4, coreSched: "nosuch", wantErr: true},
+		{name: "rackagg with asgd", machines: 8, rackSize: 4, oversub: 4, rackAgg: true, async: true, wantErr: true},
+	} {
+		topo, useTopo, err := topologyFromFlags(tc.machines, tc.rackSize, tc.oversub, tc.coreSched, tc.rackAgg, tc.async)
+		if (err != nil) != tc.wantErr {
+			t.Errorf("%s: err = %v, wantErr %v", tc.name, err, tc.wantErr)
+			continue
+		}
+		if useTopo != tc.wantTopo {
+			t.Errorf("%s: useTopo = %v, want %v", tc.name, useTopo, tc.wantTopo)
+		}
+		if tc.wantTopo && (topo.RackSize != tc.rackSize || topo.CoreOversub != tc.oversub || topo.CoreSched != tc.coreSched) {
+			t.Errorf("%s: topology %+v does not reflect the flags", tc.name, topo)
+		}
+	}
+}

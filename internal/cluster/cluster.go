@@ -121,6 +121,20 @@ type Config struct {
 	// With a rack topology this is the PS-placement axis: spread servers
 	// across racks or pack them into one.
 	ServerMachines []int
+	// RackAggregation enables Parameter Hub-style in-rack gradient
+	// aggregation on a rack topology: every non-loopback gradient push
+	// routes through the pushing worker's rack aggregator, which sums the
+	// rack's contributions per (chunk, iteration) and forwards ONE reduced
+	// stream to the chunk's server (weighted as the whole rack at the
+	// aggregation barrier), and every server broadcast (Immediate data,
+	// NotifyPull notifies) sends one copy per rack that the destination
+	// ToR fans out to its machines. Per-worker pulls and their replies
+	// stay direct — only the all-to-one and one-to-all patterns collapse.
+	// Requires Topology.RackSize > 0; incompatible with Strategy.Async
+	// (ASGD has no aggregation barrier to fold into the rack). The
+	// reduction itself models a switch-side engine: aggregator ingest and
+	// summing cost no host NIC or CPU time.
+	RackAggregation bool
 }
 
 func (c *Config) withDefaults() Config {
@@ -196,6 +210,10 @@ type Result struct {
 	// Preemptions counts egress transmissions parked mid-flight for a more
 	// urgent message (0 unless Config.PreemptQuantum > 0).
 	Preemptions int64
+	// CoreBytes is the payload volume that serialized through the rack
+	// uplink/downlink ports (0 on a flat network) — the traffic
+	// RackAggregation exists to shrink.
+	CoreBytes int64
 }
 
 // TotalStall sums the per-layer forward stalls of worker 0 over the
@@ -227,6 +245,16 @@ type chunkAgg struct {
 	iter  int32
 	count int
 	done  bool
+}
+
+// rackAggState is one rack aggregator's reduction state: per chunk, the
+// in-flight iteration and how many of the rack's workers have contributed
+// their gradient slice. Iterations strictly serialize per chunk at an
+// aggregator (a worker cannot push iteration k before the server's k-1
+// update, which needed this rack's k-1 flush), so one slot per chunk
+// suffices — the same invariant the server-side chunkAgg relies on.
+type rackAggState struct {
+	agg []chunkAgg
 }
 
 type pendingPull struct {
@@ -369,6 +397,14 @@ type clusterSim struct {
 	srvMachine []int
 	machineSrv []int
 
+	// Rack-aggregation state (RackAggregation only). rackAggs[r] is owned
+	// by rack r's aggregator LP: it is touched exclusively from AggDeliver
+	// callbacks, which the netsim contract runs on that LP's timeline, so
+	// the sharded engine never races on it. rackPop[r] is the machine
+	// count of rack r (the last rack may be partial).
+	rackAggs []rackAggState
+	rackPop  []int
+
 	workers  []workerState
 	servers  []serverState
 	jitter   [][]float64 // [worker][iter]
@@ -427,6 +463,17 @@ func newClusterSim(cfg Config) *clusterSim {
 	}
 	if cfg.Topology.RackSize > 0 {
 		netCfg.Topology = cfg.Topology
+	}
+	if cfg.RackAggregation {
+		if cfg.Topology.RackSize <= 0 {
+			panic("cluster: RackAggregation needs a rack topology (Topology.RackSize > 0)")
+		}
+		if cfg.Strategy.Async {
+			panic("cluster: RackAggregation is a synchronous-reduction optimization; ASGD has no aggregation barrier to fold into the rack")
+		}
+		// Set before the engine is built: the aggregator LPs change the
+		// LP count and shard assignment.
+		netCfg.Aggregation = true
 	}
 	// Model-aware disciplines (tictac) see the same timing the simulator
 	// runs on unless a calibrated profile overrides it; model-blind
@@ -504,6 +551,20 @@ func newClusterSim(cfg Config) *clusterSim {
 		cs.machineSrv[mach] = s
 	}
 
+	if cfg.RackAggregation {
+		racks := cfg.Topology.NumRacks(n)
+		cs.rackPop = make([]int, racks)
+		cs.rackAggs = make([]rackAggState, racks)
+		for r := 0; r < racks; r++ {
+			cs.rackPop[r] = cfg.Topology.RackMachines(n, r)
+			agg := make([]chunkAgg, cs.plan.NumChunks())
+			for c := range agg {
+				agg[c].iter = -1
+			}
+			cs.rackAggs[r] = rackAggState{agg: agg}
+		}
+		netCfg.AggDeliver = cs.aggDeliver
+	}
 	cs.net = netsim.NewOnExec(exec, n, netCfg, cs.deliver, cfg.Recorder)
 	cs.updRate = cfg.UpdateRateGBps // GB/s == bytes/ns
 	cs.hostRate = cfg.HostRateGBps  // GB/s == bytes/ns
@@ -632,10 +693,20 @@ func (cs *clusterSim) pushLayer(w, l int) {
 	ws := &cs.workers[w]
 	for _, id := range cs.plan.LayerChunks(l) {
 		c := cs.plan.Chunks[id]
-		cs.net.Send(netsim.Message{
+		m := netsim.Message{
 			From: w, To: cs.srvMachine[c.Server], Bytes: c.Bytes(), Priority: int32(c.Priority),
 			Kind: kPush, Chunk: int32(id), Iter: ws.curIter, Src: int32(w),
-		})
+		}
+		// Under rack aggregation every push that would cross the NIC routes
+		// through the worker's own rack aggregator instead — including
+		// pushes whose server is rack-local, which cuts the server's NIC
+		// fan-in from rackPop to one. Only the co-located worker's loopback
+		// (shared memory, never on the wire) stays direct.
+		if cs.rackAggs != nil && w != m.To {
+			m.To = cs.cfg.Topology.RackOf(w)
+			m.ToAgg = true
+		}
+		cs.net.Send(m)
 	}
 }
 
@@ -683,9 +754,58 @@ func (cs *clusterSim) onPush(m netsim.Message) {
 	cs.servers[cs.machineSrv[m.To]].proc.add(cs, procItem{chunk: m.Chunk, iter: m.Iter, src: m.Src, priority: m.Priority})
 }
 
+// ---- rack aggregator (RackAggregation only) ----
+
+// aggDeliver is the netsim AggDeliver handler, running on rack's
+// aggregator LP. Gradient pushes reduce: the rack's last contribution per
+// (chunk, iteration) flushes one reduced push — same bytes, weighted as
+// the whole rack — to the chunk's server. Broadcast traffic (immediate
+// data, notifies) fans out to the rack's machines at ToR line rate,
+// skipping the server's own machine (its worker got the loopback copy).
+func (cs *clusterSim) aggDeliver(rack int, m netsim.Message) {
+	switch m.Kind {
+	case kPush:
+		a := &cs.rackAggs[rack].agg[m.Chunk]
+		if a.iter != m.Iter {
+			a.iter = m.Iter
+			a.count = 0
+		}
+		a.count++
+		if a.count == cs.aggExpect(rack, m.Chunk) {
+			out := m
+			out.To = cs.srvMachine[cs.plan.Chunks[m.Chunk].Server]
+			out.Src = int32(-1 - rack)
+			cs.net.AggSend(rack, out)
+		}
+	case kData, kNotify:
+		skip := -1
+		if srvM := cs.srvMachine[int(m.Src)]; cs.cfg.Topology.RackOf(srvM) == rack {
+			skip = srvM
+		}
+		cs.net.AggFanout(rack, m, skip)
+	default:
+		panic(fmt.Sprintf("cluster: message kind %d has no rack-aggregator semantics", m.Kind))
+	}
+}
+
+// aggExpect is the contribution count that completes rack's reduction of
+// chunk — every machine of the rack, except the chunk's own server
+// machine when it lives there (its co-located worker pushes through
+// shared memory, counted individually by the server). It is also the
+// weight the reduced push carries at the server's aggregation barrier.
+func (cs *clusterSim) aggExpect(rack int, chunk int32) int {
+	expect := cs.rackPop[rack]
+	if srvM := cs.srvMachine[cs.plan.Chunks[chunk].Server]; cs.cfg.Topology.RackOf(srvM) == rack {
+		expect--
+	}
+	return expect
+}
+
 // pushProcessed runs when the server finishes aggregating one worker's push
 // of a chunk; the Nth push completes the update. In Async (ASGD) mode every
-// push is its own update, answered only to the pushing worker.
+// push is its own update, answered only to the pushing worker. A
+// rack-reduced push (Src < 0 under RackAggregation) counts as every worker
+// whose gradient the rack aggregator folded into it.
 func (cs *clusterSim) pushProcessed(srv int, it procItem) {
 	if cs.cfg.Strategy.Async {
 		cs.sendData(srv, it.chunk, it.iter, int(it.src))
@@ -698,7 +818,11 @@ func (cs *clusterSim) pushProcessed(srv int, it procItem) {
 		agg.count = 0
 		agg.done = false
 	}
-	agg.count++
+	if it.src < 0 {
+		agg.count += cs.aggExpect(int(-1-it.src), it.chunk)
+	} else {
+		agg.count++
+	}
 	if agg.count == cs.cfg.Machines {
 		agg.done = true
 		if it.iter > s.lastDone[it.chunk] {
@@ -710,21 +834,41 @@ func (cs *clusterSim) pushProcessed(srv int, it procItem) {
 
 func (cs *clusterSim) onUpdated(srv int, chunk, iter int32) {
 	c := cs.plan.Chunks[chunk]
+	// broadcast sends one message per worker — or, under rack aggregation,
+	// one loopback to the co-located worker plus one rack-stream per rack
+	// for its ToR to fan out, so the server's egress serializes per-rack
+	// instead of per-worker and only one copy per rack crosses the core.
+	broadcast := func(bytes int64, kind uint8) {
+		srvM := cs.srvMachine[srv]
+		if cs.rackAggs == nil {
+			for w := 0; w < cs.cfg.Machines; w++ {
+				cs.net.Send(netsim.Message{
+					From: srvM, To: w, Bytes: bytes, Priority: int32(c.Priority),
+					Kind: kind, Chunk: chunk, Iter: iter, Src: int32(srv),
+				})
+			}
+			return
+		}
+		cs.net.Send(netsim.Message{
+			From: srvM, To: srvM, Bytes: bytes, Priority: int32(c.Priority),
+			Kind: kind, Chunk: chunk, Iter: iter, Src: int32(srv),
+		})
+		srvRack := cs.cfg.Topology.RackOf(srvM)
+		for r := range cs.rackPop {
+			if r == srvRack && cs.rackPop[r] == 1 {
+				continue // the loopback already reached the whole rack
+			}
+			cs.net.Send(netsim.Message{
+				From: srvM, To: r, ToAgg: true, Bytes: bytes, Priority: int32(c.Priority),
+				Kind: kind, Chunk: chunk, Iter: iter, Src: int32(srv),
+			})
+		}
+	}
 	switch cs.cfg.Strategy.Pull {
 	case strategy.Immediate:
-		for w := 0; w < cs.cfg.Machines; w++ {
-			cs.net.Send(netsim.Message{
-				From: cs.srvMachine[srv], To: w, Bytes: c.Bytes(), Priority: int32(c.Priority),
-				Kind: kData, Chunk: chunk, Iter: iter, Src: int32(srv),
-			})
-		}
+		broadcast(c.Bytes(), kData)
 	case strategy.NotifyPull:
-		for w := 0; w < cs.cfg.Machines; w++ {
-			cs.net.Send(netsim.Message{
-				From: cs.srvMachine[srv], To: w, Bytes: ctlBytes, Priority: int32(c.Priority),
-				Kind: kNotify, Chunk: chunk, Iter: iter, Src: int32(srv),
-			})
-		}
+		broadcast(ctlBytes, kNotify)
 	}
 	// Serve any pulls that were waiting for this (or an older) iteration,
 	// regardless of pull mode: the stored value now satisfies them.
@@ -862,5 +1006,6 @@ func (cs *clusterSim) result() Result {
 		Msgs:            cs.net.MsgsDelivered(),
 		WireBytes:       cs.net.BytesDelivered(),
 		Preemptions:     cs.net.Preemptions(),
+		CoreBytes:       cs.net.CoreBytes(),
 	}
 }

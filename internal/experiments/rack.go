@@ -12,7 +12,8 @@ import (
 )
 
 // RackRow is one cell of the rack-scale sweep: a multi-rack topology with
-// an oversubscribed core, with parameter-server placement as a swept axis.
+// an oversubscribed core, with parameter-server placement, core-port
+// scheduling and in-rack aggregation as swept axes.
 type RackRow struct {
 	Model    string
 	Machines int
@@ -25,21 +26,39 @@ type RackRow struct {
 	// through one rack's uplink and downlink).
 	Placement string
 	Sched     string
+	// Core names the discipline of the ToR uplink/downlink port queues;
+	// "" is the blind FIFO of plain switch ports.
+	Core string
+	// Agg reports whether Parameter Hub-style in-rack aggregation was on:
+	// gradient pushes reduce at the rack aggregator (one stream per rack
+	// crosses the core) and server broadcasts fan out at the ToR.
+	Agg bool
 	// PerMachine is per-machine training throughput (samples/sec).
 	PerMachine float64
 	IterMs     float64
-	Events     uint64
-	WallMs     float64
+	// CoreMB is the payload volume that serialized through the core ports,
+	// in megabytes — the traffic aggregation exists to shrink.
+	CoreMB float64
+	Events uint64
+	WallMs float64
 }
 
 // rackPlacement builds the ServerMachines vector for a placement policy.
-func rackPlacement(policy string, servers, rackSize int) []int {
+// "spread" distributes servers round-robin over racks (server s in rack
+// s mod racks, at slot s div racks — one per rack while servers <= racks),
+// "packed" crowds them all into rack 0.
+func rackPlacement(policy string, servers, machines, rackSize int) []int {
+	racks := (machines + rackSize - 1) / rackSize
 	out := make([]int, servers)
 	for s := range out {
 		if policy == "spread" {
-			out[s] = s * rackSize // server s at the head of rack s
+			out[s] = (s%racks)*rackSize + s/racks
 		} else {
-			out[s] = s // all servers in rack 0
+			out[s] = s
+		}
+		if out[s] >= machines {
+			panic(fmt.Sprintf("rackPlacement: server %d lands on machine %d of %d (%s, %d racks)",
+				s, out[s], machines, policy, racks))
 		}
 	}
 	return out
@@ -48,11 +67,13 @@ func rackPlacement(policy string, servers, rackSize int) []int {
 // Rack sweeps the rack-scale regime the paper's flat 4-16 machine testbed
 // never reaches: machines in racks behind an oversubscribed core (the
 // dominant constraint Parameter Hub identifies for rack-scale training),
-// with the scale sweep's discipline axis and server placement as the
-// second axis. The non-blocking (1:1) column isolates placement effects
-// from core contention; the oversubscribed column is where the two
-// interact. Cells run on the parEachEngine pool with o.Shards threaded
-// through, like the scale sweep.
+// with the scale sweep's discipline axis, server placement, and — against
+// the 4:1 core — the two core-aware mechanisms: priority core queues
+// (mode "coreq": the ToR ports run the row's discipline) and in-rack
+// aggregation (mode "agg": aggregation plus the discipline-scheduled
+// core). The non-blocking (1:1) column isolates placement effects from
+// core contention. Cells run on the parEachEngine pool with o.Shards
+// threaded through, like the scale sweep.
 func Rack(o Options) []RackRow {
 	warm, measure := o.iters()
 	const model = "resnet50"
@@ -71,12 +92,25 @@ func Rack(o Options) []RackRow {
 		oversub   float64
 		placement string
 		sched     string
+		core      string
+		agg       bool
 	}
 	var cells []cell
 	for _, ov := range oversubs {
 		for _, pl := range []string{"spread", "packed"} {
 			for _, sc := range scheds {
-				cells = append(cells, cell{ov, pl, sc})
+				cells = append(cells, cell{ov, pl, sc, "", false})
+				if ov > 1 {
+					// The core-aware mechanisms only differentiate against a
+					// contended core. The fast sweep drops the core-queues-only
+					// cells: they are the most expensive rows (full flat event
+					// volume) and their parity base case is pinned by
+					// cluster-level tests.
+					if !o.Fast {
+						cells = append(cells, cell{ov, pl, sc, sc, false})
+					}
+					cells = append(cells, cell{ov, pl, sc, sc, true})
+				}
 			}
 		}
 	}
@@ -93,15 +127,18 @@ func Rack(o Options) []RackRow {
 			Model: zoo.ByName(model), Machines: machines, Servers: servers,
 			Strategy: st, BandwidthGbps: gbps,
 			WarmupIters: warm, MeasureIters: measure, Seed: o.Seed + 1,
-			Topology:       netsim.Topology{RackSize: rackSize, CoreOversub: c.oversub},
-			ServerMachines: rackPlacement(c.placement, servers, rackSize),
-			Engine:         eng, Shards: o.Shards,
+			Topology:        netsim.Topology{RackSize: rackSize, CoreOversub: c.oversub, CoreSched: c.core},
+			ServerMachines:  rackPlacement(c.placement, servers, machines, rackSize),
+			RackAggregation: c.agg,
+			Engine:          eng, Shards: o.Shards,
 		})
 		rows[i] = RackRow{
 			Model: model, Machines: machines, RackSize: rackSize,
 			Oversub: c.oversub, Placement: c.placement, Sched: c.sched,
+			Core: c.core, Agg: c.agg,
 			PerMachine: r.Throughput / float64(r.Machines),
 			IterMs:     r.MeanIterTime.Millis(),
+			CoreMB:     float64(r.CoreBytes) / 1e6,
 			Events:     r.Events,
 			WallMs:     float64(time.Since(t0).Microseconds()) / 1000,
 		}
@@ -110,13 +147,21 @@ func Rack(o Options) []RackRow {
 }
 
 // RackTable renders the rack sweep, one line per (oversub, placement,
-// sched).
+// sched, core, agg).
 func RackTable(rows []RackRow) string {
-	out := "model\tmachines\track\toversub\tplacement\tsched\tsamples/s/machine\titer_ms\tevents\tsim_wall_ms\n"
+	out := "model\tmachines\track\toversub\tplacement\tsched\tcore\tagg\tsamples/s/machine\titer_ms\tcore_MB\tevents\tsim_wall_ms\n"
 	for _, r := range rows {
-		out += fmt.Sprintf("%s\t%d\t%d\t%g:1\t%s\t%s\t%.1f\t%.2f\t%d\t%.1f\n",
-			r.Model, r.Machines, r.RackSize, r.Oversub, r.Placement, r.Sched,
-			r.PerMachine, r.IterMs, r.Events, r.WallMs)
+		core := r.Core
+		if core == "" {
+			core = "blind"
+		}
+		agg := "off"
+		if r.Agg {
+			agg = "on"
+		}
+		out += fmt.Sprintf("%s\t%d\t%d\t%g:1\t%s\t%s\t%s\t%s\t%.1f\t%.2f\t%.0f\t%d\t%.1f\n",
+			r.Model, r.Machines, r.RackSize, r.Oversub, r.Placement, r.Sched, core, agg,
+			r.PerMachine, r.IterMs, r.CoreMB, r.Events, r.WallMs)
 	}
 	return out
 }

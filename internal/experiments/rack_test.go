@@ -11,9 +11,11 @@ import (
 )
 
 // TestRackSweepFast runs the CI-sized rack sweep end to end: every cell
-// completes with sane throughput, the event volume is placement- and
-// discipline-independent (the protocol sends the same messages; only their
-// timing moves), and the table renders both placements.
+// completes with sane throughput, the event volume depends only on whether
+// aggregation is on (the protocol sends the same messages for a given
+// aggregation setting; placement, discipline and core queueing only move
+// their timing), aggregated cells move strictly fewer bytes through the
+// core than flat ones, and the table renders every axis.
 func TestRackSweepFast(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-rack sweep in -short mode")
@@ -22,29 +24,42 @@ func TestRackSweepFast(t *testing.T) {
 	if len(rows) == 0 {
 		t.Fatal("no rack rows")
 	}
-	var events uint64
+	events := map[bool]uint64{}
+	coreMB := map[bool]float64{}
 	for _, r := range rows {
 		if r.PerMachine <= 0 || r.IterMs <= 0 {
 			t.Fatalf("degenerate row: %+v", r)
 		}
-		if events == 0 {
-			events = r.Events
-		} else if r.Events != events {
-			t.Errorf("event volume should not depend on placement or discipline: %+v has %d, want %d", r, r.Events, events)
+		if want, ok := events[r.Agg]; !ok {
+			events[r.Agg] = r.Events
+		} else if r.Events != want {
+			t.Errorf("event volume should depend only on aggregation: %+v has %d, want %d", r, r.Events, want)
 		}
+		if r.CoreMB <= 0 {
+			t.Errorf("no core traffic recorded: %+v", r)
+		}
+		coreMB[r.Agg] = r.CoreMB
+	}
+	if len(events) != 2 {
+		t.Fatalf("fast sweep should cover agg on and off, got %v", events)
+	}
+	if coreMB[true] >= coreMB[false] {
+		t.Errorf("aggregation moved %.0f MB through the core, flat moved %.0f — aggregation should shrink core traffic",
+			coreMB[true], coreMB[false])
 	}
 	table := RackTable(rows)
-	for _, want := range []string{"spread", "packed", "4:1"} {
+	for _, want := range []string{"spread", "packed", "4:1", "blind", "damped", "\ton\t", "\toff\t"} {
 		if !strings.Contains(table, want) {
 			t.Fatalf("rack table missing %q:\n%s", want, table)
 		}
 	}
 }
 
-// rackFindingRun is one cell of the pinned 256-machine finding, at the
+// rackFindingRun is one cell of the pinned 256-machine findings, at the
 // same topology the full Rack sweep uses but with smoke-test iteration
-// counts.
-func rackFindingRun(t *testing.T, sched, placement string) cluster.Result {
+// counts. core names the ToR port discipline ("" = blind FIFO) and agg
+// toggles in-rack aggregation.
+func rackFindingRun(t *testing.T, sched, placement, core string, agg bool) cluster.Result {
 	t.Helper()
 	st, err := strategy.SlicingOnly(0).WithSched(sched)
 	if err != nil {
@@ -55,8 +70,9 @@ func rackFindingRun(t *testing.T, sched, placement string) cluster.Result {
 		Model: zoo.ByName("resnet50"), Machines: 256, Servers: 8,
 		Strategy: st, BandwidthGbps: 1.5,
 		WarmupIters: 1, MeasureIters: 2, Seed: 2,
-		Topology:       netsim.Topology{RackSize: 32, CoreOversub: 4},
-		ServerMachines: rackPlacement(placement, 8, 32),
+		Topology:        netsim.Topology{RackSize: 32, CoreOversub: 4, CoreSched: core},
+		ServerMachines:  rackPlacement(placement, 8, 256, 32),
+		RackAggregation: agg,
 	})
 }
 
@@ -77,11 +93,44 @@ func TestRackOversubDampingFinding(t *testing.T) {
 		t.Skip("256-machine cells are for the non-race suite")
 	}
 	for _, placement := range []string{"spread", "packed"} {
-		fifo := rackFindingRun(t, "fifo", placement)
-		damped := rackFindingRun(t, "damped", placement)
+		fifo := rackFindingRun(t, "fifo", placement, "", false)
+		damped := rackFindingRun(t, "damped", placement, "", false)
 		if damped.Throughput >= fifo.Throughput {
 			t.Errorf("%s: damped %.2f >= fifo %.2f samples/s — damping now beats fifo under the 4:1 core; the rack finding flipped, re-pin it",
 				placement, damped.Throughput/256, fifo.Throughput/256)
+		}
+	}
+}
+
+// TestRackAggregationFinding pins the reversal of that negative result,
+// measured on this tree: at the same 256-machine 4:1 cell, in-rack
+// aggregation beats flat fifo by an order of magnitude under BOTH
+// placements (fifo+agg 27.7 vs flat fifo 1.57/1.54 samples/s/machine —
+// each rack's 32 gradient streams reduce to one before crossing the core,
+// cutting core traffic 32x), and once the core is unclogged, priority
+// damping matters again: damped hosts + damped ToR queues + aggregation
+// beat fifo + aggregation (29.6 vs 27.7) under both placements. The
+// assertions are directional with a wide margin (10x for aggregation vs
+// flat), not bit-pinned.
+func TestRackAggregationFinding(t *testing.T) {
+	if raceEnabled || testing.Short() {
+		t.Skip("256-machine cells are for the non-race suite")
+	}
+	for _, placement := range []string{"spread", "packed"} {
+		flat := rackFindingRun(t, "fifo", placement, "", false)
+		agg := rackFindingRun(t, "fifo", placement, "", true)
+		if agg.Throughput < 10*flat.Throughput {
+			t.Errorf("%s: fifo+agg %.2f < 10x flat fifo %.2f samples/s/machine — aggregation stopped paying for itself, re-measure",
+				placement, agg.Throughput/256, flat.Throughput/256)
+		}
+		if agg.CoreBytes >= flat.CoreBytes {
+			t.Errorf("%s: agg moved %d core bytes >= flat's %d — aggregation should shrink core traffic",
+				placement, agg.CoreBytes, flat.CoreBytes)
+		}
+		damped := rackFindingRun(t, "damped", placement, "damped", true)
+		if damped.Throughput <= agg.Throughput {
+			t.Errorf("%s: damped+agg+core-damped %.2f <= fifo+agg %.2f samples/s/machine — priority scheduling no longer helps on the unclogged core, re-pin",
+				placement, damped.Throughput/256, agg.Throughput/256)
 		}
 	}
 }

@@ -23,6 +23,40 @@
 // pipe per NIC, ByteScheduler-style; the per-flow egress queue dispatches
 // the most urgent admissible head, so one credit-starved destination never
 // blocks traffic for the others.
+//
+// # Rack topologies, core scheduling, and in-rack aggregation
+//
+// Topology arranges machines into racks behind an oversubscribed core:
+// each rack owns an uplink and a downlink port LP that store-and-forward
+// inter-rack messages at the rack's aggregate NIC rate divided by
+// CoreOversub. By default those ports are blind FIFO — the regime where
+// host-egress priorities die at the ToR, because the core serializes in
+// arrival order whatever rank the hosts assigned. Topology.CoreSched gives
+// the ports a real sched.Queue instead: each port runs its own fresh
+// discipline instance (seeded with the port's LP index for source-aware
+// ranks, profile-applied like a host NIC), so p3/tictac/damped ranks
+// survive into the core. At a ToR port a rank means the same thing it
+// means at a host NIC — "which queued message does the wire take next" —
+// but the port sees every flow of its rack at once, which is exactly the
+// aggregate view host egress lacks. CoreSched "fifo" dequeues in global
+// arrival order (ties by insertion) and is pinned bit-identical to the
+// blind FIFO path.
+//
+// Config.Aggregation adds one in-rack aggregator LP per rack — the
+// Parameter Hub design point. The aggregator is the application's hook,
+// not a policy: messages addressed to it (Message.ToAgg, with To naming
+// the rack) are handed to Config.AggDeliver on the aggregator's timeline,
+// and the application replies with AggSend (one reduced stream toward the
+// core or a rack-local machine) or AggFanout (ToR-line-rate broadcast
+// replication: one copy per rack machine, each paying only propagation
+// plus its receiver's ingress). Aggregator ingest itself is free — it
+// models a switch/ASIC-side reduction engine, not a host NIC; charging
+// host serialization there would just recreate the bottleneck the design
+// removes. Every aggregator hop goes through the canonical cross-LP
+// transfer path (xfer) with at least PropDelay of latency, so the
+// lookahead bound is unchanged and an N-shard run reproduces the 1-shard
+// Result bit for bit; the aggregator LP lives on its rack's shard, so only
+// the core hop crosses shards, exactly as without aggregation.
 package netsim
 
 import (
@@ -65,6 +99,17 @@ type Config struct {
 	// switch of the paper's testbed (every path bit-identical to earlier
 	// releases).
 	Topology Topology
+	// Aggregation adds one in-rack aggregator LP per rack (see the package
+	// comment): messages sent with ToAgg set are delivered to AggDeliver on
+	// the aggregator's timeline instead of a machine NIC, and the
+	// application answers through AggSend/AggFanout. Requires a rack
+	// topology and an AggDeliver handler.
+	Aggregation bool
+	// AggDeliver receives every message addressed to rack aggregators
+	// (Message.ToAgg); rack is the aggregator's rack index. It runs on the
+	// aggregator LP's timeline, so state it touches must be partitioned per
+	// rack to stay shard-safe.
+	AggDeliver func(rack int, m Message)
 	// PreemptQuantum > 0 makes egress transmission resumable: serialization
 	// is charged in segments of at most this many wire bytes, and at each
 	// segment boundary a strictly more urgent admissible queued message no
@@ -93,14 +138,49 @@ type Topology struct {
 	// RackSize is the number of machines per rack; 0 disables the rack
 	// model entirely (flat single switch). The last rack may be partial.
 	RackSize int
-	// CoreOversub is the core oversubscription ratio: each rack's
-	// uplink/downlink serializes at RackSize*BandwidthGbps/CoreOversub.
-	// Values <= 1 (including 0) mean a non-blocking core — the rack hop
-	// then only adds latency and per-port serialization.
+	// CoreOversub is the core oversubscription ratio: rack r's
+	// uplink/downlink serializes at its actual machine count (the last
+	// rack may be partial) times BandwidthGbps, divided by CoreOversub.
+	// 0 means a non-blocking core (the rack hop then only adds latency and
+	// per-port serialization, equivalent to CoreOversub 1); values in
+	// (0, 1) are explicit undersubscription — the core ports run faster
+	// than the rack's aggregate NIC rate, so the per-port hop cost shrinks
+	// below the 1:1 case; values above 1 oversubscribe. Negative values
+	// are rejected.
 	CoreOversub float64
 	// CoreDelay is the one-way propagation latency of the core hop
 	// (uplink to downlink); 0 defaults to the machine-level PropDelay.
 	CoreDelay sim.Time
+	// CoreSched names the sched.Discipline of every rack's uplink and
+	// downlink port queue. "" keeps the blind FIFO of plain switch ports
+	// (bit-identical to earlier releases); "fifo" runs the same global
+	// arrival order through a sched.Queue (pinned bit-identical to "");
+	// "p3"/"damped"/"tictac"/... make the core ports expedite the same
+	// ranks the hosts do. Each port gets a fresh discipline instance,
+	// seeded with its LP index for source-aware disciplines.
+	CoreSched string
+}
+
+// Validate reports whether the topology's parameters are usable: a
+// negative RackSize or CoreOversub is always an error, and CoreSched must
+// name a registered scheduling discipline. The zero value is valid (flat
+// network).
+func (t Topology) Validate() error {
+	if t.RackSize < 0 {
+		return fmt.Errorf("netsim: negative rack size %d", t.RackSize)
+	}
+	if t.CoreOversub < 0 {
+		return fmt.Errorf("netsim: negative core oversubscription %g (use values in (0,1) for an undersubscribed core, 0 or 1 for non-blocking)", t.CoreOversub)
+	}
+	if t.CoreSched != "" {
+		if t.RackSize <= 0 {
+			return fmt.Errorf("netsim: CoreSched %q without a rack topology (RackSize is 0, so there are no core ports to schedule)", t.CoreSched)
+		}
+		if _, err := sched.ByName(t.CoreSched); err != nil {
+			return fmt.Errorf("netsim: core scheduler: %w", err)
+		}
+	}
+	return nil
 }
 
 // coreDelay resolves the CoreDelay default against the machine-level
@@ -112,19 +192,34 @@ func (t Topology) coreDelay(propDelay sim.Time) sim.Time {
 	return propDelay
 }
 
-// rackOf maps a machine to its rack.
-func (t Topology) rackOf(machine int) int { return machine / t.RackSize }
+// RackOf maps a machine to its rack.
+func (t Topology) RackOf(machine int) int { return machine / t.RackSize }
 
-// numRacks is the rack count for n machines (the last rack may be partial).
-func (t Topology) numRacks(n int) int { return (n + t.RackSize - 1) / t.RackSize }
+// NumRacks is the rack count for n machines (the last rack may be partial).
+func (t Topology) NumRacks(n int) int { return (n + t.RackSize - 1) / t.RackSize }
+
+// RackMachines is the number of machines in rack r of an n-machine
+// cluster: RackSize for full racks, fewer for a trailing partial rack.
+func (t Topology) RackMachines(n, r int) int {
+	if rest := n - r*t.RackSize; rest < t.RackSize {
+		return rest
+	}
+	return t.RackSize
+}
 
 // NumLPs returns the logical-process count of the topology over n
-// machines: one LP per machine, plus an uplink and a downlink LP per rack.
+// machines: one LP per machine, plus an uplink and a downlink LP per
+// rack, plus — with Aggregation — one aggregator LP per rack.
 func (c Config) NumLPs(n int) int {
 	if c.Topology.RackSize <= 0 {
 		return n
 	}
-	return n + 2*c.Topology.numRacks(n)
+	racks := c.Topology.NumRacks(n)
+	lps := n + 2*racks
+	if c.Aggregation {
+		lps += racks
+	}
+	return lps
 }
 
 // Lookahead returns the minimum cross-LP latency of the topology — the
@@ -141,8 +236,9 @@ func (c Config) Lookahead() sim.Time {
 
 // LPShards returns the LP-to-shard assignment for n machines over the
 // given shard count: machines in contiguous blocks, rack-aligned when the
-// topology has racks (a rack's machines and its uplink/downlink LPs share
-// a shard, so only the core hop crosses shards).
+// topology has racks (a rack's machines, its uplink/downlink LPs and —
+// with Aggregation — its aggregator LP share a shard, so only the core
+// hop crosses shards).
 func (c Config) LPShards(n, shards int) []int {
 	lp := make([]int, c.NumLPs(n))
 	if c.Topology.RackSize <= 0 {
@@ -151,14 +247,17 @@ func (c Config) LPShards(n, shards int) []int {
 		}
 		return lp
 	}
-	racks := c.Topology.numRacks(n)
+	racks := c.Topology.NumRacks(n)
 	for m := 0; m < n; m++ {
-		lp[m] = c.Topology.rackOf(m) * shards / racks
+		lp[m] = c.Topology.RackOf(m) * shards / racks
 	}
 	for r := 0; r < racks; r++ {
 		s := r * shards / racks
 		lp[n+2*r] = s
 		lp[n+2*r+1] = s
+		if c.Aggregation {
+			lp[n+2*racks+r] = s
+		}
 	}
 	return lp
 }
@@ -188,7 +287,7 @@ func DefaultConfig(gbps float64) Config {
 // Kind/Chunk/Iter/Src fields, interpreted by the cluster layer; netsim only
 // reads From, To, Bytes and Priority.
 type Message struct {
-	From, To int   // machine indices
+	From, To int   // machine indices (To is a rack index when ToAgg is set)
 	Bytes    int64 // payload size (headers are added by the network)
 	Priority int32 // lower is more urgent; interpreted by the egress discipline
 
@@ -196,15 +295,34 @@ type Message struct {
 	Chunk int32 // application tag: chunk id
 	Iter  int32 // application tag: iteration number
 	Src   int32 // application tag: originating worker
+
+	// ToAgg addresses the message to a rack aggregator: To names the rack,
+	// and delivery is Config.AggDeliver on the aggregator LP instead of a
+	// machine NIC. Requires Config.Aggregation.
+	ToAgg bool
+	// FromAgg marks a message originated by an aggregator (AggSend and
+	// AggFanout set it): From is informational only — no egress was charged
+	// for it, so no delivery-time credit refund is owed to any NIC.
+	FromAgg bool
 }
 
-// msgItem is the scheduler-visible view of a message; the receiving machine
-// is the destination key of per-destination disciplines, making each
-// (sender, receiver) pair one flow of the egress queue. (The sending
-// machine needs no field: an egress queue belongs to one NIC, whose index
-// is injected into source-aware disciplines via sched.ApplySource.)
+// msgDest is the flow key of a message for per-destination disciplines:
+// the receiving machine, or — for aggregator-addressed messages — the rack
+// encoded below the machine range so an aggregator flow never aliases a
+// machine flow.
+func msgDest(m Message) int32 {
+	if m.ToAgg {
+		return int32(-1 - m.To)
+	}
+	return int32(m.To)
+}
+
+// msgItem is the scheduler-visible view of a message at a core port queue;
+// the destination key makes each (port, destination) pair one flow. (The
+// port needs no field: a core queue belongs to one port LP, whose index is
+// injected into source-aware disciplines via sched.ApplySource.)
 func msgItem(m Message) sched.Item {
-	return sched.Item{Priority: m.Priority, Bytes: m.Bytes, Dest: int32(m.To)}
+	return sched.Item{Priority: m.Priority, Bytes: m.Bytes, Dest: msgDest(m)}
 }
 
 // Handler receives fully delivered messages.
@@ -236,7 +354,7 @@ type txState struct {
 // fields that never change while the element is queued (pri is raised only
 // while the element is parked outside the queue), so the view stays pure.
 func txItem(t *txState) sched.Item {
-	return sched.Item{Priority: t.pri, Bytes: t.msg.Bytes, Dest: int32(t.msg.To)}
+	return sched.Item{Priority: t.pri, Bytes: t.msg.Bytes, Dest: msgDest(t.msg)}
 }
 
 // nicStats are one machine's transfer counters. They live on the nic —
@@ -268,15 +386,22 @@ type nic struct {
 	stats      nicStats
 }
 
-// coreLink is one rack's uplink or downlink: a FIFO store-and-forward
+// coreLink is one rack's uplink or downlink port: a store-and-forward
 // queue serializing at the oversubscribed core rate, owned by its own LP.
+// Without a CoreSched it is a blind FIFO slice (q/head); with one it is a
+// per-flow sched.Queue (sq) running the named discipline — the
+// priority-aware ToR. bytes/msgs count the payload traffic that transited
+// the port (LP-owned, so shard-safe; summed after the run).
 type coreLink struct {
-	lp   int
-	up   bool    // uplink (towards the core) or downlink (towards the rack)
-	rate float64 // Gbps, i.e. bits per nanosecond
-	busy bool
-	q    []Message
-	head int
+	lp    int
+	up    bool    // uplink (towards the core) or downlink (towards the rack)
+	rate  float64 // Gbps, i.e. bits per nanosecond
+	busy  bool
+	q     []Message
+	head  int
+	sq    *sched.Queue[Message] // nil without a CoreSched
+	bytes int64
+	msgs  int64
 }
 
 // Network simulates the interconnect for n machines.
@@ -288,6 +413,7 @@ type Network struct {
 	nics    []nic
 	ups     []coreLink // per rack (empty without a rack topology)
 	downs   []coreLink
+	aggBase int // first aggregator LP (n + 2*racks); -1 without aggregation
 	deliver Handler
 	rec     *trace.Recorder // optional
 	sharded bool            // exec has >1 shard: no cross-LP credit feedback, no recorder
@@ -411,10 +537,21 @@ func NewOnExec(x sim.Exec, n int, cfg Config, handler Handler, rec *trace.Record
 	if cfg.BandwidthGbps <= 0 {
 		panic(fmt.Sprintf("netsim: bandwidth %v Gbps", cfg.BandwidthGbps))
 	}
+	if err := cfg.Topology.Validate(); err != nil {
+		panic(err.Error())
+	}
+	if cfg.Aggregation {
+		if cfg.Topology.RackSize <= 0 {
+			panic("netsim: Aggregation needs a rack topology (Topology.RackSize > 0)")
+		}
+		if cfg.AggDeliver == nil {
+			panic("netsim: Aggregation without an AggDeliver handler")
+		}
+	}
 	if cfg.LocalBandwidthGbps <= 0 {
 		cfg.LocalBandwidthGbps = 160
 	}
-	nw := &Network{exec: x, cfg: cfg, n: n, deliver: handler, rec: rec, sharded: x.Shards() > 1}
+	nw := &Network{exec: x, cfg: cfg, n: n, aggBase: -1, deliver: handler, rec: rec, sharded: x.Shards() > 1}
 	if nw.sharded && rec != nil {
 		panic("netsim: a trace.Recorder needs the single-shard engine (shared utilization buckets)")
 	}
@@ -453,16 +590,30 @@ func NewOnExec(x sim.Exec, n int, cfg Config, handler Handler, rec *trace.Record
 		}
 	}
 	if t := cfg.Topology; t.RackSize > 0 {
-		rate := float64(t.RackSize) * cfg.BandwidthGbps
-		if t.CoreOversub > 1 {
-			rate /= t.CoreOversub
+		racks := t.NumRacks(n)
+		if cfg.Aggregation {
+			nw.aggBase = n + 2*racks
 		}
-		racks := t.numRacks(n)
 		nw.ups = make([]coreLink, racks)
 		nw.downs = make([]coreLink, racks)
+		coreQueue := func(lp int) *sched.Queue[Message] {
+			if t.CoreSched == "" {
+				return nil
+			}
+			disc := sched.ApplyProfile(sched.MustByName(t.CoreSched), cfg.Profile)
+			sched.ApplySource(disc, int32(lp))
+			return sched.NewQueue(disc, msgItem)
+		}
 		for r := 0; r < racks; r++ {
-			nw.ups[r] = coreLink{lp: n + 2*r, up: true, rate: rate}
-			nw.downs[r] = coreLink{lp: n + 2*r + 1, rate: rate}
+			// Each port's rate is its rack's actual aggregate NIC rate — a
+			// trailing partial rack's share of the core is proportional to
+			// the machines it holds, not to the nominal RackSize.
+			rate := float64(t.RackMachines(n, r)) * cfg.BandwidthGbps
+			if t.CoreOversub > 0 {
+				rate /= t.CoreOversub
+			}
+			nw.ups[r] = coreLink{lp: n + 2*r, up: true, rate: rate, sq: coreQueue(n + 2*r)}
+			nw.downs[r] = coreLink{lp: n + 2*r + 1, rate: rate, sq: coreQueue(n + 2*r + 1)}
 		}
 	}
 	return nw
@@ -498,6 +649,28 @@ func (nw *Network) Preemptions() int64 {
 	return nw.sumStats(func(s *nicStats) int64 { return s.preemptions })
 }
 
+// CoreBytes is the total payload volume that serialized through the rack
+// uplink and downlink ports — the core traffic the oversubscription ratio
+// throttles, and the number in-rack aggregation exists to shrink. 0 on a
+// flat network.
+func (nw *Network) CoreBytes() int64 {
+	var t int64
+	for i := range nw.ups {
+		t += nw.ups[i].bytes + nw.downs[i].bytes
+	}
+	return t
+}
+
+// CoreMsgs is the message count behind CoreBytes (each inter-rack message
+// counts once per port it transits, i.e. normally twice).
+func (nw *Network) CoreMsgs() int64 {
+	var t int64
+	for i := range nw.ups {
+		t += nw.ups[i].msgs + nw.downs[i].msgs
+	}
+	return t
+}
+
 func (nw *Network) sumStats(f func(*nicStats) int64) int64 {
 	var t int64
 	for i := range nw.nics {
@@ -520,12 +693,17 @@ func (nw *Network) localTime(bytes int64) sim.Time {
 
 // Send queues m for transmission. Loopback messages (From == To) skip the
 // NIC entirely, as a co-located worker and server communicate through shared
-// memory in the real system.
+// memory in the real system. Aggregator-addressed messages (ToAgg, with To
+// naming the rack) serialize through the sender's egress like any other
+// traffic and are delivered to Config.AggDeliver.
 func (nw *Network) Send(m Message) {
+	if m.ToAgg && nw.aggBase < 0 {
+		panic("netsim: ToAgg send without Config.Aggregation")
+	}
 	st := &nw.nics[m.From].stats
 	st.msgsSent++
 	st.bytesSent += m.Bytes
-	if m.From == m.To {
+	if !m.ToAgg && m.From == m.To {
 		nw.procs[m.From].After(nw.localTime(m.Bytes), func() {
 			st.msgsDelivered++
 			st.bytesDelivered += m.Bytes
@@ -537,56 +715,157 @@ func (nw *Network) Send(m Message) {
 	nw.pumpEgress(m.From)
 }
 
+// destRack resolves the rack a message is ultimately headed for: the
+// addressed rack for aggregator traffic, the destination machine's rack
+// otherwise.
+func (nw *Network) destRack(m Message) int {
+	if m.ToAgg {
+		return m.To
+	}
+	return nw.cfg.Topology.RackOf(m.To)
+}
+
 // forward hands a fully serialized message from machine `from` to the next
-// hop: directly to the receiver's ingress after the propagation delay, or
-// — for inter-rack traffic under a rack topology — into the source rack's
-// uplink. Cross carries every hop, even when both LPs share a shard, so
-// same-instant arrival order stays canonical for any shard count.
+// hop: directly to the receiver's ingress (or its rack aggregator) after
+// the propagation delay, or — for inter-rack traffic under a rack topology
+// — into the source rack's uplink. Cross carries every hop, even when both
+// LPs share a shard, so same-instant arrival order stays canonical for any
+// shard count.
 func (nw *Network) forward(from int, m Message) {
 	now := nw.procs[from].Now()
-	if t := nw.cfg.Topology; t.RackSize > 0 && t.rackOf(from) != t.rackOf(m.To) {
-		l := &nw.ups[t.rackOf(from)]
+	if t := nw.cfg.Topology; t.RackSize > 0 && t.RackOf(from) != nw.destRack(m) {
+		l := &nw.ups[t.RackOf(from)]
 		nw.xfer(from, l.lp, now+nw.cfg.PropDelay, func() { nw.coreEnqueue(l, m) })
+		return
+	}
+	if m.ToAgg {
+		nw.xfer(from, nw.aggBase+m.To, now+nw.cfg.PropDelay, func() { nw.deliverAgg(m) })
 		return
 	}
 	nw.xfer(from, m.To, now+nw.cfg.PropDelay, func() { nw.arrive(m) })
 }
 
-// coreEnqueue appends m to a rack link's FIFO and pumps it.
+// coreEnqueue queues m on a rack port — the blind FIFO slice or the
+// discipline-ordered port queue — and pumps it.
 func (nw *Network) coreEnqueue(l *coreLink, m Message) {
-	l.q = append(l.q, m)
+	if l.sq != nil {
+		l.sq.Push(m)
+	} else {
+		l.q = append(l.q, m)
+	}
 	nw.pumpCore(l)
 }
 
-// pumpCore serializes the link's queue head at the oversubscribed core
+// pumpCore serializes the port's next message at the oversubscribed core
 // rate and forwards it: an uplink hands off to the destination rack's
 // downlink across the core, a downlink to the destination machine's
-// ingress. Switch ports pay no per-message software overhead; header bytes
-// still serialize.
+// ingress or — for aggregator traffic — its rack aggregator. Switch ports
+// pay no per-message software overhead; header bytes still serialize.
+// With a CoreSched the next message is the discipline's choice (a gated
+// discipline's window opens and closes entirely on this LP — serialization
+// start to serialization end — so core gating is shard-safe); without one
+// it is strict arrival order.
 func (nw *Network) pumpCore(l *coreLink) {
-	if l.busy || l.head == len(l.q) {
+	if l.busy {
 		return
 	}
-	m := l.q[l.head]
-	l.head++
-	if l.head == len(l.q) {
-		l.q = l.q[:0]
-		l.head = 0
+	var m Message
+	if l.sq != nil {
+		var ok bool
+		m, ok = l.sq.PopReady()
+		if !ok {
+			return // empty, or every flow credit-blocked: Done below repumps
+		}
+	} else {
+		if l.head == len(l.q) {
+			return
+		}
+		m = l.q[l.head]
+		l.head++
+		if l.head == len(l.q) {
+			l.q = l.q[:0]
+			l.head = 0
+		}
 	}
 	l.busy = true
+	l.bytes += m.Bytes
+	l.msgs++
 	p := nw.procs[l.lp]
 	bits := float64(m.Bytes+nw.cfg.HeaderBytes) * 8
 	p.After(sim.Time(bits/l.rate), func() {
 		l.busy = false
+		if l.sq != nil {
+			l.sq.Done(m)
+		}
 		if l.up {
 			t := nw.cfg.Topology
-			dst := &nw.downs[t.rackOf(m.To)]
+			dst := &nw.downs[nw.destRack(m)]
 			nw.xfer(l.lp, dst.lp, p.Now()+t.coreDelay(nw.cfg.PropDelay), func() { nw.coreEnqueue(dst, m) })
+		} else if m.ToAgg {
+			nw.xfer(l.lp, nw.aggBase+m.To, p.Now()+nw.cfg.PropDelay, func() { nw.deliverAgg(m) })
 		} else {
 			nw.xfer(l.lp, m.To, p.Now()+nw.cfg.PropDelay, func() { nw.arrive(m) })
 		}
 		nw.pumpCore(l)
 	})
+}
+
+// deliverAgg hands an aggregator-addressed message to the application on
+// the aggregator LP's timeline. Reaching the aggregator is full delivery
+// for the sender's transmission window: the credit refund that pumpIngress
+// performs for machine-addressed traffic happens here instead (single-
+// shard only, exactly as there — aggregation composes with gated egress
+// disciplines under the same shards=1 constraint).
+func (nw *Network) deliverAgg(m Message) {
+	if !nw.sharded && !m.FromAgg {
+		nw.doneScratch = txState{msg: m, pri: m.Priority}
+		nw.nics[m.From].egress.Done(&nw.doneScratch)
+		nw.pumpEgress(m.From)
+	}
+	nw.cfg.AggDeliver(m.To, m)
+}
+
+// AggSend transmits m from rack's aggregator to machine m.To: the ToR
+// hands it straight into the rack's uplink for inter-rack traffic (the
+// reduced stream's only serialization points are the two core ports), or
+// delivers it within the rack after a propagation delay plus the
+// receiver's ingress. It must be called from an AggDeliver callback (the
+// aggregator's LP timeline); the message is marked FromAgg — no NIC
+// egress is charged, modelling a switch-side reduction engine.
+func (nw *Network) AggSend(rack int, m Message) {
+	m.ToAgg = false
+	m.FromAgg = true
+	lp := nw.aggBase + rack
+	now := nw.procs[lp].Now()
+	if nw.cfg.Topology.RackOf(m.To) == rack {
+		nw.xfer(lp, m.To, now+nw.cfg.PropDelay, func() { nw.arrive(m) })
+		return
+	}
+	l := &nw.ups[rack]
+	nw.xfer(lp, l.lp, now+nw.cfg.PropDelay, func() { nw.coreEnqueue(l, m) })
+}
+
+// AggFanout replicates m from rack's aggregator to every machine of the
+// rack except skip (pass -1 to reach all): the ToR replicates a broadcast
+// at line rate, so each copy pays only propagation plus its own receiver's
+// ingress serialization — the copies do not serialize against each other
+// the way per-worker unicasts from a host NIC do. Must be called from an
+// AggDeliver callback; copies are marked FromAgg like AggSend's.
+func (nw *Network) AggFanout(rack int, m Message, skip int) {
+	m.ToAgg = false
+	m.FromAgg = true
+	lp := nw.aggBase + rack
+	now := nw.procs[lp].Now()
+	lo := rack * nw.cfg.Topology.RackSize
+	hi := lo + nw.cfg.Topology.RackMachines(nw.n, rack)
+	for w := lo; w < hi; w++ {
+		if w == skip {
+			continue
+		}
+		c := m
+		c.To = w
+		nw.xfer(lp, w, now+nw.cfg.PropDelay, func() { nw.arrive(c) })
+	}
 }
 
 func (nw *Network) pumpEgress(machine int) {
@@ -735,7 +1014,7 @@ func (nw *Network) pumpIngress(machine int) {
 		n.ingressBsy = false
 		n.stats.msgsDelivered++
 		n.stats.bytesDelivered += m.Bytes
-		if !nw.sharded {
+		if !nw.sharded && !m.FromAgg {
 			// Full delivery closes the sender's transmission window for
 			// this message: return its credit and let the sender's egress
 			// continue. (The scratch txState is fine: the credit refund
@@ -745,6 +1024,9 @@ func (nw *Network) pumpIngress(machine int) {
 			// credit-gated disciplines there, and for ungated ones both
 			// the refund and the pump are no-ops (an ungated egress never
 			// idles with queued work), so skipping them changes nothing.
+			// Aggregator-originated messages (FromAgg) charged no egress
+			// and own no credit: their senders' windows closed at the
+			// aggregator (deliverAgg).
 			nw.doneScratch = txState{msg: m, pri: m.Priority}
 			nw.nics[m.From].egress.Done(&nw.doneScratch)
 			nw.pumpEgress(m.From)

@@ -150,3 +150,178 @@ func TestRackLookaheadAndLPs(t *testing.T) {
 		t.Errorf("LPShards(4, 2) = %v, want %v", got, want)
 	}
 }
+
+// TestRackPartialRackRate pins the partial-rack bugfix: a trailing rack
+// with fewer than RackSize machines gets core ports sized by its ACTUAL
+// population, not RackSize. Three machines in racks of two leave machine 2
+// alone in rack 1, whose ports run at 1x8/4 = 2 Gbps (0.25 B/ns) under the
+// 4:1 core — not the 2x8/4 = 4 Gbps a full rack gets. Before the fix the
+// lone machine's rack was granted a full rack's core share.
+func TestRackPartialRackRate(t *testing.T) {
+	got := runNet(t, rackCfg(4), 3, func(nw *Network) {
+		nw.Send(Message{From: 0, To: 2, Bytes: 1000})
+	})
+	if len(got) != 1 {
+		t.Fatalf("%d deliveries", len(got))
+	}
+	// egress 1000 + full rack 0 uplink 2000 + partial rack 1 downlink 4000
+	// + ingress 1000.
+	if got[0].at != 8000 {
+		t.Errorf("partial-rack delivery at %v ns, want 8000 (lone machine's ports at 2 Gbps)", got[0].at)
+	}
+}
+
+// TestRackUndersubscribedCore pins explicit undersubscription: CoreOversub
+// in (0,1) multiplies the core share, and 0 means a non-blocking core
+// identical to 1. Before the fix, values in (0,1] were silently ignored.
+func TestRackUndersubscribedCore(t *testing.T) {
+	under := runNet(t, rackCfg(0.5), 4, func(nw *Network) {
+		nw.Send(Message{From: 0, To: 2, Bytes: 1000})
+	})
+	// egress 1000 + uplink 250 (2x8/0.5 = 32 Gbps = 4 B/ns) + downlink 250
+	// + ingress 1000.
+	if under[0].at != 2500 {
+		t.Errorf("2:1-undersubscribed delivery at %v ns, want 2500", under[0].at)
+	}
+	zero := runNet(t, rackCfg(0), 4, func(nw *Network) {
+		nw.Send(Message{From: 0, To: 2, Bytes: 1000})
+	})
+	one := runNet(t, rackCfg(1), 4, func(nw *Network) {
+		nw.Send(Message{From: 0, To: 2, Bytes: 1000})
+	})
+	if zero[0].at != one[0].at {
+		t.Errorf("CoreOversub 0 delivered at %v, CoreOversub 1 at %v — 0 should mean non-blocking", zero[0].at, one[0].at)
+	}
+}
+
+// TestTopologyValidate pins the topology validation surface: negative
+// sizes and ratios are rejected, CoreSched needs both a rack topology and
+// a registered discipline, and the zero value (flat network) is valid.
+func TestTopologyValidate(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		top     Topology
+		wantErr bool
+	}{
+		{"zero value", Topology{}, false},
+		{"racks only", Topology{RackSize: 4}, false},
+		{"undersubscribed", Topology{RackSize: 4, CoreOversub: 0.5}, false},
+		{"core sched", Topology{RackSize: 4, CoreSched: "p3"}, false},
+		{"negative rack size", Topology{RackSize: -1}, true},
+		{"negative oversub", Topology{RackSize: 4, CoreOversub: -2}, true},
+		{"core sched without racks", Topology{CoreSched: "fifo"}, true},
+		{"unknown core sched", Topology{RackSize: 4, CoreSched: "nosuch"}, true},
+	} {
+		err := tc.top.Validate()
+		if (err != nil) != tc.wantErr {
+			t.Errorf("%s: Validate() = %v, wantErr %v", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+// TestRackCoreSchedPriority pins that a discipline-scheduled core port
+// reorders by rank where the blind FIFO port cannot. Machine 0 sends an
+// urgent filler then a bulk message (priority 9); machine 1 sends an
+// urgent message (priority 1) sized so it reaches the uplink AFTER the
+// bulk message but while the port is still busy with the filler. The
+// blind port serves arrival order (bulk first); the p3 port serves the
+// urgent message first.
+func TestRackCoreSchedPriority(t *testing.T) {
+	send := func(nw *Network) {
+		nw.Send(Message{From: 0, To: 2, Bytes: 1000, Priority: 0}) // filler: occupies the uplink 1000-3000
+		nw.Send(Message{From: 0, To: 3, Bytes: 1000, Priority: 9}) // bulk: reaches the uplink at 2000
+		nw.Send(Message{From: 1, To: 2, Bytes: 2500, Priority: 1}) // urgent: reaches the uplink at 2500
+	}
+	order := func(cfg Config) []int32 {
+		var prios []int32
+		for _, d := range runNet(t, cfg, 4, send) {
+			prios = append(prios, d.m.Priority)
+		}
+		return prios
+	}
+	blind := order(rackCfg(4))
+	if !slices.Equal(blind, []int32{0, 9, 1}) {
+		t.Errorf("blind core served priorities %v, want arrival order [0 9 1]", blind)
+	}
+	p3cfg := rackCfg(4)
+	p3cfg.Topology.CoreSched = "p3"
+	ranked := order(p3cfg)
+	if !slices.Equal(ranked, []int32{0, 1, 9}) {
+		t.Errorf("p3 core served priorities %v, want rank order [0 1 9]", ranked)
+	}
+}
+
+// TestAggTopologyLPs pins the LP layout with aggregation on: one extra LP
+// per rack appended after the port LPs (so non-aggregated LP numbering is
+// unchanged), each assigned to its rack's shard.
+func TestAggTopologyLPs(t *testing.T) {
+	cfg := cleanCfg("fifo")
+	cfg.Topology = Topology{RackSize: 2, CoreOversub: 4}
+	cfg.Aggregation = true
+	// 5 machines -> 3 racks: 5 + 2*3 ports + 3 aggregators.
+	if got := cfg.NumLPs(5); got != 14 {
+		t.Errorf("agg NumLPs(5) = %d, want 14", got)
+	}
+	got := cfg.LPShards(4, 2)
+	want := []int{0, 0, 1, 1 /* machines */, 0, 0, 1, 1 /* ports */, 0, 1 /* aggregators */}
+	if !slices.Equal(got, want) {
+		t.Errorf("agg LPShards(4, 2) = %v, want %v", got, want)
+	}
+}
+
+// TestAggDeliverAndSend pins the aggregator data path at the netsim layer:
+// ToAgg sends land in AggDeliver on the aggregator's timeline without core
+// transit for rack-local pushes, AggSend forwards one reduced stream whose
+// only serialization points are the two core ports, and AggFanout copies
+// pay only propagation plus each receiver's own ingress.
+func TestAggDeliverAndSend(t *testing.T) {
+	var eng sim.Engine
+	type aggDelivery struct {
+		rack int
+		m    Message
+		at   sim.Time
+	}
+	var aggGot []aggDelivery
+	var got []delivery
+	cfg := rackCfg(4)
+	cfg.Aggregation = true
+	var nw *Network
+	cfg.AggDeliver = func(rack int, m Message) {
+		aggGot = append(aggGot, aggDelivery{rack, m, eng.Now()})
+		if len(aggGot) == 2 {
+			// Both of rack 0's pushes are in: forward one reduced stream
+			// across the core and fan a notify back out within the rack.
+			nw.AggSend(rack, Message{From: 0, To: 2, Bytes: 1000})
+			nw.AggFanout(rack, Message{From: 0, Bytes: 500}, -1)
+		}
+	}
+	nw = New(&eng, 4, cfg, func(m Message) {
+		got = append(got, delivery{m, eng.Now()})
+	}, nil)
+	// Machines 0 and 1 push to their own rack's aggregator (rack 0).
+	nw.Send(Message{From: 0, To: 0, ToAgg: true, Bytes: 1000})
+	nw.Send(Message{From: 1, To: 0, ToAgg: true, Bytes: 1000})
+	eng.Run()
+	if len(aggGot) != 2 {
+		t.Fatalf("%d aggregator deliveries, want 2", len(aggGot))
+	}
+	// Rack-local pushes pay only host egress (1000 ns): no core transit.
+	for i, d := range aggGot {
+		if d.rack != 0 || d.at != 1000 {
+			t.Errorf("agg delivery %d: rack %d at %v, want rack 0 at 1000", i, d.rack, d.at)
+		}
+	}
+	if len(got) != 3 {
+		t.Fatalf("%d machine deliveries, want 3 (2 fanout copies + 1 reduced stream)", len(got))
+	}
+	// Fanout copies: no egress, no core — propagation (0) + 500 ns ingress.
+	for _, d := range got[:2] {
+		if d.at != 1500 || !d.m.FromAgg {
+			t.Errorf("fanout copy to %d at %v (FromAgg=%v), want 1500 ns, FromAgg", d.m.To, d.at, d.m.FromAgg)
+		}
+	}
+	// Reduced stream: uplink 1000-3000, downlink 3000-5000, ingress -> 6000.
+	if last := got[2]; last.m.To != 2 || last.at != 6000 || !last.m.FromAgg {
+		t.Errorf("reduced stream to %d at %v (FromAgg=%v), want machine 2 at 6000 ns, FromAgg", last.m.To, last.at, last.m.FromAgg)
+	}
+}

@@ -66,6 +66,35 @@
 // 86%, 34% slower at 64 machines/1.5 Gbps); damping restores the pipeline
 // while keeping strict-priority behaviour through shallow queues.
 //
+// # Core-port scheduling and in-rack aggregation
+//
+// Under a rack topology (netsim.Topology) every ToR uplink and downlink
+// port is itself a scheduling site: Topology.CoreSched names a registry
+// discipline and each port instantiates a fresh copy, seeded with the
+// port's LP index via ApplySource and given the run's Profile via
+// ApplyProfile — so a rank means the same thing at a ToR port as it does
+// at the host NIC that assigned it (Item.Priority and Item.Dest travel
+// with the message), and p3/tictac/damped orders survive into the core
+// instead of dissolving in a priority-blind FIFO. An empty CoreSched keeps
+// the blind FIFO port, bit-identical to the pre-CoreSched simulator, and
+// the "fifo" discipline is pinned bit-identical to it. Determinism at the
+// core is inherited from the Discipline contract (equal items dequeue in
+// insertion order) plus netsim's canonical arrival order (simultaneous
+// arrivals enqueue in source-LP order); gated disciplines are shard-safe
+// at a core port because the admission window opens and closes entirely on
+// that port's LP — PopReady at serialization start, Done at serialization
+// end — with no cross-shard refund edge.
+//
+// Ordering alone cannot beat an oversubscribed core, though: once the
+// core is the bottleneck, every order drains the same bytes through the
+// same pipe (the PR-6 negative result). cluster.Config.RackAggregation
+// attacks the bytes instead — Parameter Hub-style in-rack reduction sums
+// each rack's gradient pushes at an aggregator LP and sends one reduced
+// stream per rack across the core, with server broadcasts fanned back out
+// at the ToR — after which the core stops saturating and the discipline
+// axis differentiates again (damped hosts + damped core ports beat fifo
+// at 256 machines under a 4:1 core; TestRackAggregationFinding).
+//
 // # Calibrated profiles
 //
 // A Profile may be built from measured stalls instead of static timing:
