@@ -63,6 +63,12 @@ func main() {
 	oversub := flag.Float64("oversub", 1, "core oversubscription ratio for -racksize topologies (1 = non-blocking core, values in (0,1) undersubscribe)")
 	coreSched := flag.String("coresched", "", "queue discipline for the ToR core ports (requires -racksize; empty = blind FIFO ports)")
 	rackAgg := flag.Bool("rackagg", false, "in-rack gradient aggregation: reduce pushes at each rack's ToR and fan broadcasts out there (requires -racksize)")
+	pods := flag.Int("pods", 0, "group the racks into this many equal pods joined by a spine tier (0 = single-tier core; requires -racksize)")
+	spineOversub := flag.Float64("spineoversub", 1, "spine oversubscription ratio relative to each pod's aggregate ToR-uplink rate (requires -pods)")
+	spineSched := flag.String("spinesched", "", "queue discipline for the spine ports (requires -pods; empty = blind FIFO ports)")
+	hierAgg := flag.Bool("hieragg", false, "hierarchical aggregation: reduce again at each pod's spine so one stream per pod reaches the server tier (requires -rackagg and -pods)")
+	rackLocal := flag.Bool("racklocalps", false, "rack-local parameter serving: rack aggregators cache updated chunks and answer in-rack pulls without crossing the core (requires -rackagg)")
+	aggRate := flag.Float64("aggrate", 0, "aggregator reduce rate in GB/s: each aggregator serializes ingest at this rate before reducing (0 = instantaneous; requires -rackagg)")
 	flag.Parse()
 
 	st, err := strategy.ByName(*stratName)
@@ -92,20 +98,16 @@ func main() {
 		rec = trace.NewRecorder(*machines, 0)
 	}
 	// The sharded engine cannot serve the utilization recorder (shared
-	// buckets) or credit-gated egress disciplines (delivery-time refunds are
-	// zero-latency cross-shard edges); both fall back to the legacy engine,
-	// which produces the identical Result.
+	// buckets); it falls back to the legacy engine, which produces the
+	// identical Result. Credit-gated disciplines shard like every other
+	// since the window-relaxed refund protocol (refunds land one lookahead
+	// after delivery, inside the conservative barrier window).
 	nShards := *shards
 	if nShards > *machines {
 		nShards = *machines
 	}
 	if rec != nil {
 		nShards = 1
-	}
-	if d, derr := sched.ByName(st.Discipline()); derr == nil {
-		if _, gated := d.(sched.Admitter); gated {
-			nShards = 1
-		}
 	}
 	cfg := cluster.Config{
 		Model:          m,
@@ -119,7 +121,12 @@ func main() {
 		Recorder:       rec,
 		Shards:         nShards,
 	}
-	topo, useTopo, err := topologyFromFlags(*machines, *rackSize, *oversub, *coreSched, *rackAgg, st.Async)
+	topo, useTopo, err := topologyFromFlags(topoFlags{
+		machines: *machines, rackSize: *rackSize, oversub: *oversub,
+		coreSched: *coreSched, rackAgg: *rackAgg, async: st.Async,
+		pods: *pods, spineOversub: *spineOversub, spineSched: *spineSched,
+		hierAgg: *hierAgg, rackLocal: *rackLocal, aggRate: *aggRate,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "p3sim:", err)
 		os.Exit(2)
@@ -127,6 +134,9 @@ func main() {
 	if useTopo {
 		cfg.Topology = topo
 		cfg.RackAggregation = *rackAgg
+		cfg.HierAggregation = *hierAgg
+		cfg.RackLocalPS = *rackLocal
+		cfg.AggReduceGBps = *aggRate
 	}
 	if *stallsIn != "" {
 		stalls, err := strategy.ReadStallFile(*stallsIn)
@@ -171,11 +181,26 @@ func main() {
 	topoDesc := "flat"
 	if useTopo {
 		topoDesc = fmt.Sprintf("racks of %d, core %g:1", *rackSize, *oversub)
+		if *pods > 0 {
+			topoDesc += fmt.Sprintf(", %d pods, spine %g:1", *pods, *spineOversub)
+		}
 		if *coreSched != "" {
 			topoDesc += ", core sched " + *coreSched
 		}
-		if *rackAgg {
+		if *spineSched != "" {
+			topoDesc += ", spine sched " + *spineSched
+		}
+		switch {
+		case *hierAgg:
+			topoDesc += ", hierarchical aggregation"
+		case *rackAgg:
 			topoDesc += ", in-rack aggregation"
+		}
+		if *rackLocal {
+			topoDesc += ", rack-local PS"
+		}
+		if *aggRate > 0 {
+			topoDesc += fmt.Sprintf(", agg %g GB/s", *aggRate)
 		}
 	}
 	fmt.Printf("model:       %s (%s)\n", m.Name, m)

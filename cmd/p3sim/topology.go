@@ -6,40 +6,101 @@ import (
 	"p3/internal/netsim"
 )
 
+// topoFlags is the rack/spine topology flag group of p3sim, cross-checked
+// as a unit by topologyFromFlags.
+type topoFlags struct {
+	machines     int
+	rackSize     int
+	oversub      float64
+	coreSched    string
+	rackAgg      bool
+	async        bool
+	pods         int
+	spineOversub float64
+	spineSched   string
+	hierAgg      bool
+	rackLocal    bool
+	aggRate      float64
+}
+
 // topologyFromFlags cross-checks the rack-topology flag group and builds
 // the netsim.Topology. It rejects the silently-meaningless combinations
 // the flags otherwise permit: -oversub/-coresched/-rackagg without a rack
 // topology, a rack size exceeding the machine count, a non-positive
-// oversubscription ratio, and -rackagg under asynchronous SGD, which has
-// no aggregation barrier to fold into the rack. useTopo reports whether a
-// rack topology was requested at all.
-func topologyFromFlags(machines, rackSize int, oversub float64, coreSched string, rackAgg, async bool) (topo netsim.Topology, useTopo bool, err error) {
-	if rackSize < 0 {
-		return topo, false, fmt.Errorf("-racksize %d: must be >= 0", rackSize)
+// oversubscription ratio, -rackagg under asynchronous SGD (which has no
+// aggregation barrier to fold into the rack), spine flags without the
+// tier they modify (-pods needs -racksize, -spineoversub/-spinesched
+// need -pods), and the aggregation extensions without the rack
+// aggregators they run on (-hieragg/-racklocalps/-aggrate need -rackagg;
+// -hieragg additionally needs -pods). useTopo reports whether a rack
+// topology was requested at all.
+func topologyFromFlags(f topoFlags) (topo netsim.Topology, useTopo bool, err error) {
+	if f.rackSize < 0 {
+		return topo, false, fmt.Errorf("-racksize %d: must be >= 0", f.rackSize)
 	}
-	if rackSize == 0 {
-		if oversub != 1 {
-			return topo, false, fmt.Errorf("-oversub %g without -racksize: a flat network has no core to oversubscribe", oversub)
-		}
-		if coreSched != "" {
-			return topo, false, fmt.Errorf("-coresched %s without -racksize: a flat network has no core ports to schedule", coreSched)
-		}
-		if rackAgg {
+	if f.rackSize == 0 {
+		switch {
+		case f.oversub != 1:
+			return topo, false, fmt.Errorf("-oversub %g without -racksize: a flat network has no core to oversubscribe", f.oversub)
+		case f.coreSched != "":
+			return topo, false, fmt.Errorf("-coresched %s without -racksize: a flat network has no core ports to schedule", f.coreSched)
+		case f.rackAgg:
 			return topo, false, fmt.Errorf("-rackagg without -racksize: a flat network has no racks to aggregate in")
+		case f.pods != 0:
+			return topo, false, fmt.Errorf("-pods %d without -racksize: a flat network has no racks to group into pods", f.pods)
+		case f.spineOversub != 1:
+			return topo, false, fmt.Errorf("-spineoversub %g without -racksize: a flat network has no spine tier", f.spineOversub)
+		case f.spineSched != "":
+			return topo, false, fmt.Errorf("-spinesched %s without -racksize: a flat network has no spine ports to schedule", f.spineSched)
+		case f.hierAgg:
+			return topo, false, fmt.Errorf("-hieragg without -racksize: a flat network has no tiers to aggregate across")
+		case f.rackLocal:
+			return topo, false, fmt.Errorf("-racklocalps without -racksize: a flat network has no racks to localize servers in")
+		case f.aggRate != 0:
+			return topo, false, fmt.Errorf("-aggrate %g without -racksize: a flat network has no aggregators to rate-limit", f.aggRate)
 		}
 		return topo, false, nil
 	}
-	if rackSize > machines {
-		return topo, false, fmt.Errorf("-racksize %d exceeds -machines %d", rackSize, machines)
+	if f.rackSize > f.machines {
+		return topo, false, fmt.Errorf("-racksize %d exceeds -machines %d", f.rackSize, f.machines)
 	}
-	if oversub <= 0 {
-		return topo, false, fmt.Errorf("-oversub %g: must be positive (values in (0,1) undersubscribe the core)", oversub)
+	if f.oversub <= 0 {
+		return topo, false, fmt.Errorf("-oversub %g: must be positive (values in (0,1) undersubscribe the core)", f.oversub)
 	}
-	if rackAgg && async {
+	if f.pods == 0 {
+		switch {
+		case f.spineOversub != 1:
+			return topo, false, fmt.Errorf("-spineoversub %g without -pods: a single-tier topology has no spine to oversubscribe", f.spineOversub)
+		case f.spineSched != "":
+			return topo, false, fmt.Errorf("-spinesched %s without -pods: a single-tier topology has no spine ports to schedule", f.spineSched)
+		case f.hierAgg:
+			return topo, false, fmt.Errorf("-hieragg without -pods: hierarchical aggregation needs a spine tier to reduce at")
+		}
+	}
+	if f.rackAgg && f.async {
 		return topo, false, fmt.Errorf("-rackagg with an asynchronous strategy: ASGD has no synchronous reduction to aggregate")
 	}
-	topo = netsim.Topology{RackSize: rackSize, CoreOversub: oversub, CoreSched: coreSched}
-	if err := topo.Validate(); err != nil {
+	if !f.rackAgg {
+		switch {
+		case f.hierAgg:
+			return topo, false, fmt.Errorf("-hieragg without -rackagg: the spine reduces streams the rack aggregators produce")
+		case f.rackLocal:
+			return topo, false, fmt.Errorf("-racklocalps without -rackagg: rack-local parameter caches live on the rack aggregators")
+		case f.aggRate != 0:
+			return topo, false, fmt.Errorf("-aggrate %g without -rackagg: there are no aggregators to rate-limit", f.aggRate)
+		}
+	}
+	if f.aggRate < 0 {
+		return topo, false, fmt.Errorf("-aggrate %g: must be >= 0 (0 = instantaneous reduction)", f.aggRate)
+	}
+	topo = netsim.Topology{
+		RackSize: f.rackSize, CoreOversub: f.oversub, CoreSched: f.coreSched,
+		Pods: f.pods, SpineSched: f.spineSched,
+	}
+	if f.pods > 0 {
+		topo.SpineOversub = f.spineOversub
+	}
+	if err := topo.ValidateFor(f.machines); err != nil {
 		return netsim.Topology{}, false, err
 	}
 	return topo, true, nil

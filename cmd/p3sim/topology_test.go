@@ -4,31 +4,45 @@ import "testing"
 
 func TestTopologyFromFlags(t *testing.T) {
 	for _, tc := range []struct {
-		name      string
-		machines  int
-		rackSize  int
-		oversub   float64
-		coreSched string
-		rackAgg   bool
-		async     bool
-		wantTopo  bool
-		wantErr   bool
+		name     string
+		f        topoFlags
+		wantTopo bool
+		wantErr  bool
 	}{
-		{name: "flat default", machines: 4, oversub: 1},
-		{name: "racks", machines: 8, rackSize: 4, oversub: 4, wantTopo: true},
-		{name: "undersubscribed", machines: 8, rackSize: 4, oversub: 0.5, wantTopo: true},
-		{name: "core sched and agg", machines: 8, rackSize: 4, oversub: 4, coreSched: "p3", rackAgg: true, wantTopo: true},
-		{name: "oversub without racks", machines: 4, oversub: 4, wantErr: true},
-		{name: "coresched without racks", machines: 4, oversub: 1, coreSched: "p3", wantErr: true},
-		{name: "rackagg without racks", machines: 4, oversub: 1, rackAgg: true, wantErr: true},
-		{name: "racksize over machines", machines: 4, rackSize: 8, oversub: 1, wantErr: true},
-		{name: "negative racksize", machines: 4, rackSize: -1, oversub: 1, wantErr: true},
-		{name: "zero oversub", machines: 8, rackSize: 4, oversub: 0, wantErr: true},
-		{name: "negative oversub", machines: 8, rackSize: 4, oversub: -2, wantErr: true},
-		{name: "unknown coresched", machines: 8, rackSize: 4, oversub: 4, coreSched: "nosuch", wantErr: true},
-		{name: "rackagg with asgd", machines: 8, rackSize: 4, oversub: 4, rackAgg: true, async: true, wantErr: true},
+		{name: "flat default", f: topoFlags{machines: 4, oversub: 1, spineOversub: 1}},
+		{name: "racks", f: topoFlags{machines: 8, rackSize: 4, oversub: 4, spineOversub: 1}, wantTopo: true},
+		{name: "undersubscribed", f: topoFlags{machines: 8, rackSize: 4, oversub: 0.5, spineOversub: 1}, wantTopo: true},
+		{name: "core sched and agg", f: topoFlags{machines: 8, rackSize: 4, oversub: 4, coreSched: "p3", rackAgg: true, spineOversub: 1}, wantTopo: true},
+		{name: "two-tier", f: topoFlags{machines: 16, rackSize: 4, oversub: 4, pods: 2, spineOversub: 4, spineSched: "p3", rackAgg: true, hierAgg: true}, wantTopo: true},
+		{name: "rack-local and rate", f: topoFlags{machines: 8, rackSize: 4, oversub: 4, rackAgg: true, rackLocal: true, aggRate: 8, spineOversub: 1}, wantTopo: true},
+		{name: "oversub without racks", f: topoFlags{machines: 4, oversub: 4, spineOversub: 1}, wantErr: true},
+		{name: "coresched without racks", f: topoFlags{machines: 4, oversub: 1, coreSched: "p3", spineOversub: 1}, wantErr: true},
+		{name: "rackagg without racks", f: topoFlags{machines: 4, oversub: 1, rackAgg: true, spineOversub: 1}, wantErr: true},
+		{name: "pods without racks", f: topoFlags{machines: 4, oversub: 1, pods: 2, spineOversub: 1}, wantErr: true},
+		{name: "spineoversub without racks", f: topoFlags{machines: 4, oversub: 1, spineOversub: 4}, wantErr: true},
+		{name: "spinesched without racks", f: topoFlags{machines: 4, oversub: 1, spineSched: "p3", spineOversub: 1}, wantErr: true},
+		{name: "hieragg without racks", f: topoFlags{machines: 4, oversub: 1, hierAgg: true, spineOversub: 1}, wantErr: true},
+		{name: "racklocalps without racks", f: topoFlags{machines: 4, oversub: 1, rackLocal: true, spineOversub: 1}, wantErr: true},
+		{name: "aggrate without racks", f: topoFlags{machines: 4, oversub: 1, aggRate: 8, spineOversub: 1}, wantErr: true},
+		{name: "racksize over machines", f: topoFlags{machines: 4, rackSize: 8, oversub: 1, spineOversub: 1}, wantErr: true},
+		{name: "negative racksize", f: topoFlags{machines: 4, rackSize: -1, oversub: 1, spineOversub: 1}, wantErr: true},
+		{name: "zero oversub", f: topoFlags{machines: 8, rackSize: 4, oversub: 0, spineOversub: 1}, wantErr: true},
+		{name: "negative oversub", f: topoFlags{machines: 8, rackSize: 4, oversub: -2, spineOversub: 1}, wantErr: true},
+		{name: "unknown coresched", f: topoFlags{machines: 8, rackSize: 4, oversub: 4, coreSched: "nosuch", spineOversub: 1}, wantErr: true},
+		{name: "rackagg with asgd", f: topoFlags{machines: 8, rackSize: 4, oversub: 4, rackAgg: true, async: true, spineOversub: 1}, wantErr: true},
+		{name: "spineoversub without pods", f: topoFlags{machines: 8, rackSize: 4, oversub: 4, spineOversub: 4}, wantErr: true},
+		{name: "spinesched without pods", f: topoFlags{machines: 8, rackSize: 4, oversub: 4, spineSched: "p3", spineOversub: 1}, wantErr: true},
+		{name: "hieragg without pods", f: topoFlags{machines: 8, rackSize: 4, oversub: 4, rackAgg: true, hierAgg: true, spineOversub: 1}, wantErr: true},
+		{name: "hieragg without rackagg", f: topoFlags{machines: 16, rackSize: 4, oversub: 4, pods: 2, hierAgg: true, spineOversub: 1}, wantErr: true},
+		{name: "racklocalps without rackagg", f: topoFlags{machines: 8, rackSize: 4, oversub: 4, rackLocal: true, spineOversub: 1}, wantErr: true},
+		{name: "aggrate without rackagg", f: topoFlags{machines: 8, rackSize: 4, oversub: 4, aggRate: 8, spineOversub: 1}, wantErr: true},
+		{name: "negative aggrate", f: topoFlags{machines: 8, rackSize: 4, oversub: 4, rackAgg: true, aggRate: -1, spineOversub: 1}, wantErr: true},
+		{name: "negative spineoversub", f: topoFlags{machines: 16, rackSize: 4, oversub: 4, pods: 2, spineOversub: -4}, wantErr: true},
+		{name: "negative pods", f: topoFlags{machines: 8, rackSize: 4, oversub: 4, pods: -1, spineOversub: 1}, wantErr: true},
+		{name: "pods do not divide racks", f: topoFlags{machines: 12, rackSize: 4, oversub: 4, pods: 2, spineOversub: 1}, wantErr: true},
+		{name: "unknown spinesched", f: topoFlags{machines: 16, rackSize: 4, oversub: 4, pods: 2, spineSched: "nosuch", spineOversub: 1}, wantErr: true},
 	} {
-		topo, useTopo, err := topologyFromFlags(tc.machines, tc.rackSize, tc.oversub, tc.coreSched, tc.rackAgg, tc.async)
+		topo, useTopo, err := topologyFromFlags(tc.f)
 		if (err != nil) != tc.wantErr {
 			t.Errorf("%s: err = %v, wantErr %v", tc.name, err, tc.wantErr)
 			continue
@@ -36,8 +50,12 @@ func TestTopologyFromFlags(t *testing.T) {
 		if useTopo != tc.wantTopo {
 			t.Errorf("%s: useTopo = %v, want %v", tc.name, useTopo, tc.wantTopo)
 		}
-		if tc.wantTopo && (topo.RackSize != tc.rackSize || topo.CoreOversub != tc.oversub || topo.CoreSched != tc.coreSched) {
+		if tc.wantTopo && (topo.RackSize != tc.f.rackSize || topo.CoreOversub != tc.f.oversub ||
+			topo.CoreSched != tc.f.coreSched || topo.Pods != tc.f.pods || topo.SpineSched != tc.f.spineSched) {
 			t.Errorf("%s: topology %+v does not reflect the flags", tc.name, topo)
+		}
+		if tc.wantTopo && tc.f.pods > 0 && topo.SpineOversub != tc.f.spineOversub {
+			t.Errorf("%s: SpineOversub %g does not reflect the flag %g", tc.name, topo.SpineOversub, tc.f.spineOversub)
 		}
 	}
 }

@@ -36,6 +36,7 @@ const (
 	kNotify                  // server -> worker: chunk updated (baseline)
 	kPull                    // worker -> server: parameter request
 	kData                    // server -> worker: updated parameter chunk
+	kCache                   // server -> rack aggregator: updated parameter chunk for the rack-local cache (RackLocalPS)
 )
 
 // ctlBytes is the payload size of notify/pull control messages.
@@ -133,8 +134,35 @@ type Config struct {
 	// Requires Topology.RackSize > 0; incompatible with Strategy.Async
 	// (ASGD has no aggregation barrier to fold into the rack). The
 	// reduction itself models a switch-side engine: aggregator ingest and
-	// summing cost no host NIC or CPU time.
+	// summing cost no host NIC or CPU time unless AggReduceGBps bounds it.
 	RackAggregation bool
+	// HierAggregation extends RackAggregation into a hierarchical reduce
+	// on a spine topology (Topology.Pods > 0): rack aggregators flush
+	// their reduced stream to their pod's aggregator instead of the
+	// server, the pod aggregator reduces its racks' streams into ONE
+	// stream per pod toward the chunk's server, and server broadcasts
+	// descend the same tree (one stream per pod, fanned to the pod's rack
+	// aggregators at the spine, then to machines at the ToRs) — so the
+	// server NIC and the spine each carry per-pod streams instead of
+	// per-rack ones. Requires RackAggregation and a spine tier.
+	HierAggregation bool
+	// RackLocalPS co-designs parameter-server placement with chunk
+	// ownership at the rack level: every server update is also pushed to
+	// the rack aggregators as a rack-local parameter cache (kCache, one
+	// data-sized stream per rack — per pod under HierAggregation), and
+	// every non-loopback parameter pull is answered by the puller's own
+	// rack aggregator from that cache (pulls that arrive before the
+	// cache update wait at the aggregator), so no pull or its data reply
+	// ever crosses the core. Only pull-based strategies (NotifyPull,
+	// DeferredPull) issue pulls — Immediate-broadcast strategies are
+	// unaffected. Requires RackAggregation.
+	RackLocalPS bool
+	// AggReduceGBps bounds the aggregators' reduction capacity
+	// (netsim.Config.AggReduceGBps): payloads queue FIFO at each
+	// aggregator and reduce at this many bytes per nanosecond before the
+	// aggregation logic sees them. 0 keeps the free switch-side engine.
+	// Requires RackAggregation.
+	AggReduceGBps float64
 }
 
 func (c *Config) withDefaults() Config {
@@ -214,6 +242,10 @@ type Result struct {
 	// uplink/downlink ports (0 on a flat network) — the traffic
 	// RackAggregation exists to shrink.
 	CoreBytes int64
+	// SpineBytes is the payload volume that serialized through the spine
+	// uplink/downlink ports (0 without Topology.Pods) — the inter-pod
+	// traffic HierAggregation exists to shrink.
+	SpineBytes int64
 }
 
 // TotalStall sums the per-layer forward stalls of worker 0 over the
@@ -253,7 +285,21 @@ type chunkAgg struct {
 // aggregator (a worker cannot push iteration k before the server's k-1
 // update, which needed this rack's k-1 flush), so one slot per chunk
 // suffices — the same invariant the server-side chunkAgg relies on.
+// Under RackLocalPS the aggregator is also the rack's parameter cache:
+// cachedIter[c] is the newest iteration whose kCache update for chunk c
+// landed (-1 initially), and pending holds the rack's pulls that arrived
+// ahead of their iteration's cache update.
 type rackAggState struct {
+	agg        []chunkAgg
+	cachedIter []int32                 // RackLocalPS only
+	pending    map[int32][]pendingPull // RackLocalPS only: chunk -> waiting pulls
+}
+
+// podAggState is one pod aggregator's reduction state (HierAggregation):
+// the same per-chunk serialization invariant as rackAggState, with rack
+// streams as the contributions — each arriving stream carries its rack's
+// aggExpect weight, and the flush fires at podExpect.
+type podAggState struct {
 	agg []chunkAgg
 }
 
@@ -401,9 +447,15 @@ type clusterSim struct {
 	// by rack r's aggregator LP: it is touched exclusively from AggDeliver
 	// callbacks, which the netsim contract runs on that LP's timeline, so
 	// the sharded engine never races on it. rackPop[r] is the machine
-	// count of rack r (the last rack may be partial).
+	// count of rack r (the last rack may be partial). podAggs[p] is
+	// likewise owned by pod p's aggregator LP (HierAggregation only);
+	// rpp is the racks-per-pod count and podPop[p] the machine count of
+	// pod p.
 	rackAggs []rackAggState
 	rackPop  []int
+	podAggs  []podAggState
+	rpp      int
+	podPop   []int
 
 	workers  []workerState
 	servers  []serverState
@@ -474,6 +526,20 @@ func newClusterSim(cfg Config) *clusterSim {
 		// Set before the engine is built: the aggregator LPs change the
 		// LP count and shard assignment.
 		netCfg.Aggregation = true
+		netCfg.AggReduceGBps = cfg.AggReduceGBps
+	} else {
+		if cfg.HierAggregation {
+			panic("cluster: HierAggregation without RackAggregation (there are no rack aggregators to stack a pod tier on)")
+		}
+		if cfg.RackLocalPS {
+			panic("cluster: RackLocalPS without RackAggregation (there are no rack aggregators to cache parameters on)")
+		}
+		if cfg.AggReduceGBps > 0 {
+			panic("cluster: AggReduceGBps without RackAggregation (there are no aggregators to rate-limit)")
+		}
+	}
+	if cfg.HierAggregation && cfg.Topology.Pods <= 0 {
+		panic("cluster: HierAggregation needs a spine tier (Topology.Pods > 0)")
 	}
 	// Model-aware disciplines (tictac) see the same timing the simulator
 	// runs on unless a calibrated profile overrides it; model-blind
@@ -562,6 +628,29 @@ func newClusterSim(cfg Config) *clusterSim {
 				agg[c].iter = -1
 			}
 			cs.rackAggs[r] = rackAggState{agg: agg}
+			if cfg.RackLocalPS {
+				cached := make([]int32, cs.plan.NumChunks())
+				for c := range cached {
+					cached[c] = -1
+				}
+				cs.rackAggs[r].cachedIter = cached
+				cs.rackAggs[r].pending = make(map[int32][]pendingPull)
+			}
+		}
+		if cfg.HierAggregation {
+			cs.rpp = racks / cfg.Topology.Pods
+			cs.podAggs = make([]podAggState, cfg.Topology.Pods)
+			cs.podPop = make([]int, cfg.Topology.Pods)
+			for p := range cs.podAggs {
+				agg := make([]chunkAgg, cs.plan.NumChunks())
+				for c := range agg {
+					agg[c].iter = -1
+				}
+				cs.podAggs[p] = podAggState{agg: agg}
+				for r := p * cs.rpp; r < (p+1)*cs.rpp; r++ {
+					cs.podPop[p] += cs.rackPop[r]
+				}
+			}
 		}
 		netCfg.AggDeliver = cs.aggDeliver
 	}
@@ -717,11 +806,7 @@ func (cs *clusterSim) backwardDone(w int) {
 		// TensorFlow semantics: the next graph execution begins now and
 		// issues receive ops for every parameter at once.
 		for id := range cs.plan.Chunks {
-			c := cs.plan.Chunks[id]
-			cs.net.Send(netsim.Message{
-				From: w, To: cs.srvMachine[c.Server], Bytes: ctlBytes, Priority: int32(c.Priority),
-				Kind: kPull, Chunk: int32(id), Iter: ws.curIter, Src: int32(w),
-			})
+			cs.sendPull(w, int32(id), ws.curIter)
 		}
 	}
 	ws.curIter++
@@ -754,15 +839,32 @@ func (cs *clusterSim) onPush(m netsim.Message) {
 	cs.servers[cs.machineSrv[m.To]].proc.add(cs, procItem{chunk: m.Chunk, iter: m.Iter, src: m.Src, priority: m.Priority})
 }
 
-// ---- rack aggregator (RackAggregation only) ----
+// ---- rack and pod aggregators (RackAggregation only) ----
 
-// aggDeliver is the netsim AggDeliver handler, running on rack's
-// aggregator LP. Gradient pushes reduce: the rack's last contribution per
-// (chunk, iteration) flushes one reduced push — same bytes, weighted as
-// the whole rack — to the chunk's server. Broadcast traffic (immediate
-// data, notifies) fans out to the rack's machines at ToR line rate,
-// skipping the server's own machine (its worker got the loopback copy).
-func (cs *clusterSim) aggDeliver(rack int, m netsim.Message) {
+// aggDeliver is the netsim AggDeliver handler, running on the addressed
+// aggregator's LP.
+//
+// Rack tier: gradient pushes reduce — the rack's last contribution per
+// (chunk, iteration) flushes one reduced push, same bytes, weighted as
+// the whole rack, to the chunk's server (or, under HierAggregation, up to
+// the pod aggregator for the second reduction stage). Broadcast traffic
+// (immediate data, notifies) fans out to the rack's machines at ToR line
+// rate, skipping the server's own machine (its worker got the loopback
+// copy). Under RackLocalPS the rack aggregator additionally acts as the
+// rack's parameter cache: kCache updates refresh it (answering any pulls
+// that arrived early), and kPull requests are served rack-locally from
+// it.
+//
+// Pod tier (HierAggregation): rack streams reduce again — each arriving
+// stream counts as its rack's weight, and podExpect flushes ONE stream
+// per pod to the server; broadcast traffic descends, one copy per rack of
+// the pod, re-entering the rack aggregators above.
+func (cs *clusterSim) aggDeliver(tier, idx int, m netsim.Message) {
+	if tier == netsim.TierPod {
+		cs.podAggDeliver(idx, m)
+		return
+	}
+	rack := idx
 	switch m.Kind {
 	case kPush:
 		a := &cs.rackAggs[rack].agg[m.Chunk]
@@ -773,26 +875,112 @@ func (cs *clusterSim) aggDeliver(rack int, m netsim.Message) {
 		a.count++
 		if a.count == cs.aggExpect(rack, m.Chunk) {
 			out := m
-			out.To = cs.srvMachine[cs.plan.Chunks[m.Chunk].Server]
 			out.Src = int32(-1 - rack)
-			cs.net.AggSend(rack, out)
+			if cs.podAggs != nil {
+				out.To = cs.podOf(rack)
+				out.ToAgg = true
+				out.AggTier = netsim.TierPod
+			} else {
+				out.To = cs.srvMachine[cs.plan.Chunks[m.Chunk].Server]
+				out.ToAgg = false
+			}
+			cs.net.AggSend(netsim.TierRack, rack, out)
 		}
 	case kData, kNotify:
 		skip := -1
 		if srvM := cs.srvMachine[int(m.Src)]; cs.cfg.Topology.RackOf(srvM) == rack {
 			skip = srvM
 		}
-		cs.net.AggFanout(rack, m, skip)
+		cs.net.AggFanout(netsim.TierRack, rack, m, skip)
+	case kCache:
+		ra := &cs.rackAggs[rack]
+		if m.Iter > ra.cachedIter[m.Chunk] {
+			ra.cachedIter[m.Chunk] = m.Iter
+		}
+		pend := ra.pending[m.Chunk]
+		if len(pend) == 0 {
+			return
+		}
+		rest := pend[:0]
+		for _, p := range pend {
+			if p.iter <= m.Iter {
+				cs.aggServePull(rack, m.Chunk, p.iter, p.src)
+			} else {
+				rest = append(rest, p)
+			}
+		}
+		if len(rest) == 0 {
+			delete(ra.pending, m.Chunk)
+		} else {
+			ra.pending[m.Chunk] = rest
+		}
+	case kPull:
+		ra := &cs.rackAggs[rack]
+		if ra.cachedIter[m.Chunk] >= m.Iter {
+			cs.aggServePull(rack, m.Chunk, m.Iter, int(m.Src))
+			return
+		}
+		ra.pending[m.Chunk] = append(ra.pending[m.Chunk], pendingPull{iter: m.Iter, src: int(m.Src)})
 	default:
 		panic(fmt.Sprintf("cluster: message kind %d has no rack-aggregator semantics", m.Kind))
 	}
 }
 
+// aggServePull answers a rack-local parameter pull from the rack
+// aggregator's cache (RackLocalPS): the data copy pays propagation plus
+// the puller's ingress, never a core port.
+func (cs *clusterSim) aggServePull(rack int, chunk, iter int32, dst int) {
+	c := cs.plan.Chunks[chunk]
+	cs.net.AggSend(netsim.TierRack, rack, netsim.Message{
+		From: cs.srvMachine[c.Server], To: dst, Bytes: c.Bytes(), Priority: int32(c.Priority),
+		Kind: kData, Chunk: chunk, Iter: iter, Src: int32(c.Server),
+	})
+}
+
+// podAggDeliver handles pod-tier aggregator traffic (HierAggregation).
+func (cs *clusterSim) podAggDeliver(pod int, m netsim.Message) {
+	switch m.Kind {
+	case kPush:
+		a := &cs.podAggs[pod].agg[m.Chunk]
+		if a.iter != m.Iter {
+			a.iter = m.Iter
+			a.count = 0
+		}
+		a.count += cs.aggExpect(int(-1-m.Src), m.Chunk)
+		if a.count == cs.podExpect(pod, m.Chunk) {
+			out := m
+			out.To = cs.srvMachine[cs.plan.Chunks[m.Chunk].Server]
+			out.ToAgg = false
+			out.AggTier = 0
+			out.Src = int32(-1 - len(cs.rackPop) - pod)
+			cs.net.AggSend(netsim.TierPod, pod, out)
+		}
+	case kData, kNotify, kCache:
+		// Descend the broadcast: one copy per rack of the pod, skipping a
+		// rack whose only machine is the broadcasting server (its worker
+		// got the loopback copy, the rack has nobody else to fan to, and
+		// nobody there will ever pull from the cache).
+		skip := -1
+		if srvM := cs.srvMachine[int(m.Src)]; cs.podOf(cs.cfg.Topology.RackOf(srvM)) == pod {
+			if r := cs.cfg.Topology.RackOf(srvM); cs.rackPop[r] == 1 {
+				skip = r
+			}
+		}
+		cs.net.AggFanout(netsim.TierPod, pod, m, skip)
+	default:
+		panic(fmt.Sprintf("cluster: message kind %d has no pod-aggregator semantics", m.Kind))
+	}
+}
+
+// podOf maps a rack to its pod (HierAggregation only).
+func (cs *clusterSim) podOf(rack int) int { return rack / cs.rpp }
+
 // aggExpect is the contribution count that completes rack's reduction of
 // chunk — every machine of the rack, except the chunk's own server
 // machine when it lives there (its co-located worker pushes through
 // shared memory, counted individually by the server). It is also the
-// weight the reduced push carries at the server's aggregation barrier.
+// weight the reduced push carries at the next aggregation barrier (the
+// server's, or the pod aggregator's under HierAggregation).
 func (cs *clusterSim) aggExpect(rack int, chunk int32) int {
 	expect := cs.rackPop[rack]
 	if srvM := cs.srvMachine[cs.plan.Chunks[chunk].Server]; cs.cfg.Topology.RackOf(srvM) == rack {
@@ -801,11 +989,24 @@ func (cs *clusterSim) aggExpect(rack int, chunk int32) int {
 	return expect
 }
 
+// podExpect is the contribution weight that completes pod's reduction of
+// chunk: the sum of its racks' aggExpect weights. Racks with weight 0
+// (a single-machine rack hosting the chunk's server) never flush, so the
+// sum counts exactly the streams that arrive.
+func (cs *clusterSim) podExpect(pod int, chunk int32) int {
+	expect := 0
+	for r := pod * cs.rpp; r < (pod+1)*cs.rpp; r++ {
+		expect += cs.aggExpect(r, chunk)
+	}
+	return expect
+}
+
 // pushProcessed runs when the server finishes aggregating one worker's push
 // of a chunk; the Nth push completes the update. In Async (ASGD) mode every
-// push is its own update, answered only to the pushing worker. A
-// rack-reduced push (Src < 0 under RackAggregation) counts as every worker
-// whose gradient the rack aggregator folded into it.
+// push is its own update, answered only to the pushing worker. A reduced
+// push (Src < 0 under RackAggregation) counts as every worker whose
+// gradient was folded into it: Src encodes -(1+rack) for a rack stream
+// and -(1+racks+pod) for a pod stream (HierAggregation).
 func (cs *clusterSim) pushProcessed(srv int, it procItem) {
 	if cs.cfg.Strategy.Async {
 		cs.sendData(srv, it.chunk, it.iter, int(it.src))
@@ -819,7 +1020,11 @@ func (cs *clusterSim) pushProcessed(srv int, it procItem) {
 		agg.done = false
 	}
 	if it.src < 0 {
-		agg.count += cs.aggExpect(int(-1-it.src), it.chunk)
+		if idx := int(-1 - it.src); idx >= len(cs.rackPop) {
+			agg.count += cs.podExpect(idx-len(cs.rackPop), it.chunk)
+		} else {
+			agg.count += cs.aggExpect(idx, it.chunk)
+		}
 	} else {
 		agg.count++
 	}
@@ -836,8 +1041,12 @@ func (cs *clusterSim) onUpdated(srv int, chunk, iter int32) {
 	c := cs.plan.Chunks[chunk]
 	// broadcast sends one message per worker — or, under rack aggregation,
 	// one loopback to the co-located worker plus one rack-stream per rack
-	// for its ToR to fan out, so the server's egress serializes per-rack
-	// instead of per-worker and only one copy per rack crosses the core.
+	// for its ToR to fan out (one pod-stream per pod under hierarchical
+	// aggregation, descending the spine once and fanning at each tier), so
+	// the server's egress serializes per-rack (per-pod) instead of
+	// per-worker and only one copy per rack (pod) crosses the core
+	// (spine). kCache streams address the rack caches only: no loopback —
+	// the co-located worker never pulls over the wire.
 	broadcast := func(bytes int64, kind uint8) {
 		srvM := cs.srvMachine[srv]
 		if cs.rackAggs == nil {
@@ -849,10 +1058,26 @@ func (cs *clusterSim) onUpdated(srv int, chunk, iter int32) {
 			}
 			return
 		}
-		cs.net.Send(netsim.Message{
-			From: srvM, To: srvM, Bytes: bytes, Priority: int32(c.Priority),
-			Kind: kind, Chunk: chunk, Iter: iter, Src: int32(srv),
-		})
+		if kind != kCache {
+			cs.net.Send(netsim.Message{
+				From: srvM, To: srvM, Bytes: bytes, Priority: int32(c.Priority),
+				Kind: kind, Chunk: chunk, Iter: iter, Src: int32(srv),
+			})
+		}
+		if cs.podAggs != nil {
+			srvPod := cs.podOf(cs.cfg.Topology.RackOf(srvM))
+			for p := range cs.podPop {
+				if p == srvPod && cs.podPop[p] == 1 {
+					continue // the loopback already reached the whole pod
+				}
+				cs.net.Send(netsim.Message{
+					From: srvM, To: p, ToAgg: true, AggTier: netsim.TierPod,
+					Bytes: bytes, Priority: int32(c.Priority),
+					Kind: kind, Chunk: chunk, Iter: iter, Src: int32(srv),
+				})
+			}
+			return
+		}
 		srvRack := cs.cfg.Topology.RackOf(srvM)
 		for r := range cs.rackPop {
 			if r == srvRack && cs.rackPop[r] == 1 {
@@ -869,6 +1094,13 @@ func (cs *clusterSim) onUpdated(srv int, chunk, iter int32) {
 		broadcast(c.Bytes(), kData)
 	case strategy.NotifyPull:
 		broadcast(ctlBytes, kNotify)
+	}
+	// The rack-local parameter cache refreshes on every update: one
+	// data-sized stream per rack (per pod under HierAggregation) — the
+	// same volume an Immediate broadcast would ship, but pull-mode
+	// strategies then answer every pull inside the rack.
+	if cs.cfg.RackLocalPS && cs.cfg.Strategy.Pull != strategy.Immediate {
+		broadcast(c.Bytes(), kCache)
 	}
 	// Serve any pulls that were waiting for this (or an older) iteration,
 	// regardless of pull mode: the stored value now satisfies them.
@@ -925,12 +1157,26 @@ func (cs *clusterSim) onNotify(m netsim.Message) {
 	// All shards of this layer updated: issue the pulls (MXNet semantics).
 	ws.notifyCount[l] = 0
 	for _, id := range cs.plan.LayerChunks(l) {
-		c := cs.plan.Chunks[id]
-		cs.net.Send(netsim.Message{
-			From: w, To: cs.srvMachine[c.Server], Bytes: ctlBytes, Priority: int32(c.Priority),
-			Kind: kPull, Chunk: int32(id), Iter: m.Iter, Src: int32(w),
-		})
+		cs.sendPull(w, int32(id), m.Iter)
 	}
+}
+
+// sendPull issues worker w's parameter pull for a chunk: a pull to a
+// co-located server stays loopback (shared memory), and under RackLocalPS
+// every other pull goes to the worker's own rack aggregator, which
+// answers from the rack's parameter cache — so neither the pull nor its
+// data reply ever crosses the core.
+func (cs *clusterSim) sendPull(w int, id, iter int32) {
+	c := cs.plan.Chunks[id]
+	m := netsim.Message{
+		From: w, To: cs.srvMachine[c.Server], Bytes: ctlBytes, Priority: int32(c.Priority),
+		Kind: kPull, Chunk: id, Iter: iter, Src: int32(w),
+	}
+	if cs.cfg.RackLocalPS && w != m.To {
+		m.To = cs.cfg.Topology.RackOf(w)
+		m.ToAgg = true
+	}
+	cs.net.Send(m)
 }
 
 func (cs *clusterSim) onData(m netsim.Message) {
@@ -1007,5 +1253,6 @@ func (cs *clusterSim) result() Result {
 		WireBytes:       cs.net.BytesDelivered(),
 		Preemptions:     cs.net.Preemptions(),
 		CoreBytes:       cs.net.CoreBytes(),
+		SpineBytes:      cs.net.SpineBytes(),
 	}
 }

@@ -125,22 +125,35 @@ func TestShardedRecorderRejected(t *testing.T) {
 	Run(cfg)
 }
 
-// TestShardedGatedDisciplineRejected pins that credit-gated egress (whose
-// delivery-time credit refund is a zero-lookahead feedback edge) refuses to
-// run sharded instead of silently changing semantics.
-func TestShardedGatedDisciplineRejected(t *testing.T) {
-	cfg := shardedCfg(t, 4, "credit")
-	cfg.Shards = 2
-	defer func() {
-		r := recover()
-		if r == nil {
-			t.Fatal("sharded run with a credit-gated discipline did not panic")
+// TestShardedGatedMatchesSingle is the determinism contract for
+// credit-gated egress under the window-relaxed refund protocol (refunds
+// land one lookahead after delivery, the barrier-window width): an
+// N-shard credit/credit-adaptive run reproduces the single-engine Result
+// bit for bit, on the flat network and on a rack topology — the property
+// that lifted the historical shards=1 rejection for gated disciplines.
+func TestShardedGatedMatchesSingle(t *testing.T) {
+	topos := []struct {
+		name string
+		topo netsim.Topology
+	}{
+		{"flat", netsim.Topology{}},
+		{"racks", netsim.Topology{RackSize: 4, CoreOversub: 4}},
+	}
+	for _, sched := range []string{"credit", "credit-adaptive"} {
+		for _, tp := range topos {
+			base := shardedCfg(t, 16, sched)
+			base.Topology = tp.topo
+			want := Run(base)
+			for _, shards := range []int{2, 4} {
+				cfg := base
+				cfg.Shards = shards
+				if got := Run(cfg); !reflect.DeepEqual(got, want) {
+					t.Errorf("%s/%s/shards=%d diverges from single engine:\n got %+v\nwant %+v",
+						sched, tp.name, shards, got, want)
+				}
+			}
 		}
-		if msg, ok := r.(string); !ok || !strings.Contains(msg, "shards=1") {
-			t.Fatalf("unhelpful gated-discipline panic: %v", r)
-		}
-	}()
-	Run(cfg)
+	}
 }
 
 // TestServerPlacement pins the ServerMachines axis: an explicit identity

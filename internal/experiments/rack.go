@@ -13,7 +13,8 @@ import (
 
 // RackRow is one cell of the rack-scale sweep: a multi-rack topology with
 // an oversubscribed core, with parameter-server placement, core-port
-// scheduling and in-rack aggregation as swept axes.
+// scheduling, in-rack aggregation, the spine tier and its hierarchical
+// extensions as swept axes.
 type RackRow struct {
 	Model    string
 	Machines int
@@ -33,14 +34,35 @@ type RackRow struct {
 	// gradient pushes reduce at the rack aggregator (one stream per rack
 	// crosses the core) and server broadcasts fan out at the ToR.
 	Agg bool
+	// Pods is the spine-tier pod count (0 = single-tier core). Two-tier
+	// cells run a 4:1 spine above the 4:1 core.
+	Pods int
+	// Hier reports whether the rack streams reduced again at the pod
+	// aggregators (one stream per pod crosses the spine to the servers).
+	Hier bool
+	// Local reports whether the rack aggregators served parameter pulls
+	// from a rack-local cache (RackLocalPS; only meaningful on pull-mode
+	// strategy cells, see Pull).
+	Local bool
+	// AggGBps is the aggregators' reduce rate in GB/s (0 = the free
+	// instantaneous reduction engine).
+	AggGBps float64
+	// Pull marks cells running the NotifyPull baseline strategy instead of
+	// the sliced Immediate-broadcast one — the mode whose parameter pulls
+	// RackLocalPS keeps inside the rack.
+	Pull bool
 	// PerMachine is per-machine training throughput (samples/sec).
 	PerMachine float64
 	IterMs     float64
 	// CoreMB is the payload volume that serialized through the core ports,
 	// in megabytes — the traffic aggregation exists to shrink.
 	CoreMB float64
-	Events uint64
-	WallMs float64
+	// SpineMB is the payload volume that serialized through the spine
+	// ports (0 on single-tier cells) — the traffic hierarchical
+	// aggregation exists to shrink.
+	SpineMB float64
+	Events  uint64
+	WallMs  float64
 }
 
 // rackPlacement builds the ServerMachines vector for a placement policy.
@@ -68,12 +90,16 @@ func rackPlacement(policy string, servers, machines, rackSize int) []int {
 // never reaches: machines in racks behind an oversubscribed core (the
 // dominant constraint Parameter Hub identifies for rack-scale training),
 // with the scale sweep's discipline axis, server placement, and — against
-// the 4:1 core — the two core-aware mechanisms: priority core queues
-// (mode "coreq": the ToR ports run the row's discipline) and in-rack
-// aggregation (mode "agg": aggregation plus the discipline-scheduled
-// core). The non-blocking (1:1) column isolates placement effects from
-// core contention. Cells run on the parEachEngine pool with o.Shards
-// threaded through, like the scale sweep.
+// the 4:1 core — the core-aware mechanisms: priority core queues
+// (the ToR ports run the row's discipline), in-rack aggregation, and the
+// two-tier extensions layered on top of it: a 4:1 spine over two pods
+// (rack-aggregated vs hierarchically aggregated), the aggregator
+// reduce-rate axis (free vs 8 vs 1 GB/s, bracketing the ~6 GB/s line-rate
+// ingest demand of a 32-machine rack at 1.5 Gbps), and the rack-local
+// parameter cache under the pull-mode baseline strategy. The non-blocking
+// (1:1) column isolates placement effects from core contention. Cells run
+// on the parEachEngine pool with o.Shards threaded through, like the
+// scale sweep.
 func Rack(o Options) []RackRow {
 	warm, measure := o.iters()
 	const model = "resnet50"
@@ -81,12 +107,16 @@ func Rack(o Options) []RackRow {
 	machines, rackSize, servers := 256, 32, 8
 	oversubs := []float64{1, 4}
 	scheds := []string{"fifo", "p3", "damped", "tictac"}
+	hierScheds := []string{"fifo", "damped"}
+	rates := []float64{8, 1}
 	if o.Fast {
 		// Same experiment, CI-sized: still multi-rack, still oversubscribed,
-		// still one server per rack when spread.
+		// still one server per rack when spread, still two pods.
 		machines, rackSize, servers = 64, 16, 4
 		oversubs = []float64{4}
 		scheds = []string{"fifo", "damped"}
+		hierScheds = []string{"damped"}
+		rates = []float64{1}
 	}
 	type cell struct {
 		oversub   float64
@@ -94,12 +124,17 @@ func Rack(o Options) []RackRow {
 		sched     string
 		core      string
 		agg       bool
+		pods      int
+		hier      bool
+		local     bool
+		pull      bool
+		aggGBps   float64
 	}
 	var cells []cell
 	for _, ov := range oversubs {
 		for _, pl := range []string{"spread", "packed"} {
 			for _, sc := range scheds {
-				cells = append(cells, cell{ov, pl, sc, "", false})
+				cells = append(cells, cell{oversub: ov, placement: pl, sched: sc})
 				if ov > 1 {
 					// The core-aware mechanisms only differentiate against a
 					// contended core. The fast sweep drops the core-queues-only
@@ -107,38 +142,70 @@ func Rack(o Options) []RackRow {
 					// volume) and their parity base case is pinned by
 					// cluster-level tests.
 					if !o.Fast {
-						cells = append(cells, cell{ov, pl, sc, sc, false})
+						cells = append(cells, cell{oversub: ov, placement: pl, sched: sc, core: sc})
 					}
-					cells = append(cells, cell{ov, pl, sc, sc, true})
+					cells = append(cells, cell{oversub: ov, placement: pl, sched: sc, core: sc, agg: true})
 				}
 			}
 		}
 	}
+	// Two-tier cells: spread placement against the contended core, a 4:1
+	// spine over two pods — rack-only vs hierarchical aggregation, the
+	// reduce-rate axis on the hierarchical cell, and the rack-local cache
+	// pair under the pull-mode baseline.
+	for _, sc := range hierScheds {
+		cells = append(cells,
+			cell{oversub: 4, placement: "spread", sched: sc, core: sc, agg: true, pods: 2},
+			cell{oversub: 4, placement: "spread", sched: sc, core: sc, agg: true, pods: 2, hier: true})
+	}
+	for _, rate := range rates {
+		cells = append(cells, cell{oversub: 4, placement: "spread", sched: hierScheds[len(hierScheds)-1],
+			core: hierScheds[len(hierScheds)-1], agg: true, pods: 2, hier: true, aggGBps: rate})
+	}
+	for _, local := range []bool{false, true} {
+		cells = append(cells, cell{oversub: 4, placement: "spread", sched: "fifo", agg: true, pull: true, local: local})
+	}
 	rows := make([]RackRow, len(cells))
 	parEachEngine(len(cells), func(i int, eng *sim.Engine) {
 		c := cells[i]
-		st, err := strategy.SlicingOnly(0).WithSched(c.sched)
+		base := strategy.SlicingOnly(0)
+		name := "sliced"
+		if c.pull {
+			base = strategy.Baseline()
+			name = "baseline"
+		}
+		st, err := base.WithSched(c.sched)
 		if err != nil {
 			panic(err)
 		}
-		st.Name = "sliced+" + c.sched
+		st.Name = name + "+" + c.sched
+		topo := netsim.Topology{RackSize: rackSize, CoreOversub: c.oversub, CoreSched: c.core, Pods: c.pods}
+		if c.pods > 0 {
+			topo.SpineOversub = 4
+			topo.SpineSched = c.core
+		}
 		t0 := time.Now()
 		r := cluster.Run(cluster.Config{
 			Model: zoo.ByName(model), Machines: machines, Servers: servers,
 			Strategy: st, BandwidthGbps: gbps,
 			WarmupIters: warm, MeasureIters: measure, Seed: o.Seed + 1,
-			Topology:        netsim.Topology{RackSize: rackSize, CoreOversub: c.oversub, CoreSched: c.core},
+			Topology:        topo,
 			ServerMachines:  rackPlacement(c.placement, servers, machines, rackSize),
 			RackAggregation: c.agg,
+			HierAggregation: c.hier,
+			RackLocalPS:     c.local,
+			AggReduceGBps:   c.aggGBps,
 			Engine:          eng, Shards: o.Shards,
 		})
 		rows[i] = RackRow{
 			Model: model, Machines: machines, RackSize: rackSize,
 			Oversub: c.oversub, Placement: c.placement, Sched: c.sched,
 			Core: c.core, Agg: c.agg,
+			Pods: c.pods, Hier: c.hier, Local: c.local, AggGBps: c.aggGBps, Pull: c.pull,
 			PerMachine: r.Throughput / float64(r.Machines),
 			IterMs:     r.MeanIterTime.Millis(),
 			CoreMB:     float64(r.CoreBytes) / 1e6,
+			SpineMB:    float64(r.SpineBytes) / 1e6,
 			Events:     r.Events,
 			WallMs:     float64(time.Since(t0).Microseconds()) / 1000,
 		}
@@ -146,22 +213,32 @@ func Rack(o Options) []RackRow {
 	return rows
 }
 
-// RackTable renders the rack sweep, one line per (oversub, placement,
-// sched, core, agg).
+// RackTable renders the rack sweep, one line per cell.
 func RackTable(rows []RackRow) string {
-	out := "model\tmachines\track\toversub\tplacement\tsched\tcore\tagg\tsamples/s/machine\titer_ms\tcore_MB\tevents\tsim_wall_ms\n"
+	onOff := func(b bool) string {
+		if b {
+			return "on"
+		}
+		return "off"
+	}
+	out := "model\tmachines\track\toversub\tplacement\tstrategy\tsched\tcore\tagg\tpods\thier\tlocal\tagg_GBps\tsamples/s/machine\titer_ms\tcore_MB\tspine_MB\tevents\tsim_wall_ms\n"
 	for _, r := range rows {
 		core := r.Core
 		if core == "" {
 			core = "blind"
 		}
-		agg := "off"
-		if r.Agg {
-			agg = "on"
+		strat := "sliced"
+		if r.Pull {
+			strat = "baseline"
 		}
-		out += fmt.Sprintf("%s\t%d\t%d\t%g:1\t%s\t%s\t%s\t%s\t%.1f\t%.2f\t%.0f\t%d\t%.1f\n",
-			r.Model, r.Machines, r.RackSize, r.Oversub, r.Placement, r.Sched, core, agg,
-			r.PerMachine, r.IterMs, r.CoreMB, r.Events, r.WallMs)
+		rate := "inf"
+		if r.AggGBps > 0 {
+			rate = fmt.Sprintf("%g", r.AggGBps)
+		}
+		out += fmt.Sprintf("%s\t%d\t%d\t%g:1\t%s\t%s\t%s\t%s\t%s\t%d\t%s\t%s\t%s\t%.1f\t%.2f\t%.0f\t%.0f\t%d\t%.1f\n",
+			r.Model, r.Machines, r.RackSize, r.Oversub, r.Placement, strat, r.Sched, core, onOff(r.Agg),
+			r.Pods, onOff(r.Hier), onOff(r.Local), rate,
+			r.PerMachine, r.IterMs, r.CoreMB, r.SpineMB, r.Events, r.WallMs)
 	}
 	return out
 }

@@ -24,6 +24,22 @@
 // the most urgent admissible head, so one credit-starved destination never
 // blocks traffic for the others.
 //
+// # Window-relaxed host credit
+//
+// A host credit refund is not instantaneous: when a message is fully
+// delivered, the refund lands back on the sender's LP exactly one
+// lookahead (Config.Lookahead) later — the width of the conservative
+// engine's barrier window. Refunds therefore quantize to window
+// boundaries: credit is returned conservatively late, by at most one
+// lookahead, and never early. That single relaxation is what makes
+// credit-gated egress disciplines shard-safe — the refund is an ordinary
+// cross-LP edge satisfying the lookahead bound instead of a zero-latency
+// back-edge — so credit/credit-adaptive runs shard like every other
+// discipline, and an N-shard run reproduces the 1-shard Result bit for
+// bit (both paths schedule the refund through the same canonical transfer
+// order). Ungated disciplines schedule no refund events at all, keeping
+// their schedules (and goldens) untouched.
+//
 // # Rack topologies, core scheduling, and in-rack aggregation
 //
 // Topology arranges machines into racks behind an oversubscribed core:
@@ -42,21 +58,44 @@
 // arrival order (ties by insertion) and is pinned bit-identical to the
 // blind FIFO path.
 //
+// # Spine tier
+//
+// Topology.Pods adds a second switching tier: the racks are grouped into
+// Pods equal pods, and each pod owns a spine uplink and downlink port LP
+// above its ToRs, serializing at the pod's aggregate ToR-uplink rate
+// divided by SpineOversub. Traffic between racks of the same pod turns
+// around below the spine (rack uplink → rack downlink, exactly the
+// single-tier path — a Pods=1 topology is bit-identical to no spine);
+// only inter-pod traffic transits the spine ports (rack uplink → spine
+// uplink → spine downlink → rack downlink, paying SpineDelay across the
+// spine). SpineSched puts a sched.Queue on the spine ports just like
+// CoreSched does on the ToR ports. Spine port LPs live on the shard of
+// their pod's first rack, and every spine hop pays at least the lookahead
+// bound, so sharded runs stay bit-identical.
+//
+// # Tiered aggregation
+//
 // Config.Aggregation adds one in-rack aggregator LP per rack — the
-// Parameter Hub design point. The aggregator is the application's hook,
-// not a policy: messages addressed to it (Message.ToAgg, with To naming
-// the rack) are handed to Config.AggDeliver on the aggregator's timeline,
-// and the application replies with AggSend (one reduced stream toward the
-// core or a rack-local machine) or AggFanout (ToR-line-rate broadcast
-// replication: one copy per rack machine, each paying only propagation
-// plus its receiver's ingress). Aggregator ingest itself is free — it
-// models a switch/ASIC-side reduction engine, not a host NIC; charging
-// host serialization there would just recreate the bottleneck the design
-// removes. Every aggregator hop goes through the canonical cross-LP
-// transfer path (xfer) with at least PropDelay of latency, so the
-// lookahead bound is unchanged and an N-shard run reproduces the 1-shard
-// Result bit for bit; the aggregator LP lives on its rack's shard, so only
-// the core hop crosses shards, exactly as without aggregation.
+// Parameter Hub design point — and, when the topology has a spine tier,
+// one pod aggregator LP per pod. The aggregators are the application's
+// hook, not a policy: messages addressed to one (Message.ToAgg, with To
+// naming the rack or pod and AggTier the tier) are handed to
+// Config.AggDeliver on that aggregator's timeline, and the application
+// replies with AggSend (one reduced stream toward a machine or another
+// aggregator) or AggFanout (line-rate broadcast replication at the tier:
+// a rack aggregator fans to its rack's machines; a pod aggregator fans one
+// copy per rack of the pod, each re-entering the rack's downlink as
+// rack-aggregator traffic). Aggregator ingest is free by default — it
+// models a switch/ASIC-side reduction engine, not a host NIC —
+// but Config.AggReduceGBps gives the reduction engine a finite rate:
+// payloads then queue FIFO at the aggregator and are reduced at
+// AggReduceGBps bytes per second before AggDeliver sees them, exposing
+// where the reduction ASIC (not the wire) becomes the bottleneck. Every
+// aggregator hop goes through the canonical cross-LP transfer path (xfer)
+// with at least PropDelay of latency, so the lookahead bound is unchanged
+// and an N-shard run reproduces the 1-shard Result bit for bit; each
+// aggregator LP lives on its rack's (or pod's first rack's) shard, so
+// only core and spine hops cross shards, exactly as without aggregation.
 package netsim
 
 import (
@@ -99,17 +138,28 @@ type Config struct {
 	// switch of the paper's testbed (every path bit-identical to earlier
 	// releases).
 	Topology Topology
-	// Aggregation adds one in-rack aggregator LP per rack (see the package
-	// comment): messages sent with ToAgg set are delivered to AggDeliver on
-	// the aggregator's timeline instead of a machine NIC, and the
-	// application answers through AggSend/AggFanout. Requires a rack
-	// topology and an AggDeliver handler.
+	// Aggregation adds one in-rack aggregator LP per rack — and, when the
+	// topology has a spine tier (Topology.Pods), one pod aggregator LP per
+	// pod (see the package comment): messages sent with ToAgg set are
+	// delivered to AggDeliver on the addressed aggregator's timeline instead
+	// of a machine NIC, and the application answers through AggSend/
+	// AggFanout. Requires a rack topology and an AggDeliver handler.
 	Aggregation bool
-	// AggDeliver receives every message addressed to rack aggregators
-	// (Message.ToAgg); rack is the aggregator's rack index. It runs on the
-	// aggregator LP's timeline, so state it touches must be partitioned per
-	// rack to stay shard-safe.
-	AggDeliver func(rack int, m Message)
+	// AggDeliver receives every message addressed to an aggregator
+	// (Message.ToAgg): tier is the aggregation tier (TierRack or TierPod)
+	// and idx the rack or pod index. It runs on that aggregator LP's
+	// timeline, so state it touches must be partitioned per aggregator to
+	// stay shard-safe.
+	AggDeliver func(tier, idx int, m Message)
+	// AggReduceGBps is the aggregator reduction capacity in gigabytes per
+	// second (== bytes per nanosecond): each aggregator LP ingests the
+	// payloads addressed to it through a FIFO reduce engine at this rate, so
+	// a rack's worth of concurrent gradient streams can queue at the ToR's
+	// reduction ASIC just like they queue at a link. 0 models a free
+	// (line-rate, zero-cost) reduction engine — bit-identical to earlier
+	// releases. Credit refunds still happen at aggregator arrival: the
+	// sender's transmission window covers the wire, not the reduce queue.
+	AggReduceGBps float64
 	// PreemptQuantum > 0 makes egress transmission resumable: serialization
 	// is charged in segments of at most this many wire bytes, and at each
 	// segment boundary a strictly more urgent admissible queued message no
@@ -159,12 +209,39 @@ type Topology struct {
 	// ranks the hosts do. Each port gets a fresh discipline instance,
 	// seeded with its LP index for source-aware disciplines.
 	CoreSched string
+	// Pods groups the racks into this many equal pods joined by a spine
+	// tier: each pod owns a spine uplink and downlink port above its ToRs,
+	// and only inter-pod traffic transits them (intra-pod inter-rack
+	// traffic turns around below the spine). 0 disables the spine tier
+	// (single-tier core, bit-identical to earlier releases); a Pods=1
+	// topology builds the spine LPs but routes nothing through them, so it
+	// is also bit-identical. Requires RackSize > 0, and the pod count must
+	// divide the rack count evenly (checked by ValidateFor, where the
+	// machine count is known).
+	Pods int
+	// SpineOversub is the spine oversubscription ratio relative to the
+	// pod's aggregate ToR-uplink rate: pod p's spine uplink/downlink
+	// serializes at (pod's machine count) * BandwidthGbps / CoreOversub /
+	// SpineOversub. 0 or 1 is a non-blocking spine; values in (0, 1) are
+	// explicit undersubscription (the spine runs faster than the pod's
+	// aggregate uplink rate); negative values are rejected.
+	SpineOversub float64
+	// SpineDelay is the one-way propagation latency of the inter-pod spine
+	// hop (spine uplink to spine downlink); 0 defaults to the core delay.
+	SpineDelay sim.Time
+	// SpineSched names the sched.Discipline of every pod's spine port
+	// queue, exactly as CoreSched does for the ToR ports. "" keeps blind
+	// FIFO.
+	SpineSched string
 }
 
 // Validate reports whether the topology's parameters are usable: a
-// negative RackSize or CoreOversub is always an error, and CoreSched must
-// name a registered scheduling discipline. The zero value is valid (flat
-// network).
+// negative RackSize, CoreOversub, Pods or SpineOversub is always an
+// error, CoreSched/SpineSched must name registered scheduling
+// disciplines, and the spine knobs require a rack topology (and each
+// other). The zero value is valid (flat network). ValidateFor addition-
+// ally checks the machine-count-dependent constraint that the pods
+// divide the racks evenly.
 func (t Topology) Validate() error {
 	if t.RackSize < 0 {
 		return fmt.Errorf("netsim: negative rack size %d", t.RackSize)
@@ -180,6 +257,47 @@ func (t Topology) Validate() error {
 			return fmt.Errorf("netsim: core scheduler: %w", err)
 		}
 	}
+	if t.Pods < 0 {
+		return fmt.Errorf("netsim: negative pod count %d", t.Pods)
+	}
+	if t.Pods > 0 && t.RackSize <= 0 {
+		return fmt.Errorf("netsim: spine tier (Pods %d) without a rack topology (RackSize is 0, so there are no racks to group into pods)", t.Pods)
+	}
+	if t.SpineOversub < 0 {
+		return fmt.Errorf("netsim: negative spine oversubscription %g (use values in (0,1) for an undersubscribed spine, 0 or 1 for non-blocking)", t.SpineOversub)
+	}
+	if t.Pods == 0 {
+		if t.SpineOversub > 0 {
+			return fmt.Errorf("netsim: SpineOversub %g without a spine tier (Pods is 0)", t.SpineOversub)
+		}
+		if t.SpineDelay > 0 {
+			return fmt.Errorf("netsim: SpineDelay without a spine tier (Pods is 0)")
+		}
+		if t.SpineSched != "" {
+			return fmt.Errorf("netsim: SpineSched %q without a spine tier (Pods is 0, so there are no spine ports to schedule)", t.SpineSched)
+		}
+	}
+	if t.SpineSched != "" {
+		if _, err := sched.ByName(t.SpineSched); err != nil {
+			return fmt.Errorf("netsim: spine scheduler: %w", err)
+		}
+	}
+	return nil
+}
+
+// ValidateFor runs Validate plus the machine-count-dependent checks: with
+// a spine tier, the pod count must divide the rack count evenly (equal
+// pods keep the spine port rates uniform and the routing arithmetic-only).
+func (t Topology) ValidateFor(n int) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	if t.Pods > 0 {
+		racks := t.NumRacks(n)
+		if racks%t.Pods != 0 {
+			return fmt.Errorf("netsim: %d racks (%d machines / rack size %d) do not divide evenly into %d pods", racks, n, t.RackSize, t.Pods)
+		}
+	}
 	return nil
 }
 
@@ -190,6 +308,15 @@ func (t Topology) coreDelay(propDelay sim.Time) sim.Time {
 		return t.CoreDelay
 	}
 	return propDelay
+}
+
+// spineDelay resolves the SpineDelay default against the (resolved) core
+// delay.
+func (t Topology) spineDelay(propDelay sim.Time) sim.Time {
+	if t.SpineDelay > 0 {
+		return t.SpineDelay
+	}
+	return t.coreDelay(propDelay)
 }
 
 // RackOf maps a machine to its rack.
@@ -209,15 +336,17 @@ func (t Topology) RackMachines(n, r int) int {
 
 // NumLPs returns the logical-process count of the topology over n
 // machines: one LP per machine, plus an uplink and a downlink LP per
-// rack, plus — with Aggregation — one aggregator LP per rack.
+// rack, plus — with a spine tier — a spine uplink and downlink LP per
+// pod, plus — with Aggregation — one aggregator LP per rack (and per pod
+// under a spine tier).
 func (c Config) NumLPs(n int) int {
 	if c.Topology.RackSize <= 0 {
 		return n
 	}
 	racks := c.Topology.NumRacks(n)
-	lps := n + 2*racks
+	lps := n + 2*racks + 2*c.Topology.Pods
 	if c.Aggregation {
-		lps += racks
+		lps += racks + c.Topology.Pods
 	}
 	return lps
 }
@@ -230,6 +359,11 @@ func (c Config) Lookahead() sim.Time {
 		if cd := c.Topology.coreDelay(c.PropDelay); cd < look {
 			look = cd
 		}
+		if c.Topology.Pods > 0 {
+			if sd := c.Topology.spineDelay(c.PropDelay); sd < look {
+				look = sd
+			}
+		}
 	}
 	return look
 }
@@ -238,7 +372,8 @@ func (c Config) Lookahead() sim.Time {
 // given shard count: machines in contiguous blocks, rack-aligned when the
 // topology has racks (a rack's machines, its uplink/downlink LPs and —
 // with Aggregation — its aggregator LP share a shard, so only the core
-// hop crosses shards).
+// hop crosses shards). Spine port LPs and pod aggregator LPs ride the
+// shard of their pod's first rack.
 func (c Config) LPShards(n, shards int) []int {
 	lp := make([]int, c.NumLPs(n))
 	if c.Topology.RackSize <= 0 {
@@ -248,15 +383,25 @@ func (c Config) LPShards(n, shards int) []int {
 		return lp
 	}
 	racks := c.Topology.NumRacks(n)
+	pods := c.Topology.Pods
 	for m := 0; m < n; m++ {
 		lp[m] = c.Topology.RackOf(m) * shards / racks
 	}
+	aggBase := n + 2*racks + 2*pods
 	for r := 0; r < racks; r++ {
 		s := r * shards / racks
 		lp[n+2*r] = s
 		lp[n+2*r+1] = s
 		if c.Aggregation {
-			lp[n+2*racks+r] = s
+			lp[aggBase+r] = s
+		}
+	}
+	for p := 0; p < pods; p++ {
+		s := (p * (racks / pods)) * shards / racks
+		lp[n+2*racks+2*p] = s
+		lp[n+2*racks+2*p+1] = s
+		if c.Aggregation {
+			lp[aggBase+racks+p] = s
 		}
 	}
 	return lp
@@ -283,11 +428,18 @@ func DefaultConfig(gbps float64) Config {
 	}
 }
 
+// Aggregation tiers: the rack aggregators (one per rack, ToR-side) and —
+// under a spine topology — the pod aggregators (one per pod, spine-side).
+const (
+	TierRack = 0
+	TierPod  = 1
+)
+
 // Message is one transfer unit. Application-level meaning travels in the
 // Kind/Chunk/Iter/Src fields, interpreted by the cluster layer; netsim only
 // reads From, To, Bytes and Priority.
 type Message struct {
-	From, To int   // machine indices (To is a rack index when ToAgg is set)
+	From, To int   // machine indices (To is a rack or pod index when ToAgg is set)
 	Bytes    int64 // payload size (headers are added by the network)
 	Priority int32 // lower is more urgent; interpreted by the egress discipline
 
@@ -296,10 +448,14 @@ type Message struct {
 	Iter  int32 // application tag: iteration number
 	Src   int32 // application tag: originating worker
 
-	// ToAgg addresses the message to a rack aggregator: To names the rack,
-	// and delivery is Config.AggDeliver on the aggregator LP instead of a
-	// machine NIC. Requires Config.Aggregation.
+	// ToAgg addresses the message to an aggregator: To names the rack
+	// (AggTier TierRack) or the pod (AggTier TierPod), and delivery is
+	// Config.AggDeliver on the aggregator LP instead of a machine NIC.
+	// Requires Config.Aggregation (and a spine tier for TierPod).
 	ToAgg bool
+	// AggTier selects the aggregation tier of a ToAgg message: TierRack
+	// (the zero value, so pre-spine senders are untouched) or TierPod.
+	AggTier uint8
 	// FromAgg marks a message originated by an aggregator (AggSend and
 	// AggFanout set it): From is informational only — no egress was charged
 	// for it, so no delivery-time credit refund is owed to any NIC.
@@ -308,10 +464,14 @@ type Message struct {
 
 // msgDest is the flow key of a message for per-destination disciplines:
 // the receiving machine, or — for aggregator-addressed messages — the rack
-// encoded below the machine range so an aggregator flow never aliases a
-// machine flow.
+// (or pod, offset into its own range) encoded below the machine range so
+// an aggregator flow never aliases a machine flow, and a pod-aggregator
+// flow never aliases a rack-aggregator flow.
 func msgDest(m Message) int32 {
 	if m.ToAgg {
+		if m.AggTier == TierPod {
+			return int32(-1 - (1 << 24) - m.To)
+		}
 		return int32(-1 - m.To)
 	}
 	return int32(m.To)
@@ -386,45 +546,65 @@ type nic struct {
 	stats      nicStats
 }
 
-// coreLink is one rack's uplink or downlink port: a store-and-forward
-// queue serializing at the oversubscribed core rate, owned by its own LP.
-// Without a CoreSched it is a blind FIFO slice (q/head); with one it is a
-// per-flow sched.Queue (sq) running the named discipline — the
-// priority-aware ToR. bytes/msgs count the payload traffic that transited
-// the port (LP-owned, so shard-safe; summed after the run).
+// coreLink is one switch port — a rack's uplink/downlink at the core tier
+// or a pod's uplink/downlink at the spine tier: a store-and-forward queue
+// serializing at the tier's oversubscribed rate, owned by its own LP.
+// Without a port discipline it is a blind FIFO slice (q/head); with one
+// it is a per-flow sched.Queue (sq) running the named discipline — the
+// priority-aware ToR/spine. bytes/msgs count the payload traffic that
+// transited the port (LP-owned, so shard-safe; summed after the run).
 type coreLink struct {
 	lp    int
-	up    bool    // uplink (towards the core) or downlink (towards the rack)
+	up    bool    // uplink (towards the core/spine) or downlink (towards the rack/pod)
+	spine bool    // spine-tier port (idx is a pod) or rack-tier port (idx is a rack)
+	idx   int     // rack index (core tier) or pod index (spine tier)
 	rate  float64 // Gbps, i.e. bits per nanosecond
 	busy  bool
 	q     []Message
 	head  int
-	sq    *sched.Queue[Message] // nil without a CoreSched
+	sq    *sched.Queue[Message] // nil without a port discipline
 	bytes int64
 	msgs  int64
 }
 
+// aggIngest is one aggregator's reduction engine under a finite
+// AggReduceGBps: arriving payloads queue FIFO and are reduced at the
+// configured rate on the aggregator's own LP before the application sees
+// them. The credit refund of a gated sender happens at arrival, before
+// the reduce queue — the transmission window covers the wire, not the
+// ASIC — so capacity modelling composes with credit disciplines without
+// changing the refund timing.
+type aggIngest struct {
+	busy bool
+	q    []Message
+	head int
+}
+
 // Network simulates the interconnect for n machines.
 type Network struct {
-	exec    sim.Exec
-	procs   []sim.Proc // one per LP: machines, then rack up/down links
-	cfg     Config
-	n       int // machines
-	nics    []nic
-	ups     []coreLink // per rack (empty without a rack topology)
-	downs   []coreLink
-	aggBase int // first aggregator LP (n + 2*racks); -1 without aggregation
-	deliver Handler
-	rec     *trace.Recorder // optional
-	sharded bool            // exec has >1 shard: no cross-LP credit feedback, no recorder
+	exec       sim.Exec
+	procs      []sim.Proc // one per LP: machines, rack up/down links, spine up/down links, aggregators
+	cfg        Config
+	n          int // machines
+	nics       []nic
+	ups        []coreLink // per rack (empty without a rack topology)
+	downs      []coreLink
+	spineUps   []coreLink // per pod (empty without a spine tier)
+	spineDowns []coreLink
+	racks      int // rack count (0 without a rack topology)
+	rpp        int // racks per pod (0 without a spine tier)
+	aggBase    int // first aggregator LP (after rack and spine ports); -1 without aggregation
+	deliver    Handler
+	rec        *trace.Recorder // optional
+	sharded    bool            // exec has >1 shard: no recorder (shared buckets)
+	gated      bool            // the egress discipline admits against a credit window
+	look       sim.Time        // cfg.Lookahead(): the credit-refund quantum
 
-	// doneScratch is the reusable txState behind delivery-time credit
-	// refunds (see pumpIngress): Done only reads the Item view, so one
-	// scratch value serves every delivery instead of allocating a throwaway
-	// per message. Safe because the single-shard engine is single-threaded
-	// and Done does not retain its argument (the refund path is skipped
-	// entirely under the sharded engine).
-	doneScratch txState
+	// aggIn are the aggregator reduce engines (rack aggregators first,
+	// then pod aggregators), present only with AggReduceGBps > 0: each is
+	// a FIFO ingest queue serializing payloads at the reduce rate before
+	// AggDeliver sees them.
+	aggIn []aggIngest
 
 	// mail is the single-shard path's canonical cross-LP mailbox: one heap
 	// per destination LP ordered by (time, source LP, per-source send
@@ -528,16 +708,16 @@ func New(eng *sim.Engine, n int, cfg Config, handler Handler, rec *trace.Recorde
 
 // NewOnExec creates a network of n machines on an Exec: machine i is LP i,
 // and a rack topology adds an uplink LP (n+2r) and downlink LP (n+2r+1)
-// per rack r, matching Config.LPShards. On a sharded exec it rejects
-// credit-gated egress disciplines — their transmission window closes on a
-// delivery-time refund to the sender, a zero-latency cross-shard edge the
-// conservative engine cannot honor — and trace recorders, whose buckets
-// are shared across machines.
+// per rack r, then — with a spine tier — a spine uplink/downlink LP pair
+// per pod, then the aggregator LPs, matching Config.LPShards. Credit-gated
+// egress disciplines shard like any other under the window-relaxed refund
+// protocol (see the package comment); trace recorders still need the
+// single-shard engine, their buckets being shared across machines.
 func NewOnExec(x sim.Exec, n int, cfg Config, handler Handler, rec *trace.Recorder) *Network {
 	if cfg.BandwidthGbps <= 0 {
 		panic(fmt.Sprintf("netsim: bandwidth %v Gbps", cfg.BandwidthGbps))
 	}
-	if err := cfg.Topology.Validate(); err != nil {
+	if err := cfg.Topology.ValidateFor(n); err != nil {
 		panic(err.Error())
 	}
 	if cfg.Aggregation {
@@ -548,10 +728,17 @@ func NewOnExec(x sim.Exec, n int, cfg Config, handler Handler, rec *trace.Record
 			panic("netsim: Aggregation without an AggDeliver handler")
 		}
 	}
+	if cfg.AggReduceGBps < 0 {
+		panic(fmt.Sprintf("netsim: negative aggregator reduce rate %g GB/s", cfg.AggReduceGBps))
+	}
+	if cfg.AggReduceGBps > 0 && !cfg.Aggregation {
+		panic("netsim: AggReduceGBps without Aggregation (no aggregators to rate-limit)")
+	}
 	if cfg.LocalBandwidthGbps <= 0 {
 		cfg.LocalBandwidthGbps = 160
 	}
 	nw := &Network{exec: x, cfg: cfg, n: n, aggBase: -1, deliver: handler, rec: rec, sharded: x.Shards() > 1}
+	nw.look = cfg.Lookahead()
 	if nw.sharded && rec != nil {
 		panic("netsim: a trace.Recorder needs the single-shard engine (shared utilization buckets)")
 	}
@@ -567,9 +754,10 @@ func NewOnExec(x sim.Exec, n int, cfg Config, handler Handler, rec *trace.Record
 		// destination, de-synchronizing otherwise identical schedules.
 		sched.ApplySource(disc, int32(i))
 		q := sched.NewQueue(disc, txItem)
-		if nw.sharded && q.Gated() {
-			panic(fmt.Sprintf("netsim: credit-gated egress discipline %q needs the single-shard engine (delivery-time credit refunds are zero-latency cross-shard edges); run with shards=1", cfg.Egress))
-		}
+		// The refund events of the window-relaxed credit protocol exist
+		// only for gated disciplines; ungated runs schedule none and stay
+		// bit-identical to earlier releases.
+		nw.gated = q.Gated()
 		nw.nics[i] = nic{
 			egress:  q,
 			ingress: pq.New(fifoLess),
@@ -591,16 +779,17 @@ func NewOnExec(x sim.Exec, n int, cfg Config, handler Handler, rec *trace.Record
 	}
 	if t := cfg.Topology; t.RackSize > 0 {
 		racks := t.NumRacks(n)
+		nw.racks = racks
 		if cfg.Aggregation {
-			nw.aggBase = n + 2*racks
+			nw.aggBase = n + 2*racks + 2*t.Pods
 		}
 		nw.ups = make([]coreLink, racks)
 		nw.downs = make([]coreLink, racks)
-		coreQueue := func(lp int) *sched.Queue[Message] {
-			if t.CoreSched == "" {
+		portQueue := func(name string, lp int) *sched.Queue[Message] {
+			if name == "" {
 				return nil
 			}
-			disc := sched.ApplyProfile(sched.MustByName(t.CoreSched), cfg.Profile)
+			disc := sched.ApplyProfile(sched.MustByName(name), cfg.Profile)
 			sched.ApplySource(disc, int32(lp))
 			return sched.NewQueue(disc, msgItem)
 		}
@@ -612,11 +801,51 @@ func NewOnExec(x sim.Exec, n int, cfg Config, handler Handler, rec *trace.Record
 			if t.CoreOversub > 0 {
 				rate /= t.CoreOversub
 			}
-			nw.ups[r] = coreLink{lp: n + 2*r, up: true, rate: rate, sq: coreQueue(n + 2*r)}
-			nw.downs[r] = coreLink{lp: n + 2*r + 1, rate: rate, sq: coreQueue(n + 2*r + 1)}
+			nw.ups[r] = coreLink{lp: n + 2*r, up: true, idx: r, rate: rate, sq: portQueue(t.CoreSched, n+2*r)}
+			nw.downs[r] = coreLink{lp: n + 2*r + 1, idx: r, rate: rate, sq: portQueue(t.CoreSched, n+2*r+1)}
+		}
+		if t.Pods > 0 {
+			nw.rpp = racks / t.Pods
+			nw.spineUps = make([]coreLink, t.Pods)
+			nw.spineDowns = make([]coreLink, t.Pods)
+			for p := 0; p < t.Pods; p++ {
+				// The spine port rate divides the pod's aggregate ToR-uplink
+				// rate (itself already CoreOversub-divided) by SpineOversub,
+				// using actual machine counts so a trailing partial rack's
+				// pod is not over-provisioned.
+				podMachines := 0
+				for r := p * nw.rpp; r < (p+1)*nw.rpp; r++ {
+					podMachines += t.RackMachines(n, r)
+				}
+				rate := float64(podMachines) * cfg.BandwidthGbps
+				if t.CoreOversub > 0 {
+					rate /= t.CoreOversub
+				}
+				if t.SpineOversub > 0 {
+					rate /= t.SpineOversub
+				}
+				upLP, downLP := n+2*racks+2*p, n+2*racks+2*p+1
+				nw.spineUps[p] = coreLink{lp: upLP, up: true, spine: true, idx: p, rate: rate, sq: portQueue(t.SpineSched, upLP)}
+				nw.spineDowns[p] = coreLink{lp: downLP, spine: true, idx: p, rate: rate, sq: portQueue(t.SpineSched, downLP)}
+			}
+		}
+		if cfg.Aggregation && cfg.AggReduceGBps > 0 {
+			nw.aggIn = make([]aggIngest, racks+t.Pods)
 		}
 	}
 	return nw
+}
+
+// podOf maps a rack to its pod (spine tier only).
+func (nw *Network) podOf(rack int) int { return rack / nw.rpp }
+
+// aggLP is the LP index of the tier's aggregator idx (rack index at
+// TierRack, pod index at TierPod).
+func (nw *Network) aggLP(tier, idx int) int {
+	if tier == TierPod {
+		return nw.aggBase + nw.racks + idx
+	}
+	return nw.aggBase + idx
 }
 
 // Stats accessors: totals over the per-machine counters. Only meaningful
@@ -671,6 +900,29 @@ func (nw *Network) CoreMsgs() int64 {
 	return t
 }
 
+// SpineBytes is the total payload volume that serialized through the spine
+// uplink and downlink ports — the inter-pod traffic the spine
+// oversubscription throttles, and the number hierarchical aggregation
+// exists to shrink. 0 without a spine tier (CoreBytes counts only the
+// rack-tier ports, so the two never double-count).
+func (nw *Network) SpineBytes() int64 {
+	var t int64
+	for i := range nw.spineUps {
+		t += nw.spineUps[i].bytes + nw.spineDowns[i].bytes
+	}
+	return t
+}
+
+// SpineMsgs is the message count behind SpineBytes (each inter-pod message
+// counts once per spine port it transits, i.e. normally twice).
+func (nw *Network) SpineMsgs() int64 {
+	var t int64
+	for i := range nw.spineUps {
+		t += nw.spineUps[i].msgs + nw.spineDowns[i].msgs
+	}
+	return t
+}
+
 func (nw *Network) sumStats(f func(*nicStats) int64) int64 {
 	var t int64
 	for i := range nw.nics {
@@ -700,6 +952,9 @@ func (nw *Network) Send(m Message) {
 	if m.ToAgg && nw.aggBase < 0 {
 		panic("netsim: ToAgg send without Config.Aggregation")
 	}
+	if m.ToAgg && m.AggTier == TierPod && nw.rpp == 0 {
+		panic("netsim: TierPod send without a spine tier (Topology.Pods is 0)")
+	}
 	st := &nw.nics[m.From].stats
 	st.msgsSent++
 	st.bytesSent += m.Bytes
@@ -716,8 +971,9 @@ func (nw *Network) Send(m Message) {
 }
 
 // destRack resolves the rack a message is ultimately headed for: the
-// addressed rack for aggregator traffic, the destination machine's rack
-// otherwise.
+// addressed rack for rack-aggregator traffic, the destination machine's
+// rack otherwise. Pod-aggregator traffic has no destination rack — every
+// routing site handles AggTier TierPod before consulting destRack.
 func (nw *Network) destRack(m Message) int {
 	if m.ToAgg {
 		return m.To
@@ -725,21 +981,34 @@ func (nw *Network) destRack(m Message) int {
 	return nw.cfg.Topology.RackOf(m.To)
 }
 
+// destPod resolves the pod a message is ultimately headed for (spine tier
+// only): the addressed pod for pod-aggregator traffic, the destination
+// rack's pod otherwise.
+func (nw *Network) destPod(m Message) int {
+	if m.ToAgg && m.AggTier == TierPod {
+		return m.To
+	}
+	return nw.podOf(nw.destRack(m))
+}
+
 // forward hands a fully serialized message from machine `from` to the next
 // hop: directly to the receiver's ingress (or its rack aggregator) after
-// the propagation delay, or — for inter-rack traffic under a rack topology
-// — into the source rack's uplink. Cross carries every hop, even when both
-// LPs share a shard, so same-instant arrival order stays canonical for any
-// shard count.
+// the propagation delay, or — for traffic leaving the rack, including
+// everything addressed to a pod aggregator — into the source rack's
+// uplink. Cross carries every hop, even when both LPs share a shard, so
+// same-instant arrival order stays canonical for any shard count.
 func (nw *Network) forward(from int, m Message) {
 	now := nw.procs[from].Now()
-	if t := nw.cfg.Topology; t.RackSize > 0 && t.RackOf(from) != nw.destRack(m) {
-		l := &nw.ups[t.RackOf(from)]
-		nw.xfer(from, l.lp, now+nw.cfg.PropDelay, func() { nw.coreEnqueue(l, m) })
-		return
+	if t := nw.cfg.Topology; t.RackSize > 0 {
+		toPodAgg := m.ToAgg && m.AggTier == TierPod
+		if toPodAgg || t.RackOf(from) != nw.destRack(m) {
+			l := &nw.ups[t.RackOf(from)]
+			nw.xfer(from, l.lp, now+nw.cfg.PropDelay, func() { nw.coreEnqueue(l, m) })
+			return
+		}
 	}
 	if m.ToAgg {
-		nw.xfer(from, nw.aggBase+m.To, now+nw.cfg.PropDelay, func() { nw.deliverAgg(m) })
+		nw.xfer(from, nw.aggLP(TierRack, m.To), now+nw.cfg.PropDelay, func() { nw.deliverAgg(m) })
 		return
 	}
 	nw.xfer(from, m.To, now+nw.cfg.PropDelay, func() { nw.arrive(m) })
@@ -756,15 +1025,13 @@ func (nw *Network) coreEnqueue(l *coreLink, m Message) {
 	nw.pumpCore(l)
 }
 
-// pumpCore serializes the port's next message at the oversubscribed core
-// rate and forwards it: an uplink hands off to the destination rack's
-// downlink across the core, a downlink to the destination machine's
-// ingress or — for aggregator traffic — its rack aggregator. Switch ports
-// pay no per-message software overhead; header bytes still serialize.
-// With a CoreSched the next message is the discipline's choice (a gated
-// discipline's window opens and closes entirely on this LP — serialization
-// start to serialization end — so core gating is shard-safe); without one
-// it is strict arrival order.
+// pumpCore serializes the port's next message at the port's rate and
+// forwards it via routeFromPort. Switch ports pay no per-message software
+// overhead; header bytes still serialize. With a port discipline the next
+// message is the discipline's choice (a gated discipline's window opens
+// and closes entirely on this LP — serialization start to serialization
+// end — so core gating is shard-safe); without one it is strict arrival
+// order.
 func (nw *Network) pumpCore(l *coreLink) {
 	if l.busy {
 		return
@@ -797,67 +1064,201 @@ func (nw *Network) pumpCore(l *coreLink) {
 		if l.sq != nil {
 			l.sq.Done(m)
 		}
-		if l.up {
-			t := nw.cfg.Topology
-			dst := &nw.downs[nw.destRack(m)]
-			nw.xfer(l.lp, dst.lp, p.Now()+t.coreDelay(nw.cfg.PropDelay), func() { nw.coreEnqueue(dst, m) })
-		} else if m.ToAgg {
-			nw.xfer(l.lp, nw.aggBase+m.To, p.Now()+nw.cfg.PropDelay, func() { nw.deliverAgg(m) })
-		} else {
-			nw.xfer(l.lp, m.To, p.Now()+nw.cfg.PropDelay, func() { nw.arrive(m) })
-		}
+		nw.routeFromPort(l, m)
 		nw.pumpCore(l)
 	})
 }
 
-// deliverAgg hands an aggregator-addressed message to the application on
-// the aggregator LP's timeline. Reaching the aggregator is full delivery
-// for the sender's transmission window: the credit refund that pumpIngress
-// performs for machine-addressed traffic happens here instead (single-
-// shard only, exactly as there — aggregation composes with gated egress
-// disciplines under the same shards=1 constraint).
-func (nw *Network) deliverAgg(m Message) {
-	if !nw.sharded && !m.FromAgg {
-		nw.doneScratch = txState{msg: m, pri: m.Priority}
-		nw.nics[m.From].egress.Done(&nw.doneScratch)
-		nw.pumpEgress(m.From)
+// routeFromPort hands a message that finished serializing at a switch
+// port to its next hop:
+//
+//   - a rack uplink diverts inter-pod traffic (and same-pod pod-aggregator
+//     traffic) toward the spine; everything else turns around below it
+//     into the destination rack's downlink — so on a topology without
+//     inter-pod traffic the spine ports carry nothing and the schedule is
+//     bit-identical to the single-tier core;
+//   - a spine uplink crosses the spine to the destination pod's downlink;
+//   - a spine downlink delivers pod-aggregator traffic to the pod
+//     aggregator and descends everything else into the destination rack's
+//     downlink;
+//   - a rack downlink delivers to the rack aggregator or the destination
+//     machine's ingress.
+func (nw *Network) routeFromPort(l *coreLink, m Message) {
+	now := nw.procs[l.lp].Now()
+	t := nw.cfg.Topology
+	prop := nw.cfg.PropDelay
+	switch {
+	case l.up && !l.spine:
+		if nw.spineUps != nil {
+			if pod := nw.podOf(l.idx); nw.destPod(m) != pod {
+				s := &nw.spineUps[pod]
+				nw.xfer(l.lp, s.lp, now+t.coreDelay(prop), func() { nw.coreEnqueue(s, m) })
+				return
+			}
+		}
+		if m.ToAgg && m.AggTier == TierPod {
+			nw.xfer(l.lp, nw.aggLP(TierPod, m.To), now+t.coreDelay(prop), func() { nw.deliverAgg(m) })
+			return
+		}
+		dst := &nw.downs[nw.destRack(m)]
+		nw.xfer(l.lp, dst.lp, now+t.coreDelay(prop), func() { nw.coreEnqueue(dst, m) })
+	case l.up:
+		d := &nw.spineDowns[nw.destPod(m)]
+		nw.xfer(l.lp, d.lp, now+t.spineDelay(prop), func() { nw.coreEnqueue(d, m) })
+	case l.spine:
+		if m.ToAgg && m.AggTier == TierPod {
+			nw.xfer(l.lp, nw.aggLP(TierPod, m.To), now+prop, func() { nw.deliverAgg(m) })
+			return
+		}
+		dst := &nw.downs[nw.destRack(m)]
+		nw.xfer(l.lp, dst.lp, now+t.coreDelay(prop), func() { nw.coreEnqueue(dst, m) })
+	case m.ToAgg:
+		nw.xfer(l.lp, nw.aggLP(TierRack, m.To), now+prop, func() { nw.deliverAgg(m) })
+	default:
+		nw.xfer(l.lp, m.To, now+prop, func() { nw.arrive(m) })
 	}
-	nw.cfg.AggDeliver(m.To, m)
 }
 
-// AggSend transmits m from rack's aggregator to machine m.To: the ToR
-// hands it straight into the rack's uplink for inter-rack traffic (the
-// reduced stream's only serialization points are the two core ports), or
-// delivers it within the rack after a propagation delay plus the
-// receiver's ingress. It must be called from an AggDeliver callback (the
-// aggregator's LP timeline); the message is marked FromAgg — no NIC
-// egress is charged, modelling a switch-side reduction engine.
-func (nw *Network) AggSend(rack int, m Message) {
-	m.ToAgg = false
-	m.FromAgg = true
-	lp := nw.aggBase + rack
-	now := nw.procs[lp].Now()
-	if nw.cfg.Topology.RackOf(m.To) == rack {
-		nw.xfer(lp, m.To, now+nw.cfg.PropDelay, func() { nw.arrive(m) })
+// refundCredit schedules the window-relaxed credit refund for a fully
+// delivered message: the sender's transmission window for m closes one
+// lookahead after delivery, on the sender's own LP (see the package
+// comment — the delay is exactly the barrier-window width, so the refund
+// is an ordinary cross-LP edge on any shard count and both engines order
+// it canonically). Called only for gated egress disciplines; ungated runs
+// schedule no refund events at all. src is the LP the delivery completed
+// on. The throwaway txState is fine: Done reads only the Bytes and Dest
+// of the Item view, which the message determines.
+func (nw *Network) refundCredit(src int, m Message) {
+	from := m.From
+	nw.xfer(src, from, nw.procs[src].Now()+nw.look, func() {
+		d := txState{msg: m, pri: m.Priority}
+		nw.nics[from].egress.Done(&d)
+		nw.pumpEgress(from)
+	})
+}
+
+// deliverAgg hands an aggregator-addressed message to the application on
+// the aggregator LP's timeline — through the FIFO reduce engine first
+// when the aggregator's ingest capacity is finite (AggReduceGBps).
+// Reaching the aggregator is full delivery for the sender's transmission
+// window: the credit refund that pumpIngress performs for machine-
+// addressed traffic happens here instead, at arrival (before any reduce
+// queueing — the window covers the wire, not the ASIC).
+func (nw *Network) deliverAgg(m Message) {
+	if nw.gated && !m.FromAgg {
+		nw.refundCredit(nw.aggLP(int(m.AggTier), m.To), m)
+	}
+	if nw.aggIn == nil {
+		nw.cfg.AggDeliver(int(m.AggTier), m.To, m)
 		return
 	}
-	l := &nw.ups[rack]
-	nw.xfer(lp, l.lp, now+nw.cfg.PropDelay, func() { nw.coreEnqueue(l, m) })
+	ord := m.To
+	if m.AggTier == TierPod {
+		ord += nw.racks
+	}
+	a := &nw.aggIn[ord]
+	a.q = append(a.q, m)
+	nw.pumpAggIngest(a)
 }
 
-// AggFanout replicates m from rack's aggregator to every machine of the
-// rack except skip (pass -1 to reach all): the ToR replicates a broadcast
-// at line rate, so each copy pays only propagation plus its own receiver's
-// ingress serialization — the copies do not serialize against each other
-// the way per-worker unicasts from a host NIC do. Must be called from an
-// AggDeliver callback; copies are marked FromAgg like AggSend's.
-func (nw *Network) AggFanout(rack int, m Message, skip int) {
-	m.ToAgg = false
+// pumpAggIngest serializes the aggregator's next queued payload through
+// the reduce engine at AggReduceGBps bytes per second (== bytes per
+// nanosecond) on the aggregator's own LP, then hands it to AggDeliver.
+// Header bytes are wire framing, not reduction work, so only the payload
+// is charged.
+func (nw *Network) pumpAggIngest(a *aggIngest) {
+	if a.busy || a.head == len(a.q) {
+		return
+	}
+	m := a.q[a.head]
+	a.head++
+	if a.head == len(a.q) {
+		a.q = a.q[:0]
+		a.head = 0
+	}
+	a.busy = true
+	nw.procs[nw.aggLP(int(m.AggTier), m.To)].After(sim.Time(float64(m.Bytes)/nw.cfg.AggReduceGBps), func() {
+		a.busy = false
+		nw.cfg.AggDeliver(int(m.AggTier), m.To, m)
+		nw.pumpAggIngest(a)
+	})
+}
+
+// AggSend transmits m from the tier's aggregator idx. m.To names a
+// machine unless m.ToAgg is set, in which case it names another
+// aggregator at m.AggTier (a rack aggregator escalating its reduced
+// stream to its pod aggregator, or a pod aggregator descending a
+// broadcast to a rack aggregator) — callers forwarding a received
+// aggregator message to a machine must clear ToAgg explicitly. A rack
+// aggregator delivers rack-locally after a propagation delay or hands
+// everything else into its rack's uplink (the reduced stream's only
+// serialization points are switch ports); a pod aggregator descends into
+// the destination rack's downlink for its own pod or into its pod's spine
+// uplink otherwise. It must be called from an AggDeliver callback (the
+// aggregator's LP timeline); the message is marked FromAgg — no NIC
+// egress is charged, modelling a switch-side reduction engine.
+func (nw *Network) AggSend(tier, idx int, m Message) {
 	m.FromAgg = true
-	lp := nw.aggBase + rack
+	lp := nw.aggLP(tier, idx)
 	now := nw.procs[lp].Now()
-	lo := rack * nw.cfg.Topology.RackSize
-	hi := lo + nw.cfg.Topology.RackMachines(nw.n, rack)
+	prop := nw.cfg.PropDelay
+	if tier == TierRack {
+		if !m.ToAgg && nw.cfg.Topology.RackOf(m.To) == idx {
+			nw.xfer(lp, m.To, now+prop, func() { nw.arrive(m) })
+			return
+		}
+		// Inter-rack machine traffic and the escalation to the pod
+		// aggregator both leave through the rack's uplink; routeFromPort
+		// steers them from there.
+		l := &nw.ups[idx]
+		nw.xfer(lp, l.lp, now+prop, func() { nw.coreEnqueue(l, m) })
+		return
+	}
+	// Pod aggregator: descend toward a rack of its own pod, or cross the
+	// spine for anything outside it.
+	dr := nw.destRack(m)
+	if nw.podOf(dr) == idx {
+		d := &nw.downs[dr]
+		nw.xfer(lp, d.lp, now+prop, func() { nw.coreEnqueue(d, m) })
+		return
+	}
+	s := &nw.spineUps[idx]
+	nw.xfer(lp, s.lp, now+prop, func() { nw.coreEnqueue(s, m) })
+}
+
+// AggFanout replicates m from the tier's aggregator idx: a rack
+// aggregator fans one copy to every machine of its rack except skip
+// (pass -1 to reach all) — the ToR replicates a broadcast at line rate,
+// so each copy pays only propagation plus its own receiver's ingress
+// serialization; a pod aggregator fans one copy per rack of its pod
+// except rack skip, each re-entering the destination rack's downlink as
+// rack-aggregator traffic (ToAgg at TierRack), so a pod-level broadcast
+// pays one downlink serialization per rack instead of one core crossing
+// per machine. Must be called from an AggDeliver callback; copies are
+// marked FromAgg like AggSend's.
+func (nw *Network) AggFanout(tier, idx int, m Message, skip int) {
+	m.FromAgg = true
+	lp := nw.aggLP(tier, idx)
+	now := nw.procs[lp].Now()
+	if tier == TierPod {
+		m.ToAgg = true
+		m.AggTier = TierRack
+		lo := idx * nw.rpp
+		hi := lo + nw.rpp
+		for r := lo; r < hi; r++ {
+			if r == skip {
+				continue
+			}
+			c := m
+			c.To = r
+			d := &nw.downs[r]
+			nw.xfer(lp, d.lp, now+nw.cfg.PropDelay, func() { nw.coreEnqueue(d, c) })
+		}
+		return
+	}
+	m.ToAgg = false
+	lo := idx * nw.cfg.Topology.RackSize
+	hi := lo + nw.cfg.Topology.RackMachines(nw.n, idx)
 	for w := lo; w < hi; w++ {
 		if w == skip {
 			continue
@@ -1014,22 +1415,17 @@ func (nw *Network) pumpIngress(machine int) {
 		n.ingressBsy = false
 		n.stats.msgsDelivered++
 		n.stats.bytesDelivered += m.Bytes
-		if !nw.sharded && !m.FromAgg {
+		if nw.gated && !m.FromAgg {
 			// Full delivery closes the sender's transmission window for
-			// this message: return its credit and let the sender's egress
-			// continue. (The scratch txState is fine: the credit refund
-			// only reads the Bytes and Dest of the Item view, which the
-			// message determines.) Under the sharded engine the sender
-			// lives on another shard at zero latency — NewOnExec rejects
-			// credit-gated disciplines there, and for ungated ones both
-			// the refund and the pump are no-ops (an ungated egress never
-			// idles with queued work), so skipping them changes nothing.
-			// Aggregator-originated messages (FromAgg) charged no egress
-			// and own no credit: their senders' windows closed at the
-			// aggregator (deliverAgg).
-			nw.doneScratch = txState{msg: m, pri: m.Priority}
-			nw.nics[m.From].egress.Done(&nw.doneScratch)
-			nw.pumpEgress(m.From)
+			// this message: the window-relaxed refund lands on the
+			// sender's LP one lookahead from now (see refundCredit).
+			// Ungated disciplines skip the refund entirely — for them
+			// both Done and the pump are no-ops (an ungated egress never
+			// idles with queued work), so scheduling nothing changes
+			// nothing. Aggregator-originated messages (FromAgg) charged
+			// no egress and own no credit: their senders' windows closed
+			// at the aggregator (deliverAgg).
+			nw.refundCredit(machine, m)
 		}
 		nw.deliver(m)
 		nw.pumpIngress(machine)

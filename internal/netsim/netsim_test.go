@@ -150,6 +150,28 @@ func TestCreditGatedEgressWindow(t *testing.T) {
 	}
 }
 
+// TestWindowRelaxedCreditRefund pins the refund quantization of the
+// window-relaxed protocol: a delivered message's credit returns to the
+// sender exactly one lookahead after delivery — the conservative delay
+// that makes gated egress an ordinary cross-LP edge on any shard count.
+// With a zero-latency topology the lookahead is 0 and the refund is
+// effectively at delivery (the historical protocol, pinned above); with a
+// propagation delay the second transmission starts one lookahead late.
+func TestWindowRelaxedCreditRefund(t *testing.T) {
+	cfg := cleanCfg("credit:1000")
+	cfg.PropDelay = 100
+	got := runNet(t, cfg, 2, func(nw *Network) {
+		nw.Send(Message{From: 0, To: 1, Bytes: 600, Chunk: 0})
+		nw.Send(Message{From: 0, To: 1, Bytes: 600, Chunk: 1})
+	})
+	// First: egress 600, prop 100, ingress 600 -> 1300. Its refund lands
+	// at 1300 + 100 (lookahead); the second then serializes 1400-2000,
+	// prop to 2100, ingress -> 2700.
+	if got[0].at != 1300 || got[1].at != 2700 {
+		t.Fatalf("window-relaxed credit deliveries at %v/%v, want 1300/2700", got[0].at, got[1].at)
+	}
+}
+
 func TestIngressSerializesIncast(t *testing.T) {
 	// Two senders to one receiver: their ingress serializations cannot
 	// overlap, so the second delivery lands ~1000 ns after the first.

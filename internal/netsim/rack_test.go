@@ -211,11 +211,30 @@ func TestTopologyValidate(t *testing.T) {
 		{"negative oversub", Topology{RackSize: 4, CoreOversub: -2}, true},
 		{"core sched without racks", Topology{CoreSched: "fifo"}, true},
 		{"unknown core sched", Topology{RackSize: 4, CoreSched: "nosuch"}, true},
+		{"pods", Topology{RackSize: 4, Pods: 2}, false},
+		{"full spine", Topology{RackSize: 4, Pods: 2, SpineOversub: 4, SpineDelay: 100, SpineSched: "p3"}, false},
+		{"undersubscribed spine", Topology{RackSize: 4, Pods: 2, SpineOversub: 0.5}, false},
+		{"negative pods", Topology{RackSize: 4, Pods: -1}, true},
+		{"pods without racks", Topology{Pods: 2}, true},
+		{"negative spine oversub", Topology{RackSize: 4, Pods: 2, SpineOversub: -2}, true},
+		{"spine oversub without pods", Topology{RackSize: 4, SpineOversub: 4}, true},
+		{"spine delay without pods", Topology{RackSize: 4, SpineDelay: 100}, true},
+		{"spine sched without pods", Topology{RackSize: 4, SpineSched: "p3"}, true},
+		{"unknown spine sched", Topology{RackSize: 4, Pods: 2, SpineSched: "nosuch"}, true},
 	} {
 		err := tc.top.Validate()
 		if (err != nil) != tc.wantErr {
 			t.Errorf("%s: Validate() = %v, wantErr %v", tc.name, err, tc.wantErr)
 		}
+	}
+	// ValidateFor adds the machine-count-dependent constraint: the pods
+	// must divide the racks evenly.
+	even := Topology{RackSize: 4, Pods: 2}
+	if err := even.ValidateFor(16); err != nil {
+		t.Errorf("ValidateFor(16) with 4 racks in 2 pods: %v", err)
+	}
+	if err := even.ValidateFor(12); err == nil {
+		t.Error("ValidateFor(12) accepted 3 racks in 2 pods")
 	}
 }
 
@@ -286,13 +305,16 @@ func TestAggDeliverAndSend(t *testing.T) {
 	cfg := rackCfg(4)
 	cfg.Aggregation = true
 	var nw *Network
-	cfg.AggDeliver = func(rack int, m Message) {
+	cfg.AggDeliver = func(tier, rack int, m Message) {
+		if tier != TierRack {
+			t.Fatalf("aggregator delivery at tier %d, want TierRack", tier)
+		}
 		aggGot = append(aggGot, aggDelivery{rack, m, eng.Now()})
 		if len(aggGot) == 2 {
 			// Both of rack 0's pushes are in: forward one reduced stream
 			// across the core and fan a notify back out within the rack.
-			nw.AggSend(rack, Message{From: 0, To: 2, Bytes: 1000})
-			nw.AggFanout(rack, Message{From: 0, Bytes: 500}, -1)
+			nw.AggSend(TierRack, rack, Message{From: 0, To: 2, Bytes: 1000})
+			nw.AggFanout(TierRack, rack, Message{From: 0, Bytes: 500}, -1)
 		}
 	}
 	nw = New(&eng, 4, cfg, func(m Message) {
@@ -324,4 +346,266 @@ func TestAggDeliverAndSend(t *testing.T) {
 	if last := got[2]; last.m.To != 2 || last.at != 6000 || !last.m.FromAgg {
 		t.Errorf("reduced stream to %d at %v (FromAgg=%v), want machine 2 at 6000 ns, FromAgg", last.m.To, last.at, last.m.FromAgg)
 	}
+}
+
+// spineCfg is rackCfg with the four racks of an 8-machine run grouped
+// into two pods behind a spine tier.
+func spineCfg(coreOversub, spineOversub float64) Config {
+	cfg := rackCfg(coreOversub)
+	cfg.Topology.Pods = 2
+	cfg.Topology.SpineOversub = spineOversub
+	return cfg
+}
+
+// TestSpineInterPodTiming pins the six-hop path of an inter-pod message:
+// host egress, rack uplink, spine uplink, spine downlink, rack downlink,
+// host ingress — with the spine ports serializing at the pod-aggregate
+// ToR-uplink rate divided by SpineOversub.
+func TestSpineInterPodTiming(t *testing.T) {
+	for _, tc := range []struct {
+		spineOversub float64
+		want         sim.Time
+	}{
+		// Non-blocking spine: pod rate = 4 machines x 8 Gbps / 4 core
+		// oversub = 8 Gbps = 1 B/ns, so 1000 ns per spine hop. Total:
+		// 1000 (egress) + 2000 (uplink) + 1000 + 1000 (spine) +
+		// 2000 (downlink) + 1000 (ingress).
+		{1, 8000},
+		// 4:1 spine: 2 Gbps = 0.25 B/ns, 4000 ns per spine hop.
+		{4, 14000},
+		// 0 means non-blocking, like CoreOversub.
+		{0, 8000},
+	} {
+		got := runNet(t, spineCfg(4, tc.spineOversub), 8, func(nw *Network) {
+			nw.Send(Message{From: 0, To: 4, Bytes: 1000})
+		})
+		if len(got) != 1 {
+			t.Fatalf("spine oversub %g: %d deliveries", tc.spineOversub, len(got))
+		}
+		if got[0].at != tc.want {
+			t.Errorf("spine oversub %g: inter-pod delivery at %v ns, want %v", tc.spineOversub, got[0].at, tc.want)
+		}
+	}
+}
+
+// TestSpineIntraPodBitIdentical pins the turn-around contract: traffic
+// between racks of the same pod never touches the spine, so its timing is
+// identical to the single-tier core — and a Pods=1 topology, where every
+// rack shares the one pod, is bit-identical to no spine at all.
+func TestSpineIntraPodBitIdentical(t *testing.T) {
+	send := func(nw *Network) {
+		nw.Send(Message{From: 0, To: 2, Bytes: 1000}) // rack 0 -> rack 1, same pod
+	}
+	single := runNet(t, rackCfg(4), 8, send)
+	twoPod := runNet(t, spineCfg(4, 4), 8, send)
+	if single[0].at != twoPod[0].at {
+		t.Errorf("intra-pod inter-rack delivery at %v ns, single-tier %v — the spine leaked into an intra-pod path", twoPod[0].at, single[0].at)
+	}
+	onePod := rackCfg(4)
+	onePod.Topology.Pods = 1
+	onePod.Topology.SpineOversub = 4
+	got := runNet(t, onePod, 8, send)
+	if single[0].at != got[0].at {
+		t.Errorf("Pods=1 delivery at %v ns, no-spine %v — a one-pod spine must route nothing", got[0].at, single[0].at)
+	}
+	spine := runNet(t, spineCfg(4, 4), 8, func(nw *Network) {
+		nw.Send(Message{From: 0, To: 4, Bytes: 1000}) // pod 0 -> pod 1
+	})
+	if spine[0].at == single[0].at {
+		t.Errorf("inter-pod delivery at %v ns matches the intra-pod path — the spine hops were skipped", spine[0].at)
+	}
+}
+
+// TestSpineBytesAccounting pins the spine-tier traffic counters: only
+// inter-pod traffic transits the spine ports, and CoreBytes still counts
+// the ToR ports alone.
+func TestSpineBytesAccounting(t *testing.T) {
+	var eng sim.Engine
+	nw := New(&eng, 8, spineCfg(4, 1), func(Message) {}, nil)
+	nw.Send(Message{From: 0, To: 2, Bytes: 1000}) // intra-pod
+	nw.Send(Message{From: 0, To: 4, Bytes: 1000}) // inter-pod
+	eng.Run()
+	if got := nw.SpineBytes(); got != 2000 {
+		t.Errorf("SpineBytes = %d, want 2000 (only the inter-pod message, uplink + downlink)", got)
+	}
+	if got := nw.SpineMsgs(); got != 2 {
+		t.Errorf("SpineMsgs = %d, want 2 (one spine uplink + one downlink transit)", got)
+	}
+	if got := nw.CoreBytes(); got != 4000 {
+		t.Errorf("CoreBytes = %d, want 4000 (two messages x uplink + downlink)", got)
+	}
+}
+
+// TestSpineLookaheadAndLPs pins the sharding contract of the two-tier
+// topology: the lookahead folds in the spine delay, the LP count includes
+// two spine ports per pod (and a pod aggregator under Aggregation), and
+// spine LPs ride the shard of their pod's first rack.
+func TestSpineLookaheadAndLPs(t *testing.T) {
+	cfg := cleanCfg("fifo")
+	cfg.PropDelay = 500
+	cfg.Topology = Topology{RackSize: 2, CoreOversub: 4, Pods: 2, CoreDelay: 100}
+	if got := cfg.Lookahead(); got != 100 {
+		t.Errorf("two-tier lookahead %v, want 100 (spine delay defaults to core delay)", got)
+	}
+	cfg.Topology.SpineDelay = 50
+	if got := cfg.Lookahead(); got != 50 {
+		t.Errorf("two-tier lookahead %v, want 50 (spine hop is the tighter bound)", got)
+	}
+	// 8 machines in racks of 2 -> 4 racks + 2 pods: 8 + 2*4 + 2*2 ports.
+	if got := cfg.NumLPs(8); got != 20 {
+		t.Errorf("spine NumLPs(8) = %d, want 20", got)
+	}
+	cfg.Aggregation = true
+	if got := cfg.NumLPs(8); got != 26 {
+		t.Errorf("spine+agg NumLPs(8) = %d, want 26", got)
+	}
+	got := cfg.LPShards(8, 2)
+	want := []int{
+		0, 0, 0, 0, 1, 1, 1, 1, // machines
+		0, 0, 0, 0, 1, 1, 1, 1, // rack ports
+		0, 0, 1, 1, // spine ports: pod p on the shard of rack p*rpp
+		0, 0, 1, 1, // rack aggregators
+		0, 1, // pod aggregators
+	}
+	if !slices.Equal(got, want) {
+		t.Errorf("spine LPShards(8, 2) = %v, want %v", got, want)
+	}
+}
+
+// TestPodAggregatorPath pins the hierarchical data path at the netsim
+// layer: a rack aggregator's escalation (ToAgg at TierPod) rides its own
+// rack's uplink and turns into the pod aggregator below the spine, a pod
+// aggregator's AggSend to a machine of another pod crosses the spine, and
+// its AggFanout re-enters each destination rack's downlink as
+// rack-aggregator traffic.
+func TestPodAggregatorPath(t *testing.T) {
+	var eng sim.Engine
+	cfg := spineCfg(4, 1)
+	cfg.Aggregation = true
+	type aggDelivery struct {
+		tier, idx int
+		at        sim.Time
+	}
+	var aggGot []aggDelivery
+	var got []delivery
+	var nw *Network
+	cfg.AggDeliver = func(tier, idx int, m Message) {
+		aggGot = append(aggGot, aggDelivery{tier, idx, eng.Now()})
+		if tier == TierRack && !m.FromAgg {
+			// Escalate the reduced rack stream to the own pod's aggregator.
+			nw.AggSend(TierRack, idx, Message{From: 0, To: 0, ToAgg: true, AggTier: TierPod, Bytes: 1000})
+			return
+		}
+		if tier == TierPod {
+			// Reduced once more: one stream to a machine across the spine,
+			// and a fanout to the pod's other rack.
+			nw.AggSend(TierPod, idx, Message{From: 0, To: 5, Bytes: 1000})
+			nw.AggFanout(TierPod, idx, Message{From: 0, Bytes: 500}, 0)
+		}
+	}
+	nw = New(&eng, 8, cfg, func(m Message) {
+		got = append(got, delivery{m, eng.Now()})
+	}, nil)
+	nw.Send(Message{From: 0, To: 0, ToAgg: true, Bytes: 1000})
+	eng.Run()
+	if len(aggGot) != 3 {
+		t.Fatalf("%d aggregator deliveries, want 3 (rack push, pod escalation, fanout copy)", len(aggGot))
+	}
+	// Rack-local push: host egress only -> 1000.
+	if d := aggGot[0]; d.tier != TierRack || d.idx != 0 || d.at != 1000 {
+		t.Errorf("rack push delivered at tier %d idx %d at %v, want rack 0 at 1000", d.tier, d.idx, d.at)
+	}
+	// Escalation: rack 0 uplink 1000-3000 (0.5 B/ns), same pod -> turns
+	// around into pod aggregator 0 below the spine.
+	if d := aggGot[1]; d.tier != TierPod || d.idx != 0 || d.at != 3000 {
+		t.Errorf("pod escalation delivered at tier %d idx %d at %v, want pod 0 at 3000", d.tier, d.idx, d.at)
+	}
+	// Fanout copy: rack 1 downlink serializes 500 B 3000-4000, lands on
+	// rack aggregator 1 as TierRack traffic.
+	if d := aggGot[2]; d.tier != TierRack || d.idx != 1 || d.at != 4000 {
+		t.Errorf("fanout copy delivered at tier %d idx %d at %v, want rack 1 at 4000", d.tier, d.idx, d.at)
+	}
+	// Machine stream: spine uplink 3000-4000, spine downlink 4000-5000,
+	// rack 2 downlink 5000-7000, ingress -> 8000.
+	if len(got) != 1 || got[0].m.To != 5 || got[0].at != 8000 || !got[0].m.FromAgg {
+		t.Fatalf("machine deliveries %v, want one FromAgg stream to machine 5 at 8000", got)
+	}
+}
+
+// TestPodTierSendWithoutSpinePanics pins the addressing contract: a
+// pod-tier aggregator send on a single-tier topology has no LP to land on
+// and must refuse loudly.
+func TestPodTierSendWithoutSpinePanics(t *testing.T) {
+	var eng sim.Engine
+	cfg := rackCfg(4)
+	cfg.Aggregation = true
+	cfg.AggDeliver = func(int, int, Message) {}
+	nw := New(&eng, 4, cfg, func(Message) {}, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("TierPod send without a spine tier did not panic")
+		}
+	}()
+	nw.Send(Message{From: 0, To: 0, ToAgg: true, AggTier: TierPod, Bytes: 1000})
+}
+
+// TestAggReduceRate pins the aggregator capacity model: with a finite
+// AggReduceGBps the aggregator serializes ingest at that rate before the
+// reduction sees each message (FIFO, canonical arrival order), and rate 0
+// keeps the free instantaneous reduction.
+func TestAggReduceRate(t *testing.T) {
+	run := func(rate float64) []sim.Time {
+		var eng sim.Engine
+		cfg := rackCfg(4)
+		cfg.Aggregation = true
+		cfg.AggReduceGBps = rate
+		var at []sim.Time
+		var from []int
+		cfg.AggDeliver = func(tier, rack int, m Message) {
+			at = append(at, eng.Now())
+			from = append(from, m.From)
+		}
+		nw := New(&eng, 4, cfg, func(Message) {}, nil)
+		nw.Send(Message{From: 0, To: 0, ToAgg: true, Bytes: 1000})
+		nw.Send(Message{From: 1, To: 0, ToAgg: true, Bytes: 1000})
+		eng.Run()
+		if len(at) != 2 || from[0] != 0 || from[1] != 1 {
+			t.Fatalf("rate %g: deliveries from %v, want [0 1]", rate, from)
+		}
+		return at
+	}
+	// Free reduction: both pushes land as their egresses finish, at 1000.
+	free := run(0)
+	if free[0] != 1000 || free[1] != 1000 {
+		t.Errorf("free-reduce deliveries at %v, want [1000 1000]", free)
+	}
+	// 1 GB/s = 1 B/ns: the two simultaneous arrivals serialize through the
+	// reduce engine back to back, 1000 ns each.
+	paced := run(1)
+	if paced[0] != 2000 || paced[1] != 3000 {
+		t.Errorf("1 GB/s deliveries at %v, want [2000 3000]", paced)
+	}
+}
+
+// TestAggReduceRateValidation pins the config cross-checks of the
+// capacity model: a negative rate and a rate without aggregators both
+// panic at construction.
+func TestAggReduceRateValidation(t *testing.T) {
+	mustPanic := func(name string, cfg Config) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		var eng sim.Engine
+		New(&eng, 4, cfg, func(Message) {}, nil)
+	}
+	neg := rackCfg(4)
+	neg.Aggregation = true
+	neg.AggDeliver = func(int, int, Message) {}
+	neg.AggReduceGBps = -1
+	mustPanic("negative AggReduceGBps", neg)
+	bare := rackCfg(4)
+	bare.AggReduceGBps = 8
+	mustPanic("AggReduceGBps without Aggregation", bare)
 }

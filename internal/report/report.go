@@ -49,6 +49,7 @@ func Generate(o experiments.Options) string {
 	sectionHeadline(&b, o)
 	sectionAblation(&b, o)
 	sectionSched(&b, o)
+	sectionRack(&b, o)
 	sectionAllreduce(&b, o)
 	sectionTTA(&b, o)
 	sectionCompression(&b, o)
@@ -299,6 +300,21 @@ func sectionSched(b *strings.Builder, o experiments.Options) {
 	b.WriteString("coincides with layer order; credit-adaptive matches credit while sizing its\n")
 	b.WriteString("per-destination windows by AIMD instead of a hand-picked constant.\n\n")
 	b.WriteString(tsvToMarkdown(experiments.SchedulerTable(experiments.SchedulerAblation(o))))
+	b.WriteString("\n")
+}
+
+func sectionRack(b *strings.Builder, o experiments.Options) {
+	b.WriteString("## Extension — rack-scale topology (oversubscribed core, spine tier, in-network aggregation)\n\n")
+	b.WriteString("The regime past the paper's flat testbed, in the spirit of Parameter Hub's\n")
+	b.WriteString("rack-scale co-design: machines in racks behind an oversubscribed core (and,\n")
+	b.WriteString("on the two-tier cells, a 4:1 spine over two pods), with server placement,\n")
+	b.WriteString("host/core/spine disciplines, in-rack and hierarchical aggregation, the\n")
+	b.WriteString("aggregator reduce rate (`agg_GBps`; `inf` = free switch-side reduction) and\n")
+	b.WriteString("the rack-local parameter cache (`local`, on the pull-mode `baseline`\n")
+	b.WriteString("strategy rows) as axes. `core_MB`/`spine_MB` are the payload volumes that\n")
+	b.WriteString("serialized through the ToR and spine ports — the traffic each reduction\n")
+	b.WriteString("tier exists to shrink.\n\n")
+	b.WriteString(tsvToMarkdown(experiments.RackTable(experiments.Rack(o))))
 	b.WriteString("\n")
 }
 

@@ -29,6 +29,7 @@ func TestGenerateFast(t *testing.T) {
 		"Figure 15 — ASGD vs P3",
 		"Section 5.3 headline speedups",
 		"Ablation — contribution of each design decision",
+		"Extension — rack-scale topology",
 		"Extension — P3 principles on ring all-reduce",
 		"Extension — time to accuracy",
 	}

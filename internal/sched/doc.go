@@ -80,10 +80,23 @@
 // the "fifo" discipline is pinned bit-identical to it. Determinism at the
 // core is inherited from the Discipline contract (equal items dequeue in
 // insertion order) plus netsim's canonical arrival order (simultaneous
-// arrivals enqueue in source-LP order); gated disciplines are shard-safe
-// at a core port because the admission window opens and closes entirely on
-// that port's LP — PopReady at serialization start, Done at serialization
-// end — with no cross-shard refund edge.
+// arrivals enqueue in source-LP order). Gated disciplines are shard-safe
+// everywhere, but for two different reasons: at a core port the admission
+// window opens and closes entirely on that port's LP — PopReady at
+// serialization start, Done at serialization end — so there is no
+// cross-shard edge at all; at a host egress queue the Done refund is
+// driven by a delivery on the receiver's LP, and netsim closes that
+// cross-shard edge with the window-relaxed credit protocol: the refund is
+// carried home as a scheduled event on the sender's own LP, delayed by
+// exactly one conservative lookahead window after the delivery. Every
+// shard count sees the identical refund timeline (the delay is a constant
+// of the topology, not of the shard layout), so credit-gated runs are
+// bit-identical from shards=1 through shards=N — pinned by
+// internal/cluster's TestShardedGatedMatchesSingle — and the old
+// shards=1 fallback for Admitter disciplines is gone. The relaxation is
+// semantically free at PropDelay=0 (lookahead 0 means the refund lands at
+// the delivery instant, the pre-protocol timing) and otherwise trades at
+// most one lookahead of window staleness for parallel execution.
 //
 // Ordering alone cannot beat an oversubscribed core, though: once the
 // core is the bottleneck, every order drains the same bytes through the
