@@ -6,7 +6,7 @@
 //
 //	p3bench [-fast] [-seed N] [-shards N] [-plot] [-json] [-baseline FILE] \
 //	        [fig5 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 \
-//	         headline ablation sched scale rack allreduce tta compression \
+//	         headline ablation sched scale rack faults allreduce tta compression \
 //	         sensitivity bench | all]
 //
 // The throughput/utilization experiments (fig5, fig7-10, fig12-14, headline)
@@ -40,7 +40,7 @@ import (
 
 var figOrder = []string{
 	"fig5", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
-	"headline", "ablation", "sched", "scale", "rack", "allreduce", "tta", "compression", "sensitivity",
+	"headline", "ablation", "sched", "scale", "rack", "faults", "allreduce", "tta", "compression", "sensitivity",
 }
 
 func main() {
@@ -107,6 +107,10 @@ func main() {
 		case t == "rack":
 			fmt.Println("== Rack axis: multi-rack topology, oversubscribed core, server placement (resnet50 @1.5Gbps) ==")
 			fmt.Print(experiments.RackTable(experiments.Rack(o)))
+			fmt.Println()
+		case t == "faults":
+			fmt.Println("== Faults: scripted stragglers, link degradation and aggregator crashes per discipline (resnet50 @1.5Gbps, rack-aggregated) ==")
+			fmt.Print(experiments.FaultsTable(experiments.Faults(o)))
 			fmt.Println()
 		case t == "compression":
 			fmt.Println("== Extension: compression family (related work, Section 6) vs dense exchange ==")

@@ -26,6 +26,15 @@
 //
 //	p3sim -model vgg19 -strategy tictac -bw 1.5 -calibrate -stallsout vgg19.stalls
 //	p3sim -model vgg19 -strategy tictac -bw 1.5 -stalls vgg19.stalls
+//
+// Fault injection replays (or generates) a deterministic scripted plan of
+// aggregator crashes, straggler windows, link degradations and worker
+// leave/join events (see internal/faults). -faultplan loads a JSON plan,
+// -faultseed generates one matched to the topology flags; both are
+// validated against the configured cluster before the run starts:
+//
+//	p3sim -model resnet50 -machines 16 -racksize 4 -oversub 4 -rackagg -faultseed 7
+//	p3sim -model resnet50 -machines 16 -racksize 4 -oversub 4 -rackagg -faultplan crash.json
 package main
 
 import (
@@ -69,6 +78,8 @@ func main() {
 	hierAgg := flag.Bool("hieragg", false, "hierarchical aggregation: reduce again at each pod's spine so one stream per pod reaches the server tier (requires -rackagg and -pods)")
 	rackLocal := flag.Bool("racklocalps", false, "rack-local parameter serving: rack aggregators cache updated chunks and answer in-rack pulls without crossing the core (requires -rackagg)")
 	aggRate := flag.Float64("aggrate", 0, "aggregator reduce rate in GB/s: each aggregator serializes ingest at this rate before reducing (0 = instantaneous; requires -rackagg)")
+	faultPlan := flag.String("faultplan", "", "replay a scripted fault plan from this JSON file (see internal/faults; validated against the topology flags)")
+	faultSeed := flag.Int64("faultseed", 0, "generate a deterministic scripted fault plan from this seed (0 = no faults; mutually exclusive with -faultplan)")
 	flag.Parse()
 
 	st, err := strategy.ByName(*stratName)
@@ -138,6 +149,16 @@ func main() {
 		cfg.RackLocalPS = *rackLocal
 		cfg.AggReduceGBps = *aggRate
 	}
+	plan, err := faultsFromFlags(faultFlags{
+		planPath: *faultPlan, seed: *faultSeed, machines: *machines,
+		topo: topo, rackAgg: useTopo && *rackAgg, hierAgg: useTopo && *hierAgg,
+		rackLocal: useTopo && *rackLocal, pull: st.Pull,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "p3sim:", err)
+		os.Exit(2)
+	}
+	cfg.Faults = plan
 	if *stallsIn != "" {
 		stalls, err := strategy.ReadStallFile(*stallsIn)
 		if err != nil {
@@ -214,6 +235,10 @@ func main() {
 		(r.MeanIterTime - r.ComputeIterTime).Millis())
 	fmt.Printf("sim cost:    %d events, %d messages, %.1f MB on the wire\n",
 		r.Events, r.Msgs, float64(r.WireBytes)/1e6)
+	if plan != nil {
+		fmt.Printf("faults:      %d injected, %d agg failovers, %d lost reductions, %.1f ms degraded links\n",
+			r.FaultsInjected, r.AggFailovers, r.LostReductions, float64(r.DegradedNs)/1e6)
+	}
 
 	if rec != nil {
 		skip := int(r.WarmupEnd / rec.Bucket())

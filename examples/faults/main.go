@@ -1,0 +1,107 @@
+// Faults: walk through the scripted fault-injection layer on a
+// rack-aggregated cluster. Builds an aggregator-crash plan (rack 1's
+// aggregator goes down mid-run and every affected reduction rides the
+// timeout/re-push failover), runs it against the clean baseline under
+// both an unwindowed discipline and the credit window, and prints the
+// graceful-degradation comparison plus the plan's JSON — the same format
+// `p3sim -faultplan` replays deterministically.
+//
+//	go run ./examples/faults
+//	go run ./examples/faults -machines 64 -racksize 16 -sched damped
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"p3/internal/cluster"
+	"p3/internal/faults"
+	"p3/internal/netsim"
+	"p3/internal/strategy"
+	"p3/internal/zoo"
+)
+
+func run(sched string, cfg cluster.Config, plan *faults.Plan) cluster.Result {
+	st, err := strategy.SlicingOnly(0).WithSched(sched)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st.Name = "sliced+" + sched
+	cfg.Strategy = st
+	cfg.Faults = plan
+	return cluster.Run(cfg)
+}
+
+func main() {
+	name := flag.String("model", "resnet50", "resnet50|inception3|vgg19|sockeye")
+	machines := flag.Int("machines", 64, "cluster size (multiple of -racksize)")
+	rackSize := flag.Int("racksize", 16, "machines per rack")
+	gbps := flag.Float64("gbps", 1.5, "host link bandwidth")
+	sched := flag.String("sched", "fifo", "unwindowed discipline to compare against credit")
+	crashAt := flag.Float64("crashms", 100, "crash rack 1's aggregator at this many ms")
+	warm := flag.Int("warm", 2, "warmup iterations")
+	measure := flag.Int("measure", 8, "measured iterations")
+	seed := flag.Int64("seed", 2, "workload seed")
+	flag.Parse()
+	if *machines%*rackSize != 0 || *machines / *rackSize < 2 {
+		log.Fatalf("need at least 2 full racks: machines=%d racksize=%d", *machines, *rackSize)
+	}
+
+	topo := netsim.Topology{RackSize: *rackSize, CoreOversub: 4}
+	racks := *machines / *rackSize
+	servers := make([]int, racks)
+	for r := range servers {
+		servers[r] = r * *rackSize // one server per rack, spread placement
+	}
+	base := cluster.Config{
+		Model: zoo.ByName(*name), Machines: *machines, Servers: racks,
+		BandwidthGbps: *gbps, WarmupIters: *warm, MeasureIters: *measure, Seed: *seed,
+		Topology: topo, ServerMachines: servers, RackAggregation: true,
+	}
+
+	// The plan: rack 1's aggregator goes down at crashAt and never
+	// restarts (Until 0 = permanent). DetectNs is how long a worker waits
+	// before treating silence as a crash; TimeoutNs paces the server's
+	// re-push requests for partial reductions the crash destroyed.
+	plan := &faults.Plan{
+		DetectNs:  2e6,
+		TimeoutNs: 10e6,
+		Events: []faults.Event{{
+			Kind:  faults.KindAggCrash,
+			At:    int64(*crashAt * 1e6),
+			Tier:  faults.TierRack,
+			Index: 1,
+		}},
+	}
+	if err := plan.Validate(*machines, topo); err != nil {
+		log.Fatal(err)
+	}
+	data, err := plan.Encode()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fault plan (replay with p3sim -faultplan):\n%s\n", data)
+
+	fmt.Printf("%s on %d machines (%d racks of %d) @%.1f Gbps, rack aggregation, aggregator crash at %.0f ms\n\n",
+		base.Model, *machines, racks, *rackSize, *gbps, *crashAt)
+	fmt.Printf("%8s %10s %12s %10s %10s %8s %12s\n",
+		"sched", "run", "samples/s/m", "iter_ms", "failovers", "lost", "retained")
+	for _, sc := range []string{*sched, "credit"} {
+		clean := run(sc, base, nil)
+		faulted := run(sc, base, plan)
+		perM := func(r cluster.Result) float64 { return r.Throughput / float64(r.Machines) }
+		fmt.Printf("%8s %10s %12.1f %10.2f %10d %8d %12s\n",
+			sc, "clean", perM(clean), clean.MeanIterTime.Millis(), clean.AggFailovers, clean.LostReductions, "100.0%")
+		fmt.Printf("%8s %10s %12.1f %10.2f %10d %8d %11.1f%%\n",
+			sc, "agg-crash", perM(faulted), faulted.MeanIterTime.Millis(), faulted.AggFailovers, faulted.LostReductions,
+			100*perM(faulted)/perM(clean))
+	}
+	fmt.Println("\nEvery lost reduction is a partial sum the crash destroyed; failovers count")
+	fmt.Println("the recovery actions (direct re-pushes, recovery pulls, re-push rounds)")
+	fmt.Println("that rebuilt them. The run completes under every discipline, degraded:")
+	fmt.Println("the crashed rack's workers push directly across the oversubscribed core,")
+	fmt.Println("and a fixed credit window sized for the healthy in-rack round-trip")
+	fmt.Println("throttles that much slower path hardest (static-window/BDP mismatch) —")
+	fmt.Println("sweep stragglers and link degradation too with `p3bench faults`.")
+}

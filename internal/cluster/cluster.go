@@ -22,6 +22,7 @@ import (
 	"math/rand/v2"
 
 	"p3/internal/core"
+	"p3/internal/faults"
 	"p3/internal/model"
 	"p3/internal/netsim"
 	"p3/internal/sched"
@@ -37,6 +38,7 @@ const (
 	kPull                    // worker -> server: parameter request
 	kData                    // server -> worker: updated parameter chunk
 	kCache                   // server -> rack aggregator: updated parameter chunk for the rack-local cache (RackLocalPS)
+	kRepush                  // server -> worker: re-push a contribution lost at a crashed aggregator (Config.Faults)
 )
 
 // ctlBytes is the payload size of notify/pull control messages.
@@ -163,6 +165,14 @@ type Config struct {
 	// aggregation logic sees them. 0 keeps the free switch-side engine.
 	// Requires RackAggregation.
 	AggReduceGBps float64
+	// Faults optionally injects a scripted fault plan: aggregator
+	// crash/restart, per-machine straggler windows, link-rate degradation,
+	// and worker leave/join, all as deterministic discrete events (see
+	// package faults). Aggregator crashes require RackAggregation with an
+	// Immediate-broadcast strategy (pod-tier crashes also HierAggregation)
+	// and are incompatible with RackLocalPS. A nil plan — and a zero-event
+	// one — is byte-identical to no faults at every shard count.
+	Faults *faults.Plan
 }
 
 func (c *Config) withDefaults() Config {
@@ -246,6 +256,18 @@ type Result struct {
 	// uplink/downlink ports (0 without Topology.Pods) — the inter-pod
 	// traffic HierAggregation exists to shrink.
 	SpineBytes int64
+
+	// Fault counters (all 0 without Config.Faults). FaultsInjected is the
+	// scripted event count; AggFailovers the failover actions taken
+	// (detected reroutes around a down aggregator, direct re-pushes and
+	// recovery pulls, re-push request rounds); DegradedNs the total
+	// scripted link-degradation window time; LostReductions the gradient
+	// contributions swallowed by down aggregators (each recovered through
+	// a direct re-push).
+	FaultsInjected int
+	AggFailovers   int64
+	DegradedNs     int64
+	LostReductions int64
 }
 
 // TotalStall sums the per-layer forward stalls of worker 0 over the
@@ -408,6 +430,12 @@ type serverState struct {
 	// push resets the aggregation slot.
 	lastDone []int32
 	pending  map[int32][]pendingPull // chunk ID -> pulls waiting for their iteration
+	// seen[c][w] marks the workers whose contribution to chunk c's
+	// in-flight barrier has been counted — the dedup that lets crash
+	// recovery re-push a possibly-lost contribution without ever counting
+	// a worker twice. Allocated only under a crash-scripting fault plan;
+	// owned by the server's machine LP like the rest of serverState.
+	seen [][]bool
 }
 
 type workerState struct {
@@ -462,6 +490,10 @@ type clusterSim struct {
 	jitter   [][]float64 // [worker][iter]
 	updRate  float64     // bytes per nanosecond
 	hostRate float64     // bytes per nanosecond
+
+	// fs is the fault-injection wiring (Config.Faults); nil on fault-free
+	// runs, so every fault check is a single nil test on the hot paths.
+	fs *faultState
 }
 
 // RunCalibrated is the two-pass calibrated mode: the first pass runs cfg as
@@ -540,6 +572,9 @@ func newClusterSim(cfg Config) *clusterSim {
 	}
 	if cfg.HierAggregation && cfg.Topology.Pods <= 0 {
 		panic("cluster: HierAggregation needs a spine tier (Topology.Pods > 0)")
+	}
+	if cfg.Faults != nil {
+		validateFaults(&cfg, n)
 	}
 	// Model-aware disciplines (tictac) see the same timing the simulator
 	// runs on unless a calibrated profile overrides it; model-blind
@@ -654,6 +689,11 @@ func newClusterSim(cfg Config) *clusterSim {
 		}
 		netCfg.AggDeliver = cs.aggDeliver
 	}
+	if cfg.Faults != nil {
+		// Builds cs.fs and, for crash plans, sets netCfg.AggDrop — which
+		// must land before the network is constructed.
+		cs.newFaultState(&netCfg)
+	}
 	cs.net = netsim.NewOnExec(exec, n, netCfg, cs.deliver, cfg.Recorder)
 	cs.updRate = cfg.UpdateRateGBps // GB/s == bytes/ns
 	cs.hostRate = cfg.HostRateGBps  // GB/s == bytes/ns
@@ -683,6 +723,12 @@ func newClusterSim(cfg Config) *clusterSim {
 		for c := range cs.servers[s].agg {
 			cs.servers[s].agg[c].iter = -1
 			cs.servers[s].lastDone[c] = -1
+		}
+		if cs.fs != nil && cs.fs.hasCrash {
+			cs.servers[s].seen = make([][]bool, cs.plan.NumChunks())
+			for c := range cs.servers[s].seen {
+				cs.servers[s].seen[c] = make([]bool, n)
+			}
 		}
 		cs.servers[s].proc.done = func(it procItem) { cs.pushProcessed(srv, it) }
 	}
@@ -718,6 +764,12 @@ func newClusterSim(cfg Config) *clusterSim {
 			cs.jitter[w][i] = math.Exp(rng.NormFloat64()*sigma - sigma*sigma/2)
 		}
 	}
+	if cs.fs != nil {
+		// Construction time, before the engine runs: the scripted events
+		// get the earliest insertion sequence numbers on their LPs, the
+		// LP-quantization rule fault determinism rests on.
+		cs.scheduleFaults()
+	}
 	return cs
 }
 
@@ -733,7 +785,16 @@ func (cs *clusterSim) start() {
 // ---- worker compute state machine ----
 
 func (cs *clusterSim) scaled(w int, iter int32, d sim.Time) sim.Time {
-	return sim.Time(float64(d) * cs.jitter[w][iter])
+	t := sim.Time(float64(d) * cs.jitter[w][iter])
+	if cs.fs != nil {
+		// A straggler window multiplies compute steps that start inside it
+		// (read off the static plan at the worker's own clock — no events,
+		// no cross-LP state).
+		if f := cs.fs.plan.SlowFactor(w, int64(cs.procs[w].Now())); f != 1 {
+			t = sim.Time(float64(t) * f)
+		}
+	}
+	return t
 }
 
 func (cs *clusterSim) advanceForward(w int) {
@@ -747,6 +808,11 @@ func (cs *clusterSim) advanceForward(w int) {
 		if !ws.waitingFwd {
 			ws.waitingFwd = true
 			ws.waitSince = cs.procs[w].Now()
+			if cs.fs != nil && cs.fs.hasCrash {
+				// A broadcast stream dropped at a down aggregator would leave
+				// this wait unsatisfiable: re-pull directly after a timeout.
+				cs.armStallCheck(w, l, ws.curIter, ws.waitSince)
+			}
 		}
 		return
 	}
@@ -756,7 +822,7 @@ func (cs *clusterSim) advanceForward(w int) {
 			ws.layerStall[l] += cs.procs[w].Now() - ws.waitSince
 		}
 	}
-	cs.procs[w].After(cs.scaled(w, ws.curIter, cs.timing.Fwd[l]), func() {
+	cs.after(w, cs.scaled(w, ws.curIter, cs.timing.Fwd[l]), func() {
 		ws.fwdLayer = l + 1
 		cs.advanceForward(w)
 	})
@@ -768,7 +834,7 @@ func (cs *clusterSim) startBackward(w int) {
 
 func (cs *clusterSim) stepBackward(w, l int) {
 	ws := &cs.workers[w]
-	cs.procs[w].After(cs.scaled(w, ws.curIter, cs.timing.Bwd[l]), func() {
+	cs.after(w, cs.scaled(w, ws.curIter, cs.timing.Bwd[l]), func() {
 		cs.pushLayer(w, l)
 		if l > 0 {
 			cs.stepBackward(w, l-1)
@@ -790,10 +856,20 @@ func (cs *clusterSim) pushLayer(w, l int) {
 		// through the worker's own rack aggregator instead — including
 		// pushes whose server is rack-local, which cuts the server's NIC
 		// fan-in from rackPop to one. Only the co-located worker's loopback
-		// (shared memory, never on the wire) stays direct.
+		// (shared memory, never on the wire) stays direct. A worker that
+		// has detected its rack aggregator down falls back to the direct
+		// push until the restart is detected.
 		if cs.rackAggs != nil && w != m.To {
-			m.To = cs.cfg.Topology.RackOf(w)
-			m.ToAgg = true
+			rack := cs.cfg.Topology.RackOf(w)
+			if cs.fs != nil && cs.fs.hasCrash && cs.rackDownDetected(rack, cs.procs[w].Now()) {
+				cs.fs.machFailovers[w]++
+			} else {
+				m.To = rack
+				m.ToAgg = true
+			}
+		}
+		if cs.fs != nil && cs.fs.hasCrash {
+			cs.fs.pushedIter[w][id] = ws.curIter
 		}
 		cs.net.Send(m)
 	}
@@ -828,6 +904,8 @@ func (cs *clusterSim) deliver(m netsim.Message) {
 		cs.onPull(m)
 	case kData:
 		cs.onData(m)
+	case kRepush:
+		cs.onRepush(m)
 	default:
 		panic(fmt.Sprintf("cluster: unknown message kind %d", m.Kind))
 	}
@@ -876,7 +954,15 @@ func (cs *clusterSim) aggDeliver(tier, idx int, m netsim.Message) {
 		if a.count == cs.aggExpect(rack, m.Chunk) {
 			out := m
 			out.Src = int32(-1 - rack)
-			if cs.podAggs != nil {
+			toPod := cs.podAggs != nil
+			if toPod && cs.fs != nil && cs.fs.hasCrash &&
+				cs.podDownDetected(cs.podOf(rack), cs.net.AggNow(netsim.TierRack, rack)) {
+				// Hierarchical failover: re-parent the reduced rack stream
+				// from the down pod aggregator straight to the server.
+				toPod = false
+				cs.fs.aggFailovers[rack]++
+			}
+			if toPod {
 				out.To = cs.podOf(rack)
 				out.ToAgg = true
 				out.AggTier = netsim.TierPod
@@ -885,6 +971,10 @@ func (cs *clusterSim) aggDeliver(tier, idx int, m netsim.Message) {
 				out.ToAgg = false
 			}
 			cs.net.AggSend(netsim.TierRack, rack, out)
+			// Flushed contributions are accounted for downstream: reset the
+			// slot so a later crash on this aggregator cannot count them as
+			// lost (event-neutral — a completed slot never flushes again).
+			a.count = 0
 		}
 	case kData, kNotify:
 		skip := -1
@@ -954,6 +1044,7 @@ func (cs *clusterSim) podAggDeliver(pod int, m netsim.Message) {
 			out.AggTier = 0
 			out.Src = int32(-1 - len(cs.rackPop) - pod)
 			cs.net.AggSend(netsim.TierPod, pod, out)
+			a.count = 0
 		}
 	case kData, kNotify, kCache:
 		// Descend the broadcast: one copy per rack of the pod, skipping a
@@ -961,9 +1052,52 @@ func (cs *clusterSim) podAggDeliver(pod int, m netsim.Message) {
 		// got the loopback copy, the rack has nobody else to fan to, and
 		// nobody there will ever pull from the cache).
 		skip := -1
-		if srvM := cs.srvMachine[int(m.Src)]; cs.podOf(cs.cfg.Topology.RackOf(srvM)) == pod {
+		srvM := cs.srvMachine[int(m.Src)]
+		if cs.podOf(cs.cfg.Topology.RackOf(srvM)) == pod {
 			if r := cs.cfg.Topology.RackOf(srvM); cs.rackPop[r] == 1 {
 				skip = r
+			}
+		}
+		if cs.fs != nil && cs.fs.hasCrash {
+			now := cs.net.AggNow(netsim.TierPod, pod)
+			lo, hi := pod*cs.rpp, (pod+1)*cs.rpp
+			anyDown := false
+			for r := lo; r < hi; r++ {
+				if r != skip && cs.rackDownDetected(r, now) {
+					anyDown = true
+					break
+				}
+			}
+			if anyDown {
+				// Failover fan: streams for down rack aggregators go per
+				// machine instead (each copy serializes through the rack
+				// downlink individually — the cost of losing the ToR fanout).
+				cs.fs.aggFailovers[len(cs.rackPop)+pod]++
+				for r := lo; r < hi; r++ {
+					if r == skip {
+						continue
+					}
+					if cs.rackDownDetected(r, now) {
+						mlo := r * cs.cfg.Topology.RackSize
+						for w := mlo; w < mlo+cs.rackPop[r]; w++ {
+							if w == srvM {
+								continue
+							}
+							c := m
+							c.To = w
+							c.ToAgg = false
+							c.AggTier = 0
+							cs.net.AggSend(netsim.TierPod, pod, c)
+						}
+						continue
+					}
+					c := m
+					c.To = r
+					c.ToAgg = true
+					c.AggTier = netsim.TierRack
+					cs.net.AggSend(netsim.TierPod, pod, c)
+				}
+				return
 			}
 		}
 		cs.net.AggFanout(netsim.TierPod, pod, m, skip)
@@ -1010,6 +1144,10 @@ func (cs *clusterSim) podExpect(pod int, chunk int32) int {
 func (cs *clusterSim) pushProcessed(srv int, it procItem) {
 	if cs.cfg.Strategy.Async {
 		cs.sendData(srv, it.chunk, it.iter, int(it.src))
+		return
+	}
+	if cs.fs != nil && cs.fs.hasCrash {
+		cs.pushProcessedFaults(srv, it)
 		return
 	}
 	s := &cs.servers[srv]
@@ -1064,11 +1202,52 @@ func (cs *clusterSim) onUpdated(srv int, chunk, iter int32) {
 				Kind: kind, Chunk: chunk, Iter: iter, Src: int32(srv),
 			})
 		}
+		crash := cs.fs != nil && cs.fs.hasCrash
+		var now sim.Time
+		if crash {
+			now = cs.procs[srvM].Now()
+		}
+		srvRack := cs.cfg.Topology.RackOf(srvM)
+		// rackStream ships rack r's copy: one ToR stream normally, or —
+		// when the rack's aggregator is down as detected now — one direct
+		// copy per machine of the rack (the loopback covered srvM).
+		rackStream := func(r int) {
+			if crash && cs.rackDownDetected(r, now) {
+				cs.fs.machFailovers[srvM]++
+				lo := r * cs.cfg.Topology.RackSize
+				for w := lo; w < lo+cs.rackPop[r]; w++ {
+					if w == srvM {
+						continue
+					}
+					cs.net.Send(netsim.Message{
+						From: srvM, To: w, Bytes: bytes, Priority: int32(c.Priority),
+						Kind: kind, Chunk: chunk, Iter: iter, Src: int32(srv),
+					})
+				}
+				return
+			}
+			cs.net.Send(netsim.Message{
+				From: srvM, To: r, ToAgg: true, Bytes: bytes, Priority: int32(c.Priority),
+				Kind: kind, Chunk: chunk, Iter: iter, Src: int32(srv),
+			})
+		}
 		if cs.podAggs != nil {
-			srvPod := cs.podOf(cs.cfg.Topology.RackOf(srvM))
+			srvPod := cs.podOf(srvRack)
 			for p := range cs.podPop {
 				if p == srvPod && cs.podPop[p] == 1 {
 					continue // the loopback already reached the whole pod
+				}
+				if crash && cs.podDownDetected(p, now) {
+					// The pod stream would die at the down pod aggregator:
+					// descend one tier and ship per-rack streams instead.
+					cs.fs.machFailovers[srvM]++
+					for r := p * cs.rpp; r < (p+1)*cs.rpp; r++ {
+						if r == srvRack && cs.rackPop[r] == 1 {
+							continue
+						}
+						rackStream(r)
+					}
+					continue
 				}
 				cs.net.Send(netsim.Message{
 					From: srvM, To: p, ToAgg: true, AggTier: netsim.TierPod,
@@ -1078,15 +1257,11 @@ func (cs *clusterSim) onUpdated(srv int, chunk, iter int32) {
 			}
 			return
 		}
-		srvRack := cs.cfg.Topology.RackOf(srvM)
 		for r := range cs.rackPop {
 			if r == srvRack && cs.rackPop[r] == 1 {
 				continue // the loopback already reached the whole rack
 			}
-			cs.net.Send(netsim.Message{
-				From: srvM, To: r, ToAgg: true, Bytes: bytes, Priority: int32(c.Priority),
-				Kind: kind, Chunk: chunk, Iter: iter, Src: int32(srv),
-			})
+			rackStream(r)
 		}
 	}
 	switch cs.cfg.Strategy.Pull {
@@ -1186,6 +1361,15 @@ func (cs *clusterSim) onData(m netsim.Message) {
 // installChunk marks an updated parameter chunk as usable by the next
 // forward pass and unblocks the worker if it was stalled on this layer.
 func (cs *clusterSim) installChunk(w int, chunk, iter int32) {
+	if fs := cs.fs; fs != nil && fs.hasCrash {
+		// Crash recovery can deliver the same chunk twice (re-pull plus the
+		// original broadcast): only the first installation of an iteration
+		// counts, keeping recvCount consistent.
+		if fs.gotIter[w][chunk] >= iter {
+			return
+		}
+		fs.gotIter[w][chunk] = iter
+	}
 	ws := &cs.workers[w]
 	l := cs.plan.Chunks[chunk].Layer
 	ws.recvCount[l]++
@@ -1236,7 +1420,7 @@ func (cs *clusterSim) result() Result {
 		prev = t
 	}
 
-	return Result{
+	res := Result{
 		Model:           cs.cfg.Model.Name,
 		Strategy:        cs.cfg.Strategy.Name,
 		Machines:        n,
@@ -1255,4 +1439,8 @@ func (cs *clusterSim) result() Result {
 		CoreBytes:       cs.net.CoreBytes(),
 		SpineBytes:      cs.net.SpineBytes(),
 	}
+	if cs.fs != nil {
+		cs.faultCounters(&res)
+	}
+	return res
 }

@@ -1,0 +1,480 @@
+package cluster
+
+// Fault injection and recovery (Config.Faults). A faults.Plan is wired in
+// as construction-time discrete events on the affected LPs (netsim's
+// Schedule* methods) plus read-side lookups against the static plan, so a
+// zero-event plan schedules nothing and stays byte-identical to no plan
+// at every shard count. Recovery from aggregator crashes is driven from
+// both ends on top of the same dedup invariant:
+//
+//   - every contribution the server counts is tracked in a per-chunk seen
+//     bitmap, so a direct re-push and a late rack/pod stream for the same
+//     worker can never double-count;
+//   - the server re-arms a timeout on every aggregation barrier born while
+//     a crash window could overlap it, and asks still-unseen machines of
+//     crash-affected racks/pods for a direct re-push (kRepush);
+//   - a worker stalled on parameters a lost broadcast should have carried
+//     re-pulls them directly after the same timeout, and installChunk
+//     dedups whatever arrives twice.
+//
+// All recovery state is partitioned by the LP that owns it (per-machine
+// counters on the machine's LP, per-aggregator counters on the aggregator
+// LP, seen bitmaps on the server's machine LP), so the sharded engine
+// never races on it and fault runs are bit-identical across shard counts.
+
+import (
+	"fmt"
+
+	"p3/internal/faults"
+	"p3/internal/netsim"
+	"p3/internal/sim"
+	"p3/internal/strategy"
+)
+
+// faultState is the per-run fault wiring. Nil on fault-free runs; the
+// crash-recovery arrays (pushedIter, gotIter, affected) are allocated only
+// when the plan scripts an aggregator crash.
+type faultState struct {
+	plan    *faults.Plan
+	timeout sim.Time
+	// hasCrash gates every crash-recovery code path; stragglers, link
+	// degradation and worker churn need none of it.
+	hasCrash bool
+	// affected[w] marks machines whose contributions or broadcasts can
+	// route through a crash-scripted aggregator — the only machines the
+	// server's barrier timer ever asks for re-pushes, so slow-but-healthy
+	// racks are never spammed. Under HierAggregation a rack-tier crash
+	// marks its whole parent pod: the pod reduction cannot complete without
+	// the crashed rack's stream, so the sibling racks' contributions stall
+	// inside the pod aggregator and need direct re-pushes too.
+	affected []bool
+	// pushedIter[w][chunk] is the newest iteration worker w pushed for the
+	// chunk; gotIter[w][chunk] the newest iteration installed. Both are
+	// owned by machine w's LP. gotIter doubles as the dedup line for
+	// recovery duplicates. repushedIter[w][chunk] is the newest iteration
+	// the worker answered a kRepush for: the direct re-push rides a
+	// lossless network, so answering the same barrier's request twice only
+	// feeds the congestion that delayed the first copy — the retry storm
+	// that turns one crashed aggregator into a network collapse.
+	// repulledIter[w][chunk] is the same line for stallCheck's recovery
+	// pulls: a pull the server cannot answer yet parks in its pending list
+	// and is answered when the update lands, so one pull per iteration is
+	// guaranteed a reply and every further round would duplicate the
+	// full-chunk data answer into the already-congested failover path.
+	pushedIter   [][]int32
+	repushedIter [][]int32
+	repulledIter [][]int32
+	gotIter      [][]int32
+	// machFailovers[w] counts failover actions taken on machine w's LP
+	// (detected reroutes, re-pushes, recovery pulls, repush rounds);
+	// aggFailovers (rack aggregators first, then pods) counts reroutes
+	// decided on an aggregator's LP; aggLost likewise counts gradient
+	// contributions swallowed by a down aggregator.
+	machFailovers []int64
+	aggFailovers  []int64
+	aggLost       []int64
+}
+
+// validateFaults rejects plans the cluster cannot honor, before any state
+// is built. Mirrors the panic idiom of the other Config prerequisites.
+func validateFaults(cfg *Config, n int) {
+	p := cfg.Faults
+	if err := p.Validate(n, cfg.Topology); err != nil {
+		panic(fmt.Sprintf("cluster: %v", err))
+	}
+	if !p.HasAggCrash() {
+		return
+	}
+	if !cfg.RackAggregation {
+		panic("cluster: an agg-crash fault needs RackAggregation (there is no aggregator to crash)")
+	}
+	if cfg.RackLocalPS {
+		panic("cluster: agg-crash faults are incompatible with RackLocalPS (the rack parameter cache has no failover path)")
+	}
+	if cfg.Strategy.Pull != strategy.Immediate {
+		panic("cluster: agg-crash faults need an Immediate-broadcast strategy (crash recovery re-pulls against the immediate data path)")
+	}
+	if p.HasTierCrash(faults.TierPod) && !cfg.HierAggregation {
+		panic("cluster: a pod-tier agg-crash needs HierAggregation (there is no pod aggregator to crash)")
+	}
+}
+
+// newFaultState builds the run's fault wiring. Called after the rack
+// aggregation state (rackPop, rpp) exists and before the network is
+// constructed (netCfg.AggDrop must be set before NewOnExec).
+func (cs *clusterSim) newFaultState(netCfg *netsim.Config) {
+	p := cs.cfg.Faults
+	n := cs.cfg.Machines
+	fs := &faultState{
+		plan:          p,
+		timeout:       sim.Time(p.Timeout()),
+		hasCrash:      p.HasAggCrash(),
+		machFailovers: make([]int64, n),
+	}
+	cs.fs = fs
+	if !fs.hasCrash {
+		return
+	}
+	racks := len(cs.rackPop)
+	fs.aggFailovers = make([]int64, racks+cs.cfg.Topology.Pods)
+	fs.aggLost = make([]int64, racks+cs.cfg.Topology.Pods)
+	fs.affected = make([]bool, n)
+	markRack := func(r int) {
+		lo := r * cs.cfg.Topology.RackSize
+		for w := lo; w < lo+cs.rackPop[r]; w++ {
+			fs.affected[w] = true
+		}
+	}
+	for _, e := range p.Events {
+		if e.Kind != faults.KindAggCrash {
+			continue
+		}
+		switch {
+		case e.Tier == faults.TierPod:
+			for r := e.Index * cs.rpp; r < (e.Index+1)*cs.rpp; r++ {
+				markRack(r)
+			}
+		case cs.cfg.HierAggregation:
+			pod := e.Index / cs.rpp
+			for r := pod * cs.rpp; r < (pod+1)*cs.rpp; r++ {
+				markRack(r)
+			}
+		default:
+			markRack(e.Index)
+		}
+	}
+	fs.pushedIter = make([][]int32, n)
+	fs.gotIter = make([][]int32, n)
+	fs.repushedIter = make([][]int32, n)
+	fs.repulledIter = make([][]int32, n)
+	for w := 0; w < n; w++ {
+		fs.pushedIter[w] = make([]int32, cs.plan.NumChunks())
+		fs.gotIter[w] = make([]int32, cs.plan.NumChunks())
+		fs.repushedIter[w] = make([]int32, cs.plan.NumChunks())
+		fs.repulledIter[w] = make([]int32, cs.plan.NumChunks())
+		for c := range fs.pushedIter[w] {
+			fs.pushedIter[w][c] = -1
+			fs.gotIter[w][c] = -1
+			fs.repushedIter[w][c] = -1
+			fs.repulledIter[w][c] = -1
+		}
+	}
+	netCfg.AggDrop = cs.aggDrop
+}
+
+// scheduleFaults installs the plan's scripted netsim events — link
+// degradations and aggregator outages — as construction-time events on
+// the affected LPs. Stragglers and worker-leave windows need no events:
+// they are read back from the static plan at compute-scheduling time.
+func (cs *clusterSim) scheduleFaults() {
+	for _, e := range cs.fs.plan.Events {
+		switch e.Kind {
+		case faults.KindLinkDegrade:
+			switch e.Link {
+			case faults.LinkHost:
+				cs.net.ScheduleHostDegrade(e.Index, sim.Time(e.At), sim.Time(e.Until), e.Factor)
+			case faults.LinkToR:
+				cs.net.ScheduleRackDegrade(e.Index, sim.Time(e.At), sim.Time(e.Until), e.Factor)
+			case faults.LinkSpine:
+				cs.net.ScheduleSpineDegrade(e.Index, sim.Time(e.At), sim.Time(e.Until), e.Factor)
+			}
+		case faults.KindAggCrash:
+			tier := netsim.TierRack
+			ord := e.Index
+			if e.Tier == faults.TierPod {
+				tier = netsim.TierPod
+				ord = len(cs.rackPop) + e.Index
+			}
+			idx := e.Index
+			cs.net.ScheduleAggOutage(tier, idx, sim.Time(e.At), sim.Time(e.Until),
+				func() { cs.onAggCrash(tier, idx, ord) }, nil)
+		}
+	}
+}
+
+// onAggCrash runs on the crashed aggregator's LP at the crash instant:
+// whatever partial reductions the aggregator held are lost with it.
+func (cs *clusterSim) onAggCrash(tier, idx, ord int) {
+	var agg []chunkAgg
+	if tier == netsim.TierPod {
+		agg = cs.podAggs[idx].agg
+	} else {
+		agg = cs.rackAggs[idx].agg
+	}
+	for c := range agg {
+		if agg[c].count > 0 {
+			cs.fs.aggLost[ord] += int64(agg[c].count)
+			agg[c].iter = -1
+			agg[c].count = 0
+		}
+	}
+}
+
+// aggDrop is the netsim AggDrop handler (crash plans only): it counts the
+// gradient contributions a down aggregator swallowed, on that
+// aggregator's own LP. Reduced streams (Src < 0) count as every worker
+// folded into them; broadcast traffic carries no contributions.
+func (cs *clusterSim) aggDrop(tier, idx int, m netsim.Message) {
+	ord := idx
+	if tier == netsim.TierPod {
+		ord = len(cs.rackPop) + idx
+	}
+	if m.Kind != kPush {
+		return
+	}
+	switch {
+	case m.Src >= 0:
+		cs.fs.aggLost[ord]++
+	case int(-1-m.Src) >= len(cs.rackPop):
+		cs.fs.aggLost[ord] += int64(cs.podExpect(int(-1-m.Src)-len(cs.rackPop), m.Chunk))
+	default:
+		cs.fs.aggLost[ord] += int64(cs.aggExpect(int(-1-m.Src), m.Chunk))
+	}
+}
+
+// after schedules fn d after now on machine w's LP, deferring past any
+// worker-leave window containing now: a step that would start inside the
+// window instead runs its full duration from the rejoin instant.
+func (cs *clusterSim) after(w int, d sim.Time, fn func()) {
+	p := cs.procs[w]
+	if cs.fs != nil {
+		if rejoin, ok := cs.fs.plan.PausedAt(w, int64(p.Now())); ok {
+			p.At(sim.Time(rejoin)+d, fn)
+			return
+		}
+	}
+	p.After(d, fn)
+}
+
+// rackDownDetected reports whether rack r's aggregator is down as
+// detected at virtual time now (the reading LP's own clock).
+func (cs *clusterSim) rackDownDetected(r int, now sim.Time) bool {
+	return cs.fs.plan.AggDownDetected(netsim.TierRack, r, int64(now))
+}
+
+// podDownDetected is rackDownDetected for a pod aggregator.
+func (cs *clusterSim) podDownDetected(p int, now sim.Time) bool {
+	return cs.fs.plan.AggDownDetected(netsim.TierPod, p, int64(now))
+}
+
+// pushProcessedFaults replaces the synchronous pushProcessed barrier under
+// crash plans: contributions are counted through a per-chunk seen bitmap
+// (dedup against re-pushes), barriers born inside a possible crash window
+// arm a re-push timer, and stale re-pushes of an already-completed
+// iteration are answered with the current value so the re-pusher also
+// recovers any broadcast it missed.
+func (cs *clusterSim) pushProcessedFaults(srv int, it procItem) {
+	s := &cs.servers[srv]
+	if it.iter <= s.lastDone[it.chunk] {
+		if it.src >= 0 {
+			cs.sendData(srv, it.chunk, it.iter, int(it.src))
+		}
+		return
+	}
+	agg := &s.agg[it.chunk]
+	if agg.iter != it.iter {
+		agg.iter = it.iter
+		agg.count = 0
+		agg.done = false
+		seen := s.seen[it.chunk]
+		for i := range seen {
+			seen[i] = false
+		}
+		now := cs.procs[cs.srvMachine[srv]].Now()
+		if _, pending := cs.fs.plan.CrashOverlap(int64(now), int64(now)); pending {
+			cs.armBarrierCheck(srv, it.chunk, it.iter, now)
+		}
+	}
+	agg.count += cs.markSeen(srv, it.chunk, int(it.src))
+	if agg.count == cs.cfg.Machines && !agg.done {
+		agg.done = true
+		if it.iter > s.lastDone[it.chunk] {
+			s.lastDone[it.chunk] = it.iter
+		}
+		cs.onUpdated(srv, it.chunk, it.iter)
+	}
+}
+
+// markSeen marks the workers a contribution covers in the chunk's seen
+// bitmap and returns how many were newly marked — 0 for every worker a
+// re-push or late stream already counted. Reduced streams cover their
+// rack's (or pod's) machines except the chunk's server machine, mirroring
+// aggExpect/podExpect.
+func (cs *clusterSim) markSeen(srv int, chunk int32, src int) int {
+	seen := cs.servers[srv].seen[chunk]
+	mark := func(w int) int {
+		if seen[w] {
+			return 0
+		}
+		seen[w] = true
+		return 1
+	}
+	if src >= 0 {
+		return mark(src)
+	}
+	srvM := cs.srvMachine[srv]
+	markRack := func(r int) int {
+		n := 0
+		lo := r * cs.cfg.Topology.RackSize
+		for w := lo; w < lo+cs.rackPop[r]; w++ {
+			if w == srvM {
+				continue
+			}
+			n += mark(w)
+		}
+		return n
+	}
+	idx := -1 - src
+	if idx >= len(cs.rackPop) {
+		pod := idx - len(cs.rackPop)
+		n := 0
+		for r := pod * cs.rpp; r < (pod+1)*cs.rpp; r++ {
+			n += markRack(r)
+		}
+		return n
+	}
+	return markRack(idx)
+}
+
+// recoveryBackoff doubles a retry timer up to 32x the configured timeout:
+// re-pushed gradients and re-pulled parameters are megabytes crossing an
+// oversubscribed uplink, so they routinely outlive one timeout in flight —
+// retrying on a fixed period re-requests data that is already coming and
+// melts the network under its own recovery traffic.
+func (cs *clusterSim) recoveryBackoff(delay sim.Time) sim.Time {
+	if max := cs.fs.timeout * 32; delay*2 > max {
+		return max
+	}
+	return delay * 2
+}
+
+// armBarrierCheck re-arms a timeout on the server's machine LP for an
+// aggregation barrier born at `since` while a crash window could overlap
+// it. Each firing asks every still-unseen machine of a crash-affected
+// rack/pod for a direct re-push (kRepush); the timer stops once the
+// barrier completes, the slot moves to a newer iteration, or no scripted
+// crash can reach it anymore, and backs off exponentially in between.
+func (cs *clusterSim) armBarrierCheck(srv int, chunk, iter int32, since sim.Time) {
+	cs.barrierCheck(srv, chunk, iter, since, cs.fs.timeout)
+}
+
+func (cs *clusterSim) barrierCheck(srv int, chunk, iter int32, since sim.Time, delay sim.Time) {
+	srvM := cs.srvMachine[srv]
+	cs.procs[srvM].After(delay, func() {
+		s := &cs.servers[srv]
+		agg := &s.agg[chunk]
+		if agg.iter != iter || agg.done {
+			return
+		}
+		now := cs.procs[srvM].Now()
+		fire, pending := cs.fs.plan.CrashOverlap(int64(since), int64(now))
+		if fire {
+			sent := false
+			seen := s.seen[chunk]
+			c := cs.plan.Chunks[chunk]
+			for w := range seen {
+				if seen[w] || !cs.fs.affected[w] || w == srvM {
+					continue
+				}
+				sent = true
+				cs.net.Send(netsim.Message{
+					From: srvM, To: w, Bytes: ctlBytes, Priority: int32(c.Priority),
+					Kind: kRepush, Chunk: chunk, Iter: iter, Src: int32(srv),
+				})
+			}
+			if sent {
+				cs.fs.machFailovers[srvM]++
+			}
+		}
+		if pending {
+			cs.barrierCheck(srv, chunk, iter, since, cs.recoveryBackoff(delay))
+		}
+	})
+}
+
+// onRepush answers a server's re-push request on the worker's LP: if the
+// worker already pushed this iteration (so its contribution may have died
+// with an aggregator) and has not yet seen the iteration's update, it
+// re-pushes the gradient chunk directly to the server — once per
+// iteration: the direct path is lossless, so a second copy can only add
+// congestion behind the first.
+func (cs *clusterSim) onRepush(m netsim.Message) {
+	w := m.To
+	fs := cs.fs
+	if fs.pushedIter[w][m.Chunk] < m.Iter || fs.gotIter[w][m.Chunk] >= m.Iter ||
+		fs.repushedIter[w][m.Chunk] >= m.Iter {
+		return
+	}
+	fs.repushedIter[w][m.Chunk] = m.Iter
+	fs.machFailovers[w]++
+	c := cs.plan.Chunks[m.Chunk]
+	cs.net.Send(netsim.Message{
+		From: w, To: cs.srvMachine[c.Server], Bytes: c.Bytes(), Priority: int32(c.Priority),
+		Kind: kPush, Chunk: m.Chunk, Iter: m.Iter, Src: int32(w),
+	})
+}
+
+// armStallCheck re-arms a timeout on worker w's LP while it is stalled in
+// forward waiting for layer l's parameters of iteration iter-1 and a
+// scripted crash could explain the gap (a broadcast stream dropped at a
+// down aggregator). Each firing re-pulls the still-missing chunks
+// directly from their servers — once per iteration (repulledIter): an
+// unanswerable pull parks in the server's pending list and is answered
+// when the update lands, so a second pull can only duplicate the data
+// answer behind the first — backing off exponentially between rounds;
+// stragglers of the dedup line are still dedup'd at install (gotIter).
+func (cs *clusterSim) armStallCheck(w, l int, iter int32, since sim.Time) {
+	if _, pending := cs.fs.plan.CrashOverlap(int64(since), int64(since)); !pending {
+		return
+	}
+	cs.stallCheck(w, l, iter, since, cs.fs.timeout)
+}
+
+func (cs *clusterSim) stallCheck(w, l int, iter int32, since sim.Time, delay sim.Time) {
+	cs.procs[w].After(delay, func() {
+		ws := &cs.workers[w]
+		if !ws.waitingFwd || ws.fwdLayer != l || ws.curIter != iter {
+			return
+		}
+		now := cs.procs[w].Now()
+		fire, pending := cs.fs.plan.CrashOverlap(int64(since), int64(now))
+		if fire {
+			pulled := false
+			for _, id := range cs.plan.LayerChunks(l) {
+				if cs.fs.gotIter[w][id] >= iter-1 || cs.fs.repulledIter[w][id] >= iter-1 {
+					continue
+				}
+				cs.fs.repulledIter[w][id] = iter - 1
+				pulled = true
+				c := cs.plan.Chunks[id]
+				cs.net.Send(netsim.Message{
+					From: w, To: cs.srvMachine[c.Server], Bytes: ctlBytes, Priority: int32(c.Priority),
+					Kind: kPull, Chunk: int32(id), Iter: iter - 1, Src: int32(w),
+				})
+			}
+			if pulled {
+				cs.fs.machFailovers[w]++
+			}
+		}
+		if pending {
+			cs.stallCheck(w, l, iter, since, cs.recoveryBackoff(delay))
+		}
+	})
+}
+
+// faultCounters sums the per-LP fault counters into the Result fields
+// (safe once the run is over, like the netsim stat accessors).
+func (cs *clusterSim) faultCounters(r *Result) {
+	fs := cs.fs
+	r.FaultsInjected = len(fs.plan.Events)
+	r.DegradedNs = fs.plan.DegradedNs()
+	for _, v := range fs.machFailovers {
+		r.AggFailovers += v
+	}
+	for _, v := range fs.aggFailovers {
+		r.AggFailovers += v
+	}
+	for _, v := range fs.aggLost {
+		r.LostReductions += v
+	}
+}

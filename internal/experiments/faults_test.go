@@ -1,0 +1,125 @@
+package experiments
+
+import "testing"
+
+// TestFaultSweepFast runs the trimmed fault sweep and checks the table's
+// structural invariants: every discipline runs every scenario, clean cells
+// define the 100% baseline and inject nothing, crash cells actually
+// exercise the failover path (failovers and lost reductions recorded), and
+// the non-crash scenarios recover every reduction.
+func TestFaultSweepFast(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fault sweep in -short mode")
+	}
+	rows := Faults(Options{Fast: true, Seed: 1, Shards: 2})
+	if len(rows) != 12 {
+		t.Fatalf("got %d rows, want 12 (3 disciplines x 4 scenarios)", len(rows))
+	}
+	seen := map[string]map[string]FaultRow{}
+	for _, r := range rows {
+		if r.PerMachine <= 0 || r.IterMs <= 0 {
+			t.Fatalf("degenerate row: %+v", r)
+		}
+		if r.RetainedPct <= 0 || r.RetainedPct > 120 {
+			t.Errorf("retained_pct out of range: %+v", r)
+		}
+		if seen[r.Sched] == nil {
+			seen[r.Sched] = map[string]FaultRow{}
+		}
+		seen[r.Sched][r.Scenario] = r
+	}
+	for _, sched := range []string{"fifo", "damped", "credit"} {
+		cells := seen[sched]
+		for _, scenario := range []string{"clean", "straggler", "agg-crash", "nic-degrade"} {
+			r, ok := cells[scenario]
+			if !ok {
+				t.Fatalf("missing cell %s/%s", sched, scenario)
+			}
+			switch scenario {
+			case "agg-crash":
+				if r.Failovers == 0 || r.Lost == 0 {
+					t.Errorf("%s/agg-crash recorded %d failovers, %d lost reductions — the crash never exercised the failover path",
+						sched, r.Failovers, r.Lost)
+				}
+			case "clean":
+				if r.RetainedPct != 100 {
+					t.Errorf("%s/clean retained %.1f%%, want exactly 100 (it is its own baseline)", sched, r.RetainedPct)
+				}
+				fallthrough
+			default:
+				if r.Failovers != 0 || r.Lost != 0 {
+					t.Errorf("%s/%s recorded %d failovers, %d lost reductions without an aggregator crash",
+						sched, scenario, r.Failovers, r.Lost)
+				}
+			}
+		}
+	}
+	if FaultsTable(rows) == "" {
+		t.Error("empty table")
+	}
+}
+
+// TestFaultGracefulDegradationFinding pins the graceful-degradation
+// ordering measured on this tree at the full 64-machine cell
+// (resnet50 @1.5Gbps, 4 racks of 16 behind a 4:1 core, rack aggregation):
+//
+//   - The 1.5x compute straggler is absorbed almost entirely by every
+//     discipline (fifo 99.5% / damped 99.0% / credit 99.8% retained when
+//     captured) — in the comm-bound regime the straggler's extra compute
+//     hides under everyone else's transfers, so the priority disciplines
+//     degrade exactly as gracefully as fifo: nobody pays.
+//   - Under the half-rate NIC the credit window degrades most gracefully
+//     (83.4% retained vs fifo 77.6% / damped 77.3%): bounding in-flight
+//     bytes keeps the slowed link's queue shallow instead of letting the
+//     backlog snowball.
+//   - Under the permanent aggregator crash the same window becomes the
+//     liability: credit retained 8.3% vs fifo 16.6% / damped 15.5%. The
+//     crashed rack's workers fail over to direct cross-core pushes whose
+//     delivery latency is tens of times the healthy in-rack path's, and a
+//     fixed window sized for the healthy path's round-trip throttles the
+//     inflated one — the classic static-window/BDP mismatch, and the
+//     measured motivation for adaptive windows in the self-tuning
+//     roadmap item. All three disciplines complete the run via failover.
+//
+// The assertions are directional with margin (thresholds, strict
+// orderings), not bit-pinned, so unrelated timing shifts don't thrash
+// them; if a future discipline or recovery change flips one, re-measure
+// and re-pin.
+func TestFaultGracefulDegradationFinding(t *testing.T) {
+	if raceEnabled || testing.Short() {
+		t.Skip("full 64-machine fault sweep is for the non-race suite")
+	}
+	rows := Faults(Options{Seed: 1, Shards: 4})
+	cell := map[string]map[string]FaultRow{}
+	for _, r := range rows {
+		if cell[r.Sched] == nil {
+			cell[r.Sched] = map[string]FaultRow{}
+		}
+		cell[r.Sched][r.Scenario] = r
+		t.Logf("%s/%s: %.1f samples/s/machine, retained %.1f%%, %d failovers, %d lost",
+			r.Sched, r.Scenario, r.PerMachine, r.RetainedPct, r.Failovers, r.Lost)
+	}
+	for _, sched := range []string{"fifo", "damped", "credit"} {
+		if got := cell[sched]["straggler"].RetainedPct; got < 95 {
+			t.Errorf("%s retained %.1f%% under the 1.5x straggler, want >= 95 — the comm-bound regime stopped hiding the straggler, re-pin",
+				sched, got)
+		}
+		crash := cell[sched]["agg-crash"]
+		if crash.RetainedPct <= 1 || crash.RetainedPct >= 50 {
+			t.Errorf("%s retained %.1f%% under the permanent aggregator crash, want a degraded-but-alive run in (1, 50) — re-measure",
+				sched, crash.RetainedPct)
+		}
+	}
+	fifoNic := cell["fifo"]["nic-degrade"].RetainedPct
+	creditNic := cell["credit"]["nic-degrade"].RetainedPct
+	if creditNic <= fifoNic {
+		t.Errorf("credit retained %.1f%% under the half-rate NIC vs fifo's %.1f%% — the windowed-degradation ordering flipped, re-pin",
+			creditNic, fifoNic)
+	}
+	fifoCrash := cell["fifo"]["agg-crash"].RetainedPct
+	creditCrash := cell["credit"]["agg-crash"].RetainedPct
+	if fifoCrash <= creditCrash {
+		t.Errorf("fifo retained %.1f%% under the aggregator crash vs credit's %.1f%% — the static-window/BDP-mismatch finding flipped; if an adaptive window fixed it, re-pin",
+			fifoCrash, creditCrash)
+	}
+}

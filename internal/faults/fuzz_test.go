@@ -1,0 +1,37 @@
+package faults
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzPlanDecode drives arbitrary bytes through the strict decoder: it
+// must never panic, and whatever it accepts must survive an encode/decode
+// round trip unchanged (the replay property the cluster tests rely on).
+func FuzzPlanDecode(f *testing.F) {
+	f.Add([]byte(`{"events": []}`))
+	f.Add([]byte(`{"seed": 7, "detect_ns": 1, "timeout_ns": 2, "events": [` +
+		`{"kind": "agg-crash", "at_ns": 1000, "until_ns": 2000, "tier": "rack", "index": 1}]}`))
+	f.Add([]byte(`{"events": [{"kind": "straggler", "at_ns": 0, "until_ns": 5, "machine": 3, "factor": 1.5}]}`))
+	f.Add([]byte(`{"events": [{"kind": "link-degrade", "at_ns": 0, "until_ns": 5, "link": "tor", "index": 0, "factor": 0.5}]}`))
+	f.Add([]byte(`{"events": [{"kind": "worker-leave", "at_ns": 9, "until_ns": 10, "machine": 0}]}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(`{"events": []} trailing`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := Decode(data)
+		if err != nil {
+			return
+		}
+		buf, err := p.Encode()
+		if err != nil {
+			t.Fatalf("accepted plan failed to encode: %v", err)
+		}
+		q, err := Decode(buf)
+		if err != nil {
+			t.Fatalf("encoded plan failed to decode: %v\n%s", err, buf)
+		}
+		if !reflect.DeepEqual(p, q) {
+			t.Fatalf("round trip changed the plan:\n got %+v\nwant %+v", q, p)
+		}
+	})
+}

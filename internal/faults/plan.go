@@ -1,0 +1,454 @@
+package faults
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand/v2"
+
+	"p3/internal/netsim"
+)
+
+// Kind names one fault-event class.
+type Kind string
+
+// The fault-event classes a Plan can script.
+const (
+	// KindAggCrash takes the addressed rack or pod aggregator offline for
+	// [At, Until) (Until 0 = permanently): messages addressed to it are
+	// dropped and its in-flight partial reductions are lost. Senders detect
+	// the outage DetectNs after it begins and fall back to direct paths
+	// until DetectNs after it ends.
+	KindAggCrash Kind = "agg-crash"
+	// KindStraggler multiplies one machine's compute times by Factor (>= 1)
+	// for every compute step that starts inside [At, Until).
+	KindStraggler Kind = "straggler"
+	// KindLinkDegrade multiplies one port's serialization rate by Factor
+	// (in (0, 1]) for [At, Until): a host NIC (both directions), a rack's
+	// ToR uplink+downlink, or a pod's spine uplink+downlink.
+	KindLinkDegrade Kind = "link-degrade"
+	// KindWorkerLeave pauses one machine's training loop for [At, Until):
+	// compute steps that would start inside the window instead complete
+	// their full duration after Until (the worker rejoins where it left
+	// off; synchronous SGD stalls the barrier meanwhile, exactly as a real
+	// sync-SGD cluster without elastic membership would).
+	KindWorkerLeave Kind = "worker-leave"
+)
+
+// Link targets of a KindLinkDegrade event.
+const (
+	LinkHost  = "host"
+	LinkToR   = "tor"
+	LinkSpine = "spine"
+)
+
+// Aggregator tiers of a KindAggCrash event (string forms of
+// netsim.TierRack / netsim.TierPod).
+const (
+	TierRack = "rack"
+	TierPod  = "pod"
+)
+
+// Event is one timed fault. Times are virtual nanoseconds on the
+// simulation clock; which of the target fields is meaningful depends on
+// Kind (see Validate).
+type Event struct {
+	Kind Kind `json:"kind"`
+	// At is when the fault begins, in virtual nanoseconds.
+	At int64 `json:"at_ns"`
+	// Until is when the fault ends. 0 means permanent, allowed only for
+	// agg-crash; every other kind requires Until > At.
+	Until int64 `json:"until_ns,omitempty"`
+	// Tier is the aggregation tier of an agg-crash: "rack" or "pod".
+	Tier string `json:"tier,omitempty"`
+	// Index is the crashed aggregator's rack/pod index, or the degraded
+	// link's machine/rack/pod index (per Link).
+	Index int `json:"index,omitempty"`
+	// Link is the degraded port class of a link-degrade: "host", "tor" or
+	// "spine".
+	Link string `json:"link,omitempty"`
+	// Machine is the straggling or leaving machine.
+	Machine int `json:"machine,omitempty"`
+	// Factor is the straggler compute multiplier (>= 1) or the link-degrade
+	// rate multiplier (in (0, 1]).
+	Factor float64 `json:"factor,omitempty"`
+}
+
+// Plan is a seeded, scripted set of timed fault events, JSON-serializable
+// so a run's faults replay exactly. The zero-event Plan is byte-identical
+// to no plan at every shard count (it schedules nothing).
+type Plan struct {
+	// Seed records the generator seed of a Scripted plan (informational —
+	// replay uses the events, not the seed).
+	Seed int64 `json:"seed,omitempty"`
+	// DetectNs is the failure-detection latency: senders treat a crashed
+	// aggregator as up until DetectNs after the crash, and as down until
+	// DetectNs after the restart. 0 selects DefaultDetectNs.
+	DetectNs int64 `json:"detect_ns,omitempty"`
+	// TimeoutNs is the recovery-retry period: how long a server waits on an
+	// incomplete aggregation barrier before requesting direct re-pushes,
+	// and how long a worker stalls on missing parameters before pulling
+	// them directly. 0 selects DefaultTimeoutNs. It is a recovery-latency
+	// knob, not a correctness one — duplicate deliveries are deduplicated.
+	TimeoutNs int64   `json:"timeout_ns,omitempty"`
+	Events    []Event `json:"events"`
+}
+
+// Default detection and retry latencies (see Plan.DetectNs / TimeoutNs).
+const (
+	DefaultDetectNs  = int64(5e6) // 5 ms
+	DefaultTimeoutNs = int64(1e8) // 100 ms
+)
+
+// Detect is DetectNs with its default applied.
+func (p *Plan) Detect() int64 {
+	if p.DetectNs > 0 {
+		return p.DetectNs
+	}
+	return DefaultDetectNs
+}
+
+// Timeout is TimeoutNs with its default applied.
+func (p *Plan) Timeout() int64 {
+	if p.TimeoutNs > 0 {
+		return p.TimeoutNs
+	}
+	return DefaultTimeoutNs
+}
+
+// Decode parses a serialized Plan strictly: unknown fields are errors, so
+// a typo'd event never silently becomes a no-op fault.
+func Decode(data []byte) (*Plan, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var p Plan
+	if err := dec.Decode(&p); err != nil {
+		return nil, fmt.Errorf("faults: decoding plan: %w", err)
+	}
+	var extra json.RawMessage
+	if err := dec.Decode(&extra); err == nil || len(extra) > 0 {
+		return nil, fmt.Errorf("faults: trailing data after plan")
+	}
+	return &p, nil
+}
+
+// Encode serializes the plan as indented JSON (round-trips through Decode).
+func (p *Plan) Encode() ([]byte, error) {
+	buf, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("faults: encoding plan: %w", err)
+	}
+	return append(buf, '\n'), nil
+}
+
+// Validate checks every event against the cluster it will be injected
+// into: machine indices must be inside [0, machines), rack/pod indices
+// inside the topology's rack/pod count (so a plan cannot reference tiers
+// the topology does not have), factors inside their kind's legal range,
+// and windows well-ordered.
+func (p *Plan) Validate(machines int, topo netsim.Topology) error {
+	if machines <= 0 {
+		return fmt.Errorf("faults: plan for %d machines", machines)
+	}
+	if p.DetectNs < 0 {
+		return fmt.Errorf("faults: negative detect_ns %d", p.DetectNs)
+	}
+	if p.TimeoutNs < 0 {
+		return fmt.Errorf("faults: negative timeout_ns %d", p.TimeoutNs)
+	}
+	racks := 0
+	if topo.RackSize > 0 {
+		racks = topo.NumRacks(machines)
+	}
+	for i, e := range p.Events {
+		if e.At < 0 {
+			return fmt.Errorf("faults: event %d (%s): negative at_ns %d", i, e.Kind, e.At)
+		}
+		window := func() error {
+			if e.Until <= e.At {
+				return fmt.Errorf("faults: event %d (%s): until_ns %d not after at_ns %d", i, e.Kind, e.Until, e.At)
+			}
+			return nil
+		}
+		machine := func(m int) error {
+			if m < 0 || m >= machines {
+				return fmt.Errorf("faults: event %d (%s): machine %d outside the %d-machine cluster", i, e.Kind, m, machines)
+			}
+			return nil
+		}
+		switch e.Kind {
+		case KindAggCrash:
+			if e.Until != 0 && e.Until <= e.At {
+				return fmt.Errorf("faults: event %d (agg-crash): until_ns %d not after at_ns %d (use 0 for a permanent crash)", i, e.Until, e.At)
+			}
+			switch e.Tier {
+			case TierRack:
+				if racks == 0 {
+					return fmt.Errorf("faults: event %d (agg-crash): rack aggregator %d on a flat topology (Topology.RackSize is 0)", i, e.Index)
+				}
+				if e.Index < 0 || e.Index >= racks {
+					return fmt.Errorf("faults: event %d (agg-crash): rack %d outside the %d-rack topology", i, e.Index, racks)
+				}
+			case TierPod:
+				if topo.Pods <= 0 {
+					return fmt.Errorf("faults: event %d (agg-crash): pod aggregator %d without a spine tier (Topology.Pods is 0)", i, e.Index)
+				}
+				if e.Index < 0 || e.Index >= topo.Pods {
+					return fmt.Errorf("faults: event %d (agg-crash): pod %d outside the %d-pod topology", i, e.Index, topo.Pods)
+				}
+			default:
+				return fmt.Errorf("faults: event %d (agg-crash): tier %q (want %q or %q)", i, e.Tier, TierRack, TierPod)
+			}
+		case KindStraggler:
+			if err := window(); err != nil {
+				return err
+			}
+			if err := machine(e.Machine); err != nil {
+				return err
+			}
+			if e.Factor < 1 {
+				return fmt.Errorf("faults: event %d (straggler): factor %g below 1 (a straggler is slower, not faster)", i, e.Factor)
+			}
+		case KindLinkDegrade:
+			if err := window(); err != nil {
+				return err
+			}
+			if e.Factor <= 0 || e.Factor > 1 {
+				return fmt.Errorf("faults: event %d (link-degrade): factor %g outside (0, 1]", i, e.Factor)
+			}
+			switch e.Link {
+			case LinkHost:
+				if err := machine(e.Index); err != nil {
+					return err
+				}
+			case LinkToR:
+				if racks == 0 {
+					return fmt.Errorf("faults: event %d (link-degrade): ToR %d on a flat topology (Topology.RackSize is 0)", i, e.Index)
+				}
+				if e.Index < 0 || e.Index >= racks {
+					return fmt.Errorf("faults: event %d (link-degrade): rack %d outside the %d-rack topology", i, e.Index, racks)
+				}
+			case LinkSpine:
+				if topo.Pods <= 0 {
+					return fmt.Errorf("faults: event %d (link-degrade): spine port %d without a spine tier (Topology.Pods is 0)", i, e.Index)
+				}
+				if e.Index < 0 || e.Index >= topo.Pods {
+					return fmt.Errorf("faults: event %d (link-degrade): pod %d outside the %d-pod topology", i, e.Index, topo.Pods)
+				}
+			default:
+				return fmt.Errorf("faults: event %d (link-degrade): link %q (want %q, %q or %q)", i, e.Link, LinkHost, LinkToR, LinkSpine)
+			}
+		case KindWorkerLeave:
+			if err := window(); err != nil {
+				return err
+			}
+			if err := machine(e.Machine); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("faults: event %d: unknown kind %q", i, e.Kind)
+		}
+	}
+	return nil
+}
+
+// HasKind reports whether the plan scripts at least one event of kind k.
+func (p *Plan) HasKind(k Kind) bool {
+	for _, e := range p.Events {
+		if e.Kind == k {
+			return true
+		}
+	}
+	return false
+}
+
+// HasAggCrash reports whether any aggregator crash is scripted.
+func (p *Plan) HasAggCrash() bool { return p.HasKind(KindAggCrash) }
+
+// HasTierCrash reports whether an aggregator of the given tier ("rack" or
+// "pod") is scripted to crash.
+func (p *Plan) HasTierCrash(tier string) bool {
+	for _, e := range p.Events {
+		if e.Kind == KindAggCrash && e.Tier == tier {
+			return true
+		}
+	}
+	return false
+}
+
+// untilEffective is the instant senders stop treating e's aggregator as
+// down: detection lag past the restart, or forever for a permanent crash.
+func (p *Plan) untilEffective(e Event) int64 {
+	if e.Until == 0 {
+		return int64(1) << 62
+	}
+	return e.Until + p.Detect()
+}
+
+// AggDownDetected reports whether senders consider the tier's aggregator
+// idx down at virtual time now: the crash window shifted by the detection
+// latency, [At+Detect, Until+Detect) (never-ending for a permanent
+// crash). tier is netsim.TierRack or netsim.TierPod.
+func (p *Plan) AggDownDetected(tier, idx int, now int64) bool {
+	want := TierRack
+	if tier == netsim.TierPod {
+		want = TierPod
+	}
+	for _, e := range p.Events {
+		if e.Kind != KindAggCrash || e.Tier != want || e.Index != idx {
+			continue
+		}
+		if now >= e.At+p.Detect() && now < p.untilEffective(e) {
+			return true
+		}
+	}
+	return false
+}
+
+// SlowFactor is the compute multiplier of machine at virtual time now: the
+// product of every straggler window containing now (1 outside all windows).
+func (p *Plan) SlowFactor(machine int, now int64) float64 {
+	f := 1.0
+	for _, e := range p.Events {
+		if e.Kind == KindStraggler && e.Machine == machine && now >= e.At && now < e.Until {
+			f *= e.Factor
+		}
+	}
+	return f
+}
+
+// PausedAt reports whether machine is inside a worker-leave window at
+// virtual time now, returning the latest rejoin instant among the windows
+// containing now.
+func (p *Plan) PausedAt(machine int, now int64) (rejoin int64, ok bool) {
+	for _, e := range p.Events {
+		if e.Kind == KindWorkerLeave && e.Machine == machine && now >= e.At && now < e.Until {
+			if e.Until > rejoin {
+				rejoin = e.Until
+				ok = true
+			}
+		}
+	}
+	return rejoin, ok
+}
+
+// recoverySlack bounds how long after a crash's effective end a barrier
+// or stall observed at `since` could still be missing state the crash
+// swallowed: one retry period and one detection lag of ordinary latency,
+// plus the plan's own maximum injectable skew — a worker paused through a
+// leave window (or slowed through a straggler window) sends and observes
+// up to that much later than its peers, so its barrier can be born well
+// after the crash that ate a peer's contribution.
+func (p *Plan) recoverySlack() int64 {
+	s := p.Timeout() + p.Detect()
+	for _, e := range p.Events {
+		switch e.Kind {
+		case KindWorkerLeave:
+			s += e.Until - e.At
+		case KindStraggler:
+			s += int64(float64(e.Until-e.At) * (e.Factor - 1))
+		}
+	}
+	return s
+}
+
+// CrashOverlap scopes the recovery retries: fire reports whether an
+// aggregator crash could explain application state missing since `since`
+// as of `now` (some crash began at or before now, and its effective
+// window — plus the plan's recovery slack — had not closed before since);
+// pending reports whether one might yet (the same test ignoring whether
+// the crash has begun), i.e. whether a retry timer is worth re-arming.
+// Outside both, nothing can have been lost and recovery stays silent, so
+// a plan's retries never tax iterations far from its crash windows.
+func (p *Plan) CrashOverlap(since, now int64) (fire, pending bool) {
+	slack := p.recoverySlack()
+	for _, e := range p.Events {
+		if e.Kind != KindAggCrash {
+			continue
+		}
+		if since <= p.untilEffective(e)+slack {
+			pending = true
+			if e.At <= now {
+				fire = true
+			}
+		}
+	}
+	return fire, pending
+}
+
+// DegradedNs is the total scripted link-degradation time: the sum of every
+// link-degrade window's width (overlapping windows count separately).
+func (p *Plan) DegradedNs() int64 {
+	var t int64
+	for _, e := range p.Events {
+		if e.Kind == KindLinkDegrade {
+			t += e.Until - e.At
+		}
+	}
+	return t
+}
+
+// Scripted generates a deterministic plan from a seed: one straggler
+// window, one worker-leave window, one host-NIC degradation, plus — when
+// the topology has the tier — a ToR degradation, and — when the cluster
+// aggregates (rackAgg / hierAgg) — a rack (and pod) aggregator crash. All
+// windows land inside [horizonNs/8, 7*horizonNs/8]; horizonNs <= 0
+// selects 400 ms. The same (seed, machines, topo, rackAgg, hierAgg,
+// horizonNs) always yields the same plan.
+func Scripted(seed int64, machines int, topo netsim.Topology, rackAgg, hierAgg bool, horizonNs int64) *Plan {
+	if horizonNs <= 0 {
+		horizonNs = int64(4e8)
+	}
+	rng := rand.New(rand.NewPCG(uint64(seed), uint64(seed)^0x9e3779b97f4a7c15))
+	h := float64(horizonNs)
+	window := func(loFrac, spanFrac float64) (int64, int64) {
+		at := int64(h * (loFrac + rng.Float64()*0.25))
+		until := at + int64(h*spanFrac*(0.5+rng.Float64()))
+		if max := horizonNs * 7 / 8; until > max {
+			until = max
+		}
+		if until <= at {
+			until = at + 1
+		}
+		return at, until
+	}
+	p := &Plan{Seed: seed}
+	at, until := window(0.125, 0.25)
+	p.Events = append(p.Events, Event{
+		Kind: KindStraggler, At: at, Until: until,
+		Machine: rng.IntN(machines), Factor: 1.25 + rng.Float64(),
+	})
+	at, until = window(0.25, 0.2)
+	p.Events = append(p.Events, Event{
+		Kind: KindWorkerLeave, At: at, Until: until,
+		Machine: rng.IntN(machines),
+	})
+	at, until = window(0.125, 0.3)
+	p.Events = append(p.Events, Event{
+		Kind: KindLinkDegrade, At: at, Until: until,
+		Link: LinkHost, Index: rng.IntN(machines), Factor: 0.25 + rng.Float64()*0.75,
+	})
+	if topo.RackSize > 0 {
+		racks := topo.NumRacks(machines)
+		at, until = window(0.25, 0.25)
+		p.Events = append(p.Events, Event{
+			Kind: KindLinkDegrade, At: at, Until: until,
+			Link: LinkToR, Index: rng.IntN(racks), Factor: 0.25 + rng.Float64()*0.75,
+		})
+		if rackAgg {
+			at, until = window(0.125, 0.2)
+			p.Events = append(p.Events, Event{
+				Kind: KindAggCrash, At: at, Until: until,
+				Tier: TierRack, Index: rng.IntN(racks),
+			})
+			if hierAgg && topo.Pods > 0 {
+				at, until = window(0.4, 0.15)
+				p.Events = append(p.Events, Event{
+					Kind: KindAggCrash, At: at, Until: until,
+					Tier: TierPod, Index: rng.IntN(topo.Pods),
+				})
+			}
+		}
+	}
+	return p
+}

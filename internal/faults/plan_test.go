@@ -1,0 +1,264 @@
+package faults
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"p3/internal/netsim"
+)
+
+func samplePlan() *Plan {
+	return &Plan{
+		Seed:      7,
+		DetectNs:  2e6,
+		TimeoutNs: 8e6,
+		Events: []Event{
+			{Kind: KindAggCrash, At: 10e6, Until: 60e6, Tier: TierRack, Index: 1},
+			{Kind: KindAggCrash, At: 90e6, Tier: TierPod, Index: 0},
+			{Kind: KindStraggler, At: 0, Until: 40e6, Machine: 5, Factor: 1.5},
+			{Kind: KindStraggler, At: 20e6, Until: 30e6, Machine: 5, Factor: 2},
+			{Kind: KindLinkDegrade, At: 5e6, Until: 15e6, Link: LinkHost, Index: 3, Factor: 0.5},
+			{Kind: KindLinkDegrade, At: 5e6, Until: 25e6, Link: LinkToR, Index: 0, Factor: 0.25},
+			{Kind: KindWorkerLeave, At: 30e6, Until: 50e6, Machine: 2},
+		},
+	}
+}
+
+func sampleTopo() netsim.Topology {
+	return netsim.Topology{RackSize: 4, CoreOversub: 4, Pods: 2, SpineOversub: 4}
+}
+
+func TestPlanRoundTrip(t *testing.T) {
+	p := samplePlan()
+	buf, err := p.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, p) {
+		t.Errorf("round trip changed the plan:\n got %+v\nwant %+v", got, p)
+	}
+}
+
+func TestDecodeStrict(t *testing.T) {
+	if _, err := Decode([]byte(`{"events": [{"kind": "straggler", "at_ns": 0, "untl_ns": 5}]}`)); err == nil {
+		t.Error("typo'd field decoded without error")
+	}
+	if _, err := Decode([]byte(`{"events": []} {"events": []}`)); err == nil {
+		t.Error("trailing data decoded without error")
+	}
+	if _, err := Decode([]byte(`{"events": [`)); err == nil {
+		t.Error("truncated JSON decoded without error")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	topo := sampleTopo()
+	if err := samplePlan().Validate(16, topo); err != nil {
+		t.Fatalf("sample plan invalid: %v", err)
+	}
+	bad := []struct {
+		name string
+		frag string
+		e    Event
+	}{
+		{"unknown-kind", "unknown kind", Event{Kind: "meteor", At: 0, Until: 1}},
+		{"negative-at", "negative at_ns", Event{Kind: KindStraggler, At: -1, Until: 5, Machine: 0, Factor: 2}},
+		{"empty-window", "not after", Event{Kind: KindStraggler, At: 5, Until: 5, Machine: 0, Factor: 2}},
+		{"machine-range", "outside the 16-machine cluster", Event{Kind: KindStraggler, At: 0, Until: 5, Machine: 16, Factor: 2}},
+		{"straggler-speedup", "below 1", Event{Kind: KindStraggler, At: 0, Until: 5, Machine: 0, Factor: 0.5}},
+		{"degrade-factor", "outside (0, 1]", Event{Kind: KindLinkDegrade, At: 0, Until: 5, Link: LinkHost, Index: 0, Factor: 1.5}},
+		{"degrade-link", "link", Event{Kind: KindLinkDegrade, At: 0, Until: 5, Link: "wifi", Index: 0, Factor: 0.5}},
+		{"tor-range", "outside the 4-rack topology", Event{Kind: KindLinkDegrade, At: 0, Until: 5, Link: LinkToR, Index: 4, Factor: 0.5}},
+		{"spine-range", "outside the 2-pod topology", Event{Kind: KindLinkDegrade, At: 0, Until: 5, Link: LinkSpine, Index: 2, Factor: 0.5}},
+		{"crash-tier", "tier", Event{Kind: KindAggCrash, At: 0, Tier: "core", Index: 0}},
+		{"crash-rack-range", "outside the 4-rack topology", Event{Kind: KindAggCrash, At: 0, Tier: TierRack, Index: 7}},
+		{"crash-pod-range", "outside the 2-pod topology", Event{Kind: KindAggCrash, At: 0, Tier: TierPod, Index: 2}},
+		{"crash-window", "use 0 for a permanent crash", Event{Kind: KindAggCrash, At: 5, Until: 3, Tier: TierRack, Index: 0}},
+	}
+	for _, tc := range bad {
+		p := &Plan{Events: []Event{tc.e}}
+		err := p.Validate(16, topo)
+		if err == nil {
+			t.Errorf("%s: validated", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.frag) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.frag)
+		}
+	}
+
+	flat := &Plan{Events: []Event{{Kind: KindAggCrash, At: 0, Tier: TierRack, Index: 0}}}
+	if err := flat.Validate(16, netsim.Topology{}); err == nil || !strings.Contains(err.Error(), "flat topology") {
+		t.Errorf("rack crash on flat topology: %v", err)
+	}
+	noSpine := &Plan{Events: []Event{{Kind: KindAggCrash, At: 0, Tier: TierPod, Index: 0}}}
+	if err := noSpine.Validate(16, netsim.Topology{RackSize: 4, CoreOversub: 4}); err == nil || !strings.Contains(err.Error(), "without a spine tier") {
+		t.Errorf("pod crash without spine: %v", err)
+	}
+}
+
+func TestLookups(t *testing.T) {
+	p := samplePlan()
+
+	if !p.HasAggCrash() || !p.HasTierCrash(TierRack) || !p.HasTierCrash(TierPod) {
+		t.Error("crash lookups missed scripted crashes")
+	}
+	if (&Plan{}).HasAggCrash() {
+		t.Error("empty plan reports a crash")
+	}
+
+	// Rack 1 down [At+Detect, Until+Detect) = [12ms, 62ms).
+	for _, tc := range []struct {
+		now  int64
+		want bool
+	}{{11e6, false}, {12e6, true}, {61e6, true}, {62e6, false}} {
+		if got := p.AggDownDetected(netsim.TierRack, 1, tc.now); got != tc.want {
+			t.Errorf("rack 1 down at %d = %v, want %v", tc.now, got, tc.want)
+		}
+	}
+	if p.AggDownDetected(netsim.TierRack, 0, 20e6) {
+		t.Error("uncrashed rack 0 reported down")
+	}
+	// The pod crash is permanent: down from 92ms forever.
+	if p.AggDownDetected(netsim.TierPod, 0, 91e6) {
+		t.Error("pod 0 down before detection")
+	}
+	if !p.AggDownDetected(netsim.TierPod, 0, 1e12) {
+		t.Error("permanently crashed pod 0 reported up")
+	}
+
+	// Straggler windows on machine 5 compound: factor 1.5 on [0, 40ms),
+	// 1.5*2 inside the nested [20ms, 30ms).
+	if got := p.SlowFactor(5, 10e6); got != 1.5 {
+		t.Errorf("SlowFactor(5, 10ms) = %g, want 1.5", got)
+	}
+	if got := p.SlowFactor(5, 25e6); got != 3 {
+		t.Errorf("SlowFactor(5, 25ms) = %g, want 3", got)
+	}
+	if got := p.SlowFactor(5, 40e6); got != 1 {
+		t.Errorf("SlowFactor(5, 40ms) = %g, want 1", got)
+	}
+	if got := p.SlowFactor(4, 10e6); got != 1 {
+		t.Errorf("SlowFactor(4, 10ms) = %g, want 1", got)
+	}
+
+	if rejoin, ok := p.PausedAt(2, 35e6); !ok || rejoin != 50e6 {
+		t.Errorf("PausedAt(2, 35ms) = %d, %v; want 50ms, true", rejoin, ok)
+	}
+	if _, ok := p.PausedAt(2, 50e6); ok {
+		t.Error("machine 2 paused at its own rejoin instant")
+	}
+	if _, ok := p.PausedAt(3, 35e6); ok {
+		t.Error("machine 3 paused by machine 2's window")
+	}
+
+	if got := p.DegradedNs(); got != 10e6+20e6 {
+		t.Errorf("DegradedNs = %d, want %d", got, int64(30e6))
+	}
+}
+
+func TestCrashOverlap(t *testing.T) {
+	p := &Plan{
+		DetectNs:  2e6,
+		TimeoutNs: 8e6,
+		Events: []Event{
+			{Kind: KindAggCrash, At: 10e6, Until: 60e6, Tier: TierRack, Index: 1},
+		},
+	}
+	// Effective window end 62 ms; recovery slack = timeout + detect = 10 ms.
+	if fire, pending := p.CrashOverlap(5e6, 5e6); fire || !pending {
+		t.Errorf("before the crash: fire=%v pending=%v, want false/true", fire, pending)
+	}
+	if fire, pending := p.CrashOverlap(5e6, 20e6); !fire || !pending {
+		t.Errorf("during the crash: fire=%v pending=%v, want true/true", fire, pending)
+	}
+	if fire, pending := p.CrashOverlap(71e6, 80e6); !fire || !pending {
+		t.Errorf("inside the slack: fire=%v pending=%v, want true/true", fire, pending)
+	}
+	if fire, pending := p.CrashOverlap(73e6, 80e6); fire || pending {
+		t.Errorf("past the slack: fire=%v pending=%v, want false/false", fire, pending)
+	}
+
+	// Leave and straggler windows widen the slack: a worker paused 30 ms
+	// observes that much later.
+	p.Events = append(p.Events,
+		Event{Kind: KindWorkerLeave, At: 100e6, Until: 130e6, Machine: 0},
+		Event{Kind: KindStraggler, At: 0, Until: 20e6, Machine: 1, Factor: 1.5},
+	)
+	// Slack grows to 10 + 30 + 10 ms = 50 ms; pending until since > 112 ms.
+	if fire, pending := p.CrashOverlap(100e6, 110e6); !fire || !pending {
+		t.Errorf("inside the widened slack: fire=%v pending=%v, want true/true", fire, pending)
+	}
+	if fire, pending := p.CrashOverlap(113e6, 120e6); fire || pending {
+		t.Errorf("past the widened slack: fire=%v pending=%v, want false/false", fire, pending)
+	}
+
+	// A permanent crash keeps recovery pending forever.
+	perm := &Plan{Events: []Event{{Kind: KindAggCrash, At: 10e6, Tier: TierRack, Index: 0}}}
+	if fire, pending := perm.CrashOverlap(1e15, 1e15); !fire || !pending {
+		t.Errorf("permanent crash: fire=%v pending=%v, want true/true", fire, pending)
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	p := &Plan{}
+	if p.Detect() != DefaultDetectNs || p.Timeout() != DefaultTimeoutNs {
+		t.Errorf("zero plan defaults: detect %d timeout %d", p.Detect(), p.Timeout())
+	}
+	p = &Plan{DetectNs: 1, TimeoutNs: 2}
+	if p.Detect() != 1 || p.Timeout() != 2 {
+		t.Errorf("explicit latencies overridden: detect %d timeout %d", p.Detect(), p.Timeout())
+	}
+}
+
+// TestScripted pins the generator contract: same inputs, same plan; the
+// generated plan validates against the cluster it was generated for; and
+// the event mix follows the topology and aggregation flags.
+func TestScripted(t *testing.T) {
+	topo := sampleTopo()
+	a := Scripted(3, 16, topo, true, true, 0)
+	b := Scripted(3, 16, topo, true, true, 0)
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("same seed, different plans:\n%+v\n%+v", a, b)
+	}
+	if c := Scripted(4, 16, topo, true, true, 0); reflect.DeepEqual(a, c) {
+		t.Error("different seeds produced identical plans")
+	}
+	if err := a.Validate(16, topo); err != nil {
+		t.Errorf("scripted plan invalid: %v", err)
+	}
+	if !a.HasTierCrash(TierRack) || !a.HasTierCrash(TierPod) {
+		t.Errorf("hier scripted plan missing crashes: %+v", a.Events)
+	}
+
+	flat := Scripted(3, 8, netsim.Topology{}, false, false, 0)
+	if err := flat.Validate(8, netsim.Topology{}); err != nil {
+		t.Errorf("flat scripted plan invalid: %v", err)
+	}
+	if flat.HasAggCrash() || flat.HasKind(KindLinkDegrade) && hasLink(flat, LinkToR) {
+		t.Errorf("flat scripted plan references tiers a flat topology lacks: %+v", flat.Events)
+	}
+
+	// Every window must respect the horizon bounds.
+	const horizon = int64(80e6)
+	h := Scripted(9, 16, topo, true, true, horizon)
+	for i, e := range h.Events {
+		if e.At < horizon/8 || e.Until > horizon*7/8 {
+			t.Errorf("event %d window [%d, %d] outside [h/8, 7h/8]", i, e.At, e.Until)
+		}
+	}
+}
+
+func hasLink(p *Plan, link string) bool {
+	for _, e := range p.Events {
+		if e.Kind == KindLinkDegrade && e.Link == link {
+			return true
+		}
+	}
+	return false
+}

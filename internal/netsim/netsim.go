@@ -151,6 +151,12 @@ type Config struct {
 	// timeline, so state it touches must be partitioned per aggregator to
 	// stay shard-safe.
 	AggDeliver func(tier, idx int, m Message)
+	// AggDrop, if set, receives every aggregator-addressed message that
+	// arrives while the addressed aggregator is down (ScheduleAggOutage),
+	// instead of AggDeliver — including messages already queued in the
+	// reduce engine when the outage begins. It runs on the aggregator LP's
+	// timeline, like AggDeliver. nil drops silently.
+	AggDrop func(tier, idx int, m Message)
 	// AggReduceGBps is the aggregator reduction capacity in gigabytes per
 	// second (== bytes per nanosecond): each aggregator LP ingests the
 	// payloads addressed to it through a FIFO reduce engine at this rate, so
@@ -544,6 +550,11 @@ type nic struct {
 	ingress    *pq.Queue[Message]
 	ingressBsy bool
 	stats      nicStats
+	// rateScale multiplies the NIC's serialization rate (both directions);
+	// 1 outside any scripted degradation window. It is read at segment (or
+	// whole-message) start on the owning LP, so scheduled changes quantize
+	// to the LP's own timeline.
+	rateScale float64
 }
 
 // coreLink is one switch port — a rack's uplink/downlink at the core tier
@@ -565,6 +576,10 @@ type coreLink struct {
 	sq    *sched.Queue[Message] // nil without a port discipline
 	bytes int64
 	msgs  int64
+	// rateScale multiplies the port's serialization rate; 1 outside any
+	// scripted degradation window (read at serialization start, on the
+	// port's own LP).
+	rateScale float64
 }
 
 // aggIngest is one aggregator's reduction engine under a finite
@@ -606,96 +621,23 @@ type Network struct {
 	// AggDeliver sees them.
 	aggIn []aggIngest
 
-	// mail is the single-shard path's canonical cross-LP mailbox: one heap
-	// per destination LP ordered by (time, source LP, per-source send
-	// order) — the same key the sharded engine's barrier injection sorts
-	// by. Hop handoffs are buffered here and drained by one flush event per
-	// transfer, so same-instant deliveries from different sources land in a
-	// source-canonical order instead of global scheduling order, and an
-	// N-shard run reproduces the 1-shard Result bit for bit. nil when
-	// sharded (the engine itself injects canonically).
-	mail     []arrivalHeap
-	sendSeq  []uint64 // per source LP
-	flushFns []func() // per destination LP, preallocated (hot path)
-}
-
-// arrival is one buffered cross-LP hop handoff awaiting canonical delivery.
-type arrival struct {
-	at  sim.Time
-	src int32
-	seq uint64
-	fn  func()
-}
-
-// arrivalHeap is a binary min-heap of arrivals keyed by (at, src, seq).
-type arrivalHeap []arrival
-
-func arrivalLess(a, b arrival) bool {
-	if a.at != b.at {
-		return a.at < b.at
-	}
-	if a.src != b.src {
-		return a.src < b.src
-	}
-	return a.seq < b.seq
-}
-
-func (h *arrivalHeap) push(a arrival) {
-	*h = append(*h, a)
-	s := *h
-	i := len(s) - 1
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !arrivalLess(s[i], s[parent]) {
-			break
-		}
-		s[i], s[parent] = s[parent], s[i]
-		i = parent
-	}
-}
-
-func (h *arrivalHeap) pop() arrival {
-	s := *h
-	top := s[0]
-	last := len(s) - 1
-	s[0] = s[last]
-	s[last] = arrival{} // release the buffered closure
-	s = s[:last]
-	*h = s
-	i := 0
-	for {
-		l, r := 2*i+1, 2*i+2
-		min := i
-		if l < len(s) && arrivalLess(s[l], s[min]) {
-			min = l
-		}
-		if r < len(s) && arrivalLess(s[r], s[min]) {
-			min = r
-		}
-		if min == i {
-			break
-		}
-		s[i], s[min] = s[min], s[i]
-		i = min
-	}
-	return top
+	// aggDown flags aggregators taken offline by ScheduleAggOutage (rack
+	// aggregators first, then pod aggregators, like aggIn). Allocated
+	// lazily by the first scheduled outage, so fault-free runs carry no
+	// state and stay bit-identical.
+	aggDown []bool
 }
 
 // xfer carries one hop handoff from LP src to LP dst, delivering fn on
-// dst's timeline at the absolute time at. Under a sharded exec the engine's
-// barrier injection orders same-instant handoffs canonically; on the
-// single-shard path the mailbox imposes the identical order, so the two
-// paths agree bit for bit. Every hop goes through here — even same-shard
-// and same-machine pairs — precisely to keep that tie order engine-
-// independent.
+// dst's timeline at the absolute time at, through the engine's Cross path.
+// Cross stamps the canonical tie key (virtual send time, source LP,
+// per-source send order) on both engines, so a handoff colliding with
+// another arrival — or with a local timer — at one (LP, instant) fires in
+// the same order on any shard count. Every hop goes through here — even
+// same-shard and same-machine pairs — precisely to keep that tie order
+// engine-independent.
 func (nw *Network) xfer(src, dst int, at sim.Time, fn func()) {
-	if nw.sharded {
-		nw.exec.Cross(src, dst, at, fn)
-		return
-	}
-	nw.sendSeq[src]++
-	nw.mail[dst].push(arrival{at: at, src: int32(src), seq: nw.sendSeq[src], fn: fn})
-	nw.procs[dst].At(at, nw.flushFns[dst])
+	nw.exec.Cross(src, dst, at, fn)
 }
 
 // New creates a network of n machines on the given engine. handler is invoked
@@ -759,23 +701,14 @@ func NewOnExec(x sim.Exec, n int, cfg Config, handler Handler, rec *trace.Record
 		// bit-identical to earlier releases.
 		nw.gated = q.Gated()
 		nw.nics[i] = nic{
-			egress:  q,
-			ingress: pq.New(fifoLess),
+			egress:    q,
+			ingress:   pq.New(fifoLess),
+			rateScale: 1,
 		}
 	}
 	nw.procs = make([]sim.Proc, cfg.NumLPs(n))
 	for lp := range nw.procs {
 		nw.procs[lp] = x.Proc(lp)
-	}
-	if !nw.sharded {
-		nLP := len(nw.procs)
-		nw.mail = make([]arrivalHeap, nLP)
-		nw.sendSeq = make([]uint64, nLP)
-		nw.flushFns = make([]func(), nLP)
-		for lp := 0; lp < nLP; lp++ {
-			lp := lp
-			nw.flushFns[lp] = func() { nw.mail[lp].pop().fn() }
-		}
 	}
 	if t := cfg.Topology; t.RackSize > 0 {
 		racks := t.NumRacks(n)
@@ -801,8 +734,8 @@ func NewOnExec(x sim.Exec, n int, cfg Config, handler Handler, rec *trace.Record
 			if t.CoreOversub > 0 {
 				rate /= t.CoreOversub
 			}
-			nw.ups[r] = coreLink{lp: n + 2*r, up: true, idx: r, rate: rate, sq: portQueue(t.CoreSched, n+2*r)}
-			nw.downs[r] = coreLink{lp: n + 2*r + 1, idx: r, rate: rate, sq: portQueue(t.CoreSched, n+2*r+1)}
+			nw.ups[r] = coreLink{lp: n + 2*r, up: true, idx: r, rate: rate, rateScale: 1, sq: portQueue(t.CoreSched, n+2*r)}
+			nw.downs[r] = coreLink{lp: n + 2*r + 1, idx: r, rate: rate, rateScale: 1, sq: portQueue(t.CoreSched, n+2*r+1)}
 		}
 		if t.Pods > 0 {
 			nw.rpp = racks / t.Pods
@@ -825,8 +758,8 @@ func NewOnExec(x sim.Exec, n int, cfg Config, handler Handler, rec *trace.Record
 					rate /= t.SpineOversub
 				}
 				upLP, downLP := n+2*racks+2*p, n+2*racks+2*p+1
-				nw.spineUps[p] = coreLink{lp: upLP, up: true, spine: true, idx: p, rate: rate, sq: portQueue(t.SpineSched, upLP)}
-				nw.spineDowns[p] = coreLink{lp: downLP, spine: true, idx: p, rate: rate, sq: portQueue(t.SpineSched, downLP)}
+				nw.spineUps[p] = coreLink{lp: upLP, up: true, spine: true, idx: p, rate: rate, rateScale: 1, sq: portQueue(t.SpineSched, upLP)}
+				nw.spineDowns[p] = coreLink{lp: downLP, spine: true, idx: p, rate: rate, rateScale: 1, sq: portQueue(t.SpineSched, downLP)}
 			}
 		}
 		if cfg.Aggregation && cfg.AggReduceGBps > 0 {
@@ -1059,7 +992,11 @@ func (nw *Network) pumpCore(l *coreLink) {
 	l.msgs++
 	p := nw.procs[l.lp]
 	bits := float64(m.Bytes+nw.cfg.HeaderBytes) * 8
-	p.After(sim.Time(bits/l.rate), func() {
+	rate := l.rate
+	if l.rateScale != 1 {
+		rate *= l.rateScale
+	}
+	p.After(sim.Time(bits/rate), func() {
 		l.busy = false
 		if l.sq != nil {
 			l.sq.Done(m)
@@ -1146,19 +1083,39 @@ func (nw *Network) refundCredit(src int, m Message) {
 // queueing — the window covers the wire, not the ASIC).
 func (nw *Network) deliverAgg(m Message) {
 	if nw.gated && !m.FromAgg {
+		// The refund happens even at a down aggregator: the sender's window
+		// covers the wire, and the message did cross it.
 		nw.refundCredit(nw.aggLP(int(m.AggTier), m.To), m)
+	}
+	ord := nw.aggOrd(int(m.AggTier), m.To)
+	if nw.aggDown != nil && nw.aggDown[ord] {
+		nw.dropAgg(m)
+		return
 	}
 	if nw.aggIn == nil {
 		nw.cfg.AggDeliver(int(m.AggTier), m.To, m)
 		return
 	}
-	ord := m.To
-	if m.AggTier == TierPod {
-		ord += nw.racks
-	}
 	a := &nw.aggIn[ord]
 	a.q = append(a.q, m)
 	nw.pumpAggIngest(a)
+}
+
+// aggOrd is the tier's aggregator idx as an index into the flat
+// rack-aggregators-then-pod-aggregators vectors (aggIn, aggDown).
+func (nw *Network) aggOrd(tier, idx int) int {
+	if tier == TierPod {
+		return nw.racks + idx
+	}
+	return idx
+}
+
+// dropAgg discards a message addressed to a down aggregator, telling the
+// application through Config.AggDrop (on the aggregator LP's timeline).
+func (nw *Network) dropAgg(m Message) {
+	if nw.cfg.AggDrop != nil {
+		nw.cfg.AggDrop(int(m.AggTier), m.To, m)
+	}
 }
 
 // pumpAggIngest serializes the aggregator's next queued payload through
@@ -1179,7 +1136,14 @@ func (nw *Network) pumpAggIngest(a *aggIngest) {
 	a.busy = true
 	nw.procs[nw.aggLP(int(m.AggTier), m.To)].After(sim.Time(float64(m.Bytes)/nw.cfg.AggReduceGBps), func() {
 		a.busy = false
-		nw.cfg.AggDeliver(int(m.AggTier), m.To, m)
+		// A crash that lands mid-reduction swallows the in-flight payload:
+		// the outage begins the instant the event fires, not at the next
+		// queue boundary.
+		if nw.aggDown != nil && nw.aggDown[nw.aggOrd(int(m.AggTier), m.To)] {
+			nw.dropAgg(m)
+		} else {
+			nw.cfg.AggDeliver(int(m.AggTier), m.To, m)
+		}
 		nw.pumpAggIngest(a)
 	})
 }
@@ -1317,6 +1281,10 @@ func (nw *Network) pumpEgress(machine int) {
 	m := tx.msg
 	start := p.Now()
 	dur := nw.wireTime(m.Bytes)
+	if s := n.rateScale; s != 1 {
+		bits := float64(m.Bytes+nw.cfg.HeaderBytes) * 8
+		dur = nw.cfg.PerMsgOverhead + sim.Time(bits/(nw.cfg.BandwidthGbps*s))
+	}
 	p.After(dur, func() {
 		nw.rec.AddRange(machine, trace.Out, start, start+dur, m.Bytes+nw.cfg.HeaderBytes)
 		n.egressBusy = false
@@ -1354,8 +1322,14 @@ func (nw *Network) pumpSegment(machine int, tx *txState) {
 	if seg > nw.cfg.PreemptQuantum {
 		seg = nw.cfg.PreemptQuantum
 	}
+	rate := nw.cfg.BandwidthGbps
+	if s := n.rateScale; s != 1 {
+		// Sampled once per segment on the owning LP: a degradation window
+		// opening mid-message slows only the segments that start inside it.
+		rate *= s
+	}
 	serialAt := func(sent int64) sim.Time {
-		return sim.Time(float64(sent) * 8 / nw.cfg.BandwidthGbps)
+		return sim.Time(float64(sent) * 8 / rate)
 	}
 	dur := serialAt(tx.sent+seg) - serialAt(tx.sent)
 	if tx.sent == 0 {
@@ -1410,6 +1384,10 @@ func (nw *Network) pumpIngress(machine int) {
 	p := nw.procs[machine]
 	start := p.Now()
 	rx := nw.wireTime(m.Bytes)
+	if s := n.rateScale; s != 1 {
+		bits := float64(m.Bytes+nw.cfg.HeaderBytes) * 8
+		rx = nw.cfg.PerMsgOverhead + sim.Time(bits/(nw.cfg.BandwidthGbps*s))
+	}
 	p.After(rx, func() {
 		nw.rec.AddRange(machine, trace.In, start, start+rx, m.Bytes+nw.cfg.HeaderBytes)
 		n.ingressBsy = false
@@ -1435,3 +1413,107 @@ func (nw *Network) pumpIngress(machine int) {
 // QueuedEgress reports how many messages wait in machine m's egress queue
 // (not counting one in flight). Used by tests.
 func (nw *Network) QueuedEgress(m int) int { return nw.nics[m].egress.Len() }
+
+// AggNow is the current virtual time on the tier's aggregator LP. Only
+// meaningful from a callback already running on that LP (AggDeliver /
+// AggDrop and the code they call) — reading another LP's clock mid-run
+// would break shard determinism.
+func (nw *Network) AggNow(tier, idx int) sim.Time {
+	return nw.procs[nw.aggLP(tier, idx)].Now()
+}
+
+// Fault scheduling. Each Schedule* call installs ordinary discrete events
+// on the affected state's own LP; they must run before the engine does
+// (construction time), so the events sort before every runtime delivery
+// at the same tick on that LP under both the single-shard and sharded
+// engines — the LP-quantization rule that makes fault plans compose
+// bit-identically with any shard count. A run with no Schedule* calls
+// carries no fault state at all.
+
+// ScheduleHostDegrade multiplies machine's NIC serialization rate (both
+// directions) by factor during [at, until). Windows compose
+// multiplicatively; a lone window restores the rate exactly (f/f == 1).
+func (nw *Network) ScheduleHostDegrade(machine int, at, until sim.Time, factor float64) {
+	if factor <= 0 {
+		panic(fmt.Sprintf("netsim: host degrade factor %g", factor))
+	}
+	n := &nw.nics[machine]
+	p := nw.procs[machine]
+	p.At(at, func() { n.rateScale *= factor })
+	p.At(until, func() { n.rateScale /= factor })
+}
+
+// ScheduleRackDegrade multiplies rack's ToR uplink and downlink
+// serialization rates by factor during [at, until), with one event per
+// boundary on each port's own LP.
+func (nw *Network) ScheduleRackDegrade(rack int, at, until sim.Time, factor float64) {
+	if factor <= 0 {
+		panic(fmt.Sprintf("netsim: rack degrade factor %g", factor))
+	}
+	for _, l := range []*coreLink{&nw.ups[rack], &nw.downs[rack]} {
+		l := l
+		p := nw.procs[l.lp]
+		p.At(at, func() { l.rateScale *= factor })
+		p.At(until, func() { l.rateScale /= factor })
+	}
+}
+
+// ScheduleSpineDegrade multiplies pod's spine uplink and downlink
+// serialization rates by factor during [at, until).
+func (nw *Network) ScheduleSpineDegrade(pod int, at, until sim.Time, factor float64) {
+	if factor <= 0 {
+		panic(fmt.Sprintf("netsim: spine degrade factor %g", factor))
+	}
+	for _, l := range []*coreLink{&nw.spineUps[pod], &nw.spineDowns[pod]} {
+		l := l
+		p := nw.procs[l.lp]
+		p.At(at, func() { l.rateScale *= factor })
+		p.At(until, func() { l.rateScale /= factor })
+	}
+}
+
+// ScheduleAggOutage takes the tier's aggregator idx offline during
+// [at, until) — or permanently when until <= at. While down, arriving
+// aggregator-addressed messages go to Config.AggDrop instead of
+// AggDeliver; payloads queued (or mid-reduction) in the reduce engine at
+// the crash instant are dropped the same way. onCrash and onRestart run
+// on the aggregator's LP at the window edges (either may be nil); the
+// application uses them to discard its partial-reduction state.
+func (nw *Network) ScheduleAggOutage(tier, idx int, at, until sim.Time, onCrash, onRestart func()) {
+	if nw.aggBase < 0 {
+		panic("netsim: ScheduleAggOutage without Config.Aggregation")
+	}
+	if tier == TierPod && nw.rpp == 0 {
+		panic("netsim: TierPod outage without a spine tier (Topology.Pods is 0)")
+	}
+	if nw.aggDown == nil {
+		nw.aggDown = make([]bool, nw.racks+nw.cfg.Topology.Pods)
+	}
+	ord := nw.aggOrd(tier, idx)
+	p := nw.procs[nw.aggLP(tier, idx)]
+	p.At(at, func() {
+		nw.aggDown[ord] = true
+		if nw.aggIn != nil {
+			// Drain the reduce queue: everything waiting behind the ASIC is
+			// lost with it. A payload mid-reduction drops at its own
+			// completion event (pumpAggIngest checks aggDown).
+			a := &nw.aggIn[ord]
+			for _, m := range a.q[a.head:] {
+				nw.dropAgg(m)
+			}
+			a.q = a.q[:0]
+			a.head = 0
+		}
+		if onCrash != nil {
+			onCrash()
+		}
+	})
+	if until > at {
+		p.At(until, func() {
+			nw.aggDown[ord] = false
+			if onRestart != nil {
+				onRestart()
+			}
+		})
+	}
+}

@@ -1,0 +1,33 @@
+package pstcp
+
+import (
+	"net"
+	"time"
+)
+
+// deadlineConn wraps a connection so every read and write first arms its
+// deadline — the hardening layer both endpoints build their buffered
+// readers and writers on. A peer silent past the read timeout fails the
+// read (the loop closes the connection instead of waiting forever); a
+// peer not draining past the write timeout fails the write (the send loop
+// requeues instead of wedging). Zero timeouts leave that direction
+// unbounded, the pre-hardening behaviour.
+type deadlineConn struct {
+	conn         net.Conn
+	readTimeout  time.Duration
+	writeTimeout time.Duration
+}
+
+func (d deadlineConn) Read(p []byte) (int, error) {
+	if d.readTimeout > 0 {
+		d.conn.SetReadDeadline(time.Now().Add(d.readTimeout))
+	}
+	return d.conn.Read(p)
+}
+
+func (d deadlineConn) Write(p []byte) (int, error) {
+	if d.writeTimeout > 0 {
+		d.conn.SetWriteDeadline(time.Now().Add(d.writeTimeout))
+	}
+	return d.conn.Write(p)
+}

@@ -1,0 +1,213 @@
+package pstcp
+
+import (
+	"testing"
+	"time"
+
+	"p3/internal/transport"
+)
+
+// TestWorkerReconnectAfterServerRestart kills the server mid-session and
+// restarts it on the same address: the worker's reconnect loop must
+// re-establish the connection (fresh Hello) and the training flow must
+// complete on the new connection.
+func TestWorkerReconnectAfterServerRestart(t *testing.T) {
+	srv := NewServer(ServerConfig{ID: 0, Workers: 1, Sched: "p3", Updater: SGDUpdater(1)})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	recv := make(chan *transport.Frame, 16)
+	wk, err := DialWorkerCfg(WorkerConfig{
+		ID: 0, Servers: []string{addr}, Sched: "p3",
+		Handler: func(f *transport.Frame) { recv <- f },
+		Reconnect: ReconnectConfig{
+			MaxAttempts: 100,
+			BaseDelay:   5 * time.Millisecond,
+			MaxDelay:    50 * time.Millisecond,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wk.Close()
+
+	// Round 1 on the original connection.
+	wk.Push(0, 1, 0, 0, []float32{2})
+	select {
+	case <-recv:
+	case <-time.After(5 * time.Second):
+		t.Fatal("no broadcast on the original connection")
+	}
+
+	// Kill the server, restart it on the same address. The worker's read
+	// loop fails, enters the backoff loop, and redials once the listener is
+	// back.
+	srv.Close()
+	srv2 := NewServer(ServerConfig{ID: 0, Workers: 1, Sched: "p3", Updater: SGDUpdater(1)})
+	if _, err := srv2.Start(addr); err != nil {
+		t.Fatalf("restart on %s: %v", addr, err)
+	}
+	defer srv2.Close()
+
+	// Wait for the redial before pushing: a push racing the broken socket
+	// can vanish into the kernel buffer without an error (TCP reports the
+	// breakage only on a later write), and without an application-level ack
+	// there is nothing to retry on. Once the fresh connection's Hello is in
+	// (Reconnects ticks after the Hello flush), the ordered stream makes
+	// delivery deterministic.
+	waitFor(t, 5*time.Second, func() bool { return wk.Reconnects() >= 1 })
+	deadline := time.After(10 * time.Second)
+	wk.Push(0, 1, 1, 0, []float32{3})
+	for {
+		select {
+		case f := <-recv:
+			if f.Iter == 1 {
+				if wk.Reconnects() < 1 {
+					t.Fatalf("flow completed but Reconnects() = %d, want >= 1", wk.Reconnects())
+				}
+				return
+			}
+		case <-deadline:
+			t.Fatalf("no broadcast after server restart (reconnects=%d, queued=%d)",
+				wk.Reconnects(), wk.QueuedSends())
+		}
+	}
+}
+
+// TestHeartbeatsKeepIdleConnectionAlive: with aggressive read deadlines on
+// both sides and matching heartbeats, an idle connection must survive far
+// past the deadline — and still carry traffic afterwards.
+func TestHeartbeatsKeepIdleConnectionAlive(t *testing.T) {
+	srv := NewServer(ServerConfig{
+		ID: 0, Workers: 1, Sched: "fifo", Updater: SGDUpdater(1),
+		ReadTimeout:    120 * time.Millisecond,
+		HeartbeatEvery: 30 * time.Millisecond,
+	})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	recv := make(chan *transport.Frame, 4)
+	wk, err := DialWorkerCfg(WorkerConfig{
+		ID: 0, Servers: []string{addr}, Sched: "fifo",
+		Handler:        func(f *transport.Frame) { recv <- f },
+		ReadTimeout:    120 * time.Millisecond,
+		HeartbeatEvery: 30 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wk.Close()
+
+	// Idle for several read-deadline periods: heartbeats must keep both
+	// directions alive the whole time.
+	time.Sleep(500 * time.Millisecond)
+	if wk.Reconnects() != 0 {
+		t.Fatalf("idle heartbeat-kept connection reconnected %d times", wk.Reconnects())
+	}
+
+	wk.Push(0, 9, 0, 0, []float32{1})
+	select {
+	case <-recv:
+	case <-time.After(5 * time.Second):
+		t.Fatal("connection did not survive the idle period")
+	}
+}
+
+// TestServerReadDeadlineDropsSilentWorker: a worker that sends neither
+// traffic nor heartbeats must be deregistered by the server's read deadline;
+// a reconnect-enabled worker then recovers via a fresh Hello.
+func TestServerReadDeadlineDropsSilentWorker(t *testing.T) {
+	srv := NewServer(ServerConfig{
+		ID: 0, Workers: 1, Sched: "fifo", Updater: SGDUpdater(1),
+		ReadTimeout: 80 * time.Millisecond,
+	})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	recv := make(chan *transport.Frame, 4)
+	wk, err := DialWorkerCfg(WorkerConfig{
+		ID: 0, Servers: []string{addr}, Sched: "fifo",
+		Handler: func(f *transport.Frame) { recv <- f },
+		Reconnect: ReconnectConfig{
+			MaxAttempts: 100,
+			BaseDelay:   5 * time.Millisecond,
+			MaxDelay:    50 * time.Millisecond,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wk.Close()
+
+	// Stay silent well past the server's read deadline: the server closes
+	// the connection, the worker notices and redials.
+	waitFor(t, 5*time.Second, func() bool { return wk.Reconnects() >= 1 })
+
+	// The reconnected link must carry a full round.
+	deadline := time.After(10 * time.Second)
+	wk.Push(0, 2, 0, 0, []float32{1})
+	for {
+		select {
+		case f := <-recv:
+			if f.Key == 2 {
+				return
+			}
+		case <-deadline:
+			t.Fatalf("no broadcast after deadline-driven reconnect (reconnects=%d)", wk.Reconnects())
+		}
+	}
+}
+
+func waitFor(t *testing.T, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("condition never reached")
+}
+
+// TestDuplicatePushDedup drives the server's aggregation directly: a push
+// retried through the reconnect path (same sender, same iteration) must not
+// double-count, and the update must fire exactly once when the second
+// worker's push lands.
+func TestDuplicatePushDedup(t *testing.T) {
+	srv := NewServer(ServerConfig{ID: 0, Workers: 2, Sched: "fifo", Updater: SGDUpdater(1)})
+	push := func(sender uint8, v float32) {
+		srv.handlePush(&transport.Frame{
+			Type: transport.TypePush, Sender: sender, Key: 5, Iter: 0, Values: []float32{v},
+		})
+	}
+	push(0, 4) // original
+	push(0, 4) // retry duplicate: must be ignored
+	if p, u := srv.Stats(); p != 1 || u != 0 {
+		t.Fatalf("after duplicate: pushes=%d updates=%d, want 1/0", p, u)
+	}
+	push(1, 2)
+	if p, u := srv.Stats(); p != 2 || u != 1 {
+		t.Fatalf("after both workers: pushes=%d updates=%d, want 2/1", p, u)
+	}
+	// param = 0 - 1 * (4+2)/2 = -3; a double-counted duplicate would give
+	// (4+4+2)/2 = -5 instead.
+	if got := srv.params[5][0]; got != -3 {
+		t.Fatalf("param = %v, want -3 (duplicate leaked into the sum)", got)
+	}
+	// Next iteration resets the seen set: the same sender counts again.
+	srv.handlePush(&transport.Frame{
+		Type: transport.TypePush, Sender: 0, Key: 5, Iter: 1, Values: []float32{1},
+	})
+	if p, _ := srv.Stats(); p != 3 {
+		t.Fatalf("new iteration push ignored: pushes=%d, want 3", p)
+	}
+}

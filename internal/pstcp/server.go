@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"p3/internal/sched"
 	"p3/internal/transport"
@@ -67,12 +68,40 @@ type ServerConfig struct {
 	// whole frames — preemption only at frame granularity, as in the paper.
 	PreemptBytes int
 	Updater      Updater
+
+	// ReadTimeout > 0 arms a read deadline on every worker connection,
+	// refreshed per frame: a worker silent for longer (no pushes, no
+	// heartbeats) is presumed dead, its connection is closed and its writer
+	// deregistered so broadcasts stop queueing for it. 0 reads forever.
+	ReadTimeout time.Duration
+	// WriteTimeout > 0 bounds every blocking socket write to a worker; a
+	// stalled peer fails the write instead of wedging the send loop. 0
+	// writes forever.
+	WriteTimeout time.Duration
+	// HeartbeatEvery > 0 sends a payload-free heartbeat frame to every
+	// registered worker at this period, keeping idle-but-healthy
+	// connections inside the workers' read deadlines. 0 sends none.
+	HeartbeatEvery time.Duration
 }
 
 type aggState struct {
 	iter  int32
 	count int
 	sum   []float32
+	// seen is a bitmask of the workers already counted this iteration, so a
+	// push retried through the reconnect path (which cannot know whether the
+	// original reached the wire before the connection died) never
+	// double-counts.
+	seen [4]uint64
+}
+
+func (a *aggState) markSeen(w uint8) bool {
+	mask := uint64(1) << (w % 64)
+	if a.seen[w/64]&mask != 0 {
+		return false
+	}
+	a.seen[w/64] |= mask
+	return true
 }
 
 // Server is one parameter server process.
@@ -89,6 +118,7 @@ type Server struct {
 
 	wg     sync.WaitGroup
 	connWG sync.WaitGroup
+	done   chan struct{}
 
 	// Stats
 	statsMu sync.Mutex
@@ -125,6 +155,7 @@ func NewServer(cfg ServerConfig) *Server {
 		writers: make(map[uint8]*connWriter),
 		params:  make(map[uint64][]float32),
 		agg:     make(map[uint64]*aggState),
+		done:    make(chan struct{}),
 	}
 }
 
@@ -140,11 +171,16 @@ func (s *Server) Start(addr string) (string, error) {
 	go s.acceptLoop()
 	go s.processLoop()
 	go s.sendLoop()
+	if s.cfg.HeartbeatEvery > 0 {
+		s.wg.Add(1)
+		go s.heartbeatLoop()
+	}
 	return ln.Addr().String(), nil
 }
 
 // Close shuts the server down and waits for its goroutines.
 func (s *Server) Close() {
+	close(s.done)
 	if s.ln != nil {
 		s.ln.Close()
 	}
@@ -190,22 +226,74 @@ func (s *Server) acceptLoop() {
 }
 
 // readLoop is the per-connection producer: every received frame goes into
-// the receive priority queue for the single processor goroutine.
+// the receive priority queue for the single processor goroutine. Any read
+// error — a closed peer, a corrupt frame, or a worker silent past the read
+// deadline — closes the connection and deregisters its writer, so the send
+// side stops queueing broadcasts for a dead worker. Heartbeats refresh the
+// deadline (every read does) and are otherwise dropped here, never
+// reaching the receive queue.
 func (s *Server) readLoop(conn net.Conn) {
 	defer s.connWG.Done()
-	r := transport.NewFrameReader(conn)
+	var sender uint8
+	registered := false
+	r := transport.NewFrameReader(deadlineConn{conn: conn, readTimeout: s.cfg.ReadTimeout})
 	for {
 		f, err := transport.ReadFrame(r)
 		if err != nil {
-			return // connection closed
+			break // connection closed, corrupt, or silent past the deadline
 		}
-		if f.Type == transport.TypeHello {
+		switch f.Type {
+		case transport.TypeHello:
+			sender, registered = f.Sender, true
 			s.mu.Lock()
-			s.writers[f.Sender] = &connWriter{conn: conn, w: transport.NewFrameWriter(conn)}
+			s.writers[f.Sender] = &connWriter{
+				conn: conn,
+				w:    transport.NewFrameWriter(deadlineConn{conn: conn, writeTimeout: s.cfg.WriteTimeout}),
+			}
 			s.mu.Unlock()
-			continue
+		case transport.TypeHeartbeat:
+			// Keep-alive only; arrival already refreshed the read deadline.
+		default:
+			s.recvQ.Push(f)
 		}
-		s.recvQ.Push(f)
+	}
+	conn.Close()
+	if registered {
+		s.mu.Lock()
+		// Deregister only our own registration: the worker may already have
+		// reconnected on a fresh connection that must keep its writer.
+		if cw := s.writers[sender]; cw != nil && cw.conn == conn {
+			delete(s.writers, sender)
+		}
+		s.mu.Unlock()
+	}
+}
+
+// heartbeatLoop keeps idle-but-healthy worker connections inside the
+// workers' read deadlines: a payload-free maximally-urgent frame per
+// registered worker, every HeartbeatEvery.
+func (s *Server) heartbeatLoop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.cfg.HeartbeatEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-t.C:
+		}
+		s.mu.Lock()
+		ids := make([]uint8, 0, len(s.writers))
+		for id := range s.writers {
+			ids = append(ids, id)
+		}
+		s.mu.Unlock()
+		for _, id := range ids {
+			s.sendQ.Push(&transport.Frame{
+				Type: transport.TypeHeartbeat, Sender: uint8(s.cfg.ID), Dst: id,
+				Priority: heartbeatPriority,
+			})
+		}
 	}
 }
 
@@ -258,10 +346,17 @@ func (s *Server) handlePush(f *transport.Frame) {
 		for i := range a.sum {
 			a.sum[i] = 0
 		}
+		a.seen = [4]uint64{}
 	}
 	if len(f.Values) != len(a.sum) {
 		s.mu.Unlock()
 		return // shape mismatch: drop (tests never hit this)
+	}
+	if !a.markSeen(f.Sender) {
+		// A retry duplicate: the worker's reconnect path re-sent a push whose
+		// original already arrived before the connection died.
+		s.mu.Unlock()
+		return
 	}
 	for i, v := range f.Values {
 		a.sum[i] += v
@@ -340,6 +435,11 @@ func (s *Server) sendLoop() {
 		return cw.w
 	}, s.cfg.PreemptBytes)
 }
+
+// heartbeatPriority ranks keep-alives ahead of all real traffic without
+// sitting at the int32 extreme (rank arithmetic inside disciplines stays
+// overflow-free).
+const heartbeatPriority = -(1 << 20)
 
 // ErrClosed is returned by operations on a closed worker.
 var ErrClosed = errors.New("pstcp: closed")

@@ -2,8 +2,11 @@ package pstcp
 
 import (
 	"fmt"
+	"math/rand/v2"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"p3/internal/sched"
 	"p3/internal/transport"
@@ -18,16 +21,49 @@ type Handler func(f *transport.Frame)
 // urgent slice next.
 type Worker struct {
 	id      uint8
-	conns   []net.Conn
+	cfg     WorkerConfig
+	links   []*link
 	sendQ   *transport.SendQueue
 	handler Handler
 	preempt int
 
 	wg     sync.WaitGroup
 	readWG sync.WaitGroup
+	done   chan struct{}
 
 	mu     sync.Mutex
 	closed bool
+
+	reconnects atomic.Int64
+}
+
+// link is one server connection's mutable state. The reader goroutine
+// replaces conn/w on reconnect under mu; the send loop resolves the
+// current writer under mu per frame, and parks undeliverable frames in
+// retry until the reconnect lands (or declares the link dead).
+type link struct {
+	addr string
+
+	mu    sync.Mutex
+	conn  net.Conn
+	w     transport.FlushWriter
+	down  bool // between a failure and a successful reconnect
+	dead  bool // reconnect exhausted: frames for this link are dropped
+	retry []*transport.Frame
+}
+
+// ReconnectConfig bounds the worker's reconnect-on-failure loop.
+type ReconnectConfig struct {
+	// MaxAttempts caps redials per connection failure; 0 disables
+	// reconnection entirely (a failed connection is dead, the pre-hardening
+	// behaviour).
+	MaxAttempts int
+	// BaseDelay is the first retry's backoff (default 10ms); each attempt
+	// doubles it up to MaxDelay (default 1s). Every wait is jittered
+	// uniformly in [delay/2, delay) so a fleet of workers does not redial a
+	// restarted server in lockstep.
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
 }
 
 // WorkerConfig configures DialWorkerCfg.
@@ -52,6 +88,22 @@ type WorkerConfig struct {
 	// Handler runs on a receive goroutine for every Data/Notify frame; it
 	// must be safe for concurrent calls when multiple servers are used.
 	Handler Handler
+
+	// ReadTimeout > 0 arms a read deadline on every server connection,
+	// refreshed per frame: a server silent for longer (no broadcasts, no
+	// heartbeats) fails the read and enters the reconnect path. 0 reads
+	// forever.
+	ReadTimeout time.Duration
+	// WriteTimeout > 0 bounds every blocking socket write; a stalled server
+	// fails the write (and the frame is retried after reconnecting) instead
+	// of wedging the send loop. 0 writes forever.
+	WriteTimeout time.Duration
+	// HeartbeatEvery > 0 sends a payload-free heartbeat to every server at
+	// this period, keeping idle-but-healthy connections inside the servers'
+	// read deadlines. 0 sends none.
+	HeartbeatEvery time.Duration
+	// Reconnect bounds the redial loop a failed connection enters.
+	Reconnect ReconnectConfig
 }
 
 // DialWorker connects worker id to every server address with the default
@@ -81,37 +133,54 @@ func DialWorkerCfg(cfg WorkerConfig) (*Worker, error) {
 	sched.ApplySource(disc, int32(cfg.ID))
 	w := &Worker{
 		id:      uint8(cfg.ID),
+		cfg:     cfg,
 		sendQ:   transport.NewSendQueue(disc),
 		handler: cfg.Handler,
 		preempt: cfg.PreemptBytes,
+		done:    make(chan struct{}),
 	}
 	for _, addr := range cfg.Servers {
-		conn, err := net.Dial("tcp", addr)
+		conn, err := w.dial(addr)
 		if err != nil {
 			w.Close()
-			return nil, fmt.Errorf("pstcp: dial %s: %w", addr, err)
+			return nil, err
 		}
-		w.conns = append(w.conns, conn)
+		w.links = append(w.links, &link{addr: addr, conn: conn, w: w.newWriter(conn)})
 	}
-	// Register on every server before anything else moves.
-	for _, conn := range w.conns {
-		fw := transport.NewFrameWriter(conn)
-		if err := transport.WriteFrame(fw, &transport.Frame{Type: transport.TypeHello, Sender: w.id}); err != nil {
-			w.Close()
-			return nil, fmt.Errorf("pstcp: hello: %w", err)
-		}
-		if err := fw.Flush(); err != nil {
-			w.Close()
-			return nil, fmt.Errorf("pstcp: hello flush: %w", err)
-		}
-	}
-	for _, conn := range w.conns {
+	for _, li := range w.links {
 		w.readWG.Add(1)
-		go w.readLoop(conn)
+		go w.readLoop(li)
 	}
 	w.wg.Add(1)
 	go w.sendLoop()
+	if cfg.HeartbeatEvery > 0 {
+		w.wg.Add(1)
+		go w.heartbeatLoop()
+	}
 	return w, nil
+}
+
+// dial connects to one server and registers on it (Hello) before anything
+// else moves.
+func (w *Worker) dial(addr string) (net.Conn, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("pstcp: dial %s: %w", addr, err)
+	}
+	fw := w.newWriter(conn)
+	if err := transport.WriteFrame(fw, &transport.Frame{Type: transport.TypeHello, Sender: w.id}); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("pstcp: hello: %w", err)
+	}
+	if err := fw.Flush(); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("pstcp: hello flush: %w", err)
+	}
+	return conn, nil
+}
+
+func (w *Worker) newWriter(conn net.Conn) transport.FlushWriter {
+	return transport.NewFrameWriter(deadlineConn{conn: conn, writeTimeout: w.cfg.WriteTimeout})
 }
 
 // Init uploads initial parameter values for a key to its server.
@@ -143,6 +212,10 @@ func (w *Worker) Pull(server int, key uint64, iter int32, priority int32) {
 // QueuedSends reports the number of frames waiting in the send queue.
 func (w *Worker) QueuedSends() int { return w.sendQ.Len() }
 
+// Reconnects reports how many times the worker has re-established a server
+// connection.
+func (w *Worker) Reconnects() int64 { return w.reconnects.Load() }
+
 // SetProfile swaps the send queue's timing profile at runtime — the
 // calibrated mode's feedback hook (see Server.SetProfile): after measuring
 // its real per-layer sync stalls a worker re-ranks subsequent pushes
@@ -159,26 +232,107 @@ func (w *Worker) Close() {
 	}
 	w.closed = true
 	w.mu.Unlock()
+	close(w.done)
 	w.sendQ.Close()
 	w.wg.Wait() // drain pending sends before closing connections
-	for _, c := range w.conns {
-		c.Close()
+	for _, li := range w.links {
+		li.mu.Lock()
+		if li.conn != nil {
+			li.conn.Close()
+		}
+		li.mu.Unlock()
 	}
 	w.readWG.Wait()
 }
 
-func (w *Worker) readLoop(conn net.Conn) {
+func (w *Worker) isClosed() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.closed
+}
+
+// readLoop owns one link for the worker's lifetime: it drains frames from
+// the current connection, and on any read error — closed peer, corrupt
+// frame, silence past the read deadline — closes the connection and tries
+// to re-establish it with bounded, jittered exponential backoff. A
+// successful reconnect requeues the frames the send loop parked while the
+// link was down; exhaustion marks the link dead and drops them.
+func (w *Worker) readLoop(li *link) {
 	defer w.readWG.Done()
-	r := transport.NewFrameReader(conn)
 	for {
-		f, err := transport.ReadFrame(r)
-		if err != nil {
+		li.mu.Lock()
+		conn := li.conn
+		li.mu.Unlock()
+		r := transport.NewFrameReader(deadlineConn{conn: conn, readTimeout: w.cfg.ReadTimeout})
+		for {
+			f, err := transport.ReadFrame(r)
+			if err != nil {
+				break
+			}
+			if (f.Type == transport.TypeData || f.Type == transport.TypeNotify) && w.handler != nil {
+				w.handler(f)
+			}
+		}
+		conn.Close()
+		if w.isClosed() || !w.reconnect(li) {
 			return
 		}
-		if (f.Type == transport.TypeData || f.Type == transport.TypeNotify) && w.handler != nil {
-			w.handler(f)
+	}
+}
+
+// reconnect redials li with exponential backoff and uniform jitter. It
+// reports whether the link is live again.
+func (w *Worker) reconnect(li *link) bool {
+	li.mu.Lock()
+	li.down = true
+	li.mu.Unlock()
+	cfg := w.cfg.Reconnect
+	delay := cfg.BaseDelay
+	if delay <= 0 {
+		delay = 10 * time.Millisecond
+	}
+	maxDelay := cfg.MaxDelay
+	if maxDelay <= 0 {
+		maxDelay = time.Second
+	}
+	for attempt := 0; attempt < cfg.MaxAttempts; attempt++ {
+		jittered := delay/2 + time.Duration(rand.Int64N(int64(delay/2)+1))
+		select {
+		case <-w.done:
+			return false
+		case <-time.After(jittered):
+		}
+		conn, err := w.dial(li.addr)
+		if err == nil {
+			w.reconnects.Add(1)
+			li.mu.Lock()
+			li.conn = conn
+			li.w = w.newWriter(conn)
+			li.down = false
+			parked := li.retry
+			li.retry = nil
+			li.mu.Unlock()
+			// Unacknowledged frames ride the fresh connection; the server's
+			// per-iteration seen-sender set absorbs any duplicate whose
+			// original did reach the wire before the old connection died.
+			for _, f := range parked {
+				w.sendQ.Requeue(f)
+			}
+			return true
+		}
+		if delay *= 2; delay > maxDelay {
+			delay = maxDelay
 		}
 	}
+	li.mu.Lock()
+	li.dead = true
+	parked := li.retry
+	li.retry = nil
+	li.mu.Unlock()
+	for _, f := range parked {
+		w.sendQ.Cancel(f) // dropped: release their credit
+	}
+	return false
 }
 
 // sendLoop is the consumer thread of Section 4.2: transport.SendLoop polls
@@ -187,17 +341,68 @@ func (w *Worker) readLoop(conn net.Conn) {
 // PreemptBytes set, bulk frames are written in segments that strictly more
 // urgent frames for other servers may overtake. A frame's credit is
 // returned only when its bytes are flushed to the socket, so a credit-gated
-// discipline bounds the buffered-but-unflushed backlog.
+// discipline bounds the buffered-but-unflushed backlog. Frames that fail to
+// write — or whose link is down — are parked on the link and requeued by a
+// successful reconnect; their credit stays held meanwhile, so a gated flow
+// to a down server never floods the parking lot.
 func (w *Worker) sendLoop() {
 	defer w.wg.Done()
-	writers := make([]transport.FlushWriter, len(w.conns))
-	for i, c := range w.conns {
-		writers[i] = transport.NewFrameWriter(c)
-	}
-	transport.SendLoop(w.sendQ, func(f *transport.Frame) transport.FlushWriter {
-		if int(f.Dst) < len(writers) {
-			return writers[f.Dst]
+	transport.SendLoopErr(w.sendQ, func(f *transport.Frame) transport.FlushWriter {
+		if int(f.Dst) >= len(w.links) {
+			return nil
 		}
-		return nil
-	}, w.preempt)
+		li := w.links[f.Dst]
+		li.mu.Lock()
+		defer li.mu.Unlock()
+		if li.down || li.dead {
+			return nil
+		}
+		return li.w
+	}, w.preempt, func(f *transport.Frame, err error) {
+		if f.Type == transport.TypeHeartbeat || int(f.Dst) >= len(w.links) {
+			w.sendQ.Cancel(f) // keep-alives are never retried
+			return
+		}
+		li := w.links[f.Dst]
+		li.mu.Lock()
+		if li.dead {
+			li.mu.Unlock()
+			w.sendQ.Cancel(f)
+			return
+		}
+		// A write failure on a live-looking link means the connection just
+		// broke under us: mark it down now so subsequent frames park instead
+		// of burning writes into the dead socket; the read loop notices the
+		// same breakage and drives the reconnect.
+		li.down = true
+		li.retry = append(li.retry, f)
+		li.mu.Unlock()
+	})
+}
+
+// heartbeatLoop keeps idle-but-healthy server connections inside the
+// servers' read deadlines: a payload-free maximally-urgent frame per live
+// link, every HeartbeatEvery.
+func (w *Worker) heartbeatLoop() {
+	defer w.wg.Done()
+	t := time.NewTicker(w.cfg.HeartbeatEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.done:
+			return
+		case <-t.C:
+		}
+		for i, li := range w.links {
+			li.mu.Lock()
+			live := !li.down && !li.dead
+			li.mu.Unlock()
+			if live {
+				w.sendQ.Push(&transport.Frame{
+					Type: transport.TypeHeartbeat, Sender: w.id, Dst: uint8(i),
+					Priority: heartbeatPriority,
+				})
+			}
+		}
+	}
 }

@@ -30,6 +30,7 @@ func TestGenerateFast(t *testing.T) {
 		"Section 5.3 headline speedups",
 		"Ablation — contribution of each design decision",
 		"Extension — rack-scale topology",
+		"Extension — fault injection and graceful degradation",
 		"Extension — P3 principles on ring all-reduce",
 		"Extension — time to accuracy",
 	}

@@ -3,7 +3,6 @@ package sim
 import (
 	"fmt"
 	"math"
-	"slices"
 	"sync"
 	"sync/atomic"
 )
@@ -18,11 +17,11 @@ type Proc interface {
 }
 
 // Exec abstracts the execution engine behind logical processes. Single is
-// the exact legacy single-heap engine; Parallel shards LPs over goroutines
-// under conservative lookahead (see the package comment for the contract).
+// the single-heap engine; Parallel shards LPs over goroutines under
+// conservative lookahead (see the package comment for the contract).
 type Exec interface {
-	// Proc returns the scheduling handle of LP lp. Handles may be shared
-	// between LPs on the same shard; callers should cache them.
+	// Proc returns the scheduling handle of LP lp. Handles carry the LP
+	// identity for the canonical tie key; callers should cache them.
 	Proc(lp int) Proc
 	// Cross schedules fn on dst's timeline at absolute time at, from an
 	// event currently executing on src's timeline. On a Parallel exec, at
@@ -38,25 +37,43 @@ type Exec interface {
 }
 
 // Single adapts one Engine to the Exec interface: every LP shares the
-// engine, and Cross is plain At. It is the bit-identical legacy path — the
-// adapter adds no state and reorders nothing.
+// engine's heap and clock, Proc(lp) tags scheduled events with lp's
+// canonical key, and Cross tags with the sending LP's — so same-instant
+// ties fire in exactly the order a Parallel run computes (see the package
+// comment). Events scheduled directly on the Engine keep the legacy
+// untagged behavior.
 type Single struct{ Eng *Engine }
 
-func (s Single) Proc(int) Proc                      { return s.Eng }
-func (s Single) Cross(_, _ int, at Time, fn func()) { s.Eng.At(at, fn) }
-func (s Single) Shards() int                        { return 1 }
-func (s Single) Run() Time                          { return s.Eng.Run() }
-func (s Single) Stop()                              { s.Eng.Stop() }
-func (s Single) Processed() uint64                  { return s.Eng.Processed() }
+// singleProc is Single's per-LP scheduling handle: Engine scheduling
+// stamped with the LP's canonical key.
+type singleProc struct {
+	eng *Engine
+	lp  int32
+}
 
-// xmsg is one buffered cross-shard message awaiting barrier injection. src
-// (the sending LP) and the per-source append order are the canonical tie
-// keys that make injection order independent of shard count and goroutine
-// interleaving.
+func (p singleProc) Now() Time               { return p.eng.now }
+func (p singleProc) At(t Time, fn func())    { p.eng.atFrom(p.lp, t, fn) }
+func (p singleProc) After(d Time, fn func()) { p.eng.atFrom(p.lp, p.eng.now+d, fn) }
+
+func (s Single) Proc(lp int) Proc { return singleProc{eng: s.Eng, lp: int32(lp)} }
+
+func (s Single) Cross(src, _ int, at Time, fn func()) { s.Eng.atFrom(int32(src), at, fn) }
+
+func (s Single) Shards() int       { return 1 }
+func (s Single) Run() Time         { return s.Eng.Run() }
+func (s Single) Stop()             { s.Eng.Stop() }
+func (s Single) Processed() uint64 { return s.Eng.Processed() }
+
+// xmsg is one buffered cross-shard message awaiting barrier injection. It
+// carries the canonical key stamped at the send — the sender's virtual
+// clock, the sending LP, and the per-LP schedule order — so after
+// injection it sorts against the destination's local events exactly as it
+// would have on a single heap.
 type xmsg struct {
-	at  Time
-	src int32
-	fn  func()
+	at    Time
+	sched Time
+	ord   uint64 // ordKey(src, seq), stamped at the send
+	fn    func()
 }
 
 // pshard is one shard: an event heap, a local clock, and per-destination
@@ -65,7 +82,6 @@ type xmsg struct {
 type pshard struct {
 	heap   eventHeap
 	now    Time
-	seq    uint64
 	nRun   uint64
 	outbox [][]xmsg  // indexed by destination shard; owned by this shard's goroutine during a window
 	work   chan Time // window horizons from the coordinator
@@ -83,8 +99,15 @@ func (s *pshard) runWindow(horizon Time, stopped *atomic.Bool) {
 	}
 }
 
-// shardProc is the Proc handle shared by every LP of one shard.
-type shardProc struct{ s *pshard }
+// shardProc is the per-LP scheduling handle of a Parallel executor. Local
+// scheduling stamps the canonical key from the owning shard's clock and
+// the LP's schedule counter — the same key a Single run stamps, which is
+// what keeps same-instant ties engine-independent.
+type shardProc struct {
+	s  *pshard
+	p  *Parallel
+	lp int32
+}
 
 func (p shardProc) Now() Time { return p.s.now }
 
@@ -92,8 +115,8 @@ func (p shardProc) At(t Time, fn func()) {
 	if t < p.s.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, p.s.now))
 	}
-	p.s.seq++
-	p.s.heap.push(event{at: t, seq: p.s.seq, fn: fn})
+	p.p.lpSeq[p.lp]++
+	p.s.heap.push(event{at: t, sched: p.s.now, ord: ordKey(p.lp, p.p.lpSeq[p.lp]), fn: fn})
 }
 
 func (p shardProc) After(d Time, fn func()) { p.At(p.s.now+d, fn) }
@@ -101,17 +124,22 @@ func (p shardProc) After(d Time, fn func()) { p.At(p.s.now+d, fn) }
 // Parallel is a conservative-lookahead parallel discrete-event executor:
 // LPs are partitioned over shards, each shard runs its events on its own
 // goroutine within barrier-synchronous windows of width lookahead, and
-// cross-shard sends are buffered and injected at the barrier in canonical
-// (timestamp, source LP, send order). See the package comment for the
+// cross-shard sends are buffered and injected at the barrier carrying the
+// canonical key stamped at the send. See the package comment for the
 // determinism contract.
 type Parallel struct {
 	shards  []*pshard
-	procs   []shardProc // per shard
+	procs   []shardProc // per LP
 	lpShard []int32     // LP -> shard
 	look    Time
 	stopped atomic.Bool
 	windowW sync.WaitGroup // open window dispatches
-	scratch []xmsg         // barrier injection staging, reused
+
+	// lpSeq is the per-LP schedule counter behind the canonical key. Each
+	// entry is touched only by the goroutine of the shard owning that LP
+	// (local At and Cross both run on the scheduling LP's shard), so no
+	// synchronization is needed.
+	lpSeq []uint64
 }
 
 // NewParallel builds a Parallel executor over len(lpShard) logical
@@ -127,42 +155,48 @@ func NewParallel(shards int, lpShard []int, lookahead Time) (*Parallel, error) {
 	if lookahead <= 0 {
 		return nil, fmt.Errorf("sim: conservative parallel execution needs a positive lookahead, got %v (a zero-lookahead topology has no safe window and would deadlock)", lookahead)
 	}
+	if len(lpShard) >= 1<<16 {
+		return nil, fmt.Errorf("sim: %d LPs exceed the canonical tie key's LP field (max %d)", len(lpShard), 1<<16-2)
+	}
 	p := &Parallel{
 		shards:  make([]*pshard, shards),
-		procs:   make([]shardProc, shards),
+		procs:   make([]shardProc, len(lpShard)),
 		lpShard: make([]int32, len(lpShard)),
 		look:    lookahead,
+		lpSeq:   make([]uint64, len(lpShard)),
 	}
 	for i := range p.shards {
 		p.shards[i] = &pshard{outbox: make([][]xmsg, shards)}
-		p.procs[i] = shardProc{s: p.shards[i]}
 	}
 	for lp, s := range lpShard {
 		if s < 0 || s >= shards {
 			return nil, fmt.Errorf("sim: LP %d assigned to shard %d of %d", lp, s, shards)
 		}
 		p.lpShard[lp] = int32(s)
+		p.procs[lp] = shardProc{s: p.shards[s], p: p, lp: int32(lp)}
 	}
 	return p, nil
 }
 
-// Proc returns the scheduling handle of LP lp (shared by the LPs of a
-// shard).
-func (p *Parallel) Proc(lp int) Proc { return p.procs[p.lpShard[lp]] }
+// Proc returns the scheduling handle of LP lp.
+func (p *Parallel) Proc(lp int) Proc { return p.procs[lp] }
 
 // Shards reports the shard count.
 func (p *Parallel) Shards() int { return len(p.shards) }
 
-// Cross buffers fn for injection into dst's shard at time at. It must be
-// called from an event executing on src's shard (that shard's outbox row is
-// written without synchronization) and at must respect the lookahead.
+// Cross buffers fn for injection into dst's shard at time at, stamped with
+// the canonical key of the sending LP. It must be called from an event
+// executing on src's shard (that shard's outbox row and src's schedule
+// counter are written without synchronization) and at must respect the
+// lookahead.
 func (p *Parallel) Cross(src, dst int, at Time, fn func()) {
 	ss := p.shards[p.lpShard[src]]
 	if at < ss.now+p.look {
 		panic(fmt.Sprintf("sim: cross-shard send at %v from now %v violates lookahead %v", at, ss.now, p.look))
 	}
+	p.lpSeq[src]++
 	ds := p.lpShard[dst]
-	ss.outbox[ds] = append(ss.outbox[ds], xmsg{at: at, src: int32(src), fn: fn})
+	ss.outbox[ds] = append(ss.outbox[ds], xmsg{at: at, sched: ss.now, ord: ordKey(int32(src), p.lpSeq[src]), fn: fn})
 }
 
 // Stop makes Run return once every shard finishes its current event. Which
@@ -249,43 +283,23 @@ func (p *Parallel) Run() Time {
 	return end
 }
 
-// inject drains every outbox into the destination heaps in canonical order:
-// ascending (timestamp, source LP), ties within one source resolved by send
-// order (the stable sort preserves each source's append order). The order
-// is a function of the simulation alone — not of the shard count or of
-// which goroutine ran when — which is what makes an N-shard run reproduce
-// the 1-shard Result.
+// inject drains every outbox into the destination heaps. Each message
+// keeps the canonical key stamped at its send, and the heap orders events
+// by that key, so injection order — which depends on barrier boundaries —
+// carries no semantic weight: two messages arriving at one LP at the same
+// instant, or a message tying with a locally scheduled event there, fire
+// in (scheduling time, scheduling LP, per-LP order) exactly as a Single
+// run fires them. That is what makes an N-shard run reproduce the 1-shard
+// Result.
 func (p *Parallel) inject() {
 	for ds, dst := range p.shards {
-		sc := p.scratch[:0]
 		for _, src := range p.shards {
 			box := src.outbox[ds]
-			sc = append(sc, box...)
+			for i := range box {
+				dst.heap.push(event{at: box[i].at, sched: box[i].sched, ord: box[i].ord, fn: box[i].fn})
+			}
 			clear(box) // release the buffered closures
 			src.outbox[ds] = box[:0]
 		}
-		if len(sc) > 1 {
-			slices.SortStableFunc(sc, func(a, b xmsg) int {
-				if a.at != b.at {
-					if a.at < b.at {
-						return -1
-					}
-					return 1
-				}
-				if a.src != b.src {
-					if a.src < b.src {
-						return -1
-					}
-					return 1
-				}
-				return 0
-			})
-		}
-		for i := range sc {
-			dst.seq++
-			dst.heap.push(event{at: sc[i].at, seq: dst.seq, fn: sc[i].fn})
-		}
-		clear(sc)
-		p.scratch = sc[:0]
 	}
 }

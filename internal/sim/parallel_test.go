@@ -9,10 +9,12 @@ import (
 
 // lockstepTrace runs a deterministic multi-LP workload on the given exec
 // and returns each LP's observed (time, tag) sequence. Every LP relays a
-// token around the ring with a per-hop delay of at least the lookahead, and
-// at staggered points fans a burst out to every other LP at one shared
-// timestamp — the same-instant multi-source delivery that exercises the
-// canonical tie order.
+// token around the ring with a per-hop delay of at least the lookahead, at
+// staggered points fans a burst out to every other LP at one shared
+// timestamp, and schedules local timers on the same quantized grid the
+// bursts land on — so cross arrivals collide both with each other and
+// with locally scheduled events at one (LP, instant), exercising every
+// class of canonical tie.
 func lockstepTrace(t *testing.T, mk func(nLP int, look Time) Exec) [][]string {
 	t.Helper()
 	const (
@@ -26,6 +28,9 @@ func lockstepTrace(t *testing.T, mk func(nLP int, look Time) Exec) [][]string {
 	for lp := 0; lp < nLP; lp++ {
 		procs[lp] = x.Proc(lp)
 	}
+	// Quantizing burst and timer targets onto one grid manufactures exact
+	// collisions between cross arrivals and local events.
+	grid := func(t Time) Time { return (t + 63) / 64 * 64 }
 	var relay func(lp, hop int) func()
 	relay = func(lp, hop int) func() {
 		return func() {
@@ -37,12 +42,19 @@ func lockstepTrace(t *testing.T, mk func(nLP int, look Time) Exec) [][]string {
 			// Per-hop jitter derived from the inputs alone.
 			d := look + Time((lp*7+hop*13)%29)
 			x.Cross(lp, next, procs[lp].Now()+d, relay(next, hop+1))
+			// A local timer on the shared grid: it ties with whatever
+			// bursts land on the same grid point at this LP, the
+			// local-versus-cross collision class.
+			tick := grid(procs[lp].Now() + 2*look)
+			procs[lp].At(tick, func() {
+				traces[lp] = append(traces[lp], fmt.Sprintf("tick%d@%d", hop, procs[lp].Now()))
+			})
 			if hop%10 == lp {
-				// Fan a burst out to every LP at one shared instant:
+				// Fan a burst out to every LP at one shared grid instant:
 				// same-timestamp arrivals from one source at many
 				// destinations, and (across bursting LPs) at the same
 				// destination.
-				at := procs[lp].Now() + 4*look
+				at := grid(procs[lp].Now() + 4*look)
 				for dst := 0; dst < nLP; dst++ {
 					if dst == lp {
 						continue

@@ -4,9 +4,13 @@
 // serialization, parameter-server processing and scheduling decisions are all
 // expressed as events on a virtual clock.
 //
-// Determinism: events scheduled for the same instant fire in scheduling
-// order, so a run is a pure function of its inputs (and of any explicitly
-// seeded randomness in the workload).
+// Determinism: events scheduled for the same instant fire in canonical key
+// order — ascending (virtual scheduling time, scheduling LP, per-LP
+// schedule order) — so a run is a pure function of its inputs (and of any
+// explicitly seeded randomness in the workload). For events scheduled
+// directly on an Engine the key reduces to plain scheduling order, the
+// legacy behavior; the LP components exist so the sharded engine computes
+// the identical order (see below).
 //
 // # Parallel execution, lookahead and the determinism contract
 //
@@ -26,15 +30,23 @@
 //     NewParallel rejects a non-positive lookahead outright — a
 //     zero-lookahead topology admits no safe window and would otherwise
 //     deadlock or corrupt causality silently.
-//  3. Canonical cross ties: shards advance in barrier-synchronous windows
+//  3. Canonical ties: shards advance in barrier-synchronous windows
 //     [Tmin, Tmin+lookahead); rule 2 guarantees every cross message lands
 //     at or past the window's horizon, so no shard can see an event it
-//     should have influenced. At each barrier the buffered cross messages
-//     are injected into the destination heaps ordered by
-//     (timestamp, source LP, per-source send order) — an order independent
-//     of the shard count and of goroutine interleaving. Same-instant
-//     delivery ties therefore resolve identically for every shard count,
-//     which is what pins an N-shard run's Result to the 1-shard run's.
+//     should have influenced. Every event — local or cross — carries the
+//     canonical key (virtual scheduling time, scheduling LP, per-LP
+//     schedule order), stamped at the scheduling call from the
+//     simulation's own state, and each shard's heap fires same-instant
+//     events in key order. A cross message buffered across a barrier
+//     keeps the key stamped at its send, so where it lands relative to
+//     the destination's local events does not depend on the shard count,
+//     the window boundaries, or goroutine interleaving: a local timer and
+//     a cross arrival colliding at one instant resolve by who scheduled
+//     first on the virtual clock, exactly as on a Single engine, where
+//     scheduling-time order is call order. That is what pins an N-shard
+//     run's Result — including under scripted fault plans, whose timing
+//     perturbations manufacture exactly these collisions — to the 1-shard
+//     run's.
 //
 // Within one shard, same-instant events still fire in scheduling order,
 // exactly as on a Single engine.
@@ -66,26 +78,51 @@ func (t Time) String() string { return fmt.Sprintf("%.6fs", t.Seconds()) }
 // FromSeconds converts floating-point seconds to a virtual timestamp.
 func FromSeconds(s float64) Time { return Time(s * float64(Second)) }
 
+// event is one scheduled callback. Beyond the firing time, it carries the
+// canonical tie key: the virtual instant it was scheduled at, and the
+// packed (scheduling LP, per-LP schedule order) word. Both engines compute
+// the key from the simulation alone, which is what lets same-instant ties
+// resolve identically on any shard count (see the package comment).
+//
+// The struct is kept at 32 bytes deliberately: the heap moves events by
+// value, and one more word pushes the copies off the compiler's
+// register-move path and triples the per-event cost — which is why lp and
+// seq share a word instead of having fields of their own.
 type event struct {
-	at  Time
-	seq uint64
-	fn  func()
+	at    Time
+	sched Time   // virtual time of the scheduling call
+	ord   uint64 // ordKey(lp, seq): scheduling LP and per-LP schedule order
+	fn    func()
 }
 
-// eventHeap is a slab-backed binary min-heap of events ordered by (at, seq):
-// all pending events live by value in one contiguous slice that is reused
-// across the run, and the sift code is monomorphic — container/heap, which
-// this replaced, boxed every scheduled event into an `any` and so cost one
-// heap allocation per event on top of the caller's closure. pop clears the
-// vacated slot, so the slab never pins a fired event's closure (and the
-// whole object graph it captures) for the garbage collector.
+// ordKey packs the last two canonical tie components into one word:
+// scheduling LP plus one in the high 16 bits — zero marks raw Engine
+// scheduling, which therefore sorts before any tagged LP, preserving the
+// legacy order — and the per-LP schedule order in the low 48. The packing
+// compares exactly like (lp, seq) lexicographically, and its limits
+// (65534 LPs, 2^48 events scheduled per LP) sit orders of magnitude above
+// any simulation this repository can hold in memory; NewParallel rejects
+// LP counts beyond the field width.
+func ordKey(lp int32, seq uint64) uint64 { return uint64(lp+1)<<48 | seq }
+
+// eventHeap is a slab-backed binary min-heap of events ordered by the
+// canonical key (at, sched, ord): all pending events live by value in
+// one contiguous slice that is reused across the run, and the sift code is
+// monomorphic — container/heap, which this replaced, boxed every scheduled
+// event into an `any` and so cost one heap allocation per event on top of
+// the caller's closure. pop clears the vacated slot, so the slab never
+// pins a fired event's closure (and the whole object graph it captures)
+// for the garbage collector.
 type eventHeap []event
 
 func (h eventHeap) before(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
-	return h[i].seq < h[j].seq
+	if h[i].sched != h[j].sched {
+		return h[i].sched < h[j].sched
+	}
+	return h[i].ord < h[j].ord
 }
 
 // push appends ev to the slab and sifts it up.
@@ -136,6 +173,7 @@ type Engine struct {
 	now     Time
 	events  eventHeap
 	seq     uint64
+	lpSeq   []uint64 // per-LP schedule counters for tagged (Proc/Cross) events
 	stopped bool
 	nRun    uint64
 }
@@ -147,13 +185,32 @@ func (e *Engine) Now() Time { return e.now }
 func (e *Engine) Processed() uint64 { return e.nRun }
 
 // At schedules fn to run at absolute virtual time t. Scheduling in the past
-// panics: it would silently corrupt causality in the simulation.
+// panics: it would silently corrupt causality in the simulation. Raw Engine
+// scheduling tags the event with the zero LP mark and the engine-wide
+// sequence, which reproduces the legacy same-instant behavior exactly:
+// calls happen in nondecreasing virtual time, so (sched, seq) order is
+// call order.
 func (e *Engine) At(t Time, fn func()) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
 	e.seq++
-	e.events.push(event{at: t, seq: e.seq, fn: fn})
+	e.events.push(event{at: t, sched: e.now, ord: e.seq, fn: fn})
+}
+
+// atFrom schedules fn at t with the canonical key of LP lp: the current
+// virtual time and lp's own schedule counter. Single's per-LP Proc handles
+// and its Cross path land here, so a tagged event carries the same key a
+// Parallel run would compute for it.
+func (e *Engine) atFrom(lp int32, t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	if n := int(lp) + 1; n > len(e.lpSeq) {
+		e.lpSeq = append(e.lpSeq, make([]uint64, n-len(e.lpSeq))...)
+	}
+	e.lpSeq[lp]++
+	e.events.push(event{at: t, sched: e.now, ord: ordKey(lp, e.lpSeq[lp]), fn: fn})
 }
 
 // After schedules fn to run d nanoseconds from now. Negative d panics.
@@ -206,6 +263,7 @@ func (e *Engine) Reset() {
 	e.events = e.events[:0]
 	e.now = 0
 	e.seq = 0
+	clear(e.lpSeq) // keep capacity, zero the per-LP counters
 	e.stopped = false
 	e.nRun = 0
 }

@@ -29,12 +29,13 @@ import (
 
 // Frame types.
 const (
-	TypeInit   uint8 = iota + 1 // worker -> server: set initial parameter values
-	TypePush                    // worker -> server: gradient contribution
-	TypePull                    // worker -> server: request current value
-	TypeData                    // server -> worker: updated parameter values
-	TypeNotify                  // server -> worker: key updated (no payload)
-	TypeHello                   // worker -> server: register this connection
+	TypeInit      uint8 = iota + 1 // worker -> server: set initial parameter values
+	TypePush                       // worker -> server: gradient contribution
+	TypePull                       // worker -> server: request current value
+	TypeData                       // server -> worker: updated parameter values
+	TypeNotify                     // server -> worker: key updated (no payload)
+	TypeHello                      // worker -> server: register this connection
+	TypeHeartbeat                  // either direction: keep-alive, refreshes the peer's read deadline
 )
 
 // MaxFrameValues bounds a single frame's tensor payload; larger tensors must

@@ -144,6 +144,25 @@ func (s *SendQueue) Cancel(f *Frame) {
 	s.signal()
 }
 
+// Requeue returns a popped-but-unacknowledged frame to the queue — the
+// reconnect path's primitive: the frame's write failed (or its connection
+// died before the flush), so its in-flight credit is refunded as a Cancel
+// (the bytes never reached the peer; adaptive windows must not tune on
+// them) and the frame rejoins the schedule to be retried on the next
+// connection. Requeueing on a closed queue refunds the credit but drops
+// the frame: the consumer is shutting down and no retry is coming.
+func (s *SendQueue) Requeue(f *Frame) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.gated {
+		s.q.Cancel(f)
+	}
+	if !s.closed {
+		s.q.Push(f)
+	}
+	s.signal()
+}
+
 // SetProfile installs a (re)calibrated timing profile on the queue's
 // discipline when it is profile-aware (tictac, damped:tictac); a no-op
 // otherwise. It is the runtime hook of the calibrated mode: a worker or

@@ -2,6 +2,7 @@ package transport
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -95,6 +96,11 @@ func (s *SegmentWriter) WriteNext(w io.Writer, quantum int) error {
 	return nil
 }
 
+// ErrNoWriter is the error SendLoopErr hands its onErr callback for a
+// frame whose destination has no writer right now (never registered, or
+// its connection is down awaiting a reconnect).
+var ErrNoWriter = errors.New("transport: no writer for destination")
+
 // SendLoop is the consumer thread of Section 4.2, shared by the worker and
 // server sides of pstcp: it drains q until the queue is closed and empty,
 // writing each admitted frame to the writer sink resolves for it (a nil
@@ -113,29 +119,81 @@ func (s *SegmentWriter) WriteNext(w io.Writer, quantum int) error {
 // flow). quantum <= 0 writes every frame whole — the paper's semantics,
 // preemption only at frame granularity.
 func SendLoop(q *SendQueue, sink func(*Frame) FlushWriter, quantum int) {
+	SendLoopErr(q, sink, quantum, nil)
+}
+
+// SendLoopErr is SendLoop with an error path: every popped frame that did
+// not make it onto the wire — nil sink (ErrNoWriter), write error, or a
+// failed flush — is handed to onErr instead of being acknowledged. The
+// callback owns the frame's credit from that point: it must eventually
+// Requeue (retry on a fresh connection) or Cancel it on the queue.
+// Duplicates are possible — a flush error cannot tell how many buffered
+// bytes reached the peer before the connection died — so receivers retried
+// through this path must deduplicate (pstcp servers track a per-iteration
+// seen-sender set). A nil onErr restores SendLoop's fire-and-forget
+// semantics: undeliverable frames are dropped with their credit returned.
+func SendLoopErr(q *SendQueue, sink func(*Frame) FlushWriter, quantum int, onErr func(*Frame, error)) {
 	dirty := make(map[FlushWriter]bool)
-	var pending []*Frame // written, not yet flushed/acked
-	flushAll := func() {
-		for w := range dirty {
-			w.Flush()
-			delete(dirty, w)
-		}
-		for _, f := range pending {
+	pending := make(map[FlushWriter][]*Frame) // written, not yet flushed/acked
+	fail := func(f *Frame, err error) {
+		if onErr != nil {
+			onErr(f, err)
+		} else {
 			q.Done(f)
 		}
-		pending = pending[:0]
+	}
+	flushAll := func() {
+		for w := range dirty {
+			err := w.Flush()
+			delete(dirty, w)
+			for _, f := range pending[w] {
+				if err != nil {
+					fail(f, err)
+				} else {
+					q.Done(f)
+				}
+			}
+			delete(pending, w)
+		}
+		// Writers with acknowledged-but-clean backlogs (their bytes flushed
+		// with an earlier preemptor) and frames that never had a writer.
+		for w, fs := range pending {
+			for _, f := range fs {
+				q.Done(f)
+			}
+			delete(pending, w)
+		}
 	}
 	// writePreemptor ships an urgent frame NOW: written, flushed to its
 	// socket, and acknowledged immediately. Leaving it in the bufio layer
 	// until the bulk frame's usual idle-time flush would forfeit the very
 	// latency the preemption exists to recover.
 	writePreemptor := func(f *Frame) {
-		if w := sink(f); w != nil {
-			if err := WriteFrame(w, f); err == nil {
-				w.Flush()
-				delete(dirty, w) // earlier buffered frames flushed with it
-			}
+		w := sink(f)
+		if w == nil {
+			fail(f, ErrNoWriter)
+			return
 		}
+		if err := WriteFrame(w, f); err != nil {
+			fail(f, err)
+			return
+		}
+		if err := w.Flush(); err != nil {
+			// The preemptor's bytes died in the broken stream along with any
+			// earlier buffered frames on this writer.
+			delete(dirty, w)
+			for _, p := range pending[w] {
+				fail(p, err)
+			}
+			delete(pending, w)
+			fail(f, err)
+			return
+		}
+		delete(dirty, w) // earlier buffered frames flushed with it
+		for _, p := range pending[w] {
+			q.Done(p)
+		}
+		delete(pending, w)
 		q.Done(f)
 	}
 	for {
@@ -151,13 +209,17 @@ func SendLoop(q *SendQueue, sink func(*Frame) FlushWriter, quantum int) {
 			}
 		}
 		w := sink(f)
-		if quantum <= 0 || w == nil || FrameWireBytes(f) <= quantum {
-			if w != nil {
-				if err := WriteFrame(w, f); err == nil {
-					dirty[w] = true
-				}
+		if w == nil {
+			fail(f, ErrNoWriter)
+			continue
+		}
+		if quantum <= 0 || FrameWireBytes(f) <= quantum {
+			if err := WriteFrame(w, f); err != nil {
+				fail(f, err)
+				continue
 			}
-			pending = append(pending, f)
+			dirty[w] = true
+			pending[w] = append(pending[w], f)
 			continue
 		}
 		// Bulk frame: write it in segments, letting strictly more urgent
@@ -179,6 +241,10 @@ func SendLoop(q *SendQueue, sink func(*Frame) FlushWriter, quantum int) {
 				writePreemptor(p)
 			}
 		}
-		pending = append(pending, f)
+		if err := sw.Err(); err != nil {
+			fail(f, err)
+			continue
+		}
+		pending[w] = append(pending[w], f)
 	}
 }
