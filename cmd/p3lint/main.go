@@ -1,0 +1,168 @@
+// Command p3lint statically enforces the repo's determinism, size-budget and
+// zero-allocation contracts (see internal/lint/doc.go for the invariants and
+// the //p3: directive grammar).
+//
+// It runs in two modes:
+//
+//   - As a vettool: `go vet -vettool=$(which p3lint) ./...`. cmd/go drives
+//     the tool once per compilation unit (including test variants) with a
+//     vet.cfg file; p3lint speaks that protocol natively and runs the three
+//     AST analyzers (wallclock, maporder, sizebudget).
+//
+//   - Standalone: `p3lint ./...`. Loads packages itself via
+//     `go list -deps -export` and additionally runs the build-driven
+//     noescape gate, which cannot run under vet because it needs the
+//     compiler's -m escape diagnostics: `p3lint -analyzers=noescape ./...`.
+//
+// Exit status: 0 clean, 1 tool error, 2 findings (matching go vet).
+package main
+
+import (
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"p3/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("p3lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		flagV         = fs.String("V", "", "print version and exit (cmd/go protocol)")
+		flagFlags     = fs.Bool("flags", false, "print analyzer flags in JSON (cmd/go protocol)")
+		flagAnalyzers = fs.String("analyzers", "wallclock,maporder,sizebudget,noescape",
+			"comma-separated analyzers to run (standalone mode)")
+		flagSinks = fs.String("maporder.sinks", "",
+			"comma-separated extra maporder sinks (pkg.Func or pkg.(Recv).Method)")
+		flagDir = fs.String("C", ".", "directory to resolve package patterns in (standalone mode)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+
+	// cmd/go handshake: `p3lint -flags` must print the tool's analyzer flags
+	// as JSON (p3lint exposes none to vet), and `p3lint -V=full` a version
+	// line whose buildID changes when the tool does, so vet's cache never
+	// serves results from a stale binary.
+	if *flagFlags {
+		fmt.Fprintln(stdout, "[]")
+		return 0
+	}
+	if *flagV != "" {
+		id, err := selfBuildID()
+		if err != nil {
+			fmt.Fprintln(stderr, "p3lint:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "p3lint version devel buildID=%s\n", id)
+		return 0
+	}
+
+	sinks := lint.DefaultSinks
+	if *flagSinks != "" {
+		for _, spec := range strings.Split(*flagSinks, ",") {
+			s, err := lint.ParseSink(strings.TrimSpace(spec))
+			if err != nil {
+				fmt.Fprintln(stderr, "p3lint:", err)
+				return 1
+			}
+			sinks = append(sinks, s)
+		}
+	}
+	astAnalyzers := []*lint.Analyzer{
+		lint.Wallclock(lint.CriticalPackages),
+		lint.MapOrder(sinks),
+		lint.SizeBudget(),
+	}
+
+	rest := fs.Args()
+
+	// Vettool mode: the sole argument is a *.cfg file describing one
+	// compilation unit.
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		n, err := lint.RunUnit(rest[0], astAnalyzers, stderr)
+		if err != nil {
+			fmt.Fprintln(stderr, "p3lint:", err)
+			return 1
+		}
+		if n > 0 {
+			return 2
+		}
+		return 0
+	}
+
+	// Standalone mode.
+	patterns := rest
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	want := make(map[string]bool)
+	for _, name := range strings.Split(*flagAnalyzers, ",") {
+		want[strings.TrimSpace(name)] = true
+	}
+	var selected []*lint.Analyzer
+	for _, az := range astAnalyzers {
+		if want[az.Name] {
+			selected = append(selected, az)
+		}
+	}
+	var diags []lint.Diagnostic
+	if len(selected) > 0 {
+		pkgs, err := lint.Load(*flagDir, patterns)
+		if err != nil {
+			fmt.Fprintln(stderr, "p3lint:", err)
+			return 1
+		}
+		for _, pkg := range pkgs {
+			ds, err := lint.RunAnalyzers(pkg, selected)
+			if err != nil {
+				fmt.Fprintln(stderr, "p3lint:", err)
+				return 1
+			}
+			diags = append(diags, ds...)
+		}
+	}
+	if want["noescape"] {
+		ds, err := lint.NoEscape(*flagDir, patterns)
+		if err != nil {
+			fmt.Fprintln(stderr, "p3lint:", err)
+			return 1
+		}
+		diags = append(diags, ds...)
+	}
+	lint.SortDiagnostics(diags)
+	for _, d := range diags {
+		fmt.Fprintln(stdout, d)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// selfBuildID hashes the running binary: any rebuild of p3lint yields a new
+// ID, which is exactly the invalidation granularity vet's result cache needs.
+func selfBuildID() (string, error) {
+	exe, err := os.Executable()
+	if err != nil {
+		return "", err
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)[:16]), nil
+}

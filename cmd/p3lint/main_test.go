@@ -1,0 +1,144 @@
+package main
+
+import (
+	"bytes"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+const knownbad = "./internal/lint/testdata/src/knownbad"
+
+// buildTool compiles p3lint once per test binary into a temp dir.
+func buildTool(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "p3lint")
+	cmd := exec.Command("go", "build", "-o", bin, "p3/cmd/p3lint")
+	cmd.Dir = repoRoot(t)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building p3lint: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Dir(strings.TrimSpace(string(out)))
+}
+
+// TestStandaloneKnownBad runs the full standalone tool over the known-bad
+// fixture and asserts each analyzer fires exactly once, with its documented
+// message, at the expected site.
+func TestStandaloneKnownBad(t *testing.T) {
+	bin := buildTool(t)
+	cmd := exec.Command(bin, knownbad)
+	cmd.Dir = repoRoot(t)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 2 {
+		t.Fatalf("p3lint %s: err=%v (want exit 2)\nstdout:\n%s\nstderr:\n%s", knownbad, err, stdout.String(), stderr.String())
+	}
+	checkKnownBadFindings(t, stdout.String(), map[string]*regexp.Regexp{
+		"wallclock":  regexp.MustCompile(`time\.Now reads wall-clock state; annotate //p3:wallclock-ok`),
+		"maporder":   regexp.MustCompile(`map iteration over pending reaches event scheduling \(p3/internal/sim\.\(Engine\)\.At\)`),
+		"sizebudget": regexp.MustCompile(`struct grownEvent is 40 bytes, declared //p3:sizebudget 32`),
+		"noescape":   regexp.MustCompile(`heap escape in //p3:noescape function Leak: new\(int\) escapes to heap`),
+	})
+}
+
+// TestVettoolKnownBad drives the same fixture through `go vet -vettool`,
+// exercising the vet.cfg protocol end to end. The build-driven noescape
+// gate cannot run under vet (it needs the compiler's -m output), so here
+// the three AST analyzers are expected.
+func TestVettoolKnownBad(t *testing.T) {
+	bin := buildTool(t)
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "p3/internal/lint/testdata/src/knownbad")
+	cmd.Dir = repoRoot(t)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() == 0 {
+		t.Fatalf("go vet -vettool: err=%v (want nonzero exit)\nstderr:\n%s", err, stderr.String())
+	}
+	checkKnownBadFindings(t, stderr.String(), map[string]*regexp.Regexp{
+		"wallclock":  regexp.MustCompile(`time\.Now reads wall-clock state; annotate //p3:wallclock-ok`),
+		"maporder":   regexp.MustCompile(`map iteration over pending reaches event scheduling \(p3/internal/sim\.\(Engine\)\.At\)`),
+		"sizebudget": regexp.MustCompile(`struct grownEvent is 40 bytes, declared //p3:sizebudget 32`),
+	})
+}
+
+// checkKnownBadFindings asserts output contains exactly one finding per
+// analyzer in want, and no findings from analyzers outside it.
+func checkKnownBadFindings(t *testing.T, output string, want map[string]*regexp.Regexp) {
+	t.Helper()
+	counts := make(map[string]int)
+	finding := regexp.MustCompile(`knownbad\.go:\d+:\d+: (.*) \[(\w+)\]$`)
+	for _, line := range strings.Split(output, "\n") {
+		m := finding.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		msg, analyzer := m[1], m[2]
+		counts[analyzer]++
+		re, expected := want[analyzer]
+		if !expected {
+			t.Errorf("unexpected analyzer %q fired: %s", analyzer, line)
+			continue
+		}
+		if !re.MatchString(msg) {
+			t.Errorf("%s: message %q does not match documented form %q", analyzer, msg, re)
+		}
+	}
+	for analyzer := range want {
+		if counts[analyzer] != 1 {
+			t.Errorf("analyzer %s fired %d times, want exactly 1\noutput:\n%s", analyzer, counts[analyzer], output)
+		}
+	}
+}
+
+// TestProtocolHandshake pins the two cmd/go protocol entry points: -flags
+// must emit a JSON flag list, and -V=full a version line whose buildID
+// is stable for one binary (vet's cache key).
+func TestProtocolHandshake(t *testing.T) {
+	bin := buildTool(t)
+	out, err := exec.Command(bin, "-flags").Output()
+	if err != nil || strings.TrimSpace(string(out)) != "[]" {
+		t.Errorf("p3lint -flags = %q, %v; want []", out, err)
+	}
+	v1, err := exec.Command(bin, "-V=full").Output()
+	if err != nil {
+		t.Fatalf("p3lint -V=full: %v", err)
+	}
+	if !regexp.MustCompile(`^p3lint version \S+ buildID=[0-9a-f]+\s*$`).Match(v1) {
+		t.Errorf("p3lint -V=full = %q, want 'p3lint version <ver> buildID=<hex>'", v1)
+	}
+	v2, _ := exec.Command(bin, "-V=full").Output()
+	if !bytes.Equal(v1, v2) {
+		t.Errorf("buildID not stable across runs: %q vs %q", v1, v2)
+	}
+}
+
+// TestTreeClean is the gate the repo lives under: the full analyzer suite,
+// including the build-driven noescape pass, must be clean over ./... — the
+// same invocation CI runs.
+func TestTreeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the whole module with -m; skipped in -short")
+	}
+	bin := buildTool(t)
+	cmd := exec.Command(bin, "./...")
+	cmd.Dir = repoRoot(t)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Errorf("p3lint ./... is not clean: %v\n%s", err, out)
+	}
+}

@@ -94,6 +94,7 @@ func main() {
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	if *stats > 0 {
+		//p3:wallclock-ok operator-facing stats cadence on the live server
 		ticker := time.NewTicker(*stats)
 		defer ticker.Stop()
 		for {

@@ -96,6 +96,7 @@ func main() {
 				if *calibrate {
 					if l := plan.Chunks[f.Key].Layer; l < len(layerLast) {
 						calMu.Lock()
+						//p3:wallclock-ok calibration measures real per-layer latency
 						if d := time.Since(iterStart); d > layerLast[l] {
 							layerLast[l] = d
 						}
@@ -116,12 +117,14 @@ func main() {
 		for _, c := range plan.Chunks {
 			worker.Init(c.Server, uint64(c.ID), grads[c.ID])
 		}
+		//p3:wallclock-ok real startup settling on the live transport
 		time.Sleep(200 * time.Millisecond) // let inits land before traffic
 	}
 
 	var measured []time.Duration
 	stallSum := make([]sim.Time, len(m.Layers))
 	for it := 0; it < *warmup+*iters; it++ {
+		//p3:wallclock-ok iteration timing measures the real transport
 		start := time.Now()
 		calMu.Lock()
 		iterStart = start
@@ -164,6 +167,7 @@ func main() {
 				*id, *warmup, total.Millis())
 		}
 		if it >= *warmup {
+			//p3:wallclock-ok iteration timing measures the real transport
 			measured = append(measured, time.Since(start))
 		}
 	}

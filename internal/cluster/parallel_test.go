@@ -178,11 +178,15 @@ func TestServerPlacement(t *testing.T) {
 		t.Errorf("spread placement changed protocol traffic: %d msgs, want %d", r.Msgs, want.Msgs)
 	}
 
-	for name, bad := range map[string][]int{
-		"wrong length": {0},
-		"out of range": {0, 8},
-		"duplicate":    {3, 3},
+	for _, c := range []struct {
+		name string
+		bad  []int
+	}{
+		{"wrong length", []int{0}},
+		{"out of range", []int{0, 8}},
+		{"duplicate", []int{3, 3}},
 	} {
+		name, bad := c.name, c.bad
 		func() {
 			defer func() {
 				if recover() == nil {

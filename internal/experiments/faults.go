@@ -110,6 +110,7 @@ func Faults(o Options) []FaultRow {
 		if c.scenario.plan != nil {
 			plan = c.scenario.plan()
 		}
+		//p3:wallclock-ok WallMs reports real simulator throughput
 		t0 := time.Now()
 		r := cluster.Run(cluster.Config{
 			Model: zoo.ByName(model), Machines: machines, Servers: racks,
@@ -129,7 +130,7 @@ func Faults(o Options) []FaultRow {
 			Failovers:  r.AggFailovers,
 			Lost:       r.LostReductions,
 			Events:     r.Events,
-			WallMs:     float64(time.Since(t0).Microseconds()) / 1000,
+			WallMs:     float64(time.Since(t0).Microseconds()) / 1000, //p3:wallclock-ok WallMs reports real simulator throughput
 		}
 	})
 	// RetainedPct normalizes each faulted cell by its discipline's clean

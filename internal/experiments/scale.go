@@ -145,6 +145,7 @@ func Scale(o Options) []ScaleRow {
 		default:
 			row.Profile = "-"
 		}
+		//p3:wallclock-ok WallMs reports real simulator throughput
 		t0 := time.Now()
 		if c.path == PathRing {
 			cfg := ring.Config{
@@ -179,6 +180,7 @@ func Scale(o Options) []ScaleRow {
 			row.IterMs = r.MeanIterTime.Millis()
 			row.Events = r.Events
 		}
+		//p3:wallclock-ok WallMs reports real simulator throughput
 		row.WallMs = float64(time.Since(t0).Microseconds()) / 1000
 		rows[i] = row
 	})

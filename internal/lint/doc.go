@@ -1,0 +1,99 @@
+// Package lint statically enforces the contracts this repo's correctness
+// and performance results rest on. Every invariant below was first paid for
+// dynamically — a divergence hunted across shard counts, a benchmark
+// regression bisected to a struct field — and each analyzer is the static
+// form of one of those lessons: the tree fails `go vet` at the moment the
+// contract is broken, instead of a determinism test or a benchmark gate
+// failing several PRs later.
+//
+// The framework mirrors golang.org/x/tools/go/analysis (Analyzer, Pass,
+// Diagnostic) but is built on the standard library alone: packages load via
+// `go list -deps -export` with dependencies type-checked from compiled
+// export data, and cmd/p3lint additionally speaks cmd/go's vettool protocol
+// (-flags, -V=full, per-unit vet.cfg), so the same analyzers run standalone
+// and under `go vet -vettool`.
+//
+// # The invariants
+//
+// wallclock — a simulation Result must be a pure function of its inputs.
+// The discrete-event engines define time; the cluster model pre-draws all
+// randomness from seeded PCG streams (compute jitter is precomputed
+// per (worker, iteration) exactly so that event order cannot perturb the
+// random sequence). One time.Now or global-rand read anywhere in the
+// determinism-critical packages (sim, netsim, cluster, faults, ring, sched,
+// pq, trace) silently breaks the N-shard == 1-shard bit-identity contract,
+// so there the analyzer rejects wall-clock reads outright — even annotated
+// ones. Elsewhere (the real pstcp transport, experiment harnesses that
+// report wall-clock throughput, the CLI binaries) real time is legitimate
+// and is declared with //p3:wallclock-ok <reason>. Methods on an explicitly
+// seeded *rand.Rand and the seeded constructors (rand.New, NewPCG, ...) are
+// always fine; it is the runtime-seeded package-level source that is banned.
+//
+// maporder — every event carries a canonical (scheduling time, LP, per-LP
+// order) tie key, stamped in scheduling call order. Feeding a scheduling
+// call — Engine.At/After, Proc.At/After, an Exec.Cross send, sched's
+// Queue.Push, netsim's Send and fault-injection surface — from a `range`
+// over a map makes that order, and with it the whole Result, a function of
+// Go's per-process map seed. This is the static form of the PR 9
+// local-vs-cross tie bug, which surfaced only at particular shard counts.
+// The analyzer follows calls transitively within the package, including
+// through closures built in the loop body; iterate sorted keys instead, or
+// document a genuinely order-insensitive walk with //p3:maporder-ok <reason>.
+//
+// sizebudget — two hot structs sit on measured performance cliffs, pinned
+// with //p3:sizebudget 32:
+//
+//   - sim's event struct (32 bytes: at, sched, packed ord, fn). The event
+//     heap moves events by value; at 32 bytes those copies are compiled to
+//     register moves. One more word pushes them off that path and was
+//     measured (PR 9) to roughly triple per-event heap cost — the
+//     difference between ~17ns and ~50ns per event across a
+//     quarter-billion-event sweep. That is why lp and seq share the packed
+//     ord word instead of having fields of their own.
+//
+//   - sched.Item (32 bytes, 4 fields: Priority, Bytes, Dest, rank). A
+//     Less(a, b Item) interface call passes both items by value in the
+//     amd64 ABI's nine integer argument registers; a fifth field spills
+//     both arguments to the stack, measured (PR 5) as a ~45% regression on
+//     the dispatch hot path (BenchmarkQueueManyFlows/p3). That is also why
+//     Item has no Src field — the element's origin is a property of the
+//     queue, injected per discipline via ApplySource.
+//
+// The analyzer recomputes each annotated struct's size under the gc layout
+// (types.Sizes) and fails on any mismatch, in either direction: growth is
+// the regression itself, shrinkage means the budget and its justifying
+// comment are stale and the cliff must be re-measured. Budgets are stated
+// for 64-bit targets; on 32-bit the analyzer is silent rather than wrong.
+//
+// noescape — PR 4 drove the pq and sched dispatch paths to 0 allocs/op in
+// steady state (free-listed flow shells, slab-backed heaps), and the
+// benchmark gate pins that dynamically. The //p3:noescape directive pins it
+// statically: cmd/p3lint compiles the module with -gcflags='<module>/...=-m'
+// and fails if any "escapes to heap"/"moved to heap" diagnostic lands
+// inside a marked function. Generics make the module-wide build necessary:
+// escape analysis of a generic hot path happens in the *importing*
+// package's compilation, with positions pointing back into the defining
+// file. Documented cold-path allocations inside a marked function — the
+// first flow shell per destination, the per-flow heap — are exempted line
+// by line with //p3:alloc-ok <reason>. This pass drives the compiler, so it
+// runs standalone (`p3lint -analyzers=noescape ./...`), not under vet; on
+// an unchanged tree the diagnostics replay from the build cache.
+//
+// # Directive grammar
+//
+// A directive is a comment beginning exactly //p3: (no space, the Go
+// directive convention). The name runs to the first space; the remainder is
+// the argument. A directive attaches to the line it trails, or to the line
+// immediately below when it stands alone — deliberately narrow, so a stale
+// directive cannot silently blanket half a file.
+//
+//	//p3:wallclock-ok <reason>   allow one wall-clock/global-rand use site
+//	//p3:maporder-ok <reason>    allow one map-walk-into-scheduling site
+//	//p3:sizebudget <bytes>      pin a struct's exact gc size (on the decl)
+//	//p3:noescape                forbid heap escapes in this function
+//	//p3:alloc-ok <reason>       exempt one line inside a //p3:noescape body
+//
+// The -ok suppressions require a reason and are rejected in the
+// determinism-critical packages (wallclock) — an empty excuse fails the
+// build the same way the violation would.
+package lint

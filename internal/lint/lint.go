@@ -1,0 +1,182 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one static check. The framework mirrors the shape of
+// golang.org/x/tools/go/analysis deliberately — Name/Doc/Run over a Pass —
+// but is self-contained: the toolchain image carries no module cache, so
+// p3lint depends on nothing outside the standard library.
+type Analyzer struct {
+	// Name is the canonical analyzer name ("wallclock", "maporder", ...).
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Run inspects one type-checked package and reports findings.
+	Run func(*Pass) error
+}
+
+// Pass carries one type-checked package through an Analyzer.Run.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+	Sizes    types.Sizes
+	// Report records a finding. The framework stamps the analyzer name.
+	Report func(Diagnostic)
+
+	dirs map[string]map[int][]Directive // filename -> line -> directives
+}
+
+// Diagnostic is one finding, positioned and attributed to its analyzer.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s [%s]", d.Pos, d.Message, d.Analyzer)
+}
+
+// Directive is one //p3:<name> <arg> comment. The grammar is the repo's
+// invariant-annotation language (see doc.go): the comment must start exactly
+// with "//p3:" (no space — the Go directive-comment convention), the name
+// runs to the first space, and everything after it is the argument (a
+// human-readable reason for the -ok suppressions, a byte count for
+// sizebudget).
+type Directive struct {
+	Name string
+	Arg  string
+	Pos  token.Position
+}
+
+// ParseDirective decodes a single comment's text, returning ok=false for
+// non-directive comments.
+func ParseDirective(text string, pos token.Position) (Directive, bool) {
+	const prefix = "//p3:"
+	if !strings.HasPrefix(text, prefix) {
+		return Directive{}, false
+	}
+	rest := text[len(prefix):]
+	name, arg := rest, ""
+	if i := strings.IndexByte(rest, ' '); i >= 0 {
+		name, arg = rest[:i], strings.TrimSpace(rest[i+1:])
+	}
+	if name == "" {
+		return Directive{}, false
+	}
+	return Directive{Name: name, Arg: arg, Pos: pos}, true
+}
+
+// directiveIndex lazily builds the per-file line index of //p3: directives.
+func (p *Pass) directiveIndex() map[string]map[int][]Directive {
+	if p.dirs != nil {
+		return p.dirs
+	}
+	p.dirs = make(map[string]map[int][]Directive)
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				pos := p.Fset.Position(c.Pos())
+				d, ok := ParseDirective(c.Text, pos)
+				if !ok {
+					continue
+				}
+				byLine := p.dirs[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int][]Directive)
+					p.dirs[pos.Filename] = byLine
+				}
+				byLine[pos.Line] = append(byLine[pos.Line], d)
+			}
+		}
+	}
+	return p.dirs
+}
+
+// DirectiveNear returns the named directive attached to the source line at
+// pos: on the line itself (trailing comment) or on the line immediately
+// above (a directive comment of its own). That two-line rule is the whole
+// attachment grammar — deliberately narrow, so a stale directive cannot
+// silently blanket half a file.
+func (p *Pass) DirectiveNear(pos token.Pos, name string) *Directive {
+	position := p.Fset.Position(pos)
+	byLine := p.directiveIndex()[position.Filename]
+	if byLine == nil {
+		return nil
+	}
+	for _, line := range [2]int{position.Line, position.Line - 1} {
+		for i := range byLine[line] {
+			if byLine[line][i].Name == name {
+				return &byLine[line][i]
+			}
+		}
+	}
+	return nil
+}
+
+// Reportf formats and records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// IsTestFile reports whether pos lies in a _test.go file.
+func (p *Pass) IsTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// RunAnalyzers runs each analyzer over pkg and returns the findings sorted
+// by position then analyzer name, so output order is stable for golden
+// comparisons and CI logs.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var out []Diagnostic
+	for _, az := range analyzers {
+		pass := &Pass{
+			Analyzer: az,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			Sizes:    pkg.Sizes,
+		}
+		pass.Report = func(d Diagnostic) { out = append(out, d) }
+		if err := az.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", az.Name, pkg.ImportPath, err)
+		}
+	}
+	SortDiagnostics(out)
+	return out, nil
+}
+
+// SortDiagnostics orders findings by file, line, column, analyzer, message.
+func SortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}

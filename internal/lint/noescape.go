@@ -1,0 +1,207 @@
+package lint
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// noescapeRegion is one function carrying a //p3:noescape directive: the
+// contract that compiling it (including every generic instantiation of it)
+// produces no "escapes to heap"/"moved to heap" diagnostics, except on
+// lines annotated //p3:alloc-ok <reason> (documented cold paths, e.g. a
+// queue growing a slab or minting a flow shell that a free list then
+// recycles).
+type noescapeRegion struct {
+	file       string // absolute path
+	fn         string
+	start, end int          // inclusive line range of the declaration
+	allocOK    map[int]bool // lines exempted by //p3:alloc-ok
+	pos        token.Position
+}
+
+// escapeDiag matches the gc compiler's -m diagnostics.
+var escapeDiag = regexp.MustCompile(`^(.+\.go):(\d+):(\d+): (.*(?:escapes to heap|moved to heap).*)$`)
+
+// NoEscape runs the build-driven zero-allocation gate over the packages
+// matching patterns (resolved in dir): it compiles the module's packages
+// with -gcflags=<module>/...=-m, so escape diagnostics from every
+// compilation unit — including the shape instantiations of generic hot
+// paths, which the compiler analyzes in the *importing* package — are
+// collected, then reports any heap escape whose position falls inside a
+// //p3:noescape function. This cannot be a pure go/analysis pass: escape
+// analysis is the compiler's, not the type checker's, so the gate drives
+// `go build` and parses its diagnostics (replayed from the build cache on
+// unchanged code, so repeated runs are cheap).
+func NoEscape(dir string, patterns []string) ([]Diagnostic, error) {
+	absDir, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	listed, err := goList(dir, append([]string{"list", "-json=ImportPath,Dir,GoFiles,Standard,DepOnly,Module"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	var modulePath string
+	fset := token.NewFileSet()
+	var regions []noescapeRegion
+	for _, p := range listed {
+		if p.Standard || p.Module == nil {
+			continue
+		}
+		if modulePath == "" {
+			modulePath = p.Module.Path
+		}
+		for _, name := range p.GoFiles {
+			path := name
+			if !filepath.IsAbs(path) {
+				path = filepath.Join(p.Dir, name)
+			}
+			rs, err := markedFunctions(fset, path)
+			if err != nil {
+				return nil, err
+			}
+			regions = append(regions, rs...)
+		}
+	}
+	if len(regions) == 0 {
+		return nil, nil
+	}
+
+	args := append([]string{"build", "-gcflags=" + modulePath + "/...=-m"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go %v: %v\n%s", args, err, stderr.String())
+	}
+
+	var diags []Diagnostic
+	seen := make(map[string]bool)
+	sc := bufio.NewScanner(&stderr)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		m := escapeDiag.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		file := m[1]
+		if !filepath.IsAbs(file) {
+			file = filepath.Join(absDir, filepath.Clean(file))
+		}
+		line, _ := strconv.Atoi(m[2])
+		col, _ := strconv.Atoi(m[3])
+		msg := m[4]
+		for i := range regions {
+			r := &regions[i]
+			if file != r.file || line < r.start || line > r.end {
+				continue
+			}
+			if r.allocOK[line] {
+				break
+			}
+			key := fmt.Sprintf("%s:%d:%d:%s", file, line, col, msg)
+			if seen[key] {
+				break
+			}
+			seen[key] = true
+			diags = append(diags, Diagnostic{
+				Analyzer: "noescape",
+				Pos:      token.Position{Filename: file, Line: line, Column: col},
+				Message:  fmt.Sprintf("heap escape in //p3:noescape function %s: %s (the dispatch hot paths are pinned at 0 allocs/op; move the allocation off the hot path or annotate the line //p3:alloc-ok <reason>)", r.fn, msg),
+			})
+			break
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Message < b.Message
+	})
+	return diags, nil
+}
+
+// markedFunctions parses one file and returns the //p3:noescape regions in
+// it: each marked function or method declaration, with its //p3:alloc-ok
+// exemption lines. The directive must sit in the function's doc comment.
+func markedFunctions(fset *token.FileSet, path string) ([]noescapeRegion, error) {
+	src, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		return nil, err
+	}
+	// Index //p3:alloc-ok lines once per file; each region keeps the lines
+	// inside its own span.
+	allocOK := make(map[int]bool)
+	for _, cg := range src.Comments {
+		for _, c := range cg.List {
+			if d, ok := ParseDirective(c.Text, fset.Position(c.Pos())); ok && d.Name == "alloc-ok" {
+				// The exemption covers the directive's own line and the one
+				// below — same two-line attachment rule as every directive.
+				allocOK[d.Pos.Line] = true
+				allocOK[d.Pos.Line+1] = true
+			}
+		}
+	}
+	var out []noescapeRegion
+	for _, decl := range src.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Doc == nil || fd.Body == nil {
+			continue
+		}
+		marked := false
+		for _, c := range fd.Doc.List {
+			if d, ok := ParseDirective(c.Text, fset.Position(c.Pos())); ok && d.Name == "noescape" {
+				marked = true
+				break
+			}
+		}
+		if !marked {
+			continue
+		}
+		start := fset.Position(fd.Pos())
+		end := fset.Position(fd.End())
+		region := noescapeRegion{
+			file:  path,
+			fn:    funcDisplayName(fd),
+			start: start.Line,
+			end:   end.Line,
+			pos:   start,
+		}
+		for line := range allocOK {
+			if line >= region.start && line <= region.end {
+				if region.allocOK == nil {
+					region.allocOK = make(map[int]bool)
+				}
+				region.allocOK[line] = true
+			}
+		}
+		out = append(out, region)
+	}
+	return out, nil
+}
+
+func funcDisplayName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	recv := types.ExprString(fd.Recv.List[0].Type)
+	return "(" + recv + ")." + fd.Name.Name
+}

@@ -1,0 +1,51 @@
+// Package knownbad is the end-to-end fixture for cmd/p3lint: it violates
+// each analyzer's invariant exactly once, against the real sinks and the
+// real directive grammar, so the integration test can assert that both the
+// standalone runner and the `go vet -vettool` path surface every analyzer
+// with its documented message. It lives under testdata, so ./... wildcards
+// (and therefore CI's lint step) never see it.
+package knownbad
+
+import (
+	"time"
+
+	"p3/internal/sim"
+)
+
+// Stamp is the one wallclock violation: an unannotated wall-clock read.
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}
+
+// Flush is the one maporder violation: scheduling straight out of a map
+// walk, the exact shape of the PR 9 local-vs-cross tie bug.
+func Flush(eng *sim.Engine, pending map[int]func()) {
+	for at, fn := range pending {
+		eng.At(sim.Time(at), fn)
+	}
+}
+
+// grownEvent is the one sizebudget violation: sim's event layout plus one
+// field, still claiming the 32-byte budget.
+//
+//p3:sizebudget 32
+type grownEvent struct {
+	at    int64
+	sched int64
+	ord   uint64
+	fn    func()
+	tag   uint32
+}
+
+var _ = grownEvent{}
+
+var leaked *int
+
+// Leak is the one noescape violation: a //p3:noescape function whose
+// allocation escapes, with no //p3:alloc-ok exemption.
+//
+//p3:noescape
+func Leak() *int {
+	leaked = new(int)
+	return leaked
+}

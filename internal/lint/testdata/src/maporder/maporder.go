@@ -1,0 +1,70 @@
+// Package maporder is the failing fixture for the maporder analyzer. The
+// harness configures this package's own Engine.At as the sink, so the
+// fixture needs no imports: every shape of "map walk reaches scheduling" —
+// direct, through a helper, through a closure — must be flagged, and
+// slice walks or suppressed walks must not.
+package maporder
+
+// Engine stands in for the simulation engine; At is the configured sink.
+type Engine struct{}
+
+func (e *Engine) At(at int64, fn func()) {}
+
+type state struct {
+	eng     *Engine
+	pending map[int]func()
+}
+
+func (s *state) direct() {
+	for at, fn := range s.pending { // want `map iteration over s\.pending reaches event scheduling`
+		s.eng.At(int64(at), fn)
+	}
+}
+
+func (s *state) transitive() {
+	for at := range s.pending { // want `map iteration over s\.pending reaches event scheduling`
+		s.schedule(at)
+	}
+}
+
+func (s *state) schedule(at int) {
+	s.eng.At(int64(at), nil)
+}
+
+func (s *state) closure() {
+	for at, fn := range s.pending { // want `map iteration over s\.pending reaches event scheduling`
+		at, fn := at, fn
+		defer func() { s.eng.At(int64(at), fn) }()
+	}
+}
+
+// sliceWalk is clean: slice order is deterministic.
+func (s *state) sliceWalk(ats []int) {
+	for _, at := range ats {
+		s.eng.At(int64(at), nil)
+	}
+}
+
+// readOnly is clean: the walk never reaches a sink.
+func (s *state) readOnly() int {
+	n := 0
+	for range s.pending {
+		n++
+	}
+	return n
+}
+
+// suppressed documents why its order is sound.
+func (s *state) suppressed() {
+	//p3:maporder-ok every pending callback is idempotent and self-ordering in this fixture
+	for at, fn := range s.pending {
+		s.eng.At(int64(at), fn)
+	}
+}
+
+func (s *state) suppressedNoReason() {
+	//p3:maporder-ok
+	for at, fn := range s.pending { // want `//p3:maporder-ok needs a reason`
+		s.eng.At(int64(at), fn)
+	}
+}

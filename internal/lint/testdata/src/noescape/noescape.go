@@ -1,0 +1,40 @@
+// Package noescape is the failing fixture for the build-driven noescape
+// gate: leak's allocation must be reported, clean and the //p3:alloc-ok
+// exempted site must not, and unmarked functions may allocate freely.
+package noescape
+
+var sink *int
+
+// leak violates its own contract: new(int) escapes.
+//
+//p3:noescape
+func leak() *int {
+	p := new(int)
+	sink = p
+	return p
+}
+
+// clean honors the contract: everything stays in registers or on the stack.
+//
+//p3:noescape
+func clean(x, y int) int {
+	s := 0
+	for i := x; i < y; i++ {
+		s += i
+	}
+	return s
+}
+
+// exempted allocates on a documented line.
+//
+//p3:noescape
+func exempted() *int {
+	//p3:alloc-ok fixture demonstrates a documented cold-path allocation
+	p := new(int)
+	return p
+}
+
+// unmarked carries no contract and may allocate.
+func unmarked() *int {
+	return new(int)
+}

@@ -1,0 +1,50 @@
+// Package wallclock is the failing fixture for the wallclock analyzer in a
+// NON-critical package: wall-clock reads need a //p3:wallclock-ok <reason>,
+// seeded generators are always fine. Each `// want "re"` comment is the
+// diagnostic the harness requires on that line.
+package wallclock
+
+import (
+	"math/rand/v2"
+	"time"
+)
+
+func bareNow() int64 {
+	return time.Now().UnixNano() // want `time\.Now reads wall-clock state`
+}
+
+func bareTimer() {
+	t := time.NewTimer(time.Second) // want `time\.NewTimer reads wall-clock state`
+	defer t.Stop()
+	time.Sleep(time.Millisecond) // want `time\.Sleep reads wall-clock state`
+}
+
+func excused() time.Time {
+	//p3:wallclock-ok fixture demonstrates an annotated real-time site
+	return time.Now()
+}
+
+func excusedTrailing() time.Time {
+	return time.Now() //p3:wallclock-ok trailing directives attach to their own line
+}
+
+func noReason() time.Time {
+	//p3:wallclock-ok
+	return time.Now() // want `//p3:wallclock-ok needs a reason`
+}
+
+func globalRand() int64 {
+	return rand.Int64() // want `rand\.Int64 reads wall-clock state`
+}
+
+// seededRand is clean: constructors are allowed, and methods on an
+// explicitly seeded generator are not package-level reads.
+func seededRand(seed uint64) float64 {
+	r := rand.New(rand.NewPCG(seed, seed))
+	return r.Float64()
+}
+
+// durations touches the time package without touching the clock.
+func durations(d time.Duration) float64 {
+	return d.Seconds() + time.Millisecond.Seconds()
+}

@@ -1,0 +1,16 @@
+// Package wallclockcrit is the failing fixture for the wallclock analyzer
+// in a determinism-CRITICAL package (the harness passes this package's own
+// import path as the critical list): wall-clock reads are banned outright,
+// and even the //p3:wallclock-ok escape hatch is rejected.
+package wallclockcrit
+
+import "time"
+
+func bare() int64 {
+	return time.Now().UnixNano() // want `time\.Now in determinism-critical package .*simulation time comes from the engine`
+}
+
+func excuseRejected() time.Time {
+	//p3:wallclock-ok no excuse is accepted here
+	return time.Now() // want `//p3:wallclock-ok is not honored here`
+}

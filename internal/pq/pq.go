@@ -42,6 +42,8 @@ func New[T any](less func(a, b T) bool) *Queue[T] {
 func (q *Queue[T]) Len() int { return len(q.items) }
 
 // before is the heap order: less first, insertion order on ties.
+//
+//p3:noescape
 func (q *Queue[T]) before(a, b item[T]) bool {
 	if q.less(a.value, b.value) {
 		return true
@@ -54,6 +56,8 @@ func (q *Queue[T]) before(a, b item[T]) bool {
 
 // Push adds v to the queue in O(log n), allocating only when the backing
 // slab must grow.
+//
+//p3:noescape
 func (q *Queue[T]) Push(v T) {
 	q.seq++
 	q.items = append(q.items, item[T]{value: v, seq: q.seq})
@@ -61,6 +65,8 @@ func (q *Queue[T]) Push(v T) {
 }
 
 // Pop removes and returns the minimum element. It panics on an empty queue.
+//
+//p3:noescape
 func (q *Queue[T]) Pop() T {
 	top := q.items[0]
 	n := len(q.items) - 1
@@ -75,6 +81,8 @@ func (q *Queue[T]) Pop() T {
 
 // Peek returns the minimum element without removing it. The second result is
 // false if the queue is empty.
+//
+//p3:noescape
 func (q *Queue[T]) Peek() (T, bool) {
 	if len(q.items) == 0 {
 		var zero T
@@ -92,6 +100,7 @@ func (q *Queue[T]) Drain() []T {
 	return out
 }
 
+//p3:noescape
 func (q *Queue[T]) siftUp(i int) {
 	for i > 0 {
 		parent := (i - 1) / 2
@@ -103,6 +112,7 @@ func (q *Queue[T]) siftUp(i int) {
 	}
 }
 
+//p3:noescape
 func (q *Queue[T]) siftDown(i int) {
 	n := len(q.items)
 	for {
@@ -151,6 +161,8 @@ func (h *Indexed[T]) Len() int { return len(h.items) }
 
 // Peek returns the minimum element without removing it. The second result is
 // false if the heap is empty.
+//
+//p3:noescape
 func (h *Indexed[T]) Peek() (T, bool) {
 	if len(h.items) == 0 {
 		var zero T
@@ -160,6 +172,8 @@ func (h *Indexed[T]) Peek() (T, bool) {
 }
 
 // Push adds x in O(log n), allocating only when the backing slab must grow.
+//
+//p3:noescape
 func (h *Indexed[T]) Push(x T) {
 	i := len(h.items)
 	h.items = append(h.items, x)
@@ -168,12 +182,16 @@ func (h *Indexed[T]) Push(x T) {
 }
 
 // Pop removes and returns the minimum element. It panics on an empty heap.
+//
+//p3:noescape
 func (h *Indexed[T]) Pop() T {
 	return h.Remove(0)
 }
 
 // Remove deletes and returns the element at position i (as last reported by
 // move) in O(log n). The removed element receives a final move(x, -1).
+//
+//p3:noescape
 func (h *Indexed[T]) Remove(i int) T {
 	x := h.items[i]
 	n := len(h.items) - 1
@@ -193,12 +211,15 @@ func (h *Indexed[T]) Remove(i int) T {
 
 // Fix restores the heap order after the element at position i changed its
 // key (e.g. a flow's head changed), in O(log n).
+//
+//p3:noescape
 func (h *Indexed[T]) Fix(i int) {
 	if !h.siftDown(i) {
 		h.siftUp(i)
 	}
 }
 
+//p3:noescape
 func (h *Indexed[T]) siftUp(i int) {
 	for i > 0 {
 		parent := (i - 1) / 2
@@ -213,6 +234,8 @@ func (h *Indexed[T]) siftUp(i int) {
 }
 
 // siftDown reports whether it moved the element at i.
+//
+//p3:noescape
 func (h *Indexed[T]) siftDown(i int) bool {
 	moved := false
 	n := len(h.items)

@@ -20,14 +20,24 @@ type deadlineConn struct {
 
 func (d deadlineConn) Read(p []byte) (int, error) {
 	if d.readTimeout > 0 {
-		d.conn.SetReadDeadline(time.Now().Add(d.readTimeout))
+		// A failed arm means the connection is already dead (or the OS
+		// rejected the timer); surfacing it here fails the read the same
+		// way an expired deadline would, instead of silently reading
+		// unbounded.
+		//p3:wallclock-ok deadlines are anchored to real time by definition
+		if err := d.conn.SetReadDeadline(time.Now().Add(d.readTimeout)); err != nil {
+			return 0, err
+		}
 	}
 	return d.conn.Read(p)
 }
 
 func (d deadlineConn) Write(p []byte) (int, error) {
 	if d.writeTimeout > 0 {
-		d.conn.SetWriteDeadline(time.Now().Add(d.writeTimeout))
+		//p3:wallclock-ok deadlines are anchored to real time by definition
+		if err := d.conn.SetWriteDeadline(time.Now().Add(d.writeTimeout)); err != nil {
+			return 0, err
+		}
 	}
 	return d.conn.Write(p)
 }

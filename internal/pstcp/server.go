@@ -274,6 +274,7 @@ func (s *Server) readLoop(conn net.Conn) {
 // registered worker, every HeartbeatEvery.
 func (s *Server) heartbeatLoop() {
 	defer s.wg.Done()
+	//p3:wallclock-ok liveness heartbeats pace the real transport
 	t := time.NewTicker(s.cfg.HeartbeatEvery)
 	defer t.Stop()
 	for {

@@ -296,10 +296,12 @@ func (w *Worker) reconnect(li *link) bool {
 		maxDelay = time.Second
 	}
 	for attempt := 0; attempt < cfg.MaxAttempts; attempt++ {
+		//p3:wallclock-ok reconnect backoff jitter must differ across real workers
 		jittered := delay/2 + time.Duration(rand.Int64N(int64(delay/2)+1))
 		select {
 		case <-w.done:
 			return false
+		//p3:wallclock-ok reconnect backoff waits in real time
 		case <-time.After(jittered):
 		}
 		conn, err := w.dial(li.addr)
@@ -385,6 +387,7 @@ func (w *Worker) sendLoop() {
 // link, every HeartbeatEvery.
 func (w *Worker) heartbeatLoop() {
 	defer w.wg.Done()
+	//p3:wallclock-ok liveness heartbeats pace the real transport
 	t := time.NewTicker(w.cfg.HeartbeatEvery)
 	defer t.Stop()
 	for {

@@ -98,6 +98,8 @@ func (q *Queue[T]) Len() int { return q.n }
 
 // Push enqueues v into its flow's subqueue in O(log F) (plus O(log n_f) in
 // the flow's own depth), allocating only when a slab must grow.
+//
+//p3:noescape
 func (q *Queue[T]) Push(v T) {
 	it := q.view(v)
 	if q.rank != nil {
@@ -112,7 +114,9 @@ func (q *Queue[T]) Push(v T) {
 			q.free = q.free[:k-1]
 			f.key = it.Dest
 		} else {
+			//p3:alloc-ok first flow per destination; recycled via q.free thereafter
 			f = &flow[T]{key: it.Dest}
+			//p3:alloc-ok per-flow heap and closure, amortized over the flow's lifetime
 			f.q = pq.New(func(a, b entry[T]) bool { return q.d.Less(a.it, b.it) })
 		}
 		q.flows[it.Dest] = f
@@ -129,6 +133,8 @@ func (q *Queue[T]) Push(v T) {
 // discipline order first, global insertion order on ties. Sequence numbers
 // are unique, so this is a strict total order and both the head heap and the
 // dispatcher are deterministic regardless of internal layout.
+//
+//p3:noescape
 func (q *Queue[T]) before(a, b entry[T]) bool {
 	if q.d.Less(a.it, b.it) {
 		return true
@@ -141,6 +147,8 @@ func (q *Queue[T]) before(a, b entry[T]) bool {
 
 // take pops f's head, evicts f if that drained it, and runs the dispatch
 // bookkeeping. f must currently be in the head heap.
+//
+//p3:noescape
 func (q *Queue[T]) take(f *flow[T]) T {
 	e := f.q.Pop()
 	q.n--
@@ -167,6 +175,8 @@ func (q *Queue[T]) take(f *flow[T]) T {
 // restoreWalk pushes the admission walk's popped prefix back into the head
 // heap. Heap layout after restoration may differ, but dispatch order cannot:
 // the order is the comparator's strict total order, not the layout.
+//
+//p3:noescape
 func (q *Queue[T]) restoreWalk() {
 	for i, f := range q.walk {
 		q.heads.Push(f)
@@ -177,6 +187,8 @@ func (q *Queue[T]) restoreWalk() {
 
 // Peek returns the most urgent element without removing it, ignoring any
 // credit gate.
+//
+//p3:noescape
 func (q *Queue[T]) Peek() (T, bool) {
 	f, ok := q.heads.Peek()
 	if !ok {
@@ -192,6 +204,8 @@ func (q *Queue[T]) Peek() (T, bool) {
 // charges the element in flight (OnStart), so the caller's usual Done call
 // stays balanced whether the element came from Pop or PopReady. The second
 // result is false when the queue is empty.
+//
+//p3:noescape
 func (q *Queue[T]) Pop() (T, bool) {
 	f, ok := q.heads.Peek()
 	if !ok {
@@ -209,6 +223,8 @@ func (q *Queue[T]) Pop() (T, bool) {
 // second result is false when the queue is empty or every flow head is
 // refused by the credit window. An admitted element is charged in-flight
 // (OnStart); release it with Done once it completes.
+//
+//p3:noescape
 func (q *Queue[T]) PopReady() (T, bool) {
 	if q.adm == nil {
 		return q.Pop()
@@ -244,6 +260,8 @@ func (q *Queue[T]) PopReady() (T, bool) {
 // position in virtual time and nothing queued ever outranks it, so Ranker
 // disciplines never preempt — stride scheduling expresses fairness, not
 // urgency, and there is no "more urgent" to preempt for.
+//
+//p3:noescape
 func (q *Queue[T]) Preempts(hold T) bool {
 	if q.n == 0 {
 		return false
@@ -283,6 +301,8 @@ func (q *Queue[T]) Preempts(hold T) bool {
 // keep must not touch the queue (no Push/Pop/Done/Cancel): it runs while
 // the head heap is mid-walk, exactly like pq.NewIndexed's move callback
 // must not touch its heap. It should be a pure predicate of the candidate.
+//
+//p3:noescape
 func (q *Queue[T]) PopReadyIf(keep func(T) bool) (T, bool) {
 	var zero T
 	if q.adm == nil {
@@ -324,6 +344,8 @@ func (q *Queue[T]) PopReadyIf(keep func(T) bool) (T, bool) {
 // traffic must wait for hold to finish. The second result is false when no
 // such element exists. As with Preempts, Ranker disciplines never preempt
 // (hold's unranked view precedes every queued rank).
+//
+//p3:noescape
 func (q *Queue[T]) PopPreempting(hold T) (T, bool) {
 	var zero T
 	if q.n == 0 {
@@ -356,6 +378,8 @@ func (q *Queue[T]) PopPreempting(hold T) (T, bool) {
 
 // Done releases v's in-flight charge (a no-op for disciplines without a
 // credit window). Call it exactly once per successful PopReady.
+//
+//p3:noescape
 func (q *Queue[T]) Done(v T) {
 	if q.adm != nil {
 		q.adm.OnDone(q.view(v))
@@ -370,6 +394,8 @@ func (q *Queue[T]) Done(v T) {
 // view — v carries its destination, so a flow skipped at dispatch can never
 // absorb another flow's refund. Falls back to Done semantics for
 // disciplines without a cancel path.
+//
+//p3:noescape
 func (q *Queue[T]) Cancel(v T) {
 	if q.adm == nil {
 		return
@@ -427,6 +453,8 @@ func (q *Queue[T]) SetProfile(p *Profile) {
 // For disciplines that do not track parked bytes it is a no-op (the
 // element simply stays charged, the conservative pre-Parker behaviour).
 // Balance every Park with a Resume before the element's Done.
+//
+//p3:noescape
 func (q *Queue[T]) Park(v T) {
 	if p, ok := q.adm.(Parker); ok {
 		p.OnPark(q.view(v))
@@ -436,6 +464,8 @@ func (q *Queue[T]) Park(v T) {
 // Resume re-charges a parked element when its transmission continues; the
 // caller's eventual Done then balances as usual. A no-op for disciplines
 // without a Parker, mirroring Park.
+//
+//p3:noescape
 func (q *Queue[T]) Resume(v T) {
 	if p, ok := q.adm.(Parker); ok {
 		p.OnResume(q.view(v))
@@ -447,6 +477,8 @@ func (q *Queue[T]) Resume(v T) {
 // before progress. It consults the discipline's Admit, which for adaptive
 // disciplines records each refusal as a congestion signal — treat Blocked
 // as part of the dispatch loop, not a free-standing query to poll.
+//
+//p3:noescape
 func (q *Queue[T]) Blocked() bool {
 	if q.adm == nil || q.n == 0 {
 		return false

@@ -13,6 +13,8 @@ import (
 // their own element type (a transport frame, a simulator message, a
 // processing-pool work item) into an Item; disciplines only ever see this
 // view.
+//
+//p3:sizebudget 32
 type Item struct {
 	// Priority is the urgency class, lower = more urgent. P3 assigns
 	// forward-pass layer order, so Priority doubles as the flow key for

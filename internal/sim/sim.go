@@ -88,6 +88,8 @@ func FromSeconds(s float64) Time { return Time(s * float64(Second)) }
 // value, and one more word pushes the copies off the compiler's
 // register-move path and triples the per-event cost — which is why lp and
 // seq share a word instead of having fields of their own.
+//
+//p3:sizebudget 32
 type event struct {
 	at    Time
 	sched Time   // virtual time of the scheduling call
